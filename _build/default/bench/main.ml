@@ -1,0 +1,252 @@
+(* Benchmark & experiment harness.
+
+   Running `dune exec bench/main.exe` regenerates, in order:
+
+   - every experiment table E1-E10 (the paper's figures, theorems and
+     complexity claims — see DESIGN.md's per-experiment index);
+   - T1a: simulated primitive-steps-per-operation costs (the
+     hardware-independent cost model of each implementation);
+   - T1b: Bechamel wall-clock micro-benchmarks of the same workloads (the
+     cost of implementation + simulator on this machine). *)
+
+open Dtc_util
+open Nvm
+open Runtime
+open History
+open Sched
+
+let i n = Value.Int n
+
+(* ------------------------------------------------------------------ *)
+(* T1a: simulated steps per operation *)
+
+let solo_steps ~mk ~ops_of =
+  let machine, inst = mk () in
+  let ops = ops_of () in
+  let cfg = { Driver.default_config with max_steps = 10_000_000 } in
+  let res = Driver.run machine inst ~workloads:[| ops |] cfg in
+  if res.Driver.incomplete then failwith "bench run incomplete";
+  float_of_int res.Driver.steps /. float_of_int (List.length ops)
+
+let steps_table () =
+  let t =
+    Table.create
+      ~title:
+        "T1a: simulated primitive steps per operation (solo, 100 ops, incl. \
+         announce/clear protocol)"
+      [ "implementation"; "workload"; "steps/op" ]
+  in
+  let k = 100 in
+  let row label mk ops_of =
+    Table.add_row t
+      [ label; "100 ops"; Printf.sprintf "%.1f" (solo_steps ~mk ~ops_of) ]
+  in
+  let writes () = List.init k (fun j -> Spec.write_op (i (j mod 4))) in
+  let cases () =
+    List.init k (fun j ->
+        if j mod 2 = 0 then Spec.cas_op (i 0) (i 1) else Spec.cas_op (i 1) (i 0))
+  in
+  row "drw (Alg.1, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Detectable.Drw.instance (Detectable.Drw.create m ~n:3 ~init:(i 0))))
+    writes;
+  row "urw (unbounded tags, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Baselines.Urw.instance (Baselines.Urw.create m ~n:3 ~init:(i 0))))
+    writes;
+  row "plain register (not recoverable)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Baselines.Plain.register m ~init:(i 0)))
+    writes;
+  row "dcas (Alg.2, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Detectable.Dcas.instance (Detectable.Dcas.create m ~n:3 ~init:(i 0))))
+    cases;
+  row "ucas (unbounded tags, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Baselines.Ucas.instance (Baselines.Ucas.create m ~n:3 ~init:(i 0))))
+    cases;
+  row "plain cas (not recoverable)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Baselines.Plain.cas_cell m ~init:(i 0)))
+    cases;
+  row "dmax (Alg.3, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Detectable.Dmax.instance (Detectable.Dmax.create m ~n:3 ~init:0)))
+    (fun () ->
+      List.init k (fun j -> if j mod 2 = 0 then Spec.write_max_op j else Spec.read_op));
+  row "dcounter (capsule, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      ( m,
+        Detectable.Transform.instance
+          (Detectable.Transform.counter m ~n:3 ~init:0) ))
+    (fun () -> List.init k (fun _ -> Spec.inc_op));
+  row "plain counter (not recoverable)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Baselines.Plain.counter m ~init:0))
+    (fun () -> List.init k (fun _ -> Spec.inc_op));
+  row "dqueue (N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      ( m,
+        Detectable.Dqueue.instance (Detectable.Dqueue.create m ~n:3 ~capacity:128)
+      ))
+    (fun () ->
+      List.init k (fun j -> if j mod 2 = 0 then Spec.enq_op (i j) else Spec.deq_op));
+  row "plain queue (not recoverable)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Baselines.Plain.queue m ~capacity:128))
+    (fun () ->
+      List.init k (fun j -> if j mod 2 = 0 then Spec.enq_op (i j) else Spec.deq_op));
+  row "dprotected (lock-based, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      (m, Detectable.Dprotected.instance (Detectable.Dprotected.create m ~n:3 ~init:0)))
+    (fun () -> List.init k (fun _ -> Spec.inc_op));
+  row "ulog register (universal, N=3)"
+    (fun () ->
+      let m = Machine.create () in
+      ( m,
+        Detectable.Ulog.instance
+          (Detectable.Ulog.create m ~n:3 ~capacity:(k + 4)
+             ~spec:(Spec.register (i 0))) ))
+    writes;
+  t
+
+(* The N-dependence of Algorithm 1's write (its toggle-raising loop). *)
+let drw_scaling_table () =
+  let t =
+    Table.create
+      ~title:"T1a': Algorithm 1 write cost grows linearly in N (the toggle loop)"
+      [ "N"; "steps per write (solo)" ]
+  in
+  List.iter
+    (fun n ->
+      let steps =
+        solo_steps
+          ~mk:(fun () ->
+            let m = Machine.create () in
+            (m, Detectable.Drw.instance (Detectable.Drw.create m ~n ~init:(i 0))))
+          ~ops_of:(fun () -> List.init 50 (fun j -> Spec.write_op (i (j mod 3))))
+      in
+      Table.add_row t [ string_of_int n; Printf.sprintf "%.1f" steps ])
+    [ 2; 4; 8; 16; 32 ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* T1b: Bechamel wall-clock micro-benchmarks *)
+
+let bech_workload ~mk ~ops () =
+  let machine, inst = mk () in
+  let cfg = { Driver.default_config with max_steps = 1_000_000 } in
+  ignore (Driver.run machine inst ~workloads:[| ops |] cfg)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let mk_test name mk ops =
+    Test.make ~name (Staged.stage (bech_workload ~mk ~ops))
+  in
+  let writes = List.init 50 (fun j -> Spec.write_op (i (j mod 4))) in
+  let cases =
+    List.init 50 (fun j ->
+        if j mod 2 = 0 then Spec.cas_op (i 0) (i 1) else Spec.cas_op (i 1) (i 0))
+  in
+  let qops =
+    List.init 50 (fun j -> if j mod 2 = 0 then Spec.enq_op (i j) else Spec.deq_op)
+  in
+  Test.make_grouped ~name:"bench" ~fmt:"%s.%s"
+    [
+      mk_test "drw.write"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Detectable.Drw.instance (Detectable.Drw.create m ~n:3 ~init:(i 0))))
+        writes;
+      mk_test "urw.write"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Baselines.Urw.instance (Baselines.Urw.create m ~n:3 ~init:(i 0))))
+        writes;
+      mk_test "plain.write"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Baselines.Plain.register m ~init:(i 0)))
+        writes;
+      mk_test "dcas.cas"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Detectable.Dcas.instance (Detectable.Dcas.create m ~n:3 ~init:(i 0))))
+        cases;
+      mk_test "ucas.cas"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Baselines.Ucas.instance (Baselines.Ucas.create m ~n:3 ~init:(i 0))))
+        cases;
+      mk_test "plain.cas"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Baselines.Plain.cas_cell m ~init:(i 0)))
+        cases;
+      mk_test "dqueue.enqdeq"
+        (fun () ->
+          let m = Machine.create () in
+          ( m,
+            Detectable.Dqueue.instance
+              (Detectable.Dqueue.create m ~n:3 ~capacity:128) ))
+        qops;
+      mk_test "plain_queue.enqdeq"
+        (fun () ->
+          let m = Machine.create () in
+          (m, Baselines.Plain.queue m ~capacity:128))
+        qops;
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let results = Analyze.all ols instance raw in
+  let t =
+    Table.create ~title:"T1b: wall-clock per 50-op solo workload (Bechamel OLS)"
+      [ "benchmark"; "time/run"; "us/op" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) ->
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f ns" ns;
+          Printf.sprintf "%.2f" (ns /. 1000.0 /. 50.0);
+        ])
+    (List.sort compare !rows);
+  Table.print t
+
+let () =
+  Experiments.Registry.run_all ();
+  print_newline ();
+  Table.print (steps_table ());
+  Table.print (drw_scaling_table ());
+  run_bechamel ();
+  print_endline "done."

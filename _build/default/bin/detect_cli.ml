@@ -1,0 +1,444 @@
+(* detect-cli: command-line front end for the detectable-objects
+   reproduction.
+
+   - [list]        enumerate the paper experiments
+   - [exp ID …]    run one or more experiments (all by default)
+   - [torture]     randomized crash-torture a chosen object
+   - [trace]       run one seeded execution and print its history
+   - [modelcheck]  bounded exhaustive exploration of a tiny workload *)
+
+open Cmdliner
+open Nvm
+open Runtime
+open History
+open Sched
+
+(* ------------------------------------------------------------------ *)
+(* object selection *)
+
+type obj_kind =
+  | Drw
+  | Dcas
+  | Dmax
+  | Dcounter
+  | Dfaa
+  | Dswap
+  | Dtas
+  | Dbounded
+  | Dqueue
+  | Dprotected
+  | Urw
+  | Ucas
+  | Broken_rw_refail
+  | Broken_rw_reexec
+  | Broken_drw_no_toggle
+  | Broken_dcas_no_vec
+
+let obj_choices =
+  [
+    ("drw", Drw);
+    ("dcas", Dcas);
+    ("dmax", Dmax);
+    ("dcounter", Dcounter);
+    ("dfaa", Dfaa);
+    ("dswap", Dswap);
+    ("dtas", Dtas);
+    ("dbounded", Dbounded);
+    ("dqueue", Dqueue);
+    ("dprotected", Dprotected);
+    ("urw", Urw);
+    ("ucas", Ucas);
+    ("broken-rw-refail", Broken_rw_refail);
+    ("broken-rw-reexec", Broken_rw_reexec);
+    ("broken-drw-no-toggle", Broken_drw_no_toggle);
+    ("broken-dcas-no-vec", Broken_dcas_no_vec);
+  ]
+
+let i n = Value.Int n
+
+let mk_of_kind kind ~n () =
+  let m = Machine.create () in
+  let inst =
+    match kind with
+    | Drw -> Detectable.Drw.instance (Detectable.Drw.create m ~n ~init:(i 0))
+    | Dcas -> Detectable.Dcas.instance (Detectable.Dcas.create m ~n ~init:(i 0))
+    | Dmax -> Detectable.Dmax.instance (Detectable.Dmax.create m ~n ~init:0)
+    | Dcounter ->
+        Detectable.Transform.instance (Detectable.Transform.counter m ~n ~init:0)
+    | Dfaa -> Detectable.Transform.instance (Detectable.Transform.faa m ~n ~init:0)
+    | Dswap ->
+        Detectable.Transform.instance (Detectable.Transform.swap m ~n ~init:(i 0))
+    | Dtas -> Detectable.Transform.instance (Detectable.Transform.tas m ~n)
+    | Dbounded ->
+        Detectable.Transform.instance
+          (Detectable.Transform.bounded_counter m ~n ~lo:0 ~hi:3 ~init:0)
+    | Dprotected ->
+        Detectable.Dprotected.instance (Detectable.Dprotected.create m ~n ~init:0)
+    | Dqueue -> Detectable.Dqueue.instance (Detectable.Dqueue.create m ~n ~capacity:256)
+    | Urw -> Baselines.Urw.instance (Baselines.Urw.create m ~n ~init:(i 0))
+    | Ucas -> Baselines.Ucas.instance (Baselines.Ucas.create m ~n ~init:(i 0))
+    | Broken_rw_refail -> Baselines.Broken.rw_no_aux_refail m ~n ~init:(i 0)
+    | Broken_rw_reexec -> Baselines.Broken.rw_no_aux_reexec m ~n ~init:(i 0)
+    | Broken_drw_no_toggle -> Baselines.Broken.drw_no_toggle m ~n ~init:(i 0)
+    | Broken_dcas_no_vec -> Baselines.Broken.dcas_no_vec m ~n ~init:(i 0)
+  in
+  (m, inst)
+
+let workloads_of_kind kind ~seed ~procs ~ops =
+  let prng = Dtc_util.Prng.create seed in
+  match kind with
+  | Drw | Urw | Broken_rw_refail | Broken_rw_reexec | Broken_drw_no_toggle ->
+      Workload.register prng ~procs ~ops_per_proc:ops ~values:3
+  | Dcas | Ucas | Broken_dcas_no_vec ->
+      Workload.cas prng ~procs ~ops_per_proc:ops ~values:3
+  | Dmax -> Workload.max_register prng ~procs ~ops_per_proc:ops ~values:8
+  | Dcounter | Dbounded | Dprotected -> Workload.counter prng ~procs ~ops_per_proc:ops
+  | Dfaa -> Workload.faa prng ~procs ~ops_per_proc:ops ~max_delta:4
+  | Dswap -> Workload.swap prng ~procs ~ops_per_proc:ops ~values:3
+  | Dtas -> Workload.tas prng ~procs ~ops_per_proc:ops
+  | Dqueue -> Workload.queue prng ~procs ~ops_per_proc:ops ~values:5
+
+(* ------------------------------------------------------------------ *)
+(* common options *)
+
+let obj_arg =
+  let doc =
+    "Object under test: " ^ String.concat ", " (List.map fst obj_choices) ^ "."
+  in
+  Arg.(
+    required
+    & opt (some (enum obj_choices)) None
+    & info [ "o"; "object" ] ~docv:"OBJECT" ~doc)
+
+let procs_arg =
+  Arg.(value & opt int 3 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Process count.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "k"; "ops" ] ~docv:"K" ~doc:"Operations per process.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let policy_arg =
+  let choices = [ ("retry", Session.Retry); ("giveup", Session.Give_up) ] in
+  Arg.(
+    value
+    & opt (enum choices) Session.Retry
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"What the caller does after a fail verdict: retry or giveup.")
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "%-4s %-28s %s\n" e.id e.paper_artefact e.descr)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper experiments.")
+    Term.(const run $ const ())
+
+(* exp *)
+
+let exp_cmd =
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let run ids =
+    match ids with
+    | [] ->
+        Experiments.Registry.run_all ();
+        `Ok ()
+    | ids ->
+        let rec go = function
+          | [] -> `Ok ()
+          | id :: rest -> (
+              match Experiments.Registry.find id with
+              | Some e ->
+                  Experiments.Registry.run_one e;
+                  go rest
+              | None -> `Error (false, "unknown experiment id: " ^ id))
+        in
+        go ids
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run paper experiments (tables to stdout).")
+    Term.(ret (const run $ ids))
+
+(* torture *)
+
+let torture_cmd =
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random runs.")
+  in
+  let crash_prob =
+    Arg.(
+      value & opt float 0.05
+      & info [ "crash-prob" ] ~docv:"P" ~doc:"Per-step crash probability.")
+  in
+  let run kind procs ops trials crash_prob policy seed =
+    let violations = ref 0 in
+    let crashes = ref 0 in
+    for s = seed to seed + trials - 1 do
+      let prng = Dtc_util.Prng.create s in
+      let machine, inst = mk_of_kind kind ~n:procs () in
+      let cfg =
+        {
+          Driver.schedule = Schedule.random (Dtc_util.Prng.split prng);
+          crash_plan =
+            Crash_plan.random ~max_crashes:3 ~prob:crash_prob
+              (Dtc_util.Prng.split prng);
+          policy;
+          max_steps = 100_000;
+        }
+      in
+      let workloads = workloads_of_kind kind ~seed:s ~procs ~ops in
+      let res = Driver.run machine inst ~workloads cfg in
+      crashes := !crashes + res.Driver.crashes;
+      match Driver.check inst res with
+      | Lin_check.Ok_linearizable _ -> ()
+      | Lin_check.Violation msg ->
+          incr violations;
+          if !violations <= 3 then begin
+            Printf.printf "seed %d VIOLATION: %s\n" s msg;
+            Format.printf "%a@." Event.pp_history res.Driver.history
+          end
+    done;
+    Printf.printf
+      "torture: %d runs, %d crashes injected, %d violating histories\n" trials
+      !crashes !violations;
+    if !violations = 0 then `Ok () else `Error (false, "violations found")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Randomized crash-torture: many seeded runs, random schedules and \
+          crash points, every history checked for durable linearizability + \
+          detectability.")
+    Term.(
+      ret
+        (const run $ obj_arg $ procs_arg $ ops_arg $ trials $ crash_prob
+       $ policy_arg $ seed_arg))
+
+(* trace *)
+
+let trace_cmd =
+  let crash_at =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-at" ] ~docv:"STEP"
+          ~doc:"Inject a system-wide crash just before this global step.")
+  in
+  let run kind procs ops seed crash_at policy =
+    let machine, inst = mk_of_kind kind ~n:procs () in
+    let prng = Dtc_util.Prng.create seed in
+    let cfg =
+      {
+        Driver.schedule = Schedule.random prng;
+        crash_plan =
+          (match crash_at with
+          | None -> Crash_plan.none
+          | Some k -> Crash_plan.at_steps [ k ]);
+        policy;
+        max_steps = 100_000;
+      }
+    in
+    let workloads = workloads_of_kind kind ~seed ~procs ~ops in
+    let res = Driver.run machine inst ~workloads cfg in
+    Printf.printf "object:  %s\nsteps:   %d\ncrashes: %d\n"
+      inst.Obj_inst.descr res.Driver.steps res.Driver.crashes;
+    Format.printf "summary: %a@.@." Hist.pp_stats (Hist.stats res.Driver.history);
+    Format.printf "%a@." Event.pp_history res.Driver.history;
+    (match Driver.check inst res with
+    | Lin_check.Ok_linearizable w ->
+        Format.printf "verdict: linearizable; witness order:@.";
+        List.iter (fun op -> Format.printf "  %a@." Spec.pp_op op) w
+    | Lin_check.Violation msg -> Format.printf "verdict: VIOLATION — %s@." msg);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one seeded execution and print its event history and verdict.")
+    Term.(
+      ret
+        (const run $ obj_arg $ procs_arg $ ops_arg $ seed_arg $ crash_at
+       $ policy_arg))
+
+(* modelcheck *)
+
+let modelcheck_cmd =
+  let switches =
+    Arg.(
+      value & opt int 2
+      & info [ "switches" ] ~docv:"D" ~doc:"Context-switch budget.")
+  in
+  let crashes =
+    Arg.(value & opt int 1 & info [ "crashes" ] ~docv:"C" ~doc:"Crash budget.")
+  in
+  let run kind procs ops switches crashes policy seed =
+    let workloads = workloads_of_kind kind ~seed ~procs ~ops in
+    let cfg =
+      {
+        Modelcheck.Explore.default_config with
+        switch_budget = switches;
+        crash_budget = crashes;
+        policy;
+      }
+    in
+    let out =
+      Modelcheck.Explore.explore ~mk:(mk_of_kind kind ~n:procs) ~workloads cfg
+    in
+    Printf.printf
+      "executions: %d\nnodes: %d\ndistinct shared configs: %d\nviolations: %d\n"
+      out.Modelcheck.Explore.executions out.Modelcheck.Explore.nodes
+      out.Modelcheck.Explore.distinct_shared_configs
+      out.Modelcheck.Explore.total_violations;
+    List.iter
+      (fun (v : Modelcheck.Explore.violation) ->
+        Printf.printf "\nsample violation: %s\nschedule: %s\n" v.msg
+          (String.concat " "
+             (List.map
+                (Format.asprintf "%a" Modelcheck.Explore.pp_decision)
+                v.decisions));
+        Format.printf "%a@." Event.pp_history v.history;
+        (* shrink to a minimal reproduction *)
+        match
+          Modelcheck.Shrink.minimise
+            ~mk:(mk_of_kind kind ~n:procs)
+            ~workloads ~policy v.decisions
+        with
+        | Some r ->
+            Printf.printf
+              "minimised to %d decisions (%d replays): %s  [prefix, then free run]\n"
+              (List.length r.Modelcheck.Shrink.decisions)
+              r.Modelcheck.Shrink.attempts
+              (String.concat " "
+                 (List.map
+                    (Format.asprintf "%a" Modelcheck.Explore.pp_decision)
+                    r.Modelcheck.Shrink.decisions))
+        | None ->
+            print_endline
+              "(the violation did not reproduce under prefix-then-free-run \
+               replay; schedule shown above is exact)")
+      out.Modelcheck.Explore.violations;
+    if out.Modelcheck.Explore.total_violations = 0 then `Ok ()
+    else `Error (false, "violations found")
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Delay-bounded exhaustive exploration of a tiny workload, all crash \
+          points included.")
+    Term.(
+      ret
+        (const run $ obj_arg $ procs_arg $ ops_arg $ switches $ crashes
+       $ policy_arg $ seed_arg))
+
+(* witness *)
+
+let witness_cmd =
+  let run () =
+    List.iter
+      (fun (e : Perturb.Witnesses.entry) ->
+        match Perturb.Perturbing.verify_witness e.spec e.witness with
+        | Ok () ->
+            Format.printf "%-16s doubly-perturbing: %a@." e.obj_name
+              Perturb.Perturbing.pp_witness e.witness
+        | Error m -> Format.printf "%-16s REJECTED: %s@." e.obj_name m)
+      Perturb.Witnesses.all;
+    let alphabet = [ Spec.read_op; Spec.write_max_op 1; Spec.write_max_op 2 ] in
+    Format.printf "%-16s %s@." "max_register"
+      (if
+         Perturb.Witnesses.max_register_has_no_witness ~alphabet ~max_h1:2
+           ~max_ext:2
+       then "no witness within bound: NOT doubly-perturbing (Lemma 4)"
+       else "WITNESS FOUND (unexpected)")
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Verify the paper's doubly-perturbing witnesses (Lemmas 3, 5-8) and           the max register's non-witness (Lemma 4).")
+    Term.(const run $ const ())
+
+(* attack *)
+
+let attack_cmd =
+  let switches =
+    Arg.(
+      value & opt int 2
+      & info [ "switches" ] ~docv:"D" ~doc:"Context-switch budget.")
+  in
+  let run kind procs switches =
+    let e =
+      match kind with
+      | Drw | Urw | Broken_rw_refail | Broken_rw_reexec | Broken_drw_no_toggle
+        ->
+          Perturb.Witnesses.register
+      | Dcas | Ucas | Broken_dcas_no_vec -> Perturb.Witnesses.cas
+      | Dcounter | Dbounded | Dprotected -> Perturb.Witnesses.counter
+      | Dfaa -> Perturb.Witnesses.faa
+      | Dswap -> Perturb.Witnesses.swap
+      | Dtas -> Perturb.Witnesses.tas
+      | Dqueue -> Perturb.Witnesses.queue
+      | Dmax ->
+          (* not doubly-perturbing; attack with a max-register workload *)
+          {
+            Perturb.Witnesses.obj_name = "max_register";
+            spec = Spec.max_register 0;
+            witness = Perturb.Witnesses.register.Perturb.Witnesses.witness;
+            attack =
+              [|
+                [ Spec.write_max_op 1 ];
+                [ Spec.read_op; Spec.write_max_op 2; Spec.read_op ];
+              |];
+          }
+    in
+    let reports =
+      Perturb.Adversary.attack
+        ~mk:(mk_of_kind kind ~n:procs)
+        ~workloads:e.Perturb.Witnesses.attack ~switch_budget:switches ()
+    in
+    List.iter
+      (fun (r : Perturb.Adversary.report) ->
+        Printf.printf "policy %-6s: %d violations / %d executions
+"
+          (match r.policy with Session.Retry -> "retry" | Session.Give_up -> "giveup")
+          r.violations r.executions;
+        match r.sample with
+        | Some v ->
+            Printf.printf "  sample: %s
+" v.Modelcheck.Explore.msg;
+            Format.printf "%a@." Event.pp_history v.Modelcheck.Explore.history
+        | None -> ())
+      reports;
+    if Perturb.Adversary.survives reports then begin
+      print_endline "verdict: survives the auxiliary-state adversary";
+      `Ok ()
+    end
+    else begin
+      print_endline "verdict: VIOLATED (Theorem 2 in action)";
+      `Error (false, "adversary found violations")
+    end
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Launch the Theorem 2 adversary (the object's doubly-perturbing           witness as a concurrent crash attack).")
+    Term.(ret (const run $ obj_arg $ procs_arg $ switches))
+
+let () =
+  let doc =
+    "Detectable recoverable objects on a simulated NVM machine — \
+     reproduction of Ben-Baruch, Hendler and Rusanovsky (PODC 2020)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "detect-cli" ~version:"1.0.0" ~doc)
+          [ list_cmd; exp_cmd; torture_cmd; trace_cmd; modelcheck_cmd; witness_cmd; attack_cmd ]))

@@ -1,0 +1,1 @@
+lib/baselines/broken.ml: Array Base Detectable Fiber History Machine Nvm Runtime Sched Spec Value

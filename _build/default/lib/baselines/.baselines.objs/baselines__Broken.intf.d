@@ -1,0 +1,1 @@
+lib/baselines/broken.mli: Machine Nvm Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/baselines/dur_queue.ml: Array Base Detectable History Loc Machine Nvm Printf Runtime Sched Spec Value

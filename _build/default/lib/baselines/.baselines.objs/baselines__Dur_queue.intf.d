@@ -1,0 +1,1 @@
+lib/baselines/dur_queue.mli: Loc Machine Nvm Runtime Sched

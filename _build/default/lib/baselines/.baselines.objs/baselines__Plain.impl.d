@@ -1,0 +1,1 @@
+lib/baselines/plain.ml: Array Detectable Fiber History Machine Nvm Printf Runtime Sched Spec Value

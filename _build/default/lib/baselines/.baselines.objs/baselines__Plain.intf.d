@@ -1,0 +1,1 @@
+lib/baselines/plain.mli: Machine Nvm Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/baselines/ucas.mli: Loc Machine Nvm Runtime Sched Value

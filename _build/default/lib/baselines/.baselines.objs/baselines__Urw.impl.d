@@ -1,0 +1,1 @@
+lib/baselines/urw.ml: Array Base Detectable History Loc Machine Nvm Runtime Sched Spec Value

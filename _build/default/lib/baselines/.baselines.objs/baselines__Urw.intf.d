@@ -1,0 +1,1 @@
+lib/baselines/urw.mli: Loc Machine Nvm Runtime Sched Value

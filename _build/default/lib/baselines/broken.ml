@@ -1,0 +1,169 @@
+open Nvm
+open Runtime
+open History
+open Detectable
+
+(* A read/write object that keeps no auxiliary state: the write is a bare
+   store followed by a "return instruction" (a yield step), so a crash can
+   separate the store from the return exactly as in Figure 2.  Recovery
+   decides from shared state alone — which Theorem 2 proves cannot work. *)
+let rw_no_aux machine ~n ~init ~reexec =
+  let ctx = Base.make_ctx machine ~n in
+  let r = Machine.alloc_shared machine "R" init in
+  let invoke ~pid:_ (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let v = Fiber.read r in
+        Fiber.yield ();
+        v
+    | "write", [| v |] ->
+        Fiber.write r v;
+        Fiber.yield ();
+        Spec.ack
+    | _ -> Base.bad_op "Broken.rw_no_aux" op
+  in
+  let recover ~pid op =
+    if reexec then invoke ~pid op else Sched.Obj_inst.fail
+  in
+  {
+    Sched.Obj_inst.descr =
+      (if reexec then "rw-no-aux (recovery re-executes)"
+       else "rw-no-aux (recovery answers fail)");
+    spec = Spec.register init;
+    announce = Base.std_announce ctx;
+    invoke;
+    recover;
+    clear = (fun ~pid -> Base.std_clear ctx ~pid);
+    pending = (fun ~pid -> Base.std_pending ctx ~pid);
+    strict_recovery = false;
+  }
+
+let rw_no_aux_refail machine ~n ~init = rw_no_aux machine ~n ~init ~reexec:false
+let rw_no_aux_reexec machine ~n ~init = rw_no_aux machine ~n ~init ~reexec:true
+
+(* Algorithm 1 without the toggle-bit arrays: the register holds
+   (value, writer) and recovery at checkpoint 1 concludes "not linearized"
+   whenever R still holds what it held before the write — which the ABA
+   problem makes wrong. *)
+let drw_no_toggle machine ~n ~init =
+  let ctx = Base.make_ctx machine ~n in
+  let r = Machine.alloc_shared machine "R" (Value.pair init (Value.Int 0)) in
+  let rd_p =
+    Array.init n (fun pid -> Machine.alloc_private machine ~pid "RD" Value.Bot)
+  in
+  let complete ~pid =
+    Base.set_cp ctx ~pid 2;
+    Base.set_resp ctx ~pid Spec.ack;
+    Spec.ack
+  in
+  let write_body ~pid value =
+    let rv = Base.rd ctx r in
+    Base.wr ctx rd_p.(pid) rv;
+    let rv' = Base.rd ctx r in
+    if Value.equal rv' rv then begin
+      Base.set_cp ctx ~pid 1;
+      Base.wr ctx r (Value.pair value (Value.Int pid))
+    end;
+    complete ~pid
+  in
+  let write_recover ~pid =
+    if not (Value.equal (Base.get_resp ctx ~pid) Value.Bot) then Spec.ack
+    else if Base.get_cp ctx ~pid = 0 then Sched.Obj_inst.fail
+    else if
+      Base.get_cp ctx ~pid = 1
+      && Value.equal (Base.rd ctx r) (Base.rd ctx rd_p.(pid))
+      (* missing: the toggle-bit check that rules out ABA *)
+    then Sched.Obj_inst.fail
+    else complete ~pid
+  in
+  let read_body ~pid =
+    let v = Value.nth (Base.rd ctx r) 0 in
+    Base.set_resp ctx ~pid v;
+    v
+  in
+  let invoke ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] -> read_body ~pid
+    | "write", [| v |] -> write_body ~pid v
+    | _ -> Base.bad_op "Broken.drw_no_toggle" op
+  in
+  let recover ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let resp = Base.get_resp ctx ~pid in
+        if Value.equal resp Value.Bot then read_body ~pid else resp
+    | "write", [| _ |] -> write_recover ~pid
+    | _ -> Base.bad_op "Broken.drw_no_toggle" op
+  in
+  {
+    Sched.Obj_inst.descr = "drw-no-toggle (ABA-unsafe ablation)";
+    spec = Spec.register init;
+    announce = Base.std_announce ctx;
+    invoke;
+    recover;
+    clear = (fun ~pid -> Base.std_clear ctx ~pid);
+    pending = (fun ~pid -> Base.std_pending ctx ~pid);
+    strict_recovery = true;
+  }
+
+(* Algorithm 2 without the flip vector: C holds the bare value and
+   recovery guesses success iff C currently equals the CAS's new value. *)
+let dcas_no_vec machine ~n ~init =
+  let ctx = Base.make_ctx machine ~n in
+  let c = Machine.alloc_shared machine "C" init in
+  let cas_body ~pid ~old_v ~new_v =
+    let cv = Base.rd ctx c in
+    if not (Value.equal cv old_v) then begin
+      Base.set_resp ctx ~pid (Value.Bool false);
+      Value.Bool false
+    end
+    else begin
+      Base.set_cp ctx ~pid 1;
+      let res = Base.casl ctx c old_v new_v in
+      Base.set_resp ctx ~pid (Value.Bool res);
+      Value.Bool res
+    end
+  in
+  let cas_recover ~pid ~new_v =
+    let resp = Base.get_resp ctx ~pid in
+    if not (Value.equal resp Value.Bot) then resp
+    else if Base.get_cp ctx ~pid = 0 then Sched.Obj_inst.fail
+    else if Value.equal (Base.rd ctx c) new_v then begin
+      (* guess: C holds our new value, so "we must have succeeded" *)
+      Base.set_resp ctx ~pid (Value.Bool true);
+      Value.Bool true
+    end
+    else Sched.Obj_inst.fail
+  in
+  let invoke ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let v = Base.rd ctx c in
+        Base.set_resp ctx ~pid v;
+        v
+    | "cas", [| old_v; new_v |] -> cas_body ~pid ~old_v ~new_v
+    | _ -> Base.bad_op "Broken.dcas_no_vec" op
+  in
+  let recover ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let resp = Base.get_resp ctx ~pid in
+        if Value.equal resp Value.Bot then begin
+          let v = Base.rd ctx c in
+          Base.set_resp ctx ~pid v;
+          v
+        end
+        else resp
+    | "cas", [| _; new_v |] -> cas_recover ~pid ~new_v
+    | _ -> Base.bad_op "Broken.dcas_no_vec" op
+  in
+  {
+    Sched.Obj_inst.descr = "dcas-no-vec (guessing ablation)";
+    spec = Spec.cas_cell init;
+    announce = Base.std_announce ctx;
+    invoke;
+    recover;
+    clear = (fun ~pid -> Base.std_clear ctx ~pid);
+    pending = (fun ~pid -> Base.std_pending ctx ~pid);
+    strict_recovery = true;
+  }

@@ -1,0 +1,39 @@
+open Nvm
+open Runtime
+
+(** Deliberately broken ablations.
+
+    Each variant deletes exactly one mechanism the paper proves necessary,
+    so that (a) the history checker demonstrably catches real violations —
+    the test suite's sanity check on the whole oracle chain — and (b) the
+    experiments can show each mechanism is load-bearing:
+
+    - {!rw_no_aux_refail} / {!rw_no_aux_reexec}: a read/write object whose
+      operations and recovery use {e no auxiliary state} (no checkpoint,
+      no persisted response) — the hypothesis Theorem 2 forbids for
+      doubly-perturbing objects.  Whatever the recovery answers, some
+      crash point produces an inconsistent history: always answering
+      [fail] denies a write that a concurrent read already observed;
+      re-executing the write linearizes it twice around another process's
+      write (the Figure 2 execution).
+    - {!drw_no_toggle}: Algorithm 1 without the toggle-bit arrays — its
+      recovery falls to the ABA problem the toggles exist to solve.
+    - {!dcas_no_vec}: Algorithm 2 without the per-process flip vector —
+      its recovery guesses from [C]'s current value and both
+      false-positive and false-negative verdicts are reachable.
+
+    Every variant still {e announces} operations (the system must know
+    which recovery to dispatch); what is ablated is the state the
+    operation itself reads. *)
+
+val rw_no_aux_refail : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+(** Recovery always answers [fail]. *)
+
+val rw_no_aux_reexec : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+(** Recovery re-executes the operation and answers its response. *)
+
+val drw_no_toggle : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+(** Algorithm 1 with the ABA defence removed. *)
+
+val dcas_no_vec : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+(** Algorithm 2 with the flip vector removed. *)

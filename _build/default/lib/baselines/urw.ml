@@ -1,0 +1,99 @@
+open Nvm
+open Runtime
+open History
+open Detectable
+
+type t = {
+  ctx : Base.ctx;
+  r : Loc.t;  (* (value, (writer pid, writer seq)) *)
+  seq_p : Loc.t array;  (* per-process persistent sequence counter *)
+  rd_p : Loc.t array;  (* recovery data: R's content before the write *)
+  init : Value.t;
+}
+
+let tag pid seq = Value.pair (Value.Int pid) (Value.Int seq)
+
+let create ?persist machine ~n ~init =
+  let ctx = Base.make_ctx ?persist machine ~n in
+  {
+    ctx;
+    (* the initial value is attributed to a fictitious write by process 0
+       with sequence number 0 *)
+    r = Machine.alloc_shared machine "R" (Value.pair init (tag 0 0));
+    seq_p =
+      Array.init n (fun pid ->
+          Machine.alloc_private machine ~pid "seq" (Value.Int 0));
+    rd_p =
+      Array.init n (fun pid -> Machine.alloc_private machine ~pid "RD" Value.Bot);
+    init;
+  }
+
+let write_body t ~pid value =
+  let ctx = t.ctx in
+  let s = Value.to_int (Base.rd ctx t.seq_p.(pid)) + 1 in
+  Base.wr ctx t.seq_p.(pid) (Value.Int s); (* burn a unique tag *)
+  let rv = Base.rd ctx t.r in
+  Base.wr ctx t.rd_p.(pid) rv;
+  Base.set_cp ctx ~pid 1;
+  Base.wr ctx t.r (Value.pair value (tag pid s));
+  Base.set_resp ctx ~pid Spec.ack;
+  Spec.ack
+
+let write_recover t ~pid =
+  let ctx = t.ctx in
+  if not (Value.equal (Base.get_resp ctx ~pid) Value.Bot) then Spec.ack
+  else if Base.get_cp ctx ~pid = 0 then Sched.Obj_inst.fail
+  else begin
+    let s = Value.to_int (Base.rd ctx t.seq_p.(pid)) in
+    let rv = Base.rd ctx t.rd_p.(pid) in
+    let cur = Base.rd ctx t.r in
+    if Value.equal (Value.nth cur 1) (tag pid s) then begin
+      (* our tagged value is installed: the write was linearized *)
+      Base.set_resp ctx ~pid Spec.ack;
+      Spec.ack
+    end
+    else if Value.equal cur rv then
+      (* unchanged since the pre-write read: with unique tags, our write
+         certainly never executed *)
+      Sched.Obj_inst.fail
+    else begin
+      (* some other write intervened: ours either executed and was
+         overwritten, or linearizes immediately before the intervener *)
+      Base.set_resp ctx ~pid Spec.ack;
+      Spec.ack
+    end
+  end
+
+let read_body t ~pid =
+  let v = Value.nth (Base.rd t.ctx t.r) 0 in
+  Base.set_resp t.ctx ~pid v;
+  v
+
+let instance t =
+  let ctx = t.ctx in
+  let invoke ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] -> read_body t ~pid
+    | "write", [| v |] -> write_body t ~pid v
+    | _ -> Base.bad_op "Urw" op
+  in
+  let recover ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let resp = Base.get_resp ctx ~pid in
+        if Value.equal resp Value.Bot then read_body t ~pid else resp
+    | "write", [| _ |] -> write_recover t ~pid
+    | _ -> Base.bad_op "Urw" op
+  in
+  {
+    Sched.Obj_inst.descr = "urw (unbounded tags, after Attiya et al.)";
+    spec = Spec.register t.init;
+    announce = Base.std_announce ctx;
+    invoke;
+    recover;
+    clear = (fun ~pid -> Base.std_clear ctx ~pid);
+    pending = (fun ~pid -> Base.std_pending ctx ~pid);
+    strict_recovery = true;
+  }
+
+let shared_locs t = [ t.r ]

@@ -1,0 +1,1 @@
+lib/core/base.ml: Ann Array Fiber Format History Machine Nvm Runtime Spec Value

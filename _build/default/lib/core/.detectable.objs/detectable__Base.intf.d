@@ -1,0 +1,1 @@
+lib/core/base.mli: Ann History Loc Machine Nvm Runtime Spec Value

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Format History List Nvm Obj_inst Sched Spec String Value

@@ -1,0 +1,1 @@
+lib/core/compose.mli: History Obj_inst Sched Spec

@@ -1,0 +1,1 @@
+lib/core/dcas.ml: Ann Array Base History Loc Machine Nvm Runtime Sched Spec Value

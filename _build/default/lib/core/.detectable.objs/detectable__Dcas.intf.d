@@ -1,0 +1,1 @@
+lib/core/dcas.mli: Base Loc Machine Nvm Runtime Sched Value

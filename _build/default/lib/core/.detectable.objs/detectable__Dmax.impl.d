@@ -1,0 +1,1 @@
+lib/core/dmax.ml: Array Base History Loc Machine Nvm Printf Runtime Sched Spec Value

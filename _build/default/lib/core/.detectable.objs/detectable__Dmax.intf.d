@@ -1,0 +1,1 @@
+lib/core/dmax.mli: Loc Machine Nvm Runtime Sched

@@ -1,0 +1,1 @@
+lib/core/dprotected.ml: Array Base History Loc Machine Nvm Rlock Runtime Sched Spec Value

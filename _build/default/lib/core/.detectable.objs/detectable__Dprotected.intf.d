@@ -1,0 +1,1 @@
+lib/core/dprotected.mli: Loc Machine Nvm Runtime Sched

@@ -1,0 +1,1 @@
+lib/core/dqueue.ml: Array Base History Loc Machine Nvm Printf Runtime Sched Spec Value

@@ -1,0 +1,1 @@
+lib/core/dqueue.mli: Loc Machine Nvm Runtime Sched

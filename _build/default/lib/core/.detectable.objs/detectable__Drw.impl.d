@@ -1,0 +1,1 @@
+lib/core/drw.ml: Array Base History List Loc Machine Nvm Printf Runtime Sched Spec Value

@@ -1,0 +1,1 @@
+lib/core/drw.mli: Loc Machine Nvm Runtime Sched Value

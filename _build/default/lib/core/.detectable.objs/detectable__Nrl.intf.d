@@ -1,0 +1,1 @@
+lib/core/nrl.mli: Sched

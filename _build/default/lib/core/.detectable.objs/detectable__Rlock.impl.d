@@ -1,0 +1,1 @@
+lib/core/rlock.ml: Fiber Loc Machine Nvm Runtime Value

@@ -1,0 +1,1 @@
+lib/core/rlock.mli: Loc Machine Nvm Runtime

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Base Dcas History Loc Machine Nvm Runtime Sched Spec Value

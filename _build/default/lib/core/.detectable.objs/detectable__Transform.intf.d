@@ -1,0 +1,1 @@
+lib/core/transform.mli: History Loc Machine Nvm Runtime Sched Spec Value

@@ -1,0 +1,1 @@
+lib/core/ulog.mli: History Loc Machine Nvm Runtime Sched Spec

@@ -1,0 +1,72 @@
+open Nvm
+open Runtime
+open History
+
+type ctx = {
+  machine : Machine.t;
+  n : int;
+  persist : bool;
+  ann : Ann.t array;
+}
+
+let make_ctx ?(persist = false) machine ~n =
+  {
+    machine;
+    n;
+    persist;
+    ann = Array.init n (fun pid -> Ann.alloc machine ~pid);
+  }
+
+(* In the shared-cache model every access is followed by a persist of the
+   touched line: writes so the new value is durable before anything
+   depends on it, reads so an observed (possibly still volatile) value is
+   durable before the reader acts on it. *)
+
+let rd ctx loc =
+  let v = Fiber.read loc in
+  if ctx.persist then Fiber.persist loc;
+  v
+
+let wr ctx loc v =
+  Fiber.write loc v;
+  if ctx.persist then Fiber.persist loc
+
+let casl ctx loc expected desired =
+  let ok = Fiber.cas loc expected desired in
+  if ctx.persist then Fiber.persist loc;
+  ok
+
+let faal ctx loc delta =
+  let old = Fiber.faa loc delta in
+  if ctx.persist then Fiber.persist loc;
+  old
+
+let encode_op (op : Spec.op) = Value.Tup op.Spec.args
+
+let decode_op name args = { Spec.name; args = Value.to_tup args }
+
+let announce_with ctx ~pid ~extra (op : Spec.op) =
+  let a = ctx.ann.(pid) in
+  wr ctx a.Ann.resp Value.Bot;
+  wr ctx a.Ann.cp (Value.Int 0);
+  extra ();
+  (* the [op] write commits the announcement: everything the recovery of
+     the new operation will consult must be reset before it *)
+  wr ctx a.Ann.op (Value.pair (Value.Str op.Spec.name) (encode_op op))
+
+let std_announce ctx ~pid op = announce_with ctx ~pid ~extra:(fun () -> ()) op
+
+let std_clear ctx ~pid = wr ctx ctx.ann.(pid).Ann.op Value.Bot
+
+let std_pending ctx ~pid =
+  match Ann.pending ctx.machine ctx.ann.(pid) with
+  | None -> None
+  | Some (name, args) -> Some (decode_op name args)
+
+let set_resp ctx ~pid v = wr ctx ctx.ann.(pid).Ann.resp v
+let get_resp ctx ~pid = rd ctx ctx.ann.(pid).Ann.resp
+let set_cp ctx ~pid k = wr ctx ctx.ann.(pid).Ann.cp (Value.Int k)
+let get_cp ctx ~pid = Value.to_int (rd ctx ctx.ann.(pid).Ann.cp)
+
+let bad_op obj op =
+  invalid_arg (Format.asprintf "%s: unsupported operation %a" obj Spec.pp_op op)

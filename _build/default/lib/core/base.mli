@@ -1,0 +1,54 @@
+open Nvm
+open Runtime
+open History
+
+(** Shared plumbing for the detectable object implementations.
+
+    A {!ctx} bundles the machine, the process count, the per-process
+    announcement structures, and the persistency mode.  The memory helpers
+    ({!rd}, {!wr}, {!casl}, {!faal}) apply the Section 6 syntactic
+    transformation when [persist] is set: every shared-memory access is
+    followed by an explicit persist of the touched line, which is what
+    makes the algorithms correct in the shared-cache model. *)
+
+type ctx = {
+  machine : Machine.t;
+  n : int;  (** number of processes *)
+  persist : bool;  (** insert persist instructions (shared-cache model) *)
+  ann : Ann.t array;  (** announcement structure of each process *)
+}
+
+val make_ctx : ?persist:bool -> Machine.t -> n:int -> ctx
+
+(** {1 Persist-aware primitive steps (fiber context)} *)
+
+val rd : ctx -> Loc.t -> Value.t
+val wr : ctx -> Loc.t -> Value.t -> unit
+val casl : ctx -> Loc.t -> Value.t -> Value.t -> bool
+val faal : ctx -> Loc.t -> int -> int
+
+(** {1 Announcement protocol helpers} *)
+
+val std_announce : ctx -> pid:int -> Spec.op -> unit
+(** Caller-side announcement: [resp := ⊥], [cp := 0], then the committing
+    [op := (name, args)] write, all persist-aware. *)
+
+val announce_with :
+  ctx -> pid:int -> extra:(unit -> unit) -> Spec.op -> unit
+(** Like {!std_announce}, but runs [extra] (fiber context) just before the
+    committing [op] write — for objects that must reset additional
+    per-operation auxiliary cells (a crash can strike between any two of
+    these writes, so everything an operation's recovery consults must be
+    reset {e before} the announcement commits). *)
+
+val std_clear : ctx -> pid:int -> unit
+val std_pending : ctx -> pid:int -> Spec.op option
+
+val set_resp : ctx -> pid:int -> Value.t -> unit
+val get_resp : ctx -> pid:int -> Value.t
+val set_cp : ctx -> pid:int -> int -> unit
+val get_cp : ctx -> pid:int -> int
+
+val bad_op : string -> Spec.op -> 'a
+(** Raise [Invalid_argument] for an operation the object does not
+    implement (always a harness bug). *)

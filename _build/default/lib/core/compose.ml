@@ -1,0 +1,120 @@
+open Nvm
+open History
+open Sched
+
+let sep = '/'
+
+let lift name (op : Spec.op) =
+  { op with Spec.name = name ^ String.make 1 sep ^ op.Spec.name }
+
+let split_op (op : Spec.op) =
+  match String.index_opt op.Spec.name sep with
+  | None -> None
+  | Some k ->
+      let owner = String.sub op.Spec.name 0 k in
+      let inner =
+        String.sub op.Spec.name (k + 1) (String.length op.Spec.name - k - 1)
+      in
+      Some (owner, { op with Spec.name = inner })
+
+let product_spec components =
+  let init =
+    Value.Tup
+      (Array.of_list (List.map (fun (_, s) -> s.Spec.init) components))
+  in
+  let index name =
+    let rec go k = function
+      | [] -> None
+      | (n, spec) :: rest -> if String.equal n name then Some (k, spec) else go (k + 1) rest
+    in
+    go 0 components
+  in
+  let step state op =
+    match split_op op with
+    | None ->
+        invalid_arg
+          (Format.asprintf "product spec: operation %a has no component prefix"
+             Spec.pp_op op)
+    | Some (owner, inner) -> (
+        match index owner with
+        | None ->
+            invalid_arg
+              (Format.asprintf "product spec: unknown component %S" owner)
+        | Some (k, spec) ->
+            let sub_state = Value.nth state k in
+            let sub_state', resp = spec.Spec.step sub_state inner in
+            (Value.set_nth state k sub_state', resp))
+  in
+  {
+    Spec.obj_name =
+      "product(" ^ String.concat "," (List.map fst components) ^ ")";
+    init;
+    step;
+  }
+
+let combine components =
+  (match components with
+  | [] -> invalid_arg "Compose.combine: no components"
+  | _ -> ());
+  List.iter
+    (fun (name, _) ->
+      if String.length name = 0 || String.contains name sep then
+        invalid_arg "Compose.combine: component names must be non-empty and /-free")
+    components;
+  let distinct = List.sort_uniq String.compare (List.map fst components) in
+  if List.length distinct <> List.length components then
+    invalid_arg "Compose.combine: duplicate component names";
+  let owner_of op =
+    match split_op op with
+    | None ->
+        invalid_arg
+          (Format.asprintf "Compose: operation %a has no component prefix"
+             Spec.pp_op op)
+    | Some (owner, inner) -> (
+        match List.assoc_opt owner components with
+        | None ->
+            invalid_arg (Format.asprintf "Compose: unknown component %S" owner)
+        | Some inst -> (inst, inner))
+  in
+  let spec = product_spec (List.map (fun (n, i) -> (n, i.Obj_inst.spec)) components) in
+  {
+    Obj_inst.descr =
+      "compose("
+      ^ String.concat ", "
+          (List.map (fun (n, i) -> n ^ ":" ^ i.Obj_inst.descr) components)
+      ^ ")";
+    spec;
+    announce =
+      (fun ~pid op ->
+        let inst, inner = owner_of op in
+        inst.Obj_inst.announce ~pid inner);
+    invoke =
+      (fun ~pid op ->
+        let inst, inner = owner_of op in
+        inst.Obj_inst.invoke ~pid inner);
+    recover =
+      (fun ~pid op ->
+        let inst, inner = owner_of op in
+        inst.Obj_inst.recover ~pid inner);
+    clear =
+      (fun ~pid ->
+        (* only the component with a live announcement needs clearing; the
+           peek costs no step *)
+        List.iter
+          (fun (_, inst) ->
+            if inst.Obj_inst.pending ~pid <> None then inst.Obj_inst.clear ~pid)
+          components);
+    pending =
+      (fun ~pid ->
+        List.fold_left
+          (fun acc (name, inst) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match inst.Obj_inst.pending ~pid with
+                | Some inner -> Some (lift name inner)
+                | None -> None))
+          None components);
+    strict_recovery =
+      List.for_all (fun (_, i) -> i.Obj_inst.strict_recovery) components;
+  }

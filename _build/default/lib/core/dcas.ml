@@ -1,0 +1,139 @@
+open Nvm
+open Runtime
+open History
+
+type cells = { resp : Loc.t; cp : Loc.t; rdp : Loc.t }
+
+let alloc_cells machine ~pid ~tag =
+  {
+    resp = Machine.alloc_private machine ~pid (tag ^ ".resp") Value.Bot;
+    cp = Machine.alloc_private machine ~pid (tag ^ ".cp") (Value.Int 0);
+    rdp = Machine.alloc_private machine ~pid (tag ^ ".rd") Value.Bot;
+  }
+
+type core = { ctx : Base.ctx; c : Loc.t; cells : cells array }
+
+let alloc_core ctx ~name ~init cells =
+  let c =
+    Machine.alloc_shared ctx.Base.machine name
+      (Value.pair init (Value.bool_vec ctx.Base.n))
+  in
+  { ctx; c; cells }
+
+let core_loc core = core.c
+
+let reset_cells core ~pid =
+  let cl = core.cells.(pid) in
+  Base.wr core.ctx cl.resp Value.Bot;
+  Base.wr core.ctx cl.cp (Value.Int 0)
+
+let cas_core core ~pid ~old_v ~new_v =
+  let ctx = core.ctx in
+  let cl = core.cells.(pid) in
+  if Value.equal old_v new_v then begin
+    (* Identity CAS (old = new): executed read-only.  The paper's code
+       would attempt the full pair CAS here, but then a concurrent
+       successful CAS that only churns the flip vector can fail an
+       identity CAS whose abstract precondition held throughout — a
+       non-linearizable outcome our checker found.  An identity CAS has
+       no abstract effect, so reading [C] and persisting the comparison
+       is both correct and detectable (an unpersisted response recovers
+       as [fail], which is always sound for an effect-free operation). *)
+    let cv = Base.rd ctx core.c in
+    let res = Value.equal (Value.nth cv 0) old_v in
+    Base.wr ctx cl.resp (Value.Bool res);
+    res
+  end
+  else begin
+  let cv = Base.rd ctx core.c in (* line 28 *)
+  let value = Value.nth cv 0 and vec = Value.nth cv 1 in
+  if not (Value.equal value old_v) then begin
+    (* lines 29-31: CAS fails *)
+    Base.wr ctx cl.resp (Value.Bool false);
+    false
+  end
+  else begin
+    let newbit = Value.Bool (not (Value.to_bool (Value.nth vec pid))) in
+    let newvec = Value.set_nth vec pid newbit in (* line 32 *)
+    Base.wr ctx cl.rdp newbit; (* line 33 *)
+    Base.wr ctx cl.cp (Value.Int 1); (* line 34 *)
+    let res = Base.casl ctx core.c cv (Value.pair new_v newvec) in (* line 35 *)
+    Base.wr ctx cl.resp (Value.Bool res); (* line 36 *)
+    res (* line 37 *)
+  end
+  end
+
+let recover_core core ~pid =
+  let ctx = core.ctx in
+  let cl = core.cells.(pid) in
+  let resp = Base.rd ctx cl.resp in
+  if not (Value.equal resp Value.Bot) then resp (* lines 38-39 *)
+  else if Value.to_int (Base.rd ctx cl.cp) = 0 then Sched.Obj_inst.fail
+    (* lines 40-41 *)
+  else begin
+    let cv = Base.rd ctx core.c in (* line 42 *)
+    let vec = Value.nth cv 1 in
+    if not (Value.equal (Value.nth vec pid) (Base.rd ctx cl.rdp)) then
+      Sched.Obj_inst.fail (* lines 43-44: CAS failed or not performed *)
+    else begin
+      Base.wr ctx cl.resp (Value.Bool true); (* line 45 *)
+      Value.Bool true (* line 46 *)
+    end
+  end
+
+let read_core core ~pid:_ = Value.nth (Base.rd core.ctx core.c) 0
+
+type t = { core : core; init : Value.t }
+
+let create ?persist machine ~n ~init =
+  let ctx = Base.make_ctx ?persist machine ~n in
+  (* The object's per-process cells are the top-level announcement's
+     [resp] and [cp] fields plus a dedicated RD_p bit. *)
+  let cells =
+    Array.init n (fun pid ->
+        let a = ctx.Base.ann.(pid) in
+        {
+          resp = a.Ann.resp;
+          cp = a.Ann.cp;
+          rdp = Machine.alloc_private machine ~pid "RD" Value.Bot;
+        })
+  in
+  let core = alloc_core ctx ~name:"C" ~init cells in
+  { core; init }
+
+let instance t =
+  let ctx = t.core.ctx in
+  let invoke ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let v = read_core t.core ~pid in
+        Base.set_resp ctx ~pid v;
+        v
+    | "cas", [| old_v; new_v |] -> Value.Bool (cas_core t.core ~pid ~old_v ~new_v)
+    | _ -> Base.bad_op "Dcas" op
+  in
+  let recover ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let resp = Base.get_resp ctx ~pid in
+        if Value.equal resp Value.Bot then begin
+          let v = read_core t.core ~pid in
+          Base.set_resp ctx ~pid v;
+          v
+        end
+        else resp
+    | "cas", [| _; _ |] -> recover_core t.core ~pid
+    | _ -> Base.bad_op "Dcas" op
+  in
+  {
+    Sched.Obj_inst.descr = "dcas (Algorithm 2, bounded space)";
+    spec = Spec.cas_cell t.init;
+    announce = Base.std_announce ctx;
+    invoke;
+    recover;
+    clear = (fun ~pid -> Base.std_clear ctx ~pid);
+    pending = (fun ~pid -> Base.std_pending ctx ~pid);
+    strict_recovery = true;
+  }
+
+let shared_locs t = [ t.core.c ]

@@ -1,0 +1,83 @@
+open Nvm
+open Runtime
+
+(** Algorithm 2: the bounded-space wait-free detectable CAS object.
+
+    State: one shared variable [C] (supporting read and CAS primitives)
+    holding the pair [(value, vec)] where [vec] is an N-bit vector with
+    one flip bit per process, plus a private [RD_p] bit per process.
+
+    A successful CAS by [p] atomically installs the new value {e and}
+    flips [vec[p]]; no one else ever touches [vec[p]], so upon recovery
+    [p] compares [C]'s current [vec[p]] with the flipped value it
+    persisted before attempting the CAS (line 33): equal means the CAS
+    succeeded (and will stay detectable until [p]'s next successful CAS),
+    different means it either failed or never executed — in both cases
+    the operation was not linearized and recovery may answer [fail].
+
+    Space: Θ(N) shared bits beyond the value — asymptotically optimal by
+    Theorem 1 (every obstruction-free detectable CAS needs ≥ N−1 shared
+    bits; see experiment E1/E2).
+
+    {b Deviation from the paper (identity CAS).}  Our checker found that
+    the algorithm as published is not linearizable when a caller issues
+    an {e identity} CAS ([old = new]): the primitive CAS of line 35
+    compares the whole [(value, vec)] pair, so a concurrent successful
+    CAS that only flips its own vector bit fails an identity CAS whose
+    abstract precondition held throughout — yet a failed [cas(v,v)] can
+    only linearize at a point where the value differs from [v].  The
+    paper's Lemma 2 implicitly assumes [old ≠ new] ("the value of C after
+    it must be other than old").  Since an identity CAS has no abstract
+    effect, this implementation executes it read-only (never touching
+    [vec]), which restores linearizability for the full operation domain;
+    all other operations follow the paper line by line. *)
+
+(** {1 Nestable core}
+
+    The core exposes Algorithm 2 with caller-supplied announcement cells,
+    so a higher-level recoverable operation (e.g. the counter/FAA
+    transform of {!Transform}) can run {e per-attempt} detectable CASes
+    with its own sub-announcement, independent of the process's top-level
+    [Ann_p]. *)
+
+type cells = { resp : Loc.t; cp : Loc.t; rdp : Loc.t }
+(** Per-process announcement cells for one CAS attempt: the persisted
+    response, the checkpoint, and the [RD_p] flip bit. *)
+
+val alloc_cells : Machine.t -> pid:int -> tag:string -> cells
+(** Fresh private cells for [pid], names prefixed with [tag]. *)
+
+type core
+
+val alloc_core :
+  Base.ctx -> name:string -> init:Value.t -> cells array -> core
+(** [alloc_core ctx ~name ~init cells] allocates [C] with value [init]
+    and the all-zero flip vector; [cells.(p)] are [p]'s announcement
+    cells. *)
+
+val core_loc : core -> Loc.t
+(** The shared variable [C] (for space accounting). *)
+
+val reset_cells : core -> pid:int -> unit
+(** Fiber context: [resp := ⊥], [cp := 0] — the caller-side announcement
+    of one CAS attempt. *)
+
+val cas_core : core -> pid:int -> old_v:Value.t -> new_v:Value.t -> bool
+(** Lines 28–37.  Requires [reset_cells] (or a fresh top-level
+    announcement) beforehand. *)
+
+val recover_core : core -> pid:int -> Value.t
+(** Lines 38–46: [Bool true], [Bool false], or {!Sched.Obj_inst.fail}. *)
+
+val read_core : core -> pid:int -> Value.t
+(** Read [C]'s value component (one primitive read, no announcement). *)
+
+(** {1 The detectable CAS object} *)
+
+type t
+
+val create : ?persist:bool -> Machine.t -> n:int -> init:Value.t -> t
+val instance : t -> Sched.Obj_inst.t
+(** Operations: [read], [cas old new]. *)
+
+val shared_locs : t -> Loc.t list

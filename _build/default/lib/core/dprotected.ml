@@ -1,0 +1,109 @@
+open Nvm
+open Runtime
+open History
+
+type t = {
+  ctx : Base.ctx;
+  lock : Rlock.t;
+  a : Loc.t;  (* the counter *)
+  b : Loc.t;  (* deliberately redundant mirror: makes updates two-step *)
+  old_p : Loc.t array;  (* recovery data: the value read before updating *)
+  init : int;
+}
+
+let create ?persist machine ~n ~init =
+  let ctx = Base.make_ctx ?persist machine ~n in
+  {
+    ctx;
+    lock = Rlock.create ?persist machine;
+    a = Machine.alloc_shared machine "prot.a" (Value.Int init);
+    b = Machine.alloc_shared machine "prot.b" (Value.Int init);
+    old_p =
+      Array.init n (fun pid -> Machine.alloc_private machine ~pid "old" Value.Bot);
+    init;
+  }
+
+(* Critical-section body, also used (idempotently) by recovery when the
+   crash struck while holding the lock. *)
+let finish_cs t ~pid ~old =
+  let ctx = t.ctx in
+  if Value.equal (Base.rd ctx t.a) (Value.Int old) then
+    Base.wr ctx t.a (Value.Int (old + 1));
+  if not (Value.equal (Base.rd ctx t.b) (Base.rd ctx t.a)) then
+    Base.wr ctx t.b (Value.Int (old + 1));
+  Base.set_resp ctx ~pid Spec.ack;
+  Rlock.release t.lock ~pid;
+  Spec.ack
+
+let inc_body t ~pid =
+  let ctx = t.ctx in
+  Rlock.acquire t.lock ~pid;
+  let old = Value.to_int (Base.rd ctx t.a) in
+  Base.wr ctx t.old_p.(pid) (Value.Int old);
+  finish_cs t ~pid ~old
+
+let inc_recover t ~pid =
+  let ctx = t.ctx in
+  if not (Value.equal (Base.get_resp ctx ~pid) Value.Bot) then begin
+    (* the crash may have struck between persisting the response and the
+       release: let go of the lock before reporting completion *)
+    if Rlock.holds_f t.lock ~pid then Rlock.release t.lock ~pid;
+    Spec.ack
+  end
+  else if Rlock.holds_f t.lock ~pid then begin
+    (* crashed inside the critical section: [old_p] was persisted before
+       any update (the acquire and the [old_p] write precede both), so
+       finishing is exactly-once *)
+    match Base.rd ctx t.old_p.(pid) with
+    | Value.Int old -> finish_cs t ~pid ~old
+    | _ ->
+        (* crashed between acquire and persisting old: nothing updated *)
+        let old = Value.to_int (Base.rd ctx t.a) in
+        Base.wr ctx t.old_p.(pid) (Value.Int old);
+        finish_cs t ~pid ~old
+  end
+  else
+    (* no response and not holding the lock: the increment never entered
+       its critical section, hence never took effect *)
+    Sched.Obj_inst.fail
+
+let read_body t ~pid =
+  let v = Base.rd t.ctx t.a in
+  Base.set_resp t.ctx ~pid v;
+  v
+
+let instance t =
+  let ctx = t.ctx in
+  (* old_p must be invalidated before a new operation commits, or a stale
+     value could mislead a recovery that holds the lock *)
+  let announce ~pid op =
+    Base.announce_with ctx ~pid
+      ~extra:(fun () -> Base.wr ctx t.old_p.(pid) Value.Bot)
+      op
+  in
+  let invoke ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] -> read_body t ~pid
+    | "inc", [||] -> inc_body t ~pid
+    | _ -> Base.bad_op "Dprotected" op
+  in
+  let recover ~pid (op : Spec.op) =
+    match (op.Spec.name, op.Spec.args) with
+    | "read", [||] ->
+        let resp = Base.get_resp ctx ~pid in
+        if Value.equal resp Value.Bot then read_body t ~pid else resp
+    | "inc", [||] -> inc_recover t ~pid
+    | _ -> Base.bad_op "Dprotected" op
+  in
+  {
+    Sched.Obj_inst.descr = "dprotected (lock-based detectable counter)";
+    spec = Spec.counter t.init;
+    announce;
+    invoke;
+    recover;
+    clear = (fun ~pid -> Base.std_clear ctx ~pid);
+    pending = (fun ~pid -> Base.std_pending ctx ~pid);
+    strict_recovery = true;
+  }
+
+let shared_locs t = [ Rlock.owner_loc t.lock; t.a; t.b ]

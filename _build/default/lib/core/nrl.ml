@@ -1,0 +1,17 @@
+let wrap (inst : Sched.Obj_inst.t) =
+  let recover ~pid op =
+    let r = inst.Sched.Obj_inst.recover ~pid op in
+    if Sched.Obj_inst.is_fail r then begin
+      (* the crashed invocation provably never linearized: re-announce and
+         re-execute it.  A crash inside the re-execution simply re-enters
+         this recovery on restart. *)
+      inst.Sched.Obj_inst.announce ~pid op;
+      inst.Sched.Obj_inst.invoke ~pid op
+    end
+    else r
+  in
+  {
+    inst with
+    Sched.Obj_inst.descr = "nrl(" ^ inst.Sched.Obj_inst.descr ^ ")";
+    recover;
+  }

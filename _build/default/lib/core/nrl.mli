@@ -1,0 +1,17 @@
+(** Nesting-safe recoverable linearizability by construction (Section 6).
+
+    NRL (Attiya, Ben-Baruch, Hendler 2018) strengthens detectability: the
+    recovery function must {e complete} the crashed operation and persist
+    its response, never answering [fail].  The paper observes that any
+    implementation satisfying durable linearizability + detectability
+    converts to NRL by having the recovery re-invoke the operation instead
+    of returning [fail] — which is exactly this wrapper.
+
+    The wrapped recovery first runs the detectable recovery; on [fail]
+    (the operation provably never linearized) it re-announces and re-runs
+    the operation from scratch.  A crash during the re-run lands back in
+    the same recovery, so the construction tolerates repeated failures. *)
+
+val wrap : Sched.Obj_inst.t -> Sched.Obj_inst.t
+(** [wrap inst] never returns [fail] from recovery.  Histories of the
+    wrapped object contain [Rec_ret] but no [Rec_fail] events. *)

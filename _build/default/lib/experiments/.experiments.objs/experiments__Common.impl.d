@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Baselines Crash_plan Detectable Driver Dtc_util History Lin_check Machine Nvm Runtime Sched Schedule Session Value

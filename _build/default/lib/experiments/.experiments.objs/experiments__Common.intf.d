@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Driver History Nvm Obj_inst Runtime Sched Session Spec Value

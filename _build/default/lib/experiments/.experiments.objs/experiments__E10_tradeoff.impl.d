@@ -1,0 +1,1 @@
+lib/experiments/e10_tradeoff.ml: Baselines Crash_plan Detectable Driver Dtc_util History List Machine Mem Nvm Obj_inst Printf Runtime Sched Schedule Session Spec Table Value Workload

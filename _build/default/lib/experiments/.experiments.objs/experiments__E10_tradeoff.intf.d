@@ -1,0 +1,1 @@
+lib/experiments/e10_tradeoff.mli: Dtc_util Table

@@ -1,0 +1,1 @@
+lib/experiments/e1_configs.ml: Array Common Detectable Dtc_util Fun History List Modelcheck Runtime Sched Session Spec Table

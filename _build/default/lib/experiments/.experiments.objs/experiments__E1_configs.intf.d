@@ -1,0 +1,1 @@
+lib/experiments/e1_configs.mli: Dtc_util Table

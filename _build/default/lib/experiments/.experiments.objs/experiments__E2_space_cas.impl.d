@@ -1,0 +1,1 @@
+lib/experiments/e2_space_cas.ml: Array Baselines Common Detectable Driver Dtc_util History List Mem Nvm Runtime Sched Spec Table

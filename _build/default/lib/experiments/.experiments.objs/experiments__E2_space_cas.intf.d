@@ -1,0 +1,1 @@
+lib/experiments/e2_space_cas.mli: Dtc_util Table

@@ -1,0 +1,1 @@
+lib/experiments/e3_aux_state.ml: Baselines Common Dtc_util History List Perturb Runtime Sched Spec Table

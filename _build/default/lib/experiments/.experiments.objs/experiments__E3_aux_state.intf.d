@@ -1,0 +1,1 @@
+lib/experiments/e3_aux_state.mli: Dtc_util Table

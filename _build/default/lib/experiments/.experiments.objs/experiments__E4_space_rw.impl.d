@@ -1,0 +1,1 @@
+lib/experiments/e4_space_rw.ml: Array Common Driver Dtc_util History List Mem Nvm Runtime Sched Spec Table

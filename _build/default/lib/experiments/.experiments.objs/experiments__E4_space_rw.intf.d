@@ -1,0 +1,1 @@
+lib/experiments/e4_space_rw.mli: Dtc_util Table

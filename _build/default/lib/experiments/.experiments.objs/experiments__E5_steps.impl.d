@@ -1,0 +1,1 @@
+lib/experiments/e5_steps.ml: Common Driver Dtc_util Hashtbl History List Obj_inst Runtime Sched Spec Table Workload

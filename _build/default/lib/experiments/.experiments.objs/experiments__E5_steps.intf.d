@@ -1,0 +1,1 @@
+lib/experiments/e5_steps.mli: Dtc_util Table

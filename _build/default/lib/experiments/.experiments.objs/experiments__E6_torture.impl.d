@@ -1,0 +1,1 @@
+lib/experiments/e6_torture.ml: Baselines Common Dtc_util Event History Lin_check List Loc Mem Nvm Obj_inst Printf Runtime Sched Session Spec Table Value Workload

@@ -1,0 +1,1 @@
+lib/experiments/e7_perturb.ml: Dtc_util Format History List Perturb Spec Table

@@ -1,0 +1,1 @@
+lib/experiments/e7_perturb.mli: Dtc_util Table

@@ -1,0 +1,1 @@
+lib/experiments/e8_transforms.ml: Common Crash_plan Detectable Driver Dtc_util Event History Lin_check List Machine Obj_inst Printf Runtime Sched Schedule Session Table Workload

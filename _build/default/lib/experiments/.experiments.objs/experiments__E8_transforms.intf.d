@@ -1,0 +1,1 @@
+lib/experiments/e8_transforms.mli: Dtc_util Table

@@ -1,0 +1,1 @@
+lib/experiments/e9_detectability_value.mli: Dtc_util Table

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Dtc_util E10_tradeoff E1_configs E2_space_cas E3_aux_state E4_space_rw E5_steps E6_torture E7_perturb E8_transforms E9_detectability_value List Printf String Table

@@ -1,0 +1,20 @@
+open Dtc_util
+
+(** Experiment E10 — the time/space landscape (the paper's open problem).
+
+    The discussion section asks about "the tradeoff between space and
+    time complexity for detectable implementations, as well as the
+    tradeoff between the complexities of a recoverable operation and its
+    recovery function".  This experiment charts the empirical landscape
+    across every implementation in the repository: shared bits
+    (high-water, after a fixed workload), solo steps per operation, and
+    max recovery steps observed — one row per implementation, bounded
+    and unbounded, lock-free and lock-based, bespoke and universal.
+
+    The shape the table exhibits: bounded space costs either time linear
+    in N (Algorithm 1's toggle loop) or a stronger primitive (Algorithm
+    2's CAS); unbounded tags buy flat-in-N time at footprints that grow
+    with the operation count; the universal construction buys generality
+    at replay time linear in the history. *)
+
+val table : unit -> Table.t

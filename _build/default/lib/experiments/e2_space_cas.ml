@@ -1,0 +1,89 @@
+open Dtc_util
+open Nvm
+open History
+open Sched
+
+let cas_workloads ~n ~ops =
+  Array.init n (fun p ->
+      List.init ops (fun k ->
+          if k mod 2 = 0 then Spec.cas_op (Common.i 0) (Common.i (p + 1))
+          else Spec.cas_op (Common.i (p + 1)) (Common.i 0)))
+
+(* Extra bits = high-water footprint of Algorithm 2's variable [C] minus
+   that of a plain CAS cell driven through the identical workload (same
+   schedule, same values): what remains is exactly the space the
+   detectability mechanism costs. *)
+let dcas_extra_bits ~n ~ops =
+  let run_dcas () =
+    let machine = Runtime.Machine.create () in
+    let dcas = Detectable.Dcas.create machine ~n ~init:(Common.i 0) in
+    let inst = Detectable.Dcas.instance dcas in
+    let cfg = { Driver.default_config with max_steps = 10_000_000 } in
+    ignore (Driver.run machine inst ~workloads:(cas_workloads ~n ~ops) cfg);
+    let c =
+      match Detectable.Dcas.shared_locs dcas with [ c ] -> c | _ -> assert false
+    in
+    Mem.max_bits_of (Runtime.Machine.mem machine) c
+  in
+  let run_plain () =
+    let machine = Runtime.Machine.create () in
+    let inst = Baselines.Plain.cas_cell machine ~init:(Common.i 0) in
+    let cfg = { Driver.default_config with max_steps = 10_000_000 } in
+    ignore (Driver.run machine inst ~workloads:(cas_workloads ~n ~ops) cfg);
+    Mem.max_shared_bits (Runtime.Machine.mem machine)
+  in
+  run_dcas () - run_plain ()
+
+let ucas_bits ~n ~ops =
+  let machine = Runtime.Machine.create () in
+  let ucas = Baselines.Ucas.create machine ~n ~init:(Common.i 0) in
+  let inst = Baselines.Ucas.instance ucas in
+  let workloads =
+    Array.init n (fun _ ->
+        List.concat
+          (List.init ops (fun _ ->
+               [ Spec.cas_op (Common.i 0) (Common.i 1); Spec.cas_op (Common.i 1) (Common.i 0) ])))
+  in
+  let cfg = { Driver.default_config with max_steps = 10_000_000 } in
+  ignore (Driver.run machine inst ~workloads cfg);
+  Mem.max_shared_bits (Runtime.Machine.mem machine)
+
+let table_bounded () =
+  let t =
+    Table.create
+      ~title:"E2a (Thm.1): Algorithm 2 shared bits beyond the value, vs the lower bound"
+      [
+        "N";
+        "measured extra bits (vs plain cell)";
+        "flip vector bits (construction)";
+        "lower bound N-1";
+      ]
+  in
+  List.iter
+    (fun n ->
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int (dcas_extra_bits ~n ~ops:8);
+          string_of_int n;
+          string_of_int (n - 1);
+        ])
+    [ 2; 4; 8; 16; 24; 32 ];
+  t
+
+let table_unbounded () =
+  let t =
+    Table.create
+      ~title:"E2b: footprint growth with operation count (N = 2)"
+      [ "total CAS ops"; "dcas extra bits (flat)"; "ucas shared bits (grows)" ]
+  in
+  List.iter
+    (fun ops ->
+      Table.add_row t
+        [
+          string_of_int (4 * ops);
+          string_of_int (dcas_extra_bits ~n:2 ~ops);
+          string_of_int (ucas_bits ~n:2 ~ops);
+        ])
+    [ 4; 16; 64; 256; 1024 ];
+  t

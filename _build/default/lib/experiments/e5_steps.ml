@@ -1,0 +1,108 @@
+open Dtc_util
+open History
+open Sched
+
+type subject = {
+  label : string;
+  mk : unit -> Runtime.Machine.t * Obj_inst.t;
+  workloads : int -> Spec.op list array;  (* seed -> workloads *)
+  bound : string * string;  (* human-readable op / recovery bounds *)
+  n : int;
+}
+
+let subjects =
+  let n = 5 in
+  [
+    {
+      label = "drw (Alg.1)";
+      mk = (fun () -> Common.mk_drw ~n ());
+      workloads =
+        (fun seed ->
+          Workload.register (Dtc_util.Prng.create seed) ~procs:n
+            ~ops_per_proc:5 ~values:3);
+      bound = ("write <= N+15 incl. protocol (wait-free)", "recover <= N+9 (wait-free)");
+      n;
+    };
+    {
+      label = "dcas (Alg.2)";
+      mk = (fun () -> Common.mk_dcas ~n ());
+      workloads =
+        (fun seed ->
+          Workload.cas (Dtc_util.Prng.create seed) ~procs:n ~ops_per_proc:5
+            ~values:3);
+      bound = ("cas: O(1) (wait-free)", "recover: O(1) (wait-free)");
+      n;
+    };
+    {
+      label = "dmax (Alg.3)";
+      mk = (fun () -> Common.mk_dmax ~n ());
+      workloads =
+        (fun seed ->
+          Workload.max_register (Dtc_util.Prng.create seed) ~procs:n
+            ~ops_per_proc:5 ~values:6);
+      bound = ("write-max: O(1); read: O(N) solo (obstr.-free)", "re-invoke");
+      n;
+    };
+    {
+      label = "dfaa (capsule)";
+      mk = (fun () -> Common.mk_dfaa ~n ());
+      workloads =
+        (fun seed ->
+          Workload.faa (Dtc_util.Prng.create seed) ~procs:n ~ops_per_proc:5
+            ~max_delta:3);
+      bound = ("faa: lock-free (O(1) solo)", "recover: O(1)");
+      n;
+    };
+    {
+      label = "dqueue";
+      mk = (fun () -> Common.mk_dqueue ~n ~capacity:128 ());
+      workloads =
+        (fun seed ->
+          Workload.queue (Dtc_util.Prng.create seed) ~procs:n ~ops_per_proc:5
+            ~values:4);
+      bound = ("enq/deq: lock-free (O(1) solo)", "recover: O(1)");
+      n;
+    };
+  ]
+
+let table () =
+  let t =
+    Table.create
+      ~title:"E5 (Lemmas 1-2): max own-steps per operation over adversarial schedules (N = 5, 20 seeds)"
+      [ "object"; "operation"; "max steps observed"; "analytic bound" ]
+  in
+  List.iter
+    (fun s ->
+      let acc : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let racc : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      for seed = 1 to 20 do
+        let res =
+          Common.run_steps ~mk:s.mk ~workloads:(s.workloads seed) ~seed
+        in
+        List.iter
+          (fun (name, steps) ->
+            match Hashtbl.find_opt acc name with
+            | Some m when m >= steps -> ()
+            | _ -> Hashtbl.replace acc name steps)
+          res.Driver.op_steps;
+        List.iter
+          (fun (name, steps) ->
+            match Hashtbl.find_opt racc name with
+            | Some m when m >= steps -> ()
+            | _ -> Hashtbl.replace racc name steps)
+          res.Driver.rec_steps
+      done;
+      let op_bound, rec_bound = s.bound in
+      Hashtbl.iter
+        (fun name steps ->
+          if name <> "idle" then
+            Table.add_row t [ s.label; name; string_of_int steps; op_bound ])
+        acc;
+      Hashtbl.iter
+        (fun name steps ->
+          if name <> "idle" then
+            Table.add_row t
+              [ s.label; name ^ ".recover"; string_of_int steps; rec_bound ])
+        racc)
+    subjects;
+  t

@@ -1,0 +1,14 @@
+open Dtc_util
+
+(** Experiment E5 — wait-freedom (Lemmas 1 and 2).
+
+    The paper's algorithms are loop-free apart from Algorithm 1's
+    toggle-raising for-loop, so an operation completes within a bounded
+    number of its own steps regardless of the schedule.  This experiment
+    measures, over adversarial random schedules, the maximum primitive
+    steps any single invocation and any single recovery took, per object
+    and operation, and prints the analytic bound next to it.  Lock-free
+    objects (the capsule transform, the queue) report their observed
+    maxima without a constant bound. *)
+
+val table : unit -> Table.t

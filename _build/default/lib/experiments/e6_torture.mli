@@ -1,0 +1,15 @@
+open Dtc_util
+
+(** Experiment E6 — durable linearizability + detectability under crash
+    torture (Lemmas 1-2 as a statistical test, plus exhaustive small
+    cases).
+
+    Every object runs many seeded random schedules with random crash
+    injection and every history goes through the checker; the paper's
+    algorithms must score zero violations.  The ablation rows (toggle
+    bits removed, flip vector removed, plain non-recoverable objects)
+    must score nonzero — they calibrate the oracle: the same harness that
+    passes the real algorithms does catch broken ones. *)
+
+val table : ?trials:int -> unit -> Table.t
+(** Default 60 trials per row. *)

@@ -1,0 +1,47 @@
+open Dtc_util
+open History
+
+let table () =
+  let t =
+    Table.create
+      ~title:"E7 (Lemmas 3-8): doubly-perturbing witnesses, verified mechanically"
+      [ "object"; "lemma"; "witness"; "verdict" ]
+  in
+  let lemma_of = function
+    | "register" -> "Lemma 3"
+    | "counter" -> "Lemma 5"
+    | "bounded_counter" -> "Lemma 5 (remark)"
+    | "cas" -> "Lemma 6"
+    | "faa" -> "Lemma 7"
+    | "queue" -> "Lemma 8"
+    | "swap" -> "Sec.5 remark"
+    | "tas" -> "Sec.5 class"
+    | _ -> "-"
+  in
+  List.iter
+    (fun (e : Perturb.Witnesses.entry) ->
+      let verdict =
+        match Perturb.Perturbing.verify_witness e.spec e.witness with
+        | Ok () -> "doubly-perturbing"
+        | Error m -> "REJECTED: " ^ m
+      in
+      Table.add_row t
+        [
+          e.obj_name;
+          lemma_of e.obj_name;
+          Format.asprintf "%a" Perturb.Perturbing.pp_witness e.witness;
+          verdict;
+        ])
+    Perturb.Witnesses.all;
+  let alphabet = [ Spec.read_op; Spec.write_max_op 1; Spec.write_max_op 2 ] in
+  let none =
+    Perturb.Witnesses.max_register_has_no_witness ~alphabet ~max_h1:2 ~max_ext:2
+  in
+  Table.add_row t
+    [
+      "max_register";
+      "Lemma 4";
+      "(bounded-exhaustive search, |H1| <= 2, |ext| <= 2)";
+      (if none then "no witness: NOT doubly-perturbing" else "WITNESS FOUND");
+    ];
+  t

@@ -1,0 +1,12 @@
+open Dtc_util
+
+(** Experiment E7 — the doubly-perturbing landscape (Lemma 3, Lemma 4,
+    appendix Lemmas 5-8).
+
+    Each of the paper's witnesses is verified mechanically against its
+    sequential specification; the max register is searched
+    bounded-exhaustively and must have no witness; the appendix's bounded
+    counter is confirmed doubly-perturbing despite saturating (the
+    "doubly-perturbing but not perturbable" example). *)
+
+val table : unit -> Table.t

@@ -1,0 +1,16 @@
+open Dtc_util
+
+(** Experiment E8 — Section 6 transformations.
+
+    (a) NRL: wrapping a DL+detectable implementation so that recovery
+    re-invokes instead of answering [fail] yields nesting-safe
+    recoverable linearizability — measured as "no [Rec_fail] event ever
+    appears and all histories check out".
+
+    (b) Shared-cache model: after the syntactic persist transformation,
+    Algorithms 1-3 (and the queue) survive crashes that lose arbitrary
+    subsets of unpersisted cache lines; the untransformed Algorithm 1 run
+    in the same model does not. *)
+
+val table_nrl : ?trials:int -> unit -> Table.t
+val table_shared_cache : ?trials:int -> unit -> Table.t

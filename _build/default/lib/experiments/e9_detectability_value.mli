@@ -1,0 +1,21 @@
+open Dtc_util
+
+(** Experiment E9 — what detectability buys (Section 6's comparison with
+    durable-only recoverability, made quantitative).
+
+    Producer/consumer queue workloads with globally unique values run
+    under crash torture with the Retry policy, on four implementations:
+    the detectable queue, the durable (non-detectable) queue after
+    Friedman et al., and the log-based universal construction in both
+    modes.
+
+    Every implementation keeps its {e state} consistent (all histories
+    pass the checker — durable linearizability holds everywhere).  The
+    difference is application-level: a durable-only recovery answers
+    "unknown", so a retried enqueue may duplicate and an interrupted
+    operation's fate stays unresolved; a detectable recovery answers
+    exactly, so duplicates are zero and every crashed operation is
+    resolved (completed with its response, or failed and knowingly
+    retried). *)
+
+val table : ?trials:int -> unit -> Table.t

@@ -1,0 +1,22 @@
+open Dtc_util
+
+(** The experiment registry: every reproduced figure/table of the paper,
+    addressable by id.  `bench/main.exe` prints all of them;
+    `bin/detect_cli.exe exp <id>` prints one. *)
+
+type entry = {
+  id : string;  (** e.g. "E1" *)
+  paper_artefact : string;  (** which figure/theorem/claim it regenerates *)
+  descr : string;
+  tables : unit -> Table.t list;
+}
+
+val all : entry list
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val run_one : entry -> unit
+(** Print the entry's header and tables to stdout. *)
+
+val run_all : unit -> unit

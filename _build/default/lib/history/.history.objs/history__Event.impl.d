@@ -1,0 +1,1 @@
+lib/history/event.ml: Format List Nvm Spec Value

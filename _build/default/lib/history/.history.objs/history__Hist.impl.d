@@ -1,0 +1,1 @@
+lib/history/hist.ml: Event Format Hashtbl List Nvm Printf Spec Value

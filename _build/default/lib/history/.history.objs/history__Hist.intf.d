@@ -1,0 +1,1 @@
+lib/history/hist.mli: Event Format Nvm Spec Value

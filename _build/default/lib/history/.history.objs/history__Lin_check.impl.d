@@ -1,0 +1,1 @@
+lib/history/lin_check.ml: Array Event Format Hashtbl List Nvm Printf Spec Value

@@ -1,0 +1,1 @@
+lib/history/spec.ml: Array Format List Nvm String Value

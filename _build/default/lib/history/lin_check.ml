@@ -1,0 +1,142 @@
+open Nvm
+
+type verdict = Ok_linearizable of Spec.op list | Violation of string
+
+let is_ok = function Ok_linearizable _ -> true | Violation _ -> false
+
+let max_ops = 62
+
+(* What the history requires of one operation instance. *)
+type kind =
+  | Must of Value.t  (* must linearize with this response *)
+  | Must_not  (* recovery said fail: must not linearize *)
+  | May  (* pending at end of history: free choice *)
+
+type op_record = {
+  uid : int;
+  op : Spec.op;
+  inv : int;  (* history index of the invocation *)
+  out : int option;  (* history index of the outcome event, if any *)
+  kind : kind;
+}
+
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let analyze events =
+  let tbl : (int, op_record) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iteri
+    (fun i event ->
+      match (event : Event.t) with
+      | Crash -> ()
+      | Inv { uid; op; _ } ->
+          if Hashtbl.mem tbl uid then malformed "duplicate invocation #%d" uid;
+          Hashtbl.add tbl uid { uid; op; inv = i; out = None; kind = May };
+          order := uid :: !order
+      | Ret { uid; v; _ } | Rec_ret { uid; v; _ } -> (
+          match Hashtbl.find_opt tbl uid with
+          | None -> malformed "response for unknown operation #%d" uid
+          | Some r ->
+              if r.out <> None then malformed "two outcomes for #%d" uid;
+              Hashtbl.replace tbl uid { r with out = Some i; kind = Must v })
+      | Rec_fail { uid; _ } -> (
+          match Hashtbl.find_opt tbl uid with
+          | None -> malformed "fail verdict for unknown operation #%d" uid
+          | Some r ->
+              if r.out <> None then malformed "two outcomes for #%d" uid;
+              Hashtbl.replace tbl uid { r with out = Some i; kind = Must_not }))
+    events;
+  List.rev_map (Hashtbl.find tbl) !order
+
+(* DFS node identity: which ops are linearized plus the abstract state.
+   Ops with a [fail] verdict are excluded up-front (they may never
+   linearize), and ops pending at the end of the history are simply never
+   required — they have no outcome event, so they block nobody. *)
+type node = { lin : int; state : Value.t }
+
+let check spec events =
+  match analyze events with
+  | exception Malformed msg -> Violation ("malformed history: " ^ msg)
+  | records ->
+      let records = Array.of_list records in
+      let n = Array.length records in
+      if n > max_ops then
+        Violation (Printf.sprintf "history too large (%d ops > %d)" n max_ops)
+      else begin
+        (* ops that must never linearize are discarded from the start *)
+        let initially_discarded = ref 0 in
+        Array.iteri
+          (fun i r ->
+            if r.kind = Must_not then
+              initially_discarded := !initially_discarded lor (1 lsl i))
+          records;
+        let must_mask = ref 0 in
+        Array.iteri
+          (fun i r ->
+            match r.kind with
+            | Must _ -> must_mask := !must_mask lor (1 lsl i)
+            | Must_not | May -> ())
+          records;
+        (* preds.(i): bitmask of ops whose outcome precedes i's invocation *)
+        let preds = Array.make n 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            match records.(j).out with
+            | Some out_j when j <> i && out_j < records.(i).inv ->
+                preds.(i) <- preds.(i) lor (1 lsl j)
+            | Some _ | None -> ()
+          done
+        done;
+        let excluded = !initially_discarded in
+        let visited : (node, unit) Hashtbl.t = Hashtbl.create 4096 in
+        let witness = ref [] in
+        (* DFS: returns true iff all Must ops can be linearized from here *)
+        let rec go lin state =
+          if lin land !must_mask = !must_mask then true
+          else
+            let node = { lin; state } in
+            if Hashtbl.mem visited node then false
+            else begin
+              Hashtbl.add visited node ();
+              let settled = lin lor excluded in
+              let found = ref false in
+              let i = ref 0 in
+              while (not !found) && !i < n do
+                let bit = 1 lsl !i in
+                (* candidate: unsettled, and every real-time predecessor is
+                   settled (linearized or excluded) *)
+                if settled land bit = 0 && preds.(!i) land lnot settled = 0
+                then begin
+                  let r = records.(!i) in
+                  let state', resp = spec.Spec.step state r.op in
+                  let resp_ok =
+                    match r.kind with
+                    | Must v -> Value.equal resp v
+                    | May -> true
+                    | Must_not -> assert false
+                  in
+                  if resp_ok && go (lin lor bit) state' then begin
+                    witness := r.op :: !witness;
+                    found := true
+                  end
+                end;
+                incr i
+              done;
+              !found
+            end
+        in
+        if go 0 spec.Spec.init then Ok_linearizable !witness
+        else
+          Violation
+            "no linearization satisfies durable linearizability + \
+             detectability"
+      end
+
+let check_exn spec events =
+  match check spec events with
+  | Ok_linearizable _ -> ()
+  | Violation msg ->
+      failwith
+        (Format.asprintf "%s@.history:@.%a" msg Event.pp_history events)

@@ -1,0 +1,37 @@
+(** Durable-linearizability + detectability checker.
+
+    Given a crash-history recorded by the driver and a sequential
+    specification, the checker searches for a linearization that
+    witnesses correctness in the paper's sense:
+
+    - every operation that completed normally, and every crashed operation
+      whose recovery returned a response, must be linearized exactly once,
+      within its real-time interval, with exactly the observed response
+      (durable linearizability + the success half of detectability);
+    - every crashed operation whose recovery returned the [fail] verdict
+      must {e not} be linearized at all (the failure half of
+      detectability: "the operation was not linearized");
+    - operations still pending when the history ends may be linearized or
+      not, with any specification-consistent response.
+
+    The search is a Wing–Gong style interleaving exploration with
+    memoization on (set of linearized operations, set of discarded pending
+    operations, abstract state).  It is exact, and exponential in the
+    worst case, so histories fed to it should stay small (tens of
+    operations) — which the test and experiment harnesses ensure. *)
+
+type verdict =
+  | Ok_linearizable of Spec.op list
+      (** a witness linearization (operations in linearization order) *)
+  | Violation of string  (** human-readable reason *)
+
+val check : Spec.t -> Event.t list -> verdict
+
+val is_ok : verdict -> bool
+
+val check_exn : Spec.t -> Event.t list -> unit
+(** Raises [Failure] with the violation message and the pretty-printed
+    history on a violation; for tests. *)
+
+val max_ops : int
+(** Upper bound on operation instances per history (bitmask width). *)

@@ -1,0 +1,1 @@
+lib/modelcheck/config_set.ml: Hashtbl List Mem Nvm

@@ -1,0 +1,1 @@
+lib/modelcheck/explore.mli: Event Format History Loc Nvm Obj_inst Runtime Sched Schedule Session Spec

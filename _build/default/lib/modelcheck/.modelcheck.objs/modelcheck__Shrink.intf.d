@@ -1,0 +1,1 @@
+lib/modelcheck/shrink.mli: Event Explore History Nvm Obj_inst Runtime Sched Session Spec

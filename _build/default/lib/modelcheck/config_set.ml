@@ -1,0 +1,13 @@
+open Nvm
+
+type t = (int, Mem.snapshot list) Hashtbl.t
+
+let create () : t = Hashtbl.create 1024
+
+let add set snap =
+  let h = Mem.hash_shared snap in
+  let bucket = try Hashtbl.find set h with Not_found -> [] in
+  if not (List.exists (Mem.equal_shared snap) bucket) then
+    Hashtbl.replace set h (snap :: bucket)
+
+let cardinal set = Hashtbl.fold (fun _ b acc -> acc + List.length b) set 0

@@ -1,0 +1,18 @@
+open Nvm
+
+(** A set of shared-memory configurations up to the paper's
+    memory-equivalence (equal contents of every shared variable; private
+    NVM and local state ignored).
+
+    Theorem 1 counts reachable pairwise non-memory-equivalent
+    configurations; both the explorer and experiment E1 accumulate
+    snapshots here. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Mem.snapshot -> unit
+(** No-op if a memory-equivalent snapshot is already present. *)
+
+val cardinal : t -> int

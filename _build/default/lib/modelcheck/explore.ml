@@ -1,0 +1,208 @@
+open Nvm
+open History
+open Sched
+
+type decision = Step of int | Crash
+
+let pp_decision fmt = function
+  | Step pid -> Format.fprintf fmt "p%d" pid
+  | Crash -> Format.fprintf fmt "CRASH"
+
+type config = {
+  switch_budget : int;
+  crash_budget : int;
+  max_steps : int;
+  policy : Session.policy;
+  keep : Loc.t -> bool;
+  max_violations : int;
+}
+
+let default_config =
+  {
+    switch_budget = 3;
+    crash_budget = 1;
+    max_steps = 2_000;
+    policy = Session.Retry;
+    keep = (fun _ -> true);
+    max_violations = 3;
+  }
+
+type violation = {
+  decisions : decision list;
+  history : Event.t list;
+  msg : string;
+}
+
+type outcome = {
+  executions : int;
+  truncated : int;
+  nodes : int;
+  violations : violation list;
+  total_violations : int;
+  distinct_shared_configs : int;
+}
+
+type state = {
+  cfg : config;
+  mk : unit -> Runtime.Machine.t * Obj_inst.t;
+  workloads : Spec.op list array;
+  configs : Config_set.t;
+  mutable executions : int;
+  mutable truncated : int;
+  mutable nodes : int;
+  mutable violations : violation list;
+  mutable n_violations : int;
+}
+
+(* [decisions] is kept newest-first during the DFS; replay applies it
+   oldest-first. *)
+let replay st decisions =
+  let machine, inst = st.mk () in
+  let session = Session.create ~policy:st.cfg.policy machine inst ~workloads:st.workloads in
+  List.iter
+    (function
+      | Step pid -> Session.step session pid
+      | Crash -> Session.crash session ~keep:st.cfg.keep)
+    (List.rev decisions);
+  (machine, inst, session)
+
+let record_execution st ~decisions ~inst ~session ~truncated =
+  if truncated then st.truncated <- st.truncated + 1
+  else st.executions <- st.executions + 1;
+  let verdict =
+    match Session.anomalies session with
+    | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
+    | [] -> Lin_check.check inst.Obj_inst.spec (Session.history session)
+  in
+  match verdict with
+  | Lin_check.Ok_linearizable _ -> ()
+  | Lin_check.Violation msg ->
+      st.n_violations <- st.n_violations + 1;
+      if List.length st.violations < st.cfg.max_violations then
+        st.violations <-
+          { decisions; history = Session.history session; msg }
+          :: st.violations
+
+(* DFS over decision sequences: [cur] is the running process (switching
+   away from it costs budget; after a crash any process is free),
+   [switches]/[crashes] are budget spent so far. *)
+let rec dfs st decisions cur switches crashes =
+  st.nodes <- st.nodes + 1;
+  let machine, inst, session = replay st decisions in
+  Config_set.add st.configs (Mem.snapshot (Runtime.Machine.mem machine));
+  let runnable = Session.runnable session in
+  if runnable = [] then
+    record_execution st ~decisions:(List.rev decisions) ~inst ~session
+      ~truncated:false
+  else if Session.steps session >= st.cfg.max_steps then
+    record_execution st ~decisions:(List.rev decisions) ~inst ~session
+      ~truncated:true
+  else begin
+    (* crash move *)
+    if crashes < st.cfg.crash_budget then
+      dfs st (Crash :: decisions) None switches (crashes + 1);
+    (* step moves *)
+    List.iter
+      (fun pid ->
+        (* only a preemption costs budget: switching away from a process
+           that finished (or crashed) is free *)
+        let cost =
+          match cur with
+          | None -> 0
+          | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
+        in
+        if switches + cost <= st.cfg.switch_budget then
+          dfs st (Step pid :: decisions) (Some pid) (switches + cost) crashes)
+      runnable
+  end
+
+let explore ~mk ~workloads cfg =
+  let st =
+    {
+      cfg;
+      mk;
+      workloads;
+      configs = Config_set.create ();
+      executions = 0;
+      truncated = 0;
+      nodes = 0;
+      violations = [];
+      n_violations = 0;
+    }
+  in
+  dfs st [] None 0 0;
+  {
+    executions = st.executions;
+    truncated = st.truncated;
+    nodes = st.nodes;
+    violations = List.rev st.violations;
+    total_violations = st.n_violations;
+    distinct_shared_configs = Config_set.cardinal st.configs;
+  }
+
+let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)
+    ?(keep = fun (_ : Loc.t) -> true) ?(max_steps = 2_000) () =
+  let configs = Config_set.create () in
+  let executions = ref 0 in
+  let truncated = ref 0 in
+  let violations = ref [] in
+  (* [run_with_crash (Some k)] crashes just before global step k *)
+  let run_with_crash crash_at =
+    let machine, inst = mk () in
+    let sched = schedule () in
+    let session = Session.create ~policy machine inst ~workloads in
+    let decisions = ref [] in
+    let cut = ref false in
+    let continue = ref true in
+    while !continue do
+      Config_set.add configs (Mem.snapshot (Runtime.Machine.mem machine));
+      match Session.runnable session with
+      | [] -> continue := false
+      | runnable ->
+          let step = Session.steps session in
+          if step >= max_steps then begin
+            cut := true;
+            continue := false
+          end
+          else if crash_at = Some (step, Session.crashes session = 0) then begin
+            (* fire exactly once *)
+            decisions := Crash :: !decisions;
+            Session.crash session ~keep
+          end
+          else begin
+            let pid = sched.Schedule.choose ~runnable ~step in
+            decisions := Step pid :: !decisions;
+            Session.step session pid
+          end
+    done;
+    if !cut then incr truncated else incr executions;
+    let verdict =
+      match Session.anomalies session with
+      | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
+      | [] -> Lin_check.check inst.Obj_inst.spec (Session.history session)
+    in
+    (match verdict with
+    | Lin_check.Ok_linearizable _ -> ()
+    | Lin_check.Violation msg ->
+        violations :=
+          {
+            decisions = List.rev !decisions;
+            history = Session.history session;
+            msg;
+          }
+          :: !violations);
+    Session.steps session
+  in
+  (* dry run without crash to learn the step count, checking it too *)
+  let total = run_with_crash None in
+  for k = 0 to total - 1 do
+    ignore (run_with_crash (Some (k, true)))
+  done;
+  {
+    executions = !executions;
+    truncated = !truncated;
+    nodes = !executions + !truncated;
+    violations = List.rev !violations;
+    total_violations = List.length !violations;
+    distinct_shared_configs = Config_set.cardinal configs;
+  }

@@ -1,0 +1,86 @@
+open Nvm
+open History
+open Sched
+
+(** Bounded exhaustive exploration of interleavings and crash points.
+
+    Because process programs are deterministic given the values their
+    primitive steps return, an execution is fully determined by its
+    {e decision sequence}: at each point, either some process takes its
+    next primitive step or the system crashes.  The explorer re-executes
+    the workload from scratch along every decision sequence in a bounded
+    family and checks every resulting history with {!Lin_check}.
+
+    Full interleaving exploration explodes combinatorially, so the family
+    is {e delay-bounded} (Emmi–Qadeer–Rakamarić style): a run may switch
+    the running process at most [switch_budget] times and crash at most
+    [crash_budget] times, but switches and crashes may occur {e between
+    any two primitive steps}.  Small budgets already cover the executions
+    the paper's proofs construct (Figures 1 and 2 use two to three context
+    switches), and every scheduling bug this repository's ablations plant
+    is found with budgets ≤ 3.
+
+    The explorer also accumulates the set of pairwise
+    non-memory-equivalent shared-memory configurations visited, which is
+    how experiment E1 measures reachable configurations against
+    Theorem 1's 2^(N−1) bound. *)
+
+type decision = Step of int  (** process [pid] takes one step *) | Crash
+
+val pp_decision : Format.formatter -> decision -> unit
+
+type config = {
+  switch_budget : int;  (** max context switches per execution *)
+  crash_budget : int;  (** max crashes per execution *)
+  max_steps : int;  (** per-execution step bound (safety) *)
+  policy : Session.policy;
+  keep : Loc.t -> bool;  (** write-back mask applied at crashes *)
+  max_violations : int;  (** stop collecting after this many samples *)
+}
+
+val default_config : config
+(** switch budget 3, crash budget 1, 2_000 steps, [Retry], keep-all,
+    collect up to 3 violations. *)
+
+type violation = {
+  decisions : decision list;  (** the schedule that exhibits it *)
+  history : Event.t list;
+  msg : string;
+}
+
+type outcome = {
+  executions : int;  (** complete executions explored *)
+  truncated : int;  (** executions cut off by [max_steps] *)
+  nodes : int;  (** DFS nodes visited *)
+  violations : violation list;  (** sample, capped at [max_violations] *)
+  total_violations : int;  (** all violating executions, uncapped *)
+  distinct_shared_configs : int;
+      (** pairwise non-memory-equivalent shared-memory configurations
+          seen anywhere in the exploration *)
+}
+
+val explore :
+  mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
+  workloads:Spec.op list array ->
+  config ->
+  outcome
+(** [mk] must build a fresh machine and instance on every call (the
+    explorer re-executes from the initial configuration once per DFS
+    node). *)
+
+val crash_points :
+  mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
+  workloads:Spec.op list array ->
+  schedule:(unit -> Schedule.t) ->
+  ?policy:Session.policy ->
+  ?keep:(Loc.t -> bool) ->
+  ?max_steps:int ->
+  unit ->
+  outcome
+(** One crash at every possible step of the given deterministic schedule
+    (including "no crash"), recovery run to completion under the same
+    schedule.  The schedule factory is invoked once per run, so stateful
+    schedules like round-robin start fresh each time.  Cheap — linear in
+    the schedule length — and exactly the shape of the Figure 2
+    construction: it is how experiment E3 exhibits the auxiliary-state
+    impossibility on the ablated objects. *)

@@ -1,0 +1,72 @@
+open History
+open Sched
+
+type result = {
+  decisions : Explore.decision list;
+  history : Event.t list;
+  msg : string;
+  attempts : int;
+}
+
+let run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions =
+  let machine, inst = mk () in
+  let session = Session.create ~policy machine inst ~workloads in
+  ignore machine;
+  (* tolerant prefix replay *)
+  List.iter
+    (fun d ->
+      match (d : Explore.decision) with
+      | Explore.Crash -> Session.crash session ~keep
+      | Explore.Step pid ->
+          if List.mem pid (Session.runnable session) then Session.step session pid)
+    decisions;
+  (* close the run: round-robin until done or budget *)
+  let continue = ref true in
+  while !continue do
+    match Session.runnable session with
+    | [] -> continue := false
+    | pid :: _ ->
+        if Session.steps session >= max_steps then continue := false
+        else Session.step session pid
+  done;
+  let verdict =
+    match Session.anomalies session with
+    | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
+    | [] -> Lin_check.check inst.Obj_inst.spec (Session.history session)
+  in
+  match verdict with
+  | Lin_check.Ok_linearizable _ -> None
+  | Lin_check.Violation msg -> Some (Session.history session, msg)
+
+let reproduces ~mk ~workloads ?(policy = Session.Retry)
+    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000) decisions =
+  run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions
+
+let minimise ~mk ~workloads ?(policy = Session.Retry)
+    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000) decisions =
+  let attempts = ref 0 in
+  let try_candidate ds =
+    incr attempts;
+    run_candidate ~mk ~workloads ~policy ~keep ~max_steps ds
+  in
+  match try_candidate decisions with
+  | None -> None
+  | Some (history0, msg0) ->
+      (* greedy single-deletion passes until no deletion preserves the
+         violation (1-minimality) *)
+      let rec shrink (cur, history, msg) =
+        let n = List.length cur in
+        let rec try_deletions k =
+          if k >= n then None
+          else
+            let candidate = List.filteri (fun idx _ -> idx <> k) cur in
+            match try_candidate candidate with
+            | Some (h, m) -> Some (candidate, h, m)
+            | None -> try_deletions (k + 1)
+        in
+        match try_deletions 0 with
+        | Some shorter -> shrink shorter
+        | None -> (cur, history, msg)
+      in
+      let ds, history, msg = shrink (decisions, history0, msg0) in
+      Some { decisions = ds; history; msg; attempts = !attempts }

@@ -1,0 +1,47 @@
+open History
+open Sched
+
+(** Counterexample minimisation (delta debugging over decision
+    sequences).
+
+    A violation found by {!Explore} comes with the decision sequence that
+    produced it.  [minimise] greedily deletes decisions — steps and
+    crashes — re-executing after each deletion and keeping any shorter
+    sequence that still yields a checker violation, until no single
+    deletion preserves the failure (1-minimality).
+
+    Replay of a candidate sequence is {e tolerant}: a [Step pid] whose
+    process is not currently runnable is skipped rather than an error
+    (deleting an early decision shifts everything after it), and the
+    run is completed after the prefix by round-robin so the history is
+    closed.  The result therefore reproduces a violation under "prefix
+    then free run", which is how the minimised schedule should be read. *)
+
+type result = {
+  decisions : Explore.decision list;  (** the minimised prefix *)
+  history : Event.t list;
+  msg : string;
+  attempts : int;  (** replays performed while shrinking *)
+}
+
+val reproduces :
+  mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
+  workloads:Spec.op list array ->
+  ?policy:Session.policy ->
+  ?keep:(Nvm.Loc.t -> bool) ->
+  ?max_steps:int ->
+  Explore.decision list ->
+  (Event.t list * string) option
+(** Run "prefix then free run" for a decision sequence; [Some] iff the
+    checker rejects the resulting history. *)
+
+val minimise :
+  mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
+  workloads:Spec.op list array ->
+  ?policy:Session.policy ->
+  ?keep:(Nvm.Loc.t -> bool) ->
+  ?max_steps:int ->
+  Explore.decision list ->
+  result option
+(** [None] if the input sequence does not reproduce a violation under
+    tolerant replay (shrinking needs a reproducible starting point). *)

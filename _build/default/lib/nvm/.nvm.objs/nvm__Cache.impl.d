@@ -1,0 +1,1 @@
+lib/nvm/cache.ml: Hashtbl Int List Loc Mem Value

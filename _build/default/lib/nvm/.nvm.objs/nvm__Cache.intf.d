@@ -1,0 +1,1 @@
+lib/nvm/cache.mli: Loc Mem Value

@@ -1,0 +1,1 @@
+lib/nvm/loc.ml: Format

@@ -1,0 +1,1 @@
+lib/nvm/mem.ml: Array Format Loc Printf Value

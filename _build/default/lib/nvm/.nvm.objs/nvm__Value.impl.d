@@ -1,0 +1,1 @@
+lib/nvm/value.ml: Array Bool Format Hashtbl Int Printf String

@@ -1,0 +1,44 @@
+type t = {
+  backing : Mem.t;
+  dirty : (int, Loc.t * Value.t) Hashtbl.t; (* loc id -> newest unpersisted value *)
+}
+
+let create backing = { backing; dirty = Hashtbl.create 64 }
+
+let mem c = c.backing
+
+let read c (loc : Loc.t) =
+  match Hashtbl.find_opt c.dirty loc.Loc.id with
+  | Some (_, v) -> v
+  | None -> Mem.read c.backing loc
+
+let write c (loc : Loc.t) v = Hashtbl.replace c.dirty loc.Loc.id (loc, v)
+
+let cas c loc expected desired =
+  let cur = read c loc in
+  if Value.equal cur expected then (
+    write c loc desired;
+    true)
+  else false
+
+let faa c loc delta =
+  let old = Value.to_int (read c loc) in
+  write c loc (Value.Int (old + delta));
+  old
+
+let persist c (loc : Loc.t) =
+  match Hashtbl.find_opt c.dirty loc.Loc.id with
+  | Some (_, v) ->
+      Mem.write c.backing loc v;
+      Hashtbl.remove c.dirty loc.Loc.id
+  | None -> ()
+
+let dirty_locs c =
+  Hashtbl.fold (fun _ (loc, _) acc -> loc :: acc) c.dirty []
+  |> List.sort (fun (a : Loc.t) (b : Loc.t) -> Int.compare a.Loc.id b.Loc.id)
+
+let persist_all c = List.iter (persist c) (dirty_locs c)
+
+let crash c ~keep =
+  List.iter (fun loc -> if keep loc then persist c loc) (dirty_locs c);
+  Hashtbl.reset c.dirty

@@ -1,0 +1,42 @@
+(** The shared-cache persistency model (paper, Section 6).
+
+    In the private-cache model, primitive operations apply directly to the
+    NVM.  In the more realistic shared-cache model there is a single
+    volatile shared cache: primitive operations hit the cache, and values
+    only reach the NVM when explicitly persisted (or when the cache
+    happens to write a line back).  On a crash the cache contents are
+    lost — except that the hardware may have silently written back any
+    subset of the dirty lines, so a correct algorithm must tolerate every
+    write-back subset.
+
+    This module layers such a cache over a {!Mem.t}.  The crash operation
+    takes a per-line decision function so that tests and the model checker
+    can explore adversarial write-back choices. *)
+
+type t
+
+val create : Mem.t -> t
+
+val mem : t -> Mem.t
+(** The backing non-volatile store. *)
+
+val read : t -> Loc.t -> Value.t
+val write : t -> Loc.t -> Value.t -> unit
+val cas : t -> Loc.t -> Value.t -> Value.t -> bool
+val faa : t -> Loc.t -> int -> int
+
+val persist : t -> Loc.t -> unit
+(** Write the location's cache line (if dirty) back to NVM. *)
+
+val persist_all : t -> unit
+(** Full fence: write back every dirty line. *)
+
+val dirty_locs : t -> Loc.t list
+(** Locations whose newest value has not yet been persisted, in
+    allocation-id order (deterministic). *)
+
+val crash : t -> keep:(Loc.t -> bool) -> unit
+(** [crash c ~keep] simulates a power failure: each dirty line is written
+    back to NVM iff [keep] returns [true] for it, then the whole cache is
+    discarded.  [keep] models the hardware's arbitrary write-back
+    behaviour at the instant of failure. *)

@@ -1,0 +1,151 @@
+type t = {
+  mutable cells : Value.t array;
+  mutable inits : Value.t array;
+  mutable locs : Loc.t array;
+  mutable max_bits : int array;
+  mutable len : int;
+}
+
+let initial_capacity = 64
+
+let create () =
+  {
+    cells = Array.make initial_capacity Value.Bot;
+    inits = Array.make initial_capacity Value.Bot;
+    locs = Array.make initial_capacity (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
+    max_bits = Array.make initial_capacity 0;
+    len = 0;
+  }
+
+let grow mem =
+  let cap = Array.length mem.cells in
+  let cap' = 2 * cap in
+  let extend a fill =
+    let b = Array.make cap' fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  mem.cells <- extend mem.cells Value.Bot;
+  mem.inits <- extend mem.inits Value.Bot;
+  mem.locs <- extend mem.locs (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
+  mem.max_bits <- extend mem.max_bits 0
+
+let alloc mem ~name ~kind init =
+  if mem.len = Array.length mem.cells then grow mem;
+  let id = mem.len in
+  let loc = Loc.make ~id ~name ~kind in
+  mem.cells.(id) <- init;
+  mem.inits.(id) <- init;
+  mem.locs.(id) <- loc;
+  mem.max_bits.(id) <- Value.bits init;
+  mem.len <- id + 1;
+  loc
+
+let check mem (loc : Loc.t) =
+  if loc.Loc.id < 0 || loc.Loc.id >= mem.len then
+    invalid_arg (Printf.sprintf "Mem: foreign location %s" loc.Loc.name)
+
+let read mem (loc : Loc.t) =
+  check mem loc;
+  mem.cells.(loc.Loc.id)
+
+let note_bits mem id v =
+  let b = Value.bits v in
+  if b > mem.max_bits.(id) then mem.max_bits.(id) <- b
+
+let write mem (loc : Loc.t) v =
+  check mem loc;
+  mem.cells.(loc.Loc.id) <- v;
+  note_bits mem loc.Loc.id v
+
+let cas mem (loc : Loc.t) expected desired =
+  check mem loc;
+  let cur = mem.cells.(loc.Loc.id) in
+  if Value.equal cur expected then (
+    mem.cells.(loc.Loc.id) <- desired;
+    note_bits mem loc.Loc.id desired;
+    true)
+  else false
+
+let faa mem (loc : Loc.t) delta =
+  check mem loc;
+  let old = Value.to_int mem.cells.(loc.Loc.id) in
+  let v = Value.Int (old + delta) in
+  mem.cells.(loc.Loc.id) <- v;
+  note_bits mem loc.Loc.id v;
+  old
+
+let reset mem =
+  for i = 0 to mem.len - 1 do
+    mem.cells.(i) <- mem.inits.(i);
+    mem.max_bits.(i) <- Value.bits mem.inits.(i)
+  done
+
+let n_locs mem = mem.len
+
+let loc_by_id mem id =
+  if id < 0 || id >= mem.len then invalid_arg "Mem.loc_by_id: out of range";
+  mem.locs.(id)
+
+type snapshot = { s_cells : Value.t array; s_locs : Loc.t array }
+
+let snapshot mem =
+  {
+    s_cells = Array.sub mem.cells 0 mem.len;
+    s_locs = Array.sub mem.locs 0 mem.len;
+  }
+
+let restore mem snap =
+  if Array.length snap.s_cells <> mem.len then
+    invalid_arg "Mem.restore: snapshot from a different allocation state";
+  Array.blit snap.s_cells 0 mem.cells 0 mem.len
+
+let equal_shared a b =
+  Array.length a.s_cells = Array.length b.s_cells
+  && (let ok = ref true in
+      Array.iteri
+        (fun i loc ->
+          if Loc.is_shared loc && not (Value.equal a.s_cells.(i) b.s_cells.(i))
+          then ok := false)
+        a.s_locs;
+      !ok)
+
+let hash_shared a =
+  let h = ref 5381 in
+  Array.iteri
+    (fun i loc ->
+      if Loc.is_shared loc then h := (!h * 1000003) lxor Value.hash a.s_cells.(i))
+    a.s_locs;
+  !h
+
+let equal_full a b =
+  Array.length a.s_cells = Array.length b.s_cells
+  && (let ok = ref true in
+      Array.iteri
+        (fun i v -> if not (Value.equal v b.s_cells.(i)) then ok := false)
+        a.s_cells;
+      !ok)
+
+let pp_snapshot fmt snap =
+  Array.iteri
+    (fun i loc ->
+      Format.fprintf fmt "%a = %a@." Loc.pp loc Value.pp snap.s_cells.(i))
+    snap.s_locs
+
+let shared_bits mem =
+  let total = ref 0 in
+  for i = 0 to mem.len - 1 do
+    if Loc.is_shared mem.locs.(i) then total := !total + Value.bits mem.cells.(i)
+  done;
+  !total
+
+let max_shared_bits mem =
+  let total = ref 0 in
+  for i = 0 to mem.len - 1 do
+    if Loc.is_shared mem.locs.(i) then total := !total + mem.max_bits.(i)
+  done;
+  !total
+
+let max_bits_of mem (loc : Loc.t) =
+  check mem loc;
+  mem.max_bits.(loc.Loc.id)

@@ -1,0 +1,74 @@
+(** The simulated non-volatile memory store.
+
+    A store is a flat array of {!Value.t} cells addressed by {!Loc.t}
+    handles.  It survives crashes by construction (the crash machinery
+    only discards process continuations and caches, never the store).
+
+    The store also keeps the bookkeeping needed by the paper's
+    space-complexity experiments: for every location it tracks the largest
+    value (in bits) ever resident, so an implementation's footprint can be
+    measured as it runs. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> name:string -> kind:Loc.kind -> Value.t -> Loc.t
+(** [alloc mem ~name ~kind init] allocates a fresh cell holding [init].
+    The initial value is remembered so {!reset} can restore it. *)
+
+val read : t -> Loc.t -> Value.t
+val write : t -> Loc.t -> Value.t -> unit
+
+val cas : t -> Loc.t -> Value.t -> Value.t -> bool
+(** [cas mem loc expected desired] atomically (w.r.t. the simulation)
+    replaces the contents with [desired] iff the current contents equal
+    [expected]; returns whether the swap happened. *)
+
+val faa : t -> Loc.t -> int -> int
+(** [faa mem loc delta] fetch-and-adds on an integer cell, returning the
+    previous value. *)
+
+val reset : t -> unit
+(** Restore every cell to its initial value and clear statistics.  Used by
+    the model checker to re-execute programs from the initial
+    configuration. *)
+
+val n_locs : t -> int
+
+val loc_by_id : t -> int -> Loc.t
+(** Inverse of allocation order; raises [Invalid_argument] if out of
+    range. *)
+
+(** {1 Snapshots and memory-equivalence} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val equal_shared : snapshot -> snapshot -> bool
+(** The paper's memory-equivalence: two configurations are
+    memory-equivalent when every {e shared} variable has the same value in
+    both.  Private NVM and local state are excluded. *)
+
+val hash_shared : snapshot -> int
+(** Hash consistent with {!equal_shared}. *)
+
+val equal_full : snapshot -> snapshot -> bool
+(** Equality over all cells, shared and private. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {1 Space accounting} *)
+
+val shared_bits : t -> int
+(** Current footprint: sum of {!Value.bits} over shared cells. *)
+
+val max_shared_bits : t -> int
+(** High-water mark of per-cell maxima: sum over shared cells of the
+    largest size each has held since creation/{!reset}.  This is the
+    honest measure of how much NVM the implementation must provision. *)
+
+val max_bits_of : t -> Loc.t -> int
+(** High-water mark of one cell. *)

@@ -1,0 +1,108 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Tup of t array
+  | Bot
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit | Bot, Bot -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Tup x, Tup y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
+          !ok)
+  | (Unit | Bool _ | Int _ | Str _ | Tup _ | Bot), _ -> false
+
+let tag = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Str _ -> 3
+  | Tup _ -> 4
+  | Bot -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit | Bot, Bot -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Tup x, Tup y ->
+      let lx = Array.length x and ly = Array.length y in
+      let rec go i =
+        if i >= lx && i >= ly then 0
+        else if i >= lx then -1
+        else if i >= ly then 1
+        else
+          let c = compare x.(i) y.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let rec hash v =
+  match v with
+  | Unit -> 17
+  | Bot -> 31
+  | Bool b -> if b then 83 else 97
+  | Int n -> Hashtbl.hash n
+  | Str s -> Hashtbl.hash s
+  | Tup xs -> Array.fold_left (fun acc x -> (acc * 1000003) lxor hash x) 7919 xs
+
+let rec pp fmt = function
+  | Unit -> Format.fprintf fmt "()"
+  | Bot -> Format.fprintf fmt "⊥"
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Int n -> Format.fprintf fmt "%d" n
+  | Str s -> Format.fprintf fmt "%S" s
+  | Tup xs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_array ~pp_sep:(fun f () -> Format.fprintf f ", ") pp)
+        xs
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int_bits n =
+  let n = abs n in
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  max 1 (go 0 n)
+
+let rec bits = function
+  | Unit -> 0
+  | Bot -> 1
+  | Bool _ -> 1
+  | Int n -> int_bits n
+  | Str s -> 8 * String.length s
+  | Tup xs -> Array.fold_left (fun acc x -> acc + bits x) 0 xs
+
+let pair a b = Tup [| a; b |]
+let triple a b c = Tup [| a; b; c |]
+let bool_vec n = Tup (Array.make n (Bool false))
+
+let type_error expected v =
+  invalid_arg
+    (Printf.sprintf "Value: expected %s, got %s" expected (to_string v))
+
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_int = function Int n -> n | v -> type_error "int" v
+let to_str = function Str s -> s | v -> type_error "string" v
+let to_tup = function Tup xs -> xs | v -> type_error "tuple" v
+
+let nth v i =
+  match v with
+  | Tup xs when i >= 0 && i < Array.length xs -> xs.(i)
+  | v -> type_error (Printf.sprintf "tuple with component %d" i) v
+
+let set_nth v i x =
+  match v with
+  | Tup xs when i >= 0 && i < Array.length xs ->
+      let ys = Array.copy xs in
+      ys.(i) <- x;
+      Tup ys
+  | v -> type_error (Printf.sprintf "tuple with component %d" i) v

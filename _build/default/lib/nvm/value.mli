@@ -1,0 +1,54 @@
+(** Dynamic values stored in the simulated non-volatile memory.
+
+    The paper's algorithms store heterogeneous contents in shared
+    variables — e.g. Algorithm 1's register [R] holds a triple
+    [(value, writer id, toggle index)] and Algorithm 2's variable [C]
+    holds [(value, N-bit vector)].  A single dynamic value universe keeps
+    the simulator generic over implemented objects and makes
+    memory-equivalence (Theorem 1) and bit accounting (space-complexity
+    experiments) uniform. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Tup of t array  (** tuples and fixed-size vectors *)
+  | Bot  (** the paper's ⊥: "unset" *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val bits : t -> int
+(** Size of the value in bits, as counted by the space-complexity
+    experiments: booleans cost 1 bit, an integer [n] costs the number of
+    bits in the binary representation of [abs n] (at least 1), strings
+    cost 8 bits per byte, tuples cost the sum of their components, and
+    [Bot]/[Unit] cost 1/0 bits respectively. *)
+
+val pair : t -> t -> t
+val triple : t -> t -> t -> t
+
+val bool_vec : int -> t
+(** [bool_vec n] is an all-[false] vector of [n] booleans, the initial
+    value of Algorithm 2's per-process flip vector. *)
+
+(** Accessors: raise [Invalid_argument] on a dynamic type mismatch, which
+    in this codebase always indicates a bug in an algorithm
+    implementation, never a recoverable condition. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_str : t -> string
+val to_tup : t -> t array
+
+val nth : t -> int -> t
+(** [nth v i] is component [i] of tuple [v]. *)
+
+val set_nth : t -> int -> t -> t
+(** [set_nth v i x] is tuple [v] with component [i] replaced by [x]
+    (functional update; the original is unchanged). *)

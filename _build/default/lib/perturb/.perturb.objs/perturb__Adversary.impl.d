@@ -1,0 +1,1 @@
+lib/perturb/adversary.ml: List Modelcheck Sched Session

@@ -1,0 +1,1 @@
+lib/perturb/adversary.mli: History Modelcheck Obj_inst Runtime Sched Session Spec

@@ -1,0 +1,1 @@
+lib/perturb/perturbing.ml: Format History List Nvm Spec Value

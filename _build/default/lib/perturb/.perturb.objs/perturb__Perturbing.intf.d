@@ -1,0 +1,1 @@
+lib/perturb/perturbing.mli: Format History Spec

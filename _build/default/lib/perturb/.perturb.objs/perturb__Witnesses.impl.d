@@ -1,0 +1,1 @@
+lib/perturb/witnesses.ml: History Nvm Perturbing Spec Value

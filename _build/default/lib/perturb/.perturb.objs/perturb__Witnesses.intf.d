@@ -1,0 +1,1 @@
+lib/perturb/witnesses.mli: History Perturbing Spec

@@ -1,0 +1,34 @@
+open Sched
+
+type report = {
+  policy : Session.policy;
+  executions : int;
+  violations : int;
+  sample : Modelcheck.Explore.violation option;
+}
+
+let attack ~mk ~workloads ?(switch_budget = 3) ?(max_steps = 2_000) () =
+  List.map
+    (fun policy ->
+      let cfg =
+        {
+          Modelcheck.Explore.default_config with
+          switch_budget;
+          crash_budget = 1;
+          max_steps;
+          policy;
+        }
+      in
+      let out = Modelcheck.Explore.explore ~mk ~workloads cfg in
+      {
+        policy;
+        executions = out.Modelcheck.Explore.executions;
+        violations = out.Modelcheck.Explore.total_violations;
+        sample =
+          (match out.Modelcheck.Explore.violations with
+          | v :: _ -> Some v
+          | [] -> None);
+      })
+    [ Session.Retry; Session.Give_up ]
+
+let survives reports = List.for_all (fun r -> r.violations = 0) reports

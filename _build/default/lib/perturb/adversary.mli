@@ -1,0 +1,41 @@
+open History
+open Sched
+
+(** The Theorem 2 adversary: turn a doubly-perturbing witness into a
+    concurrent crash attack and measure whether an implementation
+    survives it.
+
+    The attack realises the execution of Figure 2: process [p] performs
+    the witnessing operation; a crash may strike between any two of its
+    primitive steps (in particular between the operation's effect and its
+    return); the other process drives the perturbed operations and the
+    p-free extension around [p]'s recovery.  All interleavings within a
+    small delay bound and all single-crash placements are explored, under
+    both recovery policies (retrying a [fail]ed operation, and giving up
+    on it).
+
+    For an implementation {e without} auxiliary state, Theorem 2
+    guarantees some schedule in this family yields an inconsistent
+    history; for the paper's algorithms (which receive auxiliary state
+    through the announcement) and for the max register (not
+    doubly-perturbing), the attack comes back clean. *)
+
+type report = {
+  policy : Session.policy;
+  executions : int;
+  violations : int;
+  sample : Modelcheck.Explore.violation option;
+}
+
+val attack :
+  mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
+  workloads:Spec.op list array ->
+  ?switch_budget:int ->
+  ?max_steps:int ->
+  unit ->
+  report list
+(** One report per policy ([Retry] and [Give_up]).  Default switch budget
+    3. *)
+
+val survives : report list -> bool
+(** No violation under either policy. *)

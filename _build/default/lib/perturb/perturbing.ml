@@ -1,0 +1,93 @@
+open Nvm
+open History
+
+let response_after spec history op =
+  let state = Spec.final_state spec history in
+  snd (spec.Spec.step state op)
+
+let is_perturbing spec ~history ~op ~wrt =
+  let with_op = response_after spec (history @ [ op ]) wrt in
+  let without = response_after spec history wrt in
+  not (Value.equal with_op without)
+
+type witness = {
+  h1 : Spec.op list;
+  op_p : Spec.op;
+  wrt1 : Spec.op;
+  ext : Spec.op list;
+  wrt2 : Spec.op;
+}
+
+let pp_ops fmt ops =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f "; ")
+       Spec.pp_op)
+    ops
+
+let pp_witness fmt w =
+  Format.fprintf fmt
+    "H1 = %a, OP_p = %a perturbs %a; ext = %a; second OP_p perturbs %a"
+    pp_ops w.h1 Spec.pp_op w.op_p Spec.pp_op w.wrt1 pp_ops w.ext Spec.pp_op
+    w.wrt2
+
+let verify_witness spec w =
+  if not (is_perturbing spec ~history:w.h1 ~op:w.op_p ~wrt:w.wrt1) then
+    Error
+      (Format.asprintf "condition 1 fails: %a does not perturb %a after %a"
+         Spec.pp_op w.op_p Spec.pp_op w.wrt1 pp_ops w.h1)
+  else
+    let h2 = w.h1 @ [ w.op_p; w.wrt1 ] @ w.ext in
+    if not (is_perturbing spec ~history:h2 ~op:w.op_p ~wrt:w.wrt2) then
+      Error
+        (Format.asprintf
+           "condition 2 fails: a second %a does not perturb %a after H2 = %a"
+           Spec.pp_op w.op_p Spec.pp_op w.wrt2 pp_ops h2)
+    else Ok ()
+
+(* All sequences over [alphabet] of length <= n, shortest first. *)
+let sequences alphabet n =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = go (n - 1) in
+      shorter
+      @ List.concat_map
+          (fun seq ->
+            if List.length seq = n - 1 then
+              List.map (fun op -> seq @ [ op ]) alphabet
+            else [])
+          shorter
+  in
+  go n
+
+let search spec ~alphabet ~max_h1 ~max_ext =
+  let h1s = sequences alphabet max_h1 in
+  let exts = sequences alphabet max_ext in
+  let found = ref None in
+  List.iter
+    (fun h1 ->
+      if !found = None then
+        List.iter
+          (fun op_p ->
+            List.iter
+              (fun wrt1 ->
+                if
+                  !found = None
+                  && is_perturbing spec ~history:h1 ~op:op_p ~wrt:wrt1
+                then
+                  List.iter
+                    (fun ext ->
+                      List.iter
+                        (fun wrt2 ->
+                          if !found = None then
+                            let w = { h1; op_p; wrt1; ext; wrt2 } in
+                            match verify_witness spec w with
+                            | Ok () -> found := Some w
+                            | Error _ -> ())
+                        alphabet)
+                    exts)
+              alphabet)
+          alphabet)
+    h1s;
+  !found

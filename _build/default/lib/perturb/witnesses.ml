@@ -1,0 +1,149 @@
+open Nvm
+open History
+
+type entry = {
+  obj_name : string;
+  spec : Spec.t;
+  witness : Perturbing.witness;
+  attack : Spec.op list array;
+}
+
+let v0 = Value.Int 0
+let v1 = Value.Int 1
+
+(* Lemma 3: write_p(v1) perturbs read_q after the empty history, and again
+   after H2 = write_p(v1) ∘ read_q ∘ write_q(v0). *)
+let register =
+  {
+    obj_name = "register";
+    spec = Spec.register v0;
+    witness =
+      {
+        h1 = [];
+        op_p = Spec.write_op v1;
+        wrt1 = Spec.read_op;
+        ext = [ Spec.write_op v0 ];
+        wrt2 = Spec.read_op;
+      };
+    attack =
+      [|
+        [ Spec.write_op v1 ];
+        [ Spec.read_op; Spec.write_op v0; Spec.read_op ];
+      |];
+  }
+
+(* Lemma 5: inc_p perturbs read_q after the empty history and again after
+   H2 = inc_p ∘ read_q (empty p-free extension). *)
+let counter =
+  {
+    obj_name = "counter";
+    spec = Spec.counter 0;
+    witness =
+      { h1 = []; op_p = Spec.inc_op; wrt1 = Spec.read_op; ext = []; wrt2 = Spec.read_op };
+    attack = [| [ Spec.inc_op ]; [ Spec.read_op; Spec.read_op ] |];
+  }
+
+(* The appendix's bounded counter over {0,1,2}: the same witness works, so
+   it is doubly-perturbing despite not being perturbable. *)
+let bounded_counter =
+  {
+    obj_name = "bounded_counter";
+    spec = Spec.bounded_counter ~lo:0 ~hi:2 0;
+    witness =
+      { h1 = []; op_p = Spec.inc_op; wrt1 = Spec.read_op; ext = []; wrt2 = Spec.read_op };
+    attack = [| [ Spec.inc_op ]; [ Spec.read_op; Spec.read_op ] |];
+  }
+
+(* Lemma 6: cas_p(v0,v1) perturbs cas_q(v0,v1), and again after
+   H2 = cas_p(v0,v1) ∘ cas_q(v0,v1) ∘ cas_q(v1,v0). *)
+let cas =
+  {
+    obj_name = "cas";
+    spec = Spec.cas_cell v0;
+    witness =
+      {
+        h1 = [];
+        op_p = Spec.cas_op v0 v1;
+        wrt1 = Spec.cas_op v0 v1;
+        ext = [ Spec.cas_op v1 v0 ];
+        wrt2 = Spec.cas_op v0 v1;
+      };
+    attack =
+      [|
+        [ Spec.cas_op v0 v1 ];
+        [ Spec.cas_op v0 v1; Spec.cas_op v1 v0; Spec.cas_op v0 v1 ];
+      |];
+  }
+
+(* Lemma 7: faa_p(1) perturbs read_q, empty extension. *)
+let faa =
+  {
+    obj_name = "faa";
+    spec = Spec.faa_cell 0;
+    witness =
+      { h1 = []; op_p = Spec.faa_op 1; wrt1 = Spec.read_op; ext = []; wrt2 = Spec.read_op };
+    attack = [| [ Spec.faa_op 1 ]; [ Spec.read_op; Spec.read_op ] |];
+  }
+
+(* Lemma 8: after H1 = enq_p(v0) ∘ enq_p(v1), deq_p perturbs deq_q, and
+   again after the extension enq_q(v0) ∘ enq_q(v1). *)
+let queue =
+  {
+    obj_name = "queue";
+    spec = Spec.fifo_queue ();
+    witness =
+      {
+        h1 = [ Spec.enq_op v0; Spec.enq_op v1 ];
+        op_p = Spec.deq_op;
+        wrt1 = Spec.deq_op;
+        ext = [ Spec.enq_op v0; Spec.enq_op v1 ];
+        wrt2 = Spec.deq_op;
+      };
+    attack =
+      [|
+        [ Spec.enq_op v0; Spec.enq_op v1; Spec.deq_op ];
+        [ Spec.deq_op; Spec.enq_op v0; Spec.enq_op v1; Spec.deq_op ];
+      |];
+  }
+
+(* Section 5 lists swap among the common doubly-perturbing objects:
+   swap_p(v1) perturbs read_q after the empty history, and again after the
+   extension swap_q(v0). *)
+let swap =
+  {
+    obj_name = "swap";
+    spec = Spec.swap_cell v0;
+    witness =
+      {
+        h1 = [];
+        op_p = Spec.swap_op v1;
+        wrt1 = Spec.read_op;
+        ext = [ Spec.swap_op v0 ];
+        wrt2 = Spec.read_op;
+      };
+    attack =
+      [| [ Spec.swap_op v1 ]; [ Spec.read_op; Spec.swap_op v0; Spec.read_op ] |];
+  }
+
+(* The resettable TAS of Section 5's class: tas_p perturbs tas_q after the
+   empty history, and again after the extension reset_q. *)
+let tas =
+  {
+    obj_name = "tas";
+    spec = Spec.resettable_tas ();
+    witness =
+      {
+        h1 = [];
+        op_p = Spec.tas_op;
+        wrt1 = Spec.tas_op;
+        ext = [ Spec.reset_op ];
+        wrt2 = Spec.tas_op;
+      };
+    attack =
+      [| [ Spec.tas_op ]; [ Spec.tas_op; Spec.reset_op; Spec.tas_op ] |];
+  }
+
+let all = [ register; counter; bounded_counter; cas; faa; queue; swap; tas ]
+
+let max_register_has_no_witness ~alphabet ~max_h1 ~max_ext =
+  Perturbing.search (Spec.max_register 0) ~alphabet ~max_h1 ~max_ext = None

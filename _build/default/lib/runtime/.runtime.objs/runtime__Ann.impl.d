@@ -1,0 +1,1 @@
+lib/runtime/ann.ml: Fiber Loc Machine Nvm Printf Value

@@ -1,0 +1,1 @@
+lib/runtime/ann.mli: Loc Machine Nvm Value

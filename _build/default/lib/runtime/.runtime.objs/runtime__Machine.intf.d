@@ -1,0 +1,1 @@
+lib/runtime/machine.mli: Loc Mem Nvm Prim Value

@@ -1,0 +1,1 @@
+lib/runtime/prim.ml: Format Loc Nvm Value

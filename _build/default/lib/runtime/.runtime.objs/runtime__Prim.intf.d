@@ -1,0 +1,1 @@
+lib/runtime/prim.mli: Format Loc Nvm Value

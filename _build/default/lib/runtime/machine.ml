@@ -1,0 +1,75 @@
+open Nvm
+
+type model = Private_cache | Shared_cache
+
+type t = {
+  model : model;
+  mem : Mem.t;
+  cache : Cache.t option;
+  mutable steps : int;
+}
+
+let create ?(model = Private_cache) () =
+  let mem = Mem.create () in
+  let cache = match model with Private_cache -> None | Shared_cache -> Some (Cache.create mem) in
+  { model; mem; cache; steps = 0 }
+
+let model t = t.model
+let mem t = t.mem
+
+let alloc_shared t name init = Mem.alloc t.mem ~name ~kind:Loc.Shared init
+
+let alloc_private t ~pid name init =
+  Mem.alloc t.mem ~name ~kind:(Loc.Private pid) init
+
+let apply t (req : Prim.request) =
+  t.steps <- t.steps + 1;
+  match t.cache with
+  | None -> (
+      match req with
+      | Read l -> Mem.read t.mem l
+      | Write (l, v) ->
+          Mem.write t.mem l v;
+          Value.Unit
+      | Cas (l, e, d) -> Value.Bool (Mem.cas t.mem l e d)
+      | Faa (l, d) -> Value.Int (Mem.faa t.mem l d)
+      | Persist _ | Fence | Yield -> Value.Unit)
+  | Some c -> (
+      match req with
+      | Read l -> Cache.read c l
+      | Write (l, v) ->
+          Cache.write c l v;
+          Value.Unit
+      | Cas (l, e, d) -> Value.Bool (Cache.cas c l e d)
+      | Faa (l, d) -> Value.Int (Cache.faa c l d)
+      | Persist l ->
+          Cache.persist c l;
+          Value.Unit
+      | Fence ->
+          Cache.persist_all c;
+          Value.Unit
+      | Yield -> Value.Unit)
+
+let peek t l =
+  match t.cache with None -> Mem.read t.mem l | Some c -> Cache.read c l
+
+let poke t l v =
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+      (* drop any stale dirty line so NVM and cache agree on [l] *)
+      Cache.write c l v;
+      Cache.persist c l);
+  Mem.write t.mem l v
+
+let crash t ~keep =
+  match t.cache with None -> () | Some c -> Cache.crash c ~keep
+
+let steps t = t.steps
+
+let reset t =
+  Mem.reset t.mem;
+  (match t.cache with Some c -> Cache.crash c ~keep:(fun _ -> false) | None -> ());
+  t.steps <- 0
+
+let nvm_snapshot t = Mem.snapshot t.mem

@@ -1,0 +1,54 @@
+open Nvm
+
+(** Memory-model dispatch: applies primitive requests to the store.
+
+    The paper analyses its algorithms in the abstract {e private-cache}
+    model (primitive operations persist immediately) and argues in
+    Section 6 that the results carry over to the {e shared-cache} model
+    after the standard persist-instruction transformation.  A [Machine.t]
+    selects one of the two models and provides the single entry point
+    ({!apply}) the scheduler uses to execute a process's next step. *)
+
+type model = Private_cache | Shared_cache
+
+type t
+
+val create : ?model:model -> unit -> t
+(** Fresh machine with an empty store.  Default model: [Private_cache]. *)
+
+val model : t -> model
+val mem : t -> Mem.t
+
+val alloc_shared : t -> string -> Value.t -> Loc.t
+val alloc_private : t -> pid:int -> string -> Value.t -> Loc.t
+
+val apply : t -> Prim.request -> Value.t
+(** Execute one primitive step.  In the private-cache model requests hit
+    the NVM directly and [Persist]/[Fence] are no-ops; in the shared-cache
+    model they go through the volatile cache. *)
+
+val peek : t -> Loc.t -> Value.t
+(** Read the current (cache-coherent) value without counting a step; for
+    drivers, checkers and statistics only. *)
+
+val poke : t -> Loc.t -> Value.t -> unit
+(** Out-of-band write used by driver-level setup (e.g. resetting a
+    process's announcement fields when modelling system-provided auxiliary
+    state).  Writes through to NVM in both models. *)
+
+val crash : t -> keep:(Loc.t -> bool) -> unit
+(** Memory-side effect of a system-wide crash.  In the private-cache model
+    this is a no-op (everything is already persistent); in the
+    shared-cache model each dirty cache line is written back iff [keep]
+    accepts it and the cache is discarded. *)
+
+val steps : t -> int
+(** Number of primitive steps applied since creation/reset. *)
+
+val reset : t -> unit
+(** Restore all cells to their initial values, drop the cache and zero the
+    step counter (for the model checker's re-executions). *)
+
+val nvm_snapshot : t -> Mem.snapshot
+(** Snapshot of the {e non-volatile} state only — what survives a crash.
+    In the shared-cache model, dirty cache lines are not included. *)

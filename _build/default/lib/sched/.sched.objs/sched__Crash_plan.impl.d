@@ -1,0 +1,1 @@
+lib/sched/crash_plan.ml: Dtc_util Int List Loc Nvm Prng

@@ -1,0 +1,1 @@
+lib/sched/crash_plan.mli: Dtc_util Loc Nvm Prng

@@ -1,0 +1,1 @@
+lib/sched/driver.ml: Crash_plan Event History Lin_check Obj_inst Schedule Session

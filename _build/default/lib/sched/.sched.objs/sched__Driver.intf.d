@@ -1,0 +1,1 @@
+lib/sched/driver.mli: Crash_plan Event History Lin_check Obj_inst Runtime Schedule Session Spec

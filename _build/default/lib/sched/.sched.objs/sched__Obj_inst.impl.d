@@ -1,0 +1,1 @@
+lib/sched/obj_inst.ml: History Nvm Spec Value

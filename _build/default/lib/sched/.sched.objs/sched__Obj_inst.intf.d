@@ -1,0 +1,1 @@
+lib/sched/obj_inst.mli: History Nvm Spec Value

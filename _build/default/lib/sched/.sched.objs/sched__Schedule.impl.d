@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Dtc_util List Prng

@@ -1,0 +1,1 @@
+lib/sched/session.ml: Array Event Fiber Format Hashtbl History List Machine Nvm Obj_inst Runtime Spec String Value

@@ -1,0 +1,1 @@
+lib/sched/session.mli: Event History Loc Nvm Obj_inst Runtime Spec

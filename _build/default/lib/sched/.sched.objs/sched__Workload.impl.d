@@ -1,0 +1,1 @@
+lib/sched/workload.ml: Array Dtc_util History List Nvm Prng Spec Value

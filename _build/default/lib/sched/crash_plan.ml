@@ -1,0 +1,31 @@
+open Dtc_util
+open Nvm
+
+type t = { should_crash : step:int -> bool; keep : Loc.t -> bool }
+
+let none = { should_crash = (fun ~step:_ -> false); keep = (fun _ -> true) }
+
+let at_steps ?(keep = fun (_ : Loc.t) -> true) ks =
+  let remaining = ref (List.sort_uniq Int.compare ks) in
+  let should_crash ~step =
+    match !remaining with
+    | k :: rest when step >= k ->
+        remaining := rest;
+        true
+    | _ -> false
+  in
+  { should_crash; keep }
+
+let random ?(max_crashes = 3) ?(keep_prob = 1.0) ~prob prng =
+  let fired = ref 0 in
+  let should_crash ~step:_ =
+    if !fired >= max_crashes then false
+    else if Prng.float prng < prob then (
+      incr fired;
+      true)
+    else false
+  in
+  let keep _loc = keep_prob >= 1.0 || Prng.float prng < keep_prob in
+  { should_crash; keep }
+
+let adversarial_keep_none plan = { plan with keep = (fun _ -> false) }

@@ -1,0 +1,32 @@
+open Dtc_util
+open Nvm
+
+(** Crash-injection plans.
+
+    A plan decides, before every scheduled step, whether a system-wide
+    crash strikes now, and — for the shared-cache model — which dirty
+    cache lines the hardware happens to write back at the instant of
+    failure (the [keep] mask).  In the private-cache model the mask is
+    irrelevant. *)
+
+type t = {
+  should_crash : step:int -> bool;
+      (** consulted with the global step count before each step; a plan is
+          responsible for bounding its own number of crashes *)
+  keep : Loc.t -> bool;  (** write-back decision per dirty line *)
+}
+
+val none : t
+(** Never crash. *)
+
+val at_steps : ?keep:(Loc.t -> bool) -> int list -> t
+(** Crash immediately before global steps [ks] (each fires once; default
+    mask keeps everything — private-cache semantics). *)
+
+val random : ?max_crashes:int -> ?keep_prob:float -> prob:float -> Prng.t -> t
+(** Crash before each step with probability [prob], at most [max_crashes]
+    times (default 3); each dirty line survives with probability
+    [keep_prob] (default 1.0). *)
+
+val adversarial_keep_none : t -> t
+(** Same crash times, but no dirty line ever survives. *)

@@ -1,0 +1,59 @@
+open History
+
+type config = {
+  schedule : Schedule.t;
+  crash_plan : Crash_plan.t;
+  policy : Session.policy;
+  max_steps : int;
+}
+
+let default_config =
+  {
+    schedule = Schedule.round_robin ();
+    crash_plan = Crash_plan.none;
+    policy = Session.Retry;
+    max_steps = 100_000;
+  }
+
+type result = {
+  history : Event.t list;
+  steps : int;
+  crashes : int;
+  op_steps : (string * int) list;
+  rec_steps : (string * int) list;
+  anomalies : string list;
+  incomplete : bool;
+}
+
+let run machine inst ~workloads cfg =
+  let session = Session.create ~policy:cfg.policy machine inst ~workloads in
+  let incomplete = ref false in
+  let continue = ref true in
+  while !continue do
+    match Session.runnable session with
+    | [] -> continue := false
+    | runnable ->
+        let step = Session.steps session in
+        if step >= cfg.max_steps then begin
+          incomplete := true;
+          continue := false
+        end
+        else if cfg.crash_plan.Crash_plan.should_crash ~step then
+          Session.crash session ~keep:cfg.crash_plan.Crash_plan.keep
+        else
+          Session.step session (cfg.schedule.Schedule.choose ~runnable ~step)
+  done;
+  {
+    history = Session.history session;
+    steps = Session.steps session;
+    crashes = Session.crashes session;
+    op_steps = Session.op_steps session;
+    rec_steps = Session.rec_steps session;
+    anomalies = Session.anomalies session;
+    incomplete = !incomplete;
+  }
+
+let check inst (result : result) =
+  match result.anomalies with
+  | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
+  | [] -> Lin_check.check inst.Obj_inst.spec result.history

@@ -1,0 +1,50 @@
+open History
+
+(** The execution driver: runs workloads against an object instance under
+    a schedule and a crash plan, producing a checkable history.
+
+    The driver is a policy loop over {!Session}: before each step it
+    consults the crash plan, then asks the schedule which runnable process
+    moves.  The resulting event list is exactly what {!Lin_check.check}
+    consumes, so a full run-and-check round trip is two calls.  See
+    {!Session} for the caller/recovery protocol semantics. *)
+
+type config = {
+  schedule : Schedule.t;
+  crash_plan : Crash_plan.t;
+  policy : Session.policy;
+  max_steps : int;  (** hard step budget; exceeding it flags [incomplete] *)
+}
+
+val default_config : config
+(** Round-robin, no crashes, [Retry], 100_000 steps. *)
+
+type result = {
+  history : Event.t list;
+  steps : int;  (** primitive steps executed *)
+  crashes : int;
+  op_steps : (string * int) list;
+      (** per operation name, the max primitive steps any single
+          (crash-free stretch of an) invocation took — the empirical
+          wait-freedom measure *)
+  rec_steps : (string * int) list;  (** same for recovery functions *)
+  anomalies : string list;
+      (** driver-detected protocol violations (e.g. recovery of an
+          already-completed operation disagreeing with its persisted
+          response); empty for a correct implementation *)
+  incomplete : bool;  (** step budget exhausted before all workloads done *)
+}
+
+val run :
+  Runtime.Machine.t ->
+  Obj_inst.t ->
+  workloads:Spec.op list array ->
+  config ->
+  result
+(** [run machine inst ~workloads config] — [workloads.(p)] is the sequence
+    of abstract operations process [p] performs.  The machine must be the
+    one the instance allocated its locations in. *)
+
+val check : Obj_inst.t -> result -> Lin_check.verdict
+(** Check the run's history against the instance's specification; driver
+    anomalies are reported as violations too. *)

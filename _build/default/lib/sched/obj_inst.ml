@@ -1,0 +1,21 @@
+open History
+open Nvm
+
+type t = {
+  descr : string;
+  spec : Spec.t;
+  announce : pid:int -> Spec.op -> unit;
+  invoke : pid:int -> Spec.op -> Value.t;
+  recover : pid:int -> Spec.op -> Value.t;
+  clear : pid:int -> unit;
+  pending : pid:int -> Spec.op option;
+  strict_recovery : bool;
+}
+
+let fail = Value.Str "__detectable_fail__"
+
+let is_fail v = Value.equal v fail
+
+let unknown = Value.Str "__recovery_unknown__"
+
+let is_unknown v = Value.equal v unknown

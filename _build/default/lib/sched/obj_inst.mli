@@ -1,0 +1,60 @@
+open History
+
+open Nvm
+
+(** The interface every object-under-test presents to the driver.
+
+    An instance bundles the fiber-side entry points of a recoverable
+    object implementation (announce / invoke / recover / clear, all of
+    which perform primitive memory steps) with the driver-side recovery
+    dispatcher ([pending]) and the sequential specification used to check
+    its histories.
+
+    The split mirrors the paper's Section 2 protocol exactly:
+
+    + the {e caller} announces the operation ([announce]), invokes it
+      ([invoke]) and, once it has consumed the response, marks the process
+      idle ([clear]);
+    + after a crash, the {e system} inspects [Ann_p.op] ([pending]) and, if
+      an operation was in flight, runs its recovery function ([recover]),
+      which returns either the operation's response or the distinguished
+      {!fail} value. *)
+
+type t = {
+  descr : string;  (** short human-readable implementation name *)
+  spec : Spec.t;  (** sequential specification for history checking *)
+  announce : pid:int -> Spec.op -> unit;  (** fiber context *)
+  invoke : pid:int -> Spec.op -> Value.t;  (** fiber context *)
+  recover : pid:int -> Spec.op -> Value.t;
+      (** fiber context; called with the same arguments as the crashed
+          invocation (read back from [Ann_p.op]); returns the response or
+          {!fail} *)
+  clear : pid:int -> unit;  (** fiber context *)
+  pending : pid:int -> Spec.op option;  (** driver context, no step cost *)
+  strict_recovery : bool;
+      (** [true] for detectable implementations that persist their
+          response: recovering an operation that had already completed
+          must reproduce the persisted response exactly (the driver flags
+          a mismatch as an anomaly).  [false] for re-invocation-style
+          recoveries (e.g. the max register of Algorithm 3), where
+          recovering a completed read-like operation may legitimately
+          re-execute and observe a newer state. *)
+}
+
+val fail : Value.t
+(** The distinguished [fail] verdict returned by recovery functions of
+    detectable objects ("the operation was not linearized"). *)
+
+val is_fail : Value.t -> bool
+
+val unknown : Value.t
+(** The verdict of a {e durable-but-not-detectable} implementation
+    (Section 6: universal constructions, the durable queue of Friedman et
+    al.): object state is consistent after the crash, but the recovery
+    cannot tell whether the interrupted operation was linearized.  The
+    driver records {e no} outcome for such an operation — it stays
+    pending in the history — and the caller must choose between possibly
+    duplicating it (retry) and possibly losing it (give up), which is
+    exactly the cost experiment E9 measures. *)
+
+val is_unknown : Value.t -> bool

@@ -1,0 +1,248 @@
+open Nvm
+open History
+open Runtime
+
+type policy = Retry | Give_up
+
+(* Driver-side view of what a process is up to.  This is "application
+   knowledge": it survives crashes (the application's script is durable),
+   whereas everything inside the fiber is volatile. *)
+type op_status =
+  | Idle
+  | Announced of int * Spec.op  (* uid, op: in flight, response not returned *)
+  | Completed of int * Spec.op * Value.t  (* returned, announcement not yet cleared *)
+
+type pstate = {
+  pid : int;
+  mutable todo : Spec.op list;
+  mutable status : op_status;
+  mutable fiber : Fiber.t option;
+  mutable cur_steps : int;  (* own steps since current op/recovery started *)
+  mutable in_recovery : bool;
+  mutable rec_started : bool;
+      (* has any recovery run for the current operation instance? *)
+}
+
+type t = {
+  machine : Machine.t;
+  inst : Obj_inst.t;
+  policy : policy;
+  procs : pstate array;
+  mutable events : Event.t list;  (* reversed *)
+  mutable uid : int;
+  mutable steps : int;
+  mutable crashes : int;
+  op_steps_tbl : (string, int) Hashtbl.t;
+  rec_steps_tbl : (string, int) Hashtbl.t;
+  mutable anomalies : string list;
+}
+
+let emit s e = s.events <- e :: s.events
+
+let fresh_uid s =
+  let u = s.uid in
+  s.uid <- u + 1;
+  u
+
+let anomaly s fmt =
+  Format.kasprintf (fun msg -> s.anomalies <- msg :: s.anomalies) fmt
+
+let note_max tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some m when m >= v -> ()
+  | _ -> Hashtbl.replace tbl key v
+
+let pop ps = match ps.todo with [] -> () | _ :: rest -> ps.todo <- rest
+
+(* The client program for one process: perform the remaining workload,
+   operation by operation, with the full announce/invoke/clear protocol. *)
+let rec client_prog s ps () =
+  match ps.todo with
+  | [] -> Value.Unit
+  | op :: _ ->
+      let uid = fresh_uid s in
+      emit s (Event.Inv { pid = ps.pid; uid; op });
+      ps.status <- Announced (uid, op);
+      ps.cur_steps <- 0;
+      ps.in_recovery <- false;
+      ps.rec_started <- false;
+      s.inst.announce ~pid:ps.pid op;
+      let r = s.inst.invoke ~pid:ps.pid op in
+      emit s (Event.Ret { pid = ps.pid; uid; v = r });
+      ps.status <- Completed (uid, op, r);
+      pop ps;
+      s.inst.clear ~pid:ps.pid;
+      ps.status <- Idle;
+      client_prog s ps ()
+
+(* The program a process runs when restarted after a crash: first recover
+   the in-flight operation (if the announcement shows one), then resume
+   the remaining workload. *)
+(* A recovery verdict lives in the caller's volatile state until the
+   caller takes a persistent action (here: clearing the announcement).  A
+   crash before the clear voids the verdict — the next recovery produces a
+   fresh (and binding, if it sticks) one — so the session emits the
+   recovery outcome only after the clear has executed.  This is why a
+   single operation instance never gets two outcome events no matter how
+   many times its recovery is re-crashed. *)
+let restart_prog s ps () =
+  (match s.inst.pending ~pid:ps.pid with
+  | None -> (
+      match ps.status with
+      | Idle -> ()
+      | Announced (uid, _) ->
+          if not ps.rec_started then begin
+            (* The crash hit during announcement: the operation committed
+               no announcement, took no step of its own, and was certainly
+               not linearized. *)
+            emit s (Event.Rec_fail { pid = ps.pid; uid });
+            match s.policy with Retry -> () | Give_up -> pop ps
+          end
+          else begin
+            (* A recovery delivered a verdict and the announcement was
+               cleared, but the crash struck before the caller could act
+               on (or record) it.  The outcome is unknowable: leave the
+               instance pending in the history. *)
+            match s.policy with Retry -> () | Give_up -> pop ps
+          end;
+          ps.status <- Idle
+      | Completed (_, _, _) ->
+          (* Crash between the announcement clear and the next
+             announcement: the operation completed and was recorded. *)
+          ps.status <- Idle)
+  | Some op -> (
+      ps.in_recovery <- true;
+      ps.cur_steps <- 0;
+      (match ps.status with
+      | Announced _ -> ps.rec_started <- true
+      | Idle | Completed _ -> ());
+      let r = s.inst.recover ~pid:ps.pid op in
+      ps.in_recovery <- false;
+      match ps.status with
+      | Completed (uid, _, resp) ->
+          (* The operation had already returned before the crash; a strict
+             detectable recovery must reproduce the persisted response. *)
+          if s.inst.strict_recovery && not (Value.equal r resp) then
+            anomaly s
+              "p%d: recovery of completed op #%d returned %a, expected %a"
+              ps.pid uid Value.pp r Value.pp resp;
+          s.inst.clear ~pid:ps.pid;
+          ps.status <- Idle
+      | Announced (uid, _) ->
+          (* clear first: if a crash voids this verdict mid-clear, the next
+             recovery re-runs; the verdict becomes binding — and is
+             emitted — only once the clear has executed *)
+          s.inst.clear ~pid:ps.pid;
+          if Obj_inst.is_fail r then begin
+            emit s (Event.Rec_fail { pid = ps.pid; uid });
+            match s.policy with Retry -> () | Give_up -> pop ps
+          end
+          else if Obj_inst.is_unknown r then begin
+            (* durable-but-not-detectable recovery: no verdict exists, so
+               no outcome is recorded — the instance stays pending in the
+               history; retrying may duplicate it, giving up may lose it *)
+            match s.policy with Retry -> () | Give_up -> pop ps
+          end
+          else begin
+            emit s (Event.Rec_ret { pid = ps.pid; uid; v = r });
+            pop ps
+          end;
+          ps.status <- Idle
+      | Idle ->
+          anomaly s "p%d: pending announcement %a but driver saw no op"
+            ps.pid Spec.pp_op op;
+          s.inst.clear ~pid:ps.pid));
+  client_prog s ps ()
+
+let op_name ps =
+  match ps.status with
+  | Announced (_, op) | Completed (_, op, _) -> op.Spec.name
+  | Idle -> "idle"
+
+let create ?(policy = Retry) machine inst ~workloads =
+  let s =
+    {
+      machine;
+      inst;
+      policy;
+      procs =
+        Array.mapi
+          (fun pid todo ->
+            {
+              pid;
+              todo;
+              status = Idle;
+              fiber = None;
+              cur_steps = 0;
+              in_recovery = false;
+              rec_started = false;
+            })
+          workloads;
+      events = [];
+      uid = 0;
+      steps = 0;
+      crashes = 0;
+      op_steps_tbl = Hashtbl.create 8;
+      rec_steps_tbl = Hashtbl.create 8;
+      anomalies = [];
+    }
+  in
+  Array.iter
+    (fun ps -> ps.fiber <- Some (Fiber.start (client_prog s ps)))
+    s.procs;
+  s
+
+let runnable s =
+  Array.to_list s.procs
+  |> List.filter_map (fun ps ->
+         match ps.fiber with
+         | Some f -> (
+             match Fiber.status f with
+             | Fiber.Pending _ -> Some ps.pid
+             | Fiber.Done _ | Fiber.Killed -> None)
+         | None -> None)
+
+let finished s = runnable s = []
+
+let step s pid =
+  if pid < 0 || pid >= Array.length s.procs then
+    invalid_arg "Session.step: no such process";
+  let ps = s.procs.(pid) in
+  match ps.fiber with
+  | Some f -> (
+      match Fiber.status f with
+      | Fiber.Pending req ->
+          let v = Machine.apply s.machine req in
+          s.steps <- s.steps + 1;
+          ps.cur_steps <- ps.cur_steps + 1;
+          let tbl = if ps.in_recovery then s.rec_steps_tbl else s.op_steps_tbl in
+          note_max tbl (op_name ps) ps.cur_steps;
+          Fiber.resume f v
+      | Fiber.Done _ | Fiber.Killed ->
+          invalid_arg "Session.step: process is not runnable")
+  | None -> invalid_arg "Session.step: process is not runnable"
+
+let crash s ~keep =
+  emit s Event.Crash;
+  s.crashes <- s.crashes + 1;
+  Array.iter
+    (fun ps ->
+      (match ps.fiber with Some f -> Fiber.kill f | None -> ());
+      ps.fiber <- None)
+    s.procs;
+  Machine.crash s.machine ~keep;
+  Array.iter
+    (fun ps -> ps.fiber <- Some (Fiber.start (restart_prog s ps)))
+    s.procs
+
+let steps s = s.steps
+let crashes s = s.crashes
+let history s = List.rev s.events
+let anomalies s = List.rev s.anomalies
+
+let dump tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let op_steps s = dump s.op_steps_tbl
+let rec_steps s = dump s.rec_steps_tbl

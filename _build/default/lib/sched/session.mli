@@ -1,0 +1,55 @@
+open History
+open Nvm
+
+(** Step-level execution sessions.
+
+    A session owns the fibers of all processes running a workload against
+    one object instance, and exposes the two moves of the paper's
+    adversary: advance one process by one primitive step, or crash the
+    whole system.  {!Driver.run} is a policy loop over a session; the
+    exhaustive model checker and the Theorem 2 adversary drive sessions
+    directly to control interleavings and crash points exactly. *)
+
+type policy = Retry | Give_up
+
+type t
+
+val create :
+  ?policy:policy ->
+  Runtime.Machine.t ->
+  Obj_inst.t ->
+  workloads:Spec.op list array ->
+  t
+(** Start a session: every process's fiber is launched up to its first
+    primitive step (invocation events for first operations are emitted).
+    Default policy: [Retry]. *)
+
+val runnable : t -> int list
+(** Pids with a pending primitive step, ascending.  Empty iff the run is
+    over. *)
+
+val finished : t -> bool
+
+val step : t -> int -> unit
+(** [step s pid] executes [pid]'s pending primitive step.  Raises
+    [Invalid_argument] if [pid] is not runnable. *)
+
+val crash : t -> keep:(Loc.t -> bool) -> unit
+(** System-wide crash: kill all fibers (volatile state lost), apply the
+    memory model's write-back semantics with [keep], then restart every
+    process on its recovery-then-resume program. *)
+
+val steps : t -> int
+(** Primitive steps executed so far. *)
+
+val crashes : t -> int
+
+val history : t -> Event.t list
+(** Events so far, in real-time order. *)
+
+val anomalies : t -> string list
+
+val op_steps : t -> (string * int) list
+(** Per operation name, max own-steps of a single crash-free stretch. *)
+
+val rec_steps : t -> (string * int) list

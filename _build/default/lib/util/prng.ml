@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 output function: advance by the golden gamma, then mix. *)
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the conversion to OCaml's 63-bit int stays positive *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let pick_arr g xs =
+  if Array.length xs = 0 then invalid_arg "Prng.pick_arr: empty array";
+  xs.(int g (Array.length xs))
+
+let shuffle g xs =
+  for i = Array.length xs - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done
+
+let split g =
+  let seed = next_int64 g in
+  { state = seed }

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the repository goes through this module so
+    that a run is fully reproducible from a single printed seed.  The
+    generator is the splitmix64 mixer of Steele, Lea and Flood, which has a
+    full 2^64 period and excellent statistical quality for simulation
+    purposes. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from an integer seed.  Two generators
+    created from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator starting from [g]'s current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a list -> 'a
+(** [pick g xs] is a uniformly chosen element of [xs].
+    Requires [xs] non-empty. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** [pick_arr g xs] is a uniformly chosen element of array [xs].
+    Requires [xs] non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split g] derives a statistically independent generator and advances
+    [g].  Used to give each process its own stream. *)

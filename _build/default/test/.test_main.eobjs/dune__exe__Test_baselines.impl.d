@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Driver Dtc_util History List Mem Modelcheck Nvm Runtime Sched Schedule Session Spec Test_support Value Workload

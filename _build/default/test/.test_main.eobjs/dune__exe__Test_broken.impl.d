@@ -1,0 +1,1 @@
+test/test_broken.ml: Alcotest Baselines Event History Lin_check List Mem Modelcheck Nvm Obj_inst Runtime Sched Schedule Session Spec Test_support Value

@@ -1,0 +1,1 @@
+test/test_dcas.ml: Alcotest Array Detectable Driver Dtc_util History Lin_check List Mem Modelcheck Nvm Printf QCheck QCheck_alcotest Runtime Sched Schedule Session Spec Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_dmax.ml: Alcotest Array Crash_plan Driver Dtc_util Event History Lin_check List Modelcheck Nvm Printf QCheck QCheck_alcotest Sched Schedule Spec String Test_support Value Workload

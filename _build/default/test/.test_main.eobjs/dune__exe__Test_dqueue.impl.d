@@ -1,0 +1,1 @@
+test/test_dqueue.ml: Alcotest Detectable Driver Dtc_util Event History Lin_check List Modelcheck Nvm Printf QCheck QCheck_alcotest Runtime Sched Schedule Session Spec Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_drw.ml: Alcotest Crash_plan Driver Dtc_util History Lin_check List Mem Modelcheck Nvm Obj_inst Printf QCheck QCheck_alcotest Runtime Sched Schedule Session Spec Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_hist.ml: Alcotest Dtc_util Event Hist History List Nvm QCheck QCheck_alcotest Sched Spec Test_support Value

@@ -1,0 +1,1 @@
+test/test_lemma_proofs.ml: Alcotest Event History Lin_check List Loc Machine Mem Nvm Obj_inst Printf Runtime Sched Session Spec Test_support Value

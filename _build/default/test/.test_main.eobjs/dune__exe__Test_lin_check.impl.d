@@ -1,0 +1,1 @@
+test/test_lin_check.ml: Alcotest Event History Lin_check List Nvm QCheck QCheck_alcotest Spec Test_support Value

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Cache List Loc Mem Nvm Printf QCheck QCheck_alcotest Test_support Value

@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Baselines History List Modelcheck Nvm Runtime Sched Schedule Spec Test_support Value

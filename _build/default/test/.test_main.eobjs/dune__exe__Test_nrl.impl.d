@@ -1,0 +1,1 @@
+test/test_nrl.ml: Alcotest Crash_plan Detectable Driver Dtc_util Event History Modelcheck Nvm Obj_inst Printf Runtime Sched Schedule Spec String Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_perturb.ml: Alcotest Baselines History List Modelcheck Nvm Perturb Runtime Sched Spec String Test_support Value

@@ -1,0 +1,1 @@
+test/test_reference.ml: Alcotest Driver Dtc_util Event Hashtbl History Lin_check List Nvm Sched Spec Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ann Fiber Format Machine Mem Nvm Prim Runtime String Test_support Value

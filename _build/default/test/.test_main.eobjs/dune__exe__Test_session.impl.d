@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array Crash_plan Driver Dtc_util Event Hashtbl History List Nvm Sched Schedule Session Spec Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_shared_cache.ml: Alcotest Detectable Dtc_util History List Machine Modelcheck Nvm Runtime Sched Schedule Session Spec Test_support Value Workload

@@ -1,0 +1,1 @@
+test/test_shrink.ml: Alcotest Baselines History List Modelcheck Nvm Runtime Spec String Test_support Value

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest History List Nvm QCheck QCheck_alcotest Spec Test_support Value

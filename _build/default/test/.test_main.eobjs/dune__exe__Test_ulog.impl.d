@@ -1,0 +1,1 @@
+test/test_ulog.ml: Alcotest Baselines Crash_plan Detectable Driver Dtc_util Event History List Machine Modelcheck Nvm Printf Runtime Sched Schedule Session Spec Test_support Value Workload

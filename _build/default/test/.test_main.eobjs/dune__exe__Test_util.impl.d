@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dtc_util List Prng QCheck QCheck_alcotest String Table

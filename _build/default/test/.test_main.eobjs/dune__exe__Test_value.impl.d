@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Nvm QCheck QCheck_alcotest Test_support Value

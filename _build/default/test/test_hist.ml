@@ -1,0 +1,106 @@
+(* Tests for the history utilities. *)
+
+open Nvm
+open History
+
+let i n = Value.Int n
+let inv pid uid op = Event.Inv { pid; uid; op }
+let ret pid uid v = Event.Ret { pid; uid; v }
+let rret pid uid v = Event.Rec_ret { pid; uid; v }
+let rfail pid uid = Event.Rec_fail { pid; uid }
+
+let sample =
+  [
+    inv 0 0 (Spec.write_op (i 1));
+    inv 1 1 Spec.read_op;
+    ret 1 1 (i 0);
+    Event.Crash;
+    rret 0 0 Spec.ack;
+    inv 1 2 (Spec.write_op (i 2));
+    Event.Crash;
+    rfail 1 2;
+    inv 0 3 Spec.read_op;
+  ]
+
+let test_ops () =
+  let infos = Hist.ops sample in
+  Alcotest.(check int) "four ops" 4 (List.length infos);
+  let find uid = List.find (fun (o : Hist.op_info) -> o.uid = uid) infos in
+  (match (find 0).outcome with
+  | Hist.Recovered v -> Alcotest.check Test_support.value_testable "recovered" Spec.ack v
+  | _ -> Alcotest.fail "uid 0 should be recovered");
+  (match (find 1).outcome with
+  | Hist.Completed v -> Alcotest.check Test_support.value_testable "completed" (i 0) v
+  | _ -> Alcotest.fail "uid 1 should be completed");
+  Alcotest.(check bool) "uid 2 failed" true ((find 2).outcome = Hist.Failed);
+  Alcotest.(check bool) "uid 3 pending" true ((find 3).outcome = Hist.Pending)
+
+let test_stats () =
+  let s = Hist.stats sample in
+  Alcotest.(check int) "invocations" 4 s.Hist.invocations;
+  Alcotest.(check int) "completed" 1 s.Hist.completed;
+  Alcotest.(check int) "recovered" 1 s.Hist.recovered;
+  Alcotest.(check int) "failed" 1 s.Hist.failed;
+  Alcotest.(check int) "pending" 1 s.Hist.pending;
+  Alcotest.(check int) "crashes" 2 s.Hist.crashes
+
+let test_by_pid () =
+  let groups = Hist.by_pid sample in
+  Alcotest.(check (list int)) "pids" [ 0; 1 ] (List.map fst groups);
+  Alcotest.(check int) "p0 ops" 2 (List.length (List.assoc 0 groups));
+  Alcotest.(check int) "p1 ops" 2 (List.length (List.assoc 1 groups))
+
+let test_responses () =
+  Alcotest.(check (list Test_support.value_testable))
+    "in outcome order"
+    [ i 0; Spec.ack ]
+    (Hist.responses sample)
+
+let test_project () =
+  let p1 = Hist.project sample ~pid:1 in
+  Alcotest.(check int) "p1 events (incl. crashes)" 6 (List.length p1);
+  Alcotest.(check bool) "crashes kept" true (List.mem Event.Crash p1)
+
+let test_well_formed () =
+  Alcotest.(check bool) "sample ok" true (Hist.well_formed sample = Ok ());
+  (match Hist.well_formed [ ret 0 9 Spec.ack ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown uid accepted");
+  (match Hist.well_formed [ inv 0 0 Spec.read_op; inv 0 0 Spec.read_op ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate inv accepted");
+  match
+    Hist.well_formed [ inv 0 0 Spec.read_op; ret 0 0 (i 1); rfail 0 0 ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double outcome accepted"
+
+(* property: stats of a genuine driver history add up *)
+let prop_stats_consistent =
+  QCheck.Test.make ~name:"stats partition the invocations" ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let workloads =
+        Sched.Workload.register (Dtc_util.Prng.create seed) ~procs:3
+          ~ops_per_proc:3 ~values:2
+      in
+      let _, res =
+        Test_support.run_one ~seed (Test_support.mk_drw ~n:3) workloads
+      in
+      let s = Hist.stats res.Sched.Driver.history in
+      s.Hist.invocations
+      = s.Hist.completed + s.Hist.recovered + s.Hist.failed + s.Hist.pending)
+
+let suites =
+  [
+    ( "history.hist",
+      [
+        Alcotest.test_case "ops" `Quick test_ops;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "by_pid" `Quick test_by_pid;
+        Alcotest.test_case "responses" `Quick test_responses;
+        Alcotest.test_case "project" `Quick test_project;
+        Alcotest.test_case "well_formed" `Quick test_well_formed;
+        QCheck_alcotest.to_alcotest prop_stats_consistent;
+      ] );
+  ]

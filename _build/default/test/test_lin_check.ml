@@ -1,0 +1,285 @@
+(* Tests for the durable-linearizability + detectability checker on
+   hand-crafted histories. *)
+
+open Nvm
+open History
+
+let i n = Value.Int n
+let reg = Spec.register (i 0)
+let casc = Spec.cas_cell (i 0)
+
+let inv pid uid op = Event.Inv { pid; uid; op }
+let ret pid uid v = Event.Ret { pid; uid; v }
+let rret pid uid v = Event.Rec_ret { pid; uid; v }
+let rfail pid uid = Event.Rec_fail { pid; uid }
+
+let ok spec h =
+  match Lin_check.check spec h with
+  | Lin_check.Ok_linearizable _ -> ()
+  | Lin_check.Violation msg -> Alcotest.failf "expected OK, got: %s" msg
+
+let bad spec h =
+  match Lin_check.check spec h with
+  | Lin_check.Ok_linearizable _ -> Alcotest.fail "expected a violation"
+  | Lin_check.Violation _ -> ()
+
+let test_empty () = ok reg []
+
+let test_sequential () =
+  ok reg
+    [
+      inv 0 0 (Spec.write_op (i 5));
+      ret 0 0 Spec.ack;
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 5);
+    ]
+
+let test_wrong_response () =
+  bad reg
+    [
+      inv 0 0 (Spec.write_op (i 5));
+      ret 0 0 Spec.ack;
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 7);
+    ]
+
+let test_concurrent_reorder () =
+  (* two overlapping writes; the read may see either, as long as order is
+     consistent *)
+  ok reg
+    [
+      inv 0 0 (Spec.write_op (i 1));
+      inv 1 1 (Spec.write_op (i 2));
+      ret 0 0 Spec.ack;
+      ret 1 1 Spec.ack;
+      inv 0 2 Spec.read_op;
+      ret 0 2 (i 1);
+    ]
+
+let test_real_time_order_enforced () =
+  (* a write completed strictly before a read cannot be reordered after
+     it: the read must not return the overwritten initial value once a
+     later completed write exists *)
+  bad reg
+    [
+      inv 0 0 (Spec.write_op (i 1));
+      ret 0 0 Spec.ack;
+      inv 0 1 (Spec.write_op (i 2));
+      ret 0 1 Spec.ack;
+      inv 1 2 Spec.read_op;
+      ret 1 2 (i 1);
+    ]
+
+let test_pending_op_may_linearize () =
+  (* p0's write never completes, but the read seeing it is fine *)
+  ok reg
+    [
+      inv 0 0 (Spec.write_op (i 9));
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 9);
+    ]
+
+let test_pending_op_may_not_linearize () =
+  ok reg [ inv 0 0 (Spec.write_op (i 9)); inv 1 1 Spec.read_op; ret 1 1 (i 0) ]
+
+let test_rec_ret_counts_as_linearized () =
+  ok reg
+    [
+      inv 0 0 (Spec.write_op (i 3));
+      Event.Crash;
+      rret 0 0 Spec.ack;
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 3);
+    ]
+
+let test_rec_fail_forbids_linearization () =
+  (* recovery said the write never happened, yet a read observed it *)
+  bad reg
+    [
+      inv 0 0 (Spec.write_op (i 3));
+      Event.Crash;
+      rfail 0 0;
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 3);
+    ]
+
+let test_rec_fail_consistent () =
+  ok reg
+    [
+      inv 0 0 (Spec.write_op (i 3));
+      Event.Crash;
+      rfail 0 0;
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 0);
+    ]
+
+let test_rec_fail_blocks_nothing () =
+  (* ops invoked after a failed op's verdict are not blocked by it *)
+  ok reg
+    [
+      inv 0 0 (Spec.write_op (i 3));
+      Event.Crash;
+      rfail 0 0;
+      inv 0 1 (Spec.write_op (i 4));
+      ret 0 1 Spec.ack;
+      inv 1 2 Spec.read_op;
+      ret 1 2 (i 4);
+    ]
+
+let test_cas_double_success_impossible () =
+  (* two successful cas(0,1) with no one resetting: impossible *)
+  bad casc
+    [
+      inv 0 0 (Spec.cas_op (i 0) (i 1));
+      ret 0 0 (Value.Bool true);
+      inv 1 1 (Spec.cas_op (i 0) (i 1));
+      ret 1 1 (Value.Bool true);
+    ]
+
+let test_cas_success_then_failure () =
+  ok casc
+    [
+      inv 0 0 (Spec.cas_op (i 0) (i 1));
+      ret 0 0 (Value.Bool true);
+      inv 1 1 (Spec.cas_op (i 0) (i 1));
+      ret 1 1 (Value.Bool false);
+    ]
+
+let test_cas_recovered_success_proves_linearization () =
+  (* q's successful cas(1,0) proves p's crashed cas(0,1) took effect, so a
+     fail verdict for p is a violation *)
+  bad casc
+    [
+      inv 0 0 (Spec.cas_op (i 0) (i 1));
+      Event.Crash;
+      rfail 0 0;
+      inv 1 1 (Spec.cas_op (i 1) (i 0));
+      ret 1 1 (Value.Bool true);
+    ]
+
+let test_malformed_double_outcome () =
+  bad reg
+    [
+      inv 0 0 (Spec.write_op (i 1));
+      ret 0 0 Spec.ack;
+      rret 0 0 Spec.ack;
+    ]
+
+let test_malformed_unknown_uid () = bad reg [ ret 0 7 Spec.ack ]
+
+let test_malformed_duplicate_inv () =
+  bad reg [ inv 0 0 Spec.read_op; inv 0 0 Spec.read_op ]
+
+(* Regression for the identity-CAS finding: the behaviour Algorithm 2 as
+   published can produce — a failed cas(1,1) while the value is 1
+   throughout — must be rejected.  (Our implementation runs identity CAS
+   read-only precisely so this history can no longer arise.) *)
+let test_identity_cas_spurious_failure_rejected () =
+  bad casc
+    [
+      inv 0 0 (Spec.cas_op (i 0) (i 1));
+      ret 0 0 (Value.Bool true);
+      inv 1 1 (Spec.cas_op (i 1) (i 1));
+      ret 1 1 (Value.Bool false);
+    ]
+
+let test_identity_cas_success_accepted () =
+  ok casc
+    [
+      inv 0 0 (Spec.cas_op (i 0) (i 1));
+      ret 0 0 (Value.Bool true);
+      inv 1 1 (Spec.cas_op (i 1) (i 1));
+      ret 1 1 (Value.Bool true);
+      inv 0 2 Spec.read_op;
+      ret 0 2 (i 1);
+    ]
+
+let test_witness_is_reported () =
+  match
+    Lin_check.check reg
+      [ inv 0 0 (Spec.write_op (i 5)); ret 0 0 Spec.ack ]
+  with
+  | Lin_check.Ok_linearizable w ->
+      Alcotest.(check int) "one op linearized" 1 (List.length w)
+  | Lin_check.Violation msg -> Alcotest.failf "unexpected: %s" msg
+
+(* Property: every crash-free sequential history generated from the spec
+   itself is accepted. *)
+let prop_sequential_accepted =
+  let gen = QCheck.(list (option (int_bound 9))) in
+  QCheck.Test.make ~name:"sequential histories accepted"
+    ~count:Test_support.qcheck_count gen (fun cmds ->
+      let ops =
+        List.map
+          (function Some x -> Spec.write_op (i x) | None -> Spec.read_op)
+          cmds
+      in
+      let ops = if List.length ops > 20 then List.filteri (fun k _ -> k < 20) ops else ops in
+      let responses = Spec.run reg ops in
+      let events =
+        List.concat
+          (List.mapi
+             (fun k (op, r) -> [ inv 0 k op; ret 0 k r ])
+             (List.combine ops responses))
+      in
+      Lin_check.is_ok (Lin_check.check reg events))
+
+(* Property: corrupting one read response of a non-trivial sequential
+   history is rejected. *)
+let prop_corrupted_rejected =
+  let gen = QCheck.(pair (int_range 1 9) (int_range 1 9)) in
+  QCheck.Test.make ~name:"corrupted read rejected"
+    ~count:Test_support.qcheck_count gen (fun (x, y) ->
+      QCheck.assume (x <> y);
+      let events =
+        [
+          inv 0 0 (Spec.write_op (i x));
+          ret 0 0 Spec.ack;
+          inv 0 1 Spec.read_op;
+          ret 0 1 (i y);
+        ]
+      in
+      not (Lin_check.is_ok (Lin_check.check reg events)))
+
+let suites =
+  [
+    ( "history.lin_check",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "sequential" `Quick test_sequential;
+        Alcotest.test_case "wrong response" `Quick test_wrong_response;
+        Alcotest.test_case "concurrent reorder" `Quick test_concurrent_reorder;
+        Alcotest.test_case "real-time order" `Quick
+          test_real_time_order_enforced;
+        Alcotest.test_case "pending may linearize" `Quick
+          test_pending_op_may_linearize;
+        Alcotest.test_case "pending may not linearize" `Quick
+          test_pending_op_may_not_linearize;
+        Alcotest.test_case "rec_ret linearizes" `Quick
+          test_rec_ret_counts_as_linearized;
+        Alcotest.test_case "rec_fail forbids" `Quick
+          test_rec_fail_forbids_linearization;
+        Alcotest.test_case "rec_fail consistent" `Quick test_rec_fail_consistent;
+        Alcotest.test_case "rec_fail blocks nothing" `Quick
+          test_rec_fail_blocks_nothing;
+        Alcotest.test_case "cas double success" `Quick
+          test_cas_double_success_impossible;
+        Alcotest.test_case "cas success then failure" `Quick
+          test_cas_success_then_failure;
+        Alcotest.test_case "recovered cas evidence" `Quick
+          test_cas_recovered_success_proves_linearization;
+        Alcotest.test_case "malformed: double outcome" `Quick
+          test_malformed_double_outcome;
+        Alcotest.test_case "malformed: unknown uid" `Quick
+          test_malformed_unknown_uid;
+        Alcotest.test_case "malformed: duplicate inv" `Quick
+          test_malformed_duplicate_inv;
+        Alcotest.test_case "identity cas spurious failure (regression)"
+          `Quick test_identity_cas_spurious_failure_rejected;
+        Alcotest.test_case "identity cas success" `Quick
+          test_identity_cas_success_accepted;
+        Alcotest.test_case "witness reported" `Quick test_witness_is_reported;
+        QCheck_alcotest.to_alcotest prop_sequential_accepted;
+        QCheck_alcotest.to_alcotest prop_corrupted_rejected;
+      ] );
+  ]

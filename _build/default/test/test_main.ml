@@ -1,0 +1,36 @@
+(* Aggregated test entry point: every suite from every test module, run
+   under a single Alcotest binary so `dune runtest` covers the whole
+   repository. *)
+
+let () =
+  Alcotest.run "detectable-objects"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_value.suites;
+         Test_mem.suites;
+         Test_runtime.suites;
+         Test_spec.suites;
+         Test_lin_check.suites;
+         Test_session.suites;
+         Test_drw.suites;
+         Test_dcas.suites;
+         Test_dmax.suites;
+         Test_transform.suites;
+         Test_dqueue.suites;
+         Test_nrl.suites;
+         Test_baselines.suites;
+         Test_broken.suites;
+         Test_modelcheck.suites;
+         Test_perturb.suites;
+         Test_shared_cache.suites;
+         Test_extras.suites;
+         Test_compose.suites;
+         Test_rlock.suites;
+         Test_experiments.suites;
+         Test_ulog.suites;
+         Test_hist.suites;
+         Test_reference.suites;
+         Test_lemma_proofs.suites;
+         Test_shrink.suites;
+       ])

@@ -1,0 +1,203 @@
+(* Tests for Nvm.Mem and Nvm.Cache: the store, snapshots,
+   memory-equivalence, footprint accounting and the shared-cache layer. *)
+
+open Nvm
+
+let v = Test_support.value_testable
+let i n = Value.Int n
+
+let test_alloc_read_write () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let b = Mem.alloc m ~name:"b" ~kind:(Loc.Private 0) Value.Bot in
+  Alcotest.check v "init a" (i 1) (Mem.read m a);
+  Alcotest.check v "init b" Value.Bot (Mem.read m b);
+  Mem.write m a (i 5);
+  Alcotest.check v "after write" (i 5) (Mem.read m a);
+  Alcotest.(check int) "n_locs" 2 (Mem.n_locs m)
+
+let test_many_allocs () =
+  (* force internal growth past the initial capacity *)
+  let m = Mem.create () in
+  let locs =
+    List.init 200 (fun k ->
+        Mem.alloc m ~name:(Printf.sprintf "x%d" k) ~kind:Loc.Shared (i k))
+  in
+  List.iteri
+    (fun k loc -> Alcotest.check v "kept value" (i k) (Mem.read m loc))
+    locs
+
+let test_cas () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 0) in
+  Alcotest.(check bool) "cas hits" true (Mem.cas m a (i 0) (i 1));
+  Alcotest.(check bool) "cas misses" false (Mem.cas m a (i 0) (i 2));
+  Alcotest.check v "value" (i 1) (Mem.read m a)
+
+let test_faa () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 10) in
+  Alcotest.(check int) "returns old" 10 (Mem.faa m a 5);
+  Alcotest.(check int) "added" 15 (Value.to_int (Mem.read m a));
+  Alcotest.(check int) "negative delta" 15 (Mem.faa m a (-3));
+  Alcotest.(check int) "subtracted" 12 (Value.to_int (Mem.read m a))
+
+let test_reset () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  Mem.write m a (i 99);
+  Mem.reset m;
+  Alcotest.check v "back to init" (i 1) (Mem.read m a)
+
+let test_snapshot_restore () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let snap = Mem.snapshot m in
+  Mem.write m a (i 2);
+  Mem.restore m snap;
+  Alcotest.check v "restored" (i 1) (Mem.read m a)
+
+let test_equal_shared_ignores_private () =
+  let mk () =
+    let m = Mem.create () in
+    let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+    let p = Mem.alloc m ~name:"p" ~kind:(Loc.Private 0) (i 0) in
+    (m, a, p)
+  in
+  let m1, _, p1 = mk () in
+  let m2, a2, _ = mk () in
+  Mem.write m1 p1 (i 42);
+  Alcotest.(check bool) "private differences invisible" true
+    (Mem.equal_shared (Mem.snapshot m1) (Mem.snapshot m2));
+  Alcotest.(check int) "hash agrees" (Mem.hash_shared (Mem.snapshot m1))
+    (Mem.hash_shared (Mem.snapshot m2));
+  Mem.write m2 a2 (i 7);
+  Alcotest.(check bool) "shared differences visible" false
+    (Mem.equal_shared (Mem.snapshot m1) (Mem.snapshot m2));
+  Alcotest.(check bool) "equal_full sees private" false
+    (Mem.equal_full (Mem.snapshot m1) (Mem.snapshot m2))
+
+let test_footprint () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let _p = Mem.alloc m ~name:"p" ~kind:(Loc.Private 0) (i 1023) in
+  Alcotest.(check int) "shared bits exclude private" 1 (Mem.shared_bits m);
+  Mem.write m a (i 255);
+  Alcotest.(check int) "current" 8 (Mem.shared_bits m);
+  Mem.write m a (i 0);
+  Alcotest.(check int) "current drops" 1 (Mem.shared_bits m);
+  Alcotest.(check int) "high-water sticks" 8 (Mem.max_shared_bits m);
+  Alcotest.(check int) "per-loc max" 8 (Mem.max_bits_of m a)
+
+let test_foreign_loc_rejected () =
+  let m1 = Mem.create () in
+  let m2 = Mem.create () in
+  let a1 = Mem.alloc m1 ~name:"a" ~kind:Loc.Shared (i 1) in
+  ignore (Mem.alloc m2 ~name:"b" ~kind:Loc.Shared (i 1));
+  (* same id exists in m2, so read succeeds; an out-of-range id must not *)
+  let ghost = Mem.alloc m1 ~name:"g" ~kind:Loc.Shared (i 2) in
+  (match Mem.read m2 ghost with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for out-of-range loc");
+  ignore a1
+
+(* --- Cache (shared-cache model) --- *)
+
+let test_cache_read_through () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let c = Cache.create m in
+  Alcotest.check v "reads backing" (i 1) (Cache.read c a)
+
+let test_cache_write_not_persistent () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let c = Cache.create m in
+  Cache.write c a (i 2);
+  Alcotest.check v "cache sees new" (i 2) (Cache.read c a);
+  Alcotest.check v "NVM sees old" (i 1) (Mem.read m a);
+  Cache.persist c a;
+  Alcotest.check v "persist writes back" (i 2) (Mem.read m a)
+
+let test_cache_crash_drops () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let b = Mem.alloc m ~name:"b" ~kind:Loc.Shared (i 1) in
+  let c = Cache.create m in
+  Cache.write c a (i 2);
+  Cache.write c b (i 3);
+  (* adversarial: keep only [b] *)
+  Cache.crash c ~keep:(fun loc -> loc == b);
+  Alcotest.check v "a lost" (i 1) (Mem.read m a);
+  Alcotest.check v "b survived" (i 3) (Mem.read m b);
+  Alcotest.check v "cache empty after crash" (i 1) (Cache.read c a)
+
+let test_cache_cas_faa () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 0) in
+  let c = Cache.create m in
+  Alcotest.(check bool) "cas via cache" true (Cache.cas c a (i 0) (i 1));
+  Alcotest.(check bool) "cas sees cache" false (Cache.cas c a (i 0) (i 2));
+  Alcotest.(check int) "faa via cache" 1 (Cache.faa c a 4);
+  Alcotest.check v "NVM untouched" (i 0) (Mem.read m a);
+  Cache.persist_all c;
+  Alcotest.check v "fence persists" (i 5) (Mem.read m a)
+
+let test_cache_dirty_tracking () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 0) in
+  let b = Mem.alloc m ~name:"b" ~kind:Loc.Shared (i 0) in
+  let c = Cache.create m in
+  Alcotest.(check int) "clean" 0 (List.length (Cache.dirty_locs c));
+  Cache.write c a (i 1);
+  Cache.write c b (i 2);
+  Alcotest.(check int) "two dirty" 2 (List.length (Cache.dirty_locs c));
+  Cache.persist c a;
+  Alcotest.(check int) "one dirty" 1 (List.length (Cache.dirty_locs c))
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot/restore roundtrip"
+    ~count:Test_support.qcheck_count
+    QCheck.(list (pair (int_bound 9) small_signed_int))
+    (fun writes ->
+      let m = Mem.create () in
+      let locs =
+        Array.init 10 (fun k ->
+            Mem.alloc m ~name:(Printf.sprintf "l%d" k) ~kind:Loc.Shared (i 0))
+      in
+      let snap0 = Mem.snapshot m in
+      List.iter (fun (k, x) -> Mem.write m locs.(k) (i x)) writes;
+      let snap1 = Mem.snapshot m in
+      Mem.restore m snap0;
+      let back0 = Mem.equal_full (Mem.snapshot m) snap0 in
+      Mem.restore m snap1;
+      let back1 = Mem.equal_full (Mem.snapshot m) snap1 in
+      back0 && back1)
+
+let suites =
+  [
+    ( "nvm.mem",
+      [
+        Alcotest.test_case "alloc/read/write" `Quick test_alloc_read_write;
+        Alcotest.test_case "growth" `Quick test_many_allocs;
+        Alcotest.test_case "cas" `Quick test_cas;
+        Alcotest.test_case "faa" `Quick test_faa;
+        Alcotest.test_case "reset" `Quick test_reset;
+        Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+        Alcotest.test_case "memory-equivalence" `Quick
+          test_equal_shared_ignores_private;
+        Alcotest.test_case "footprint accounting" `Quick test_footprint;
+        Alcotest.test_case "foreign loc rejected" `Quick
+          test_foreign_loc_rejected;
+        QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+      ] );
+    ( "nvm.cache",
+      [
+        Alcotest.test_case "read-through" `Quick test_cache_read_through;
+        Alcotest.test_case "writes volatile until persist" `Quick
+          test_cache_write_not_persistent;
+        Alcotest.test_case "crash write-back mask" `Quick test_cache_crash_drops;
+        Alcotest.test_case "cas/faa in cache" `Quick test_cache_cas_faa;
+        Alcotest.test_case "dirty tracking" `Quick test_cache_dirty_tracking;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(* Tests for the bounded exhaustive explorer itself. *)
+
+open Nvm
+open History
+open Sched
+
+let i n = Value.Int n
+
+let test_deterministic_replay () =
+  (* same configuration twice gives identical statistics *)
+  let cfg =
+    { Modelcheck.Explore.default_config with switch_budget = 2; crash_budget = 0 }
+  in
+  let run () =
+    Modelcheck.Explore.explore
+      ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.read_op ] |]
+      cfg
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "executions" a.Modelcheck.Explore.executions
+    b.Modelcheck.Explore.executions;
+  Alcotest.(check int) "nodes" a.Modelcheck.Explore.nodes
+    b.Modelcheck.Explore.nodes;
+  Alcotest.(check int) "configs" a.Modelcheck.Explore.distinct_shared_configs
+    b.Modelcheck.Explore.distinct_shared_configs
+
+let test_switch_budget_monotone () =
+  (* a larger budget explores at least as many executions *)
+  let run budget =
+    (Modelcheck.Explore.explore
+       ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+       ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 0) (i 2) ] |]
+       {
+         Modelcheck.Explore.default_config with
+         switch_budget = budget;
+         crash_budget = 0;
+       })
+      .Modelcheck.Explore.executions
+  in
+  let e0 = run 0 and e1 = run 1 and e2 = run 2 in
+  Alcotest.(check bool) "0 <= 1" true (e0 <= e1);
+  Alcotest.(check bool) "1 <= 2" true (e1 <= e2);
+  (* budget 0: each process runs as a solo block; with two processes there
+     are exactly 2 executions *)
+  Alcotest.(check int) "budget 0 = two block orders" 2 e0
+
+let test_crash_budget_zero_means_no_crash () =
+  let out =
+    Modelcheck.Explore.explore
+      ~mk:(fun () -> Test_support.mk_dcas ~n:1 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ] |]
+      { Modelcheck.Explore.default_config with crash_budget = 0; switch_budget = 0 }
+  in
+  Alcotest.(check int) "single execution" 1 out.Modelcheck.Explore.executions;
+  List.iter
+    (fun (v : Modelcheck.Explore.violation) ->
+      Alcotest.failf "unexpected violation %s" v.msg)
+    out.Modelcheck.Explore.violations
+
+let test_configs_counted_up_to_equivalence () =
+  (* a solo CAS on a 1-process object visits exactly 2 distinct shared
+     configurations: initial and post-CAS *)
+  let out =
+    Modelcheck.Explore.explore
+      ~mk:(fun () -> Test_support.mk_dcas ~n:1 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ] |]
+      { Modelcheck.Explore.default_config with crash_budget = 0; switch_budget = 0 }
+  in
+  Alcotest.(check int) "two configs" 2
+    out.Modelcheck.Explore.distinct_shared_configs
+
+let test_crash_points_covers_all () =
+  let out =
+    Modelcheck.Explore.crash_points
+      ~mk:(fun () -> Test_support.mk_dcas ~n:1 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ] |]
+      ~schedule:(fun () -> Schedule.round_robin ())
+      ()
+  in
+  (* one crash-free run + one run per step of the crash-free run *)
+  Alcotest.(check bool) "several executions" true
+    (out.Modelcheck.Explore.executions > 5)
+
+let test_violation_reports_schedule () =
+  let out =
+    Modelcheck.Explore.explore
+      ~mk:(fun () ->
+        let m = Runtime.Machine.create () in
+        (m, Baselines.Broken.dcas_no_vec m ~n:2 ~init:(i 0)))
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |]
+      Modelcheck.Explore.default_config
+  in
+  match out.Modelcheck.Explore.violations with
+  | [] -> Alcotest.fail "expected a violation sample"
+  | v :: _ ->
+      Alcotest.(check bool) "has schedule" true (v.decisions <> []);
+      Alcotest.(check bool) "has history" true (v.history <> []);
+      Alcotest.(check bool) "schedule contains the crash" true
+        (List.mem Modelcheck.Explore.Crash v.decisions)
+
+let suites =
+  [
+    ( "modelcheck.explore",
+      [
+        Alcotest.test_case "deterministic replay" `Quick
+          test_deterministic_replay;
+        Alcotest.test_case "switch budget monotone" `Quick
+          test_switch_budget_monotone;
+        Alcotest.test_case "crash budget zero" `Quick
+          test_crash_budget_zero_means_no_crash;
+        Alcotest.test_case "configs up to equivalence" `Quick
+          test_configs_counted_up_to_equivalence;
+        Alcotest.test_case "crash_points coverage" `Quick
+          test_crash_points_covers_all;
+        Alcotest.test_case "violation sample" `Quick
+          test_violation_reports_schedule;
+      ] );
+  ]

@@ -1,0 +1,302 @@
+(* Tests for the Session/Driver protocol: event bookkeeping, crash
+   handling, verdict stability, policies, schedulers and crash plans. *)
+
+open Nvm
+open History
+open Sched
+
+let i n = Value.Int n
+
+let test_driver_sequential () =
+  let machine, inst = Test_support.mk_drw ~n:1 () in
+  let res =
+    Driver.run machine inst
+      ~workloads:[| [ Spec.write_op (i 4); Spec.read_op ] |]
+      Driver.default_config
+  in
+  Alcotest.(check int) "no crashes" 0 res.crashes;
+  Alcotest.(check bool) "complete" false res.incomplete;
+  Alcotest.(check int) "4 events" 4 (List.length res.history);
+  Test_support.assert_ok inst res ~ctx:"sequential"
+
+let test_driver_step_budget () =
+  let machine, inst = Test_support.mk_drw ~n:1 () in
+  let cfg = { Driver.default_config with max_steps = 3 } in
+  let res =
+    Driver.run machine inst ~workloads:[| [ Spec.write_op (i 4) ] |] cfg
+  in
+  Alcotest.(check bool) "flagged incomplete" true res.incomplete;
+  Alcotest.(check int) "stopped at budget" 3 res.steps
+
+let test_session_runnable_and_steps () =
+  let machine, inst = Test_support.mk_dcas ~n:2 () in
+  let session =
+    Session.create machine inst
+      ~workloads:[| [ Spec.read_op ]; [ Spec.read_op ] |]
+  in
+  Alcotest.(check (list int)) "both runnable" [ 0; 1 ] (Session.runnable session);
+  Session.step session 0;
+  Alcotest.(check int) "one step" 1 (Session.steps session);
+  (* drive everything *)
+  let rec drain () =
+    match Session.runnable session with
+    | [] -> ()
+    | pid :: _ ->
+        Session.step session pid;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "finished" true (Session.finished session)
+
+let test_session_step_not_runnable () =
+  let machine, inst = Test_support.mk_dcas ~n:1 () in
+  let session = Session.create machine inst ~workloads:[| [] |] in
+  match Session.step session 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "stepping a finished process must fail"
+
+let test_crash_restarts_all () =
+  let machine, inst = Test_support.mk_drw ~n:2 () in
+  let session =
+    Session.create machine inst
+      ~workloads:[| [ Spec.write_op (i 1) ]; [ Spec.write_op (i 2) ] |]
+  in
+  Session.step session 0;
+  Session.step session 0;
+  Session.crash session ~keep:(fun _ -> true);
+  Alcotest.(check int) "one crash" 1 (Session.crashes session);
+  Alcotest.(check bool) "crash event recorded" true
+    (List.mem Event.Crash (Session.history session));
+  (* both processes must be alive again (recovery or fresh client) *)
+  Alcotest.(check (list int)) "both restarted" [ 0; 1 ]
+    (Session.runnable session)
+
+(* Verdict stability: no operation instance ever gets two outcome events,
+   no matter how many crashes strike. *)
+let test_verdict_stability () =
+  for seed = 1 to 60 do
+    let prng = Dtc_util.Prng.create seed in
+    let machine, inst = Test_support.mk_drw ~n:3 () in
+    let workloads =
+      Workload.register (Dtc_util.Prng.split prng) ~procs:3 ~ops_per_proc:3
+        ~values:3
+    in
+    let cfg =
+      {
+        Driver.schedule = Schedule.random (Dtc_util.Prng.split prng);
+        crash_plan =
+          Crash_plan.random ~max_crashes:4 ~prob:0.1 (Dtc_util.Prng.split prng);
+        policy = Session.Retry;
+        max_steps = 20_000;
+      }
+    in
+    let res = Driver.run machine inst ~workloads cfg in
+    Hashtbl.iter
+      (fun uid count ->
+        if count > 1 then
+          Alcotest.failf "seed %d: op #%d has %d outcomes@.%a" seed uid count
+            Event.pp_history res.history)
+      (Test_support.outcomes_per_uid res.history)
+  done
+
+(* With Give_up, a failed operation is skipped: the number of Rec_fail
+   events for distinct uids equals the number of abandoned ops. *)
+let test_giveup_skips () =
+  (* Crash p0 exactly at its first step: the write cannot have started,
+     recovery must fail, Give_up abandons it. *)
+  let machine, inst = Test_support.mk_drw ~n:1 () in
+  let cfg =
+    {
+      Driver.default_config with
+      policy = Session.Give_up;
+      crash_plan = Crash_plan.at_steps [ 1 ];
+    }
+  in
+  let res =
+    Driver.run machine inst
+      ~workloads:[| [ Spec.write_op (i 1); Spec.read_op ] |]
+      cfg
+  in
+  Test_support.assert_ok inst res ~ctx:"giveup";
+  (* the read must still have completed *)
+  let reads =
+    List.filter
+      (function
+        | Event.Ret { v; _ } -> not (Value.equal v Spec.ack) | _ -> false)
+      res.history
+  in
+  Alcotest.(check bool) "a read completed" true (List.length reads >= 1)
+
+let test_retry_reinvokes () =
+  let machine, inst = Test_support.mk_drw ~n:1 () in
+  let cfg =
+    {
+      Driver.default_config with
+      policy = Session.Retry;
+      crash_plan = Crash_plan.at_steps [ 1 ];
+    }
+  in
+  let res =
+    Driver.run machine inst ~workloads:[| [ Spec.write_op (i 1) ] |] cfg
+  in
+  Test_support.assert_ok inst res ~ctx:"retry";
+  (* the retried write appears as a second instance and completes *)
+  let invs =
+    List.length
+      (List.filter (function Event.Inv _ -> true | _ -> false) res.history)
+  in
+  let rets =
+    List.length
+      (List.filter (function Event.Ret _ -> true | _ -> false) res.history)
+  in
+  Alcotest.(check bool) "second instance invoked" true (invs >= 2);
+  Alcotest.(check bool) "eventually completed" true (rets >= 1)
+
+(* --- schedulers --- *)
+
+let test_round_robin_cycles () =
+  let s = Schedule.round_robin () in
+  let picks = List.init 6 (fun k -> s.Schedule.choose ~runnable:[ 0; 1; 2 ] ~step:k) in
+  Alcotest.(check (list int)) "cycle" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_round_robin_skips_dead () =
+  let s = Schedule.round_robin () in
+  let a = s.Schedule.choose ~runnable:[ 1; 3 ] ~step:0 in
+  let b = s.Schedule.choose ~runnable:[ 1; 3 ] ~step:1 in
+  let c = s.Schedule.choose ~runnable:[ 1; 3 ] ~step:2 in
+  Alcotest.(check (list int)) "skips" [ 1; 3; 1 ] [ a; b; c ]
+
+let test_scripted () =
+  let s = Schedule.scripted [ 2; 2; 0 ] in
+  Alcotest.(check int) "first" 2 (s.Schedule.choose ~runnable:[ 0; 1; 2 ] ~step:0);
+  Alcotest.(check int) "second" 2 (s.Schedule.choose ~runnable:[ 0; 1; 2 ] ~step:1);
+  (* 0 not runnable: falls through to head of runnable *)
+  Alcotest.(check int) "skips non-runnable" 1
+    (s.Schedule.choose ~runnable:[ 1; 2 ] ~step:2);
+  (* script exhausted *)
+  Alcotest.(check int) "fallback" 1 (s.Schedule.choose ~runnable:[ 1; 2 ] ~step:3)
+
+let test_solo () =
+  let s = Schedule.solo 1 in
+  Alcotest.(check int) "prefers 1" 1 (s.Schedule.choose ~runnable:[ 0; 1 ] ~step:0);
+  Alcotest.(check int) "falls back" 0 (s.Schedule.choose ~runnable:[ 0; 2 ] ~step:1)
+
+let test_random_schedule_picks_runnable () =
+  let prng = Dtc_util.Prng.create 5 in
+  let s = Schedule.random prng in
+  for step = 0 to 100 do
+    let runnable = [ 1; 4; 7 ] in
+    let p = s.Schedule.choose ~runnable ~step in
+    if not (List.mem p runnable) then Alcotest.fail "picked non-runnable"
+  done
+
+(* --- crash plans --- *)
+
+let test_at_steps_fires_once () =
+  let plan = Crash_plan.at_steps [ 5 ] in
+  let fired = ref 0 in
+  for step = 0 to 10 do
+    if plan.Crash_plan.should_crash ~step then incr fired
+  done;
+  Alcotest.(check int) "once" 1 !fired
+
+let test_random_plan_capped () =
+  let prng = Dtc_util.Prng.create 9 in
+  let plan = Crash_plan.random ~max_crashes:2 ~prob:1.0 prng in
+  let fired = ref 0 in
+  for step = 0 to 100 do
+    if plan.Crash_plan.should_crash ~step then incr fired
+  done;
+  Alcotest.(check int) "capped" 2 !fired
+
+let test_none_never_fires () =
+  for step = 0 to 50 do
+    if Crash_plan.none.Crash_plan.should_crash ~step then
+      Alcotest.fail "none fired"
+  done
+
+(* --- workload generators --- *)
+
+let test_workload_shapes () =
+  let prng = Dtc_util.Prng.create 5 in
+  let wl = Workload.register (Dtc_util.Prng.split prng) ~procs:4 ~ops_per_proc:6 ~values:3 in
+  Alcotest.(check int) "procs" 4 (Array.length wl);
+  Array.iter (fun ops -> Alcotest.(check int) "ops" 6 (List.length ops)) wl;
+  Array.iter
+    (List.iter (fun (o : Spec.op) ->
+         match (o.Spec.name, o.Spec.args) with
+         | "read", [||] -> ()
+         | "write", [| Value.Int v |] ->
+             Alcotest.(check bool) "value in range" true (v >= 0 && v < 3)
+         | _ -> Alcotest.fail "unexpected op"))
+    wl
+
+let test_workload_faa_deltas_positive () =
+  let prng = Dtc_util.Prng.create 6 in
+  let wl = Workload.faa (Dtc_util.Prng.split prng) ~procs:3 ~ops_per_proc:10 ~max_delta:4 in
+  Array.iter
+    (List.iter (fun (o : Spec.op) ->
+         match (o.Spec.name, o.Spec.args) with
+         | "faa", [| Value.Int d |] ->
+             Alcotest.(check bool) "delta in [1,4]" true (d >= 1 && d <= 4)
+         | "read", [||] -> ()
+         | _ -> Alcotest.fail "unexpected op"))
+    wl
+
+let test_workload_total_enqueues () =
+  let wl =
+    [|
+      [ Spec.enq_op (i 1); Spec.deq_op; Spec.enq_op (i 2) ];
+      [ Spec.deq_op ];
+      [ Spec.enq_op (i 3) ];
+    |]
+  in
+  Alcotest.(check int) "counts enqs" 3 (Workload.total_enqueues wl)
+
+let test_workload_determinism () =
+  let mk seed =
+    Workload.queue (Dtc_util.Prng.create seed) ~procs:3 ~ops_per_proc:5 ~values:4
+  in
+  Alcotest.(check bool) "same seed, same workload" true (mk 42 = mk 42);
+  Alcotest.(check bool) "different seeds differ" true (mk 42 <> mk 43)
+
+let suites =
+  [
+    ( "sched.driver",
+      [
+        Alcotest.test_case "sequential run" `Quick test_driver_sequential;
+        Alcotest.test_case "step budget" `Quick test_driver_step_budget;
+        Alcotest.test_case "giveup skips failed op" `Quick test_giveup_skips;
+        Alcotest.test_case "retry re-invokes" `Quick test_retry_reinvokes;
+      ] );
+    ( "sched.session",
+      [
+        Alcotest.test_case "runnable/steps" `Quick test_session_runnable_and_steps;
+        Alcotest.test_case "step not runnable rejected" `Quick
+          test_session_step_not_runnable;
+        Alcotest.test_case "crash restarts all" `Quick test_crash_restarts_all;
+        Alcotest.test_case "verdict stability" `Slow test_verdict_stability;
+      ] );
+    ( "sched.schedule",
+      [
+        Alcotest.test_case "round robin" `Quick test_round_robin_cycles;
+        Alcotest.test_case "round robin skips" `Quick test_round_robin_skips_dead;
+        Alcotest.test_case "scripted" `Quick test_scripted;
+        Alcotest.test_case "solo" `Quick test_solo;
+        Alcotest.test_case "random picks runnable" `Quick
+          test_random_schedule_picks_runnable;
+      ] );
+    ( "sched.workload",
+      [
+        Alcotest.test_case "shapes and ranges" `Quick test_workload_shapes;
+        Alcotest.test_case "faa deltas" `Quick test_workload_faa_deltas_positive;
+        Alcotest.test_case "total enqueues" `Quick test_workload_total_enqueues;
+        Alcotest.test_case "determinism" `Quick test_workload_determinism;
+      ] );
+    ( "sched.crash_plan",
+      [
+        Alcotest.test_case "at_steps once" `Quick test_at_steps_fires_once;
+        Alcotest.test_case "random capped" `Quick test_random_plan_capped;
+        Alcotest.test_case "none" `Quick test_none_never_fires;
+      ] );
+  ]

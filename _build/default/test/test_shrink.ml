@@ -1,0 +1,108 @@
+(* Tests for the counterexample minimiser. *)
+
+open Nvm
+open History
+
+let i n = Value.Int n
+
+let mk_no_vec () =
+  let m = Runtime.Machine.create () in
+  (m, Baselines.Broken.dcas_no_vec m ~n:2 ~init:(i 0))
+
+let workloads = [| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |]
+
+let find_violation () =
+  let out =
+    Modelcheck.Explore.explore ~mk:mk_no_vec ~workloads
+      Modelcheck.Explore.default_config
+  in
+  match out.Modelcheck.Explore.violations with
+  | v :: _ -> v
+  | [] -> Alcotest.fail "expected the ablation to violate"
+
+let test_minimise_shrinks () =
+  let v = find_violation () in
+  match
+    Modelcheck.Shrink.minimise ~mk:mk_no_vec ~workloads
+      v.Modelcheck.Explore.decisions
+  with
+  | None -> Alcotest.fail "original violation did not reproduce"
+  | Some r ->
+      Alcotest.(check bool) "no longer than the original" true
+        (List.length r.Modelcheck.Shrink.decisions
+        <= List.length v.Modelcheck.Explore.decisions);
+      Alcotest.(check bool) "still mentions a violation" true
+        (String.length r.Modelcheck.Shrink.msg > 0);
+      (* 1-minimality: deleting any single remaining decision loses the
+         violation *)
+      let n = List.length r.Modelcheck.Shrink.decisions in
+      for k = 0 to n - 1 do
+        let candidate =
+          List.filteri (fun idx _ -> idx <> k) r.Modelcheck.Shrink.decisions
+        in
+        match Modelcheck.Shrink.reproduces ~mk:mk_no_vec ~workloads candidate with
+        | Some _ -> Alcotest.failf "deleting decision %d still violates" k
+        | None -> ()
+      done
+
+let test_minimised_still_reproduces () =
+  let v = find_violation () in
+  match
+    Modelcheck.Shrink.minimise ~mk:mk_no_vec ~workloads
+      v.Modelcheck.Explore.decisions
+  with
+  | None -> Alcotest.fail "did not reproduce"
+  | Some r -> (
+      match
+        Modelcheck.Shrink.reproduces ~mk:mk_no_vec ~workloads
+          r.Modelcheck.Shrink.decisions
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail "minimised sequence does not reproduce")
+
+let test_reproduces_none_for_correct_object () =
+  (* an arbitrary schedule against the real Dcas yields no violation *)
+  let mk () = Test_support.mk_dcas ~n:2 () in
+  let decisions =
+    [
+      Modelcheck.Explore.Step 0;
+      Modelcheck.Explore.Step 1;
+      Modelcheck.Explore.Crash;
+      Modelcheck.Explore.Step 0;
+      Modelcheck.Explore.Step 1;
+    ]
+  in
+  match Modelcheck.Shrink.reproduces ~mk ~workloads decisions with
+  | None -> ()
+  | Some (_, msg) -> Alcotest.failf "unexpected violation: %s" msg
+
+let test_minimise_none_for_correct_object () =
+  let mk () = Test_support.mk_dcas ~n:2 () in
+  match Modelcheck.Shrink.minimise ~mk ~workloads [ Modelcheck.Explore.Crash ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "minimise invented a violation"
+
+let test_tolerant_replay_skips_dead_steps () =
+  (* steps of finished processes are skipped, not errors *)
+  let mk () = Test_support.mk_dcas ~n:2 () in
+  let decisions = List.init 200 (fun _ -> Modelcheck.Explore.Step 0) in
+  match Modelcheck.Shrink.reproduces ~mk ~workloads decisions with
+  | None -> ()
+  | Some (_, msg) -> Alcotest.failf "unexpected violation: %s" msg
+
+let suites =
+  [
+    ( "modelcheck.shrink",
+      [
+        Alcotest.test_case "minimise shrinks to 1-minimal" `Quick
+          test_minimise_shrinks;
+        Alcotest.test_case "minimised reproduces" `Quick
+          test_minimised_still_reproduces;
+        Alcotest.test_case "no violation for correct object" `Quick
+          test_reproduces_none_for_correct_object;
+        Alcotest.test_case "minimise refuses non-repro" `Quick
+          test_minimise_none_for_correct_object;
+        Alcotest.test_case "tolerant replay" `Quick
+          test_tolerant_replay_skips_dead_steps;
+      ] );
+  ]

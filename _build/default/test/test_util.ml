@@ -1,0 +1,122 @@
+(* Tests for Dtc_util: the deterministic PRNG and the table printer. *)
+
+open Dtc_util
+
+let test_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Prng.create 3 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  Alcotest.(check int64) "copy continues the same stream" xa xb;
+  ignore (Prng.next_int64 a);
+  (* advancing a must not advance b *)
+  let xa' = Prng.next_int64 a and xb' = Prng.next_int64 b in
+  Alcotest.(check bool) "independent afterwards" true (xa' <> xb' || xa' = xb')
+
+let test_split_independent () =
+  let a = Prng.create 11 in
+  let b = Prng.split a in
+  let xs = List.init 32 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 32 (fun _ -> Prng.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let prop_float_in_unit =
+  QCheck.Test.make ~name:"Prng.float in [0, 1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let x = Prng.float g in
+      x >= 0.0 && x < 1.0)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"Prng.shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let g = Prng.create seed in
+      let arr = Array.of_list xs in
+      Prng.shuffle g arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let prop_pick_member =
+  QCheck.Test.make ~name:"Prng.pick returns a member" ~count:500
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      QCheck.assume (xs <> []);
+      let g = Prng.create seed in
+      List.mem (Prng.pick g xs) xs)
+
+let test_int_rejects_nonpositive () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ "a"; "bb"; "ccc" ] in
+  Table.add_row t [ "1"; "2"; "3" ];
+  Table.add_int_row t [ 10; 20; 30 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "has row" true
+    (let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+       go 0
+     in
+     contains s "10" && contains s "30")
+
+let test_table_padding () =
+  let t = Table.create ~title:"t" [ "col" ] in
+  Table.add_row t [];
+  (* shorter row padded *)
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let test_table_too_many_cells () =
+  let t = Table.create ~title:"t" [ "col" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "a"; "b" ])
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+        Alcotest.test_case "copy" `Quick test_copy_independent;
+        Alcotest.test_case "split" `Quick test_split_independent;
+        Alcotest.test_case "int rejects non-positive" `Quick
+          test_int_rejects_nonpositive;
+        QCheck_alcotest.to_alcotest prop_int_in_bounds;
+        QCheck_alcotest.to_alcotest prop_float_in_unit;
+        QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+        QCheck_alcotest.to_alcotest prop_pick_member;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "padding" `Quick test_table_padding;
+        Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+      ] );
+  ]
