@@ -243,10 +243,120 @@ let run_bechamel () =
     (List.sort compare !rows);
   Table.print t
 
+(* ------------------------------------------------------------------ *)
+(* Checker-throughput benchmark, JSON output (`bench/main.exe --json`).
+
+   Emits one machine-readable record per engine configuration on the
+   Dcas N=3 acceptance workload, so the model checker's throughput —
+   nodes/sec, dedup hit rate, budget reach — is a benchmark trajectory
+   future PRs can track.  The tier-1 test suite smoke-runs this mode and
+   parses the output (bench/json_check.ml), so the format must stay
+   valid JSON. *)
+
+let mk_dcas_n3 () =
+  let m = Machine.create () in
+  (m, Detectable.Dcas.instance (Detectable.Dcas.create m ~n:3 ~init:(i 0)))
+
+let dcas_n3_workload =
+  [|
+    [ Spec.cas_op (i 0) (i 1) ];
+    [ Spec.cas_op (i 1) (i 2) ];
+    [ Spec.cas_op (i 0) (i 2) ];
+  |]
+
+let engine_json ~engine (cfg : Modelcheck.Explore.config)
+    (out : Modelcheck.Explore.outcome) =
+  let m = out.Modelcheck.Explore.metrics in
+  let hit_rate =
+    let total = m.Modelcheck.Explore.dedup_hits + out.Modelcheck.Explore.nodes in
+    if total = 0 then 0.0
+    else float_of_int m.Modelcheck.Explore.dedup_hits /. float_of_int total
+  in
+  Printf.sprintf
+    {|    { "engine": %S, "switch_budget": %d, "crash_budget": %d,
+      "domains": %d, "prune": %b,
+      "executions": %d, "truncated": %d, "nodes": %d,
+      "total_violations": %d, "distinct_shared_configs": %d,
+      "dedup_hits": %d, "dedup_hit_rate": %.4f, "nodes_saved": %d,
+      "peak_visited": %d, "elapsed_s": %.6f, "nodes_per_sec": %.1f }|}
+    engine cfg.Modelcheck.Explore.switch_budget
+    cfg.Modelcheck.Explore.crash_budget m.Modelcheck.Explore.domains_used
+    cfg.Modelcheck.Explore.prune out.Modelcheck.Explore.executions
+    out.Modelcheck.Explore.truncated out.Modelcheck.Explore.nodes
+    out.Modelcheck.Explore.total_violations
+    out.Modelcheck.Explore.distinct_shared_configs
+    m.Modelcheck.Explore.dedup_hits hit_rate
+    m.Modelcheck.Explore.nodes_saved m.Modelcheck.Explore.peak_visited
+    m.Modelcheck.Explore.elapsed_s m.Modelcheck.Explore.nodes_per_sec
+
+let checker_json ~budget =
+  let base =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = budget;
+      crash_budget = 1;
+    }
+  in
+  (* On a single-core box extra domains only buy stop-the-world GC
+     synchronisation, so follow the runtime's recommendation. *)
+  let domains = min 8 (Domain.recommended_domain_count ()) in
+  let runs =
+    [
+      ("seed_unpruned", { base with Modelcheck.Explore.prune = false });
+      ("pruned", base);
+      ("pruned_parallel", { base with Modelcheck.Explore.domains = domains });
+      ( "pruned_parallel_budget_plus",
+        {
+          base with
+          Modelcheck.Explore.switch_budget = base.Modelcheck.Explore.switch_budget + 1;
+          domains;
+        } );
+    ]
+  in
+  let results =
+    List.map
+      (fun (engine, cfg) ->
+        let out =
+          Modelcheck.Explore.explore ~mk:mk_dcas_n3 ~workloads:dcas_n3_workload
+            cfg
+        in
+        engine_json ~engine cfg out)
+      runs
+  in
+  Printf.printf
+    "{\n  \"schema\": \"detectable-bench/checker-v1\",\n  \"workload\": \
+     \"dcas_n3_one_cas_each\",\n  \"base_switch_budget\": %d,\n  \"engines\": \
+     [\n%s\n  ]\n}\n"
+    budget
+    (String.concat ",\n" results)
+
+(* [--json [--budget N]]: base switch budget N (default 1: a sub-second
+   smoke run for the test suite); the final engine row always runs at
+   N+1 to track how far past the seed engine's reach the pruned checker
+   gets. *)
 let () =
-  Experiments.Registry.run_all ();
-  print_newline ();
-  Table.print (steps_table ());
-  Table.print (drw_scaling_table ());
-  run_bechamel ();
-  print_endline "done."
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    let budget =
+      let rec find i =
+        if i >= Array.length Sys.argv - 1 then 1
+        else if Sys.argv.(i) = "--budget" then
+          match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 0 -> n
+          | _ ->
+              prerr_endline
+                "bench: --budget expects a non-negative integer switch budget";
+              exit 2
+        else find (i + 1)
+      in
+      find 1
+    in
+    checker_json ~budget
+  end
+  else begin
+    Experiments.Registry.run_all ();
+    print_newline ();
+    Table.print (steps_table ());
+    Table.print (drw_scaling_table ());
+    run_bechamel ();
+    print_endline "done."
+  end

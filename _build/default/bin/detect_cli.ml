@@ -281,7 +281,32 @@ let modelcheck_cmd =
   let crashes =
     Arg.(value & opt int 1 & info [ "crashes" ] ~docv:"C" ~doc:"Crash budget.")
   in
-  let run kind procs ops switches crashes policy seed =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"W"
+          ~doc:
+            "Explore the top-level decision frontier on this many OCaml \
+             domains (1 = sequential).")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable the visited-set subtree memoisation (replays every DFS \
+             node from scratch, like the original engine).")
+  in
+  let exact_configs =
+    Arg.(
+      value & flag
+      & info [ "exact-configs" ]
+          ~doc:
+            "Keep full snapshots in the configuration set to audit \
+             fingerprint collisions (more memory).")
+  in
+  let run kind procs ops switches crashes domains no_prune exact_configs policy
+      seed =
     let workloads = workloads_of_kind kind ~seed ~procs ~ops in
     let cfg =
       {
@@ -289,16 +314,49 @@ let modelcheck_cmd =
         switch_budget = switches;
         crash_budget = crashes;
         policy;
+        domains;
+        prune = not no_prune;
+        exact_configs;
       }
     in
     let out =
       Modelcheck.Explore.explore ~mk:(mk_of_kind kind ~n:procs) ~workloads cfg
     in
+    let m = out.Modelcheck.Explore.metrics in
     Printf.printf
       "executions: %d\nnodes: %d\ndistinct shared configs: %d\nviolations: %d\n"
       out.Modelcheck.Explore.executions out.Modelcheck.Explore.nodes
       out.Modelcheck.Explore.distinct_shared_configs
       out.Modelcheck.Explore.total_violations;
+    let hit_rate =
+      let total = m.Modelcheck.Explore.dedup_hits + out.Modelcheck.Explore.nodes in
+      if total = 0 then 0.0
+      else
+        float_of_int m.Modelcheck.Explore.dedup_hits /. float_of_int total
+    in
+    Printf.printf
+      "dedup: %d hits (%.1f%%), %d replays saved, %d states tracked%s\n"
+      m.Modelcheck.Explore.dedup_hits (100.0 *. hit_rate)
+      m.Modelcheck.Explore.nodes_saved m.Modelcheck.Explore.peak_visited
+      (if exact_configs then
+         Printf.sprintf ", %d fingerprint collisions"
+           m.Modelcheck.Explore.fingerprint_collisions
+       else "");
+    Printf.printf "throughput: %.0f nodes/sec over %.2fs on %d domain(s)\n"
+      m.Modelcheck.Explore.nodes_per_sec m.Modelcheck.Explore.elapsed_s
+      m.Modelcheck.Explore.domains_used;
+    (match m.Modelcheck.Explore.replay_depth_hist with
+    | [] -> ()
+    | hist ->
+        let deepest, _ = List.hd (List.rev hist) in
+        let busiest_d, busiest_n =
+          List.fold_left
+            (fun (bd, bn) (d, n) -> if n > bn then (d, n) else (bd, bn))
+            (0, 0) hist
+        in
+        Printf.printf
+          "replay depth: max %d decisions, busiest depth %d (%d nodes)\n"
+          deepest busiest_d busiest_n);
     List.iter
       (fun (v : Modelcheck.Explore.violation) ->
         Printf.printf "\nsample violation: %s\nschedule: %s\n" v.msg
@@ -338,7 +396,7 @@ let modelcheck_cmd =
     Term.(
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ switches $ crashes
-       $ policy_arg $ seed_arg))
+       $ domains $ no_prune $ exact_configs $ policy_arg $ seed_arg))
 
 (* witness *)
 

@@ -1,1 +1,1 @@
-lib/modelcheck/explore.ml: Config_set Event Format History Lin_check List Loc Mem Nvm Obj_inst Runtime Sched Schedule Session Spec
+lib/modelcheck/explore.ml: Array Config_set Domain Event Float Format Hashtbl History Lin_check List Loc Mem Nvm Obj_inst Runtime Sched Schedule Session Spec Unix

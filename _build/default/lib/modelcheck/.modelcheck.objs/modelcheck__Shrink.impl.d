@@ -1,1 +1,1 @@
-lib/modelcheck/shrink.ml: Event Explore History Lin_check List Nvm Obj_inst Sched Session
+lib/modelcheck/shrink.ml: Event Explore Hashtbl History Lin_check List Nvm Obj_inst Sched Session

@@ -1,13 +1,75 @@
 open Nvm
 
-type t = (int, Mem.snapshot list) Hashtbl.t
+type mode = Fingerprint | Exact
 
-let create () : t = Hashtbl.create 1024
+type t = {
+  mode : mode;
+  fps : (int * int, unit) Hashtbl.t;
+  (* Exact mode only: full snapshots bucketed by fingerprint, so a
+     fingerprint collision between non-memory-equivalent configurations
+     is caught and counted instead of silently merging them. *)
+  exact : (int * int, Mem.snapshot list) Hashtbl.t;
+  mutable count : int;
+  mutable collisions : int;
+}
 
-let add set snap =
-  let h = Mem.hash_shared snap in
-  let bucket = try Hashtbl.find set h with Not_found -> [] in
-  if not (List.exists (Mem.equal_shared snap) bucket) then
-    Hashtbl.replace set h (snap :: bucket)
+let create ?(mode = Fingerprint) () =
+  {
+    mode;
+    fps = Hashtbl.create 1024;
+    exact = Hashtbl.create (match mode with Exact -> 1024 | Fingerprint -> 1);
+    count = 0;
+    collisions = 0;
+  }
 
-let cardinal set = Hashtbl.fold (fun _ b acc -> acc + List.length b) set 0
+let mode set = set.mode
+
+let insert_fp set fp =
+  if Hashtbl.mem set.fps fp then false
+  else begin
+    Hashtbl.replace set.fps fp ();
+    set.count <- set.count + 1;
+    true
+  end
+
+let insert_exact set fp snap =
+  let bucket = try Hashtbl.find set.exact fp with Not_found -> [] in
+  if List.exists (Mem.equal_shared snap) bucket then false
+  else begin
+    if bucket <> [] then set.collisions <- set.collisions + 1;
+    Hashtbl.replace set.exact fp (snap :: bucket);
+    Hashtbl.replace set.fps fp ();
+    set.count <- set.count + 1;
+    true
+  end
+
+let insert set snap =
+  let fp = Mem.fingerprint_shared snap in
+  match set.mode with
+  | Fingerprint -> insert_fp set fp
+  | Exact -> insert_exact set fp snap
+
+let add set snap = ignore (insert set snap : bool)
+
+let add_live set mem =
+  match set.mode with
+  | Fingerprint -> insert_fp set (Mem.live_fingerprint_shared mem)
+  | Exact ->
+      let snap = Mem.snapshot mem in
+      insert_exact set (Mem.fingerprint_shared snap) snap
+
+let cardinal set = set.count
+
+let collisions set = set.collisions
+
+let merge_into ~dst ~src =
+  match (dst.mode, src.mode) with
+  | Fingerprint, _ ->
+      Hashtbl.iter (fun fp () -> ignore (insert_fp dst fp : bool)) src.fps
+  | Exact, Exact ->
+      Hashtbl.iter
+        (fun fp bucket ->
+          List.iter (fun snap -> ignore (insert_exact dst fp snap : bool)) bucket)
+        src.exact
+  | Exact, Fingerprint ->
+      invalid_arg "Config_set.merge_into: cannot merge fingerprints into an exact set"

@@ -6,13 +6,48 @@ open Nvm
 
     Theorem 1 counts reachable pairwise non-memory-equivalent
     configurations; both the explorer and experiment E1 accumulate
-    snapshots here. *)
+    configurations here.  The default representation stores only a
+    two-word {!Mem.fingerprint_shared} digest per configuration — O(1)
+    space per member and allocation-free insertion from a live store —
+    which is what lets the explorer call {!add_live} at every DFS node.
+    [Exact] mode additionally keeps full snapshots bucketed by
+    fingerprint, turning silent fingerprint collisions into an audited
+    {!collisions} count; use it to validate fingerprint-mode results on
+    workloads small enough to afford the snapshots. *)
+
+type mode =
+  | Fingerprint  (** digests only: O(1) space/member, no false splits *)
+  | Exact  (** digests + snapshots: counts exactly, audits collisions *)
 
 type t
 
-val create : unit -> t
+val create : ?mode:mode -> unit -> t
+(** Default mode: [Fingerprint]. *)
+
+val mode : t -> mode
 
 val add : t -> Mem.snapshot -> unit
 (** No-op if a memory-equivalent snapshot is already present. *)
 
+val insert : t -> Mem.snapshot -> bool
+(** Like {!add}, but reports whether the configuration was new. *)
+
+val add_live : t -> Mem.t -> bool
+(** Insert the store's current shared configuration.  In [Fingerprint]
+    mode this allocates nothing; in [Exact] mode it snapshots. *)
+
 val cardinal : t -> int
+(** Number of distinct configurations.  O(1): a running count is
+    maintained so per-step callers (e.g. {!Explore.crash_points}) never
+    pay a table fold. *)
+
+val collisions : t -> int
+(** [Exact] mode: how many inserted configurations shared a fingerprint
+    with a previously inserted, non-memory-equivalent one.  Any non-zero
+    value means fingerprint-mode counts would have under-reported.
+    Always 0 in [Fingerprint] mode (collisions are invisible there). *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Union [src] into [dst] (the parallel explorer's join).  Merging a
+    [Fingerprint] source into an [Exact] destination is rejected with
+    [Invalid_argument] — the snapshots needed for auditing are gone. *)

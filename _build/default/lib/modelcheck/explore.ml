@@ -15,6 +15,9 @@ type config = {
   policy : Session.policy;
   keep : Loc.t -> bool;
   max_violations : int;
+  prune : bool;
+  domains : int;
+  exact_configs : bool;
 }
 
 let default_config =
@@ -25,12 +28,26 @@ let default_config =
     policy = Session.Retry;
     keep = (fun _ -> true);
     max_violations = 3;
+    prune = true;
+    domains = 1;
+    exact_configs = false;
   }
 
 type violation = {
   decisions : decision list;
   history : Event.t list;
   msg : string;
+}
+
+type metrics = {
+  dedup_hits : int;
+  nodes_saved : int;
+  peak_visited : int;
+  fingerprint_collisions : int;
+  elapsed_s : float;
+  nodes_per_sec : float;
+  replay_depth_hist : (int * int) list;
+  domains_used : int;
 }
 
 type outcome = {
@@ -40,19 +57,68 @@ type outcome = {
   violations : violation list;
   total_violations : int;
   distinct_shared_configs : int;
+  metrics : metrics;
 }
+
+(* Memoised summary of one DFS subtree: what the unpruned engine would
+   have accumulated at-and-below a node with this state (excluding the
+   node's own replay, which every hit performs anyway to learn the
+   state).  Adding a cached summary instead of re-exploring reproduces
+   the unpruned counters exactly — pruning changes [nodes] (physical
+   replays) but never [executions]/[truncated]/[total_violations]. *)
+type subtree = {
+  d_nodes : int;  (* logical nodes strictly below (replayed + saved) *)
+  d_execs : int;
+  d_trunc : int;
+  d_viols : int;
+}
+
+(* Visited-set key: full-memory fingerprint (private NVM drives
+   recovery, so shared cells alone would merge states with different
+   futures), the session's state digest, and the scheduler state the
+   delay-bounded DFS branches on (running process, spent budgets).  Two
+   nodes with equal keys have identical subtrees — see the soundness
+   note on {!Session.state_digest} and DESIGN.md. *)
+type key = int * int * int * int * int * int
 
 type state = {
   cfg : config;
   mk : unit -> Runtime.Machine.t * Obj_inst.t;
   workloads : Spec.op list array;
   configs : Config_set.t;
+  visited : (key, subtree) Hashtbl.t;
+  depth_hist : (int, int) Hashtbl.t;
   mutable executions : int;
   mutable truncated : int;
   mutable nodes : int;
   mutable violations : violation list;
   mutable n_violations : int;
+  mutable dedup_hits : int;
+  mutable nodes_saved : int;
 }
+
+let mk_state cfg mk workloads =
+  {
+    cfg;
+    mk;
+    workloads;
+    configs =
+      Config_set.create
+        ~mode:(if cfg.exact_configs then Config_set.Exact else Config_set.Fingerprint)
+        ();
+    visited = Hashtbl.create 4096;
+    depth_hist = Hashtbl.create 64;
+    executions = 0;
+    truncated = 0;
+    nodes = 0;
+    violations = [];
+    n_violations = 0;
+    dedup_hits = 0;
+    nodes_saved = 0;
+  }
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + try Hashtbl.find tbl k with Not_found -> 0)
 
 (* [decisions] is kept newest-first during the DFS; replay applies it
    oldest-first. *)
@@ -85,63 +151,189 @@ let record_execution st ~decisions ~inst ~session ~truncated =
 
 (* DFS over decision sequences: [cur] is the running process (switching
    away from it costs budget; after a crash any process is free),
-   [switches]/[crashes] are budget spent so far. *)
-let rec dfs st decisions cur switches crashes =
+   [switches]/[crashes] are budget spent so far, [depth] the length of
+   [decisions]. *)
+let rec dfs st decisions ~depth cur switches crashes =
   st.nodes <- st.nodes + 1;
+  bump st.depth_hist depth;
   let machine, inst, session = replay st decisions in
-  Config_set.add st.configs (Mem.snapshot (Runtime.Machine.mem machine));
+  ignore (Config_set.add_live st.configs (Runtime.Machine.mem machine) : bool);
+  let key =
+    if st.cfg.prune then begin
+      let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
+      let c = match cur with None -> -1 | Some pid -> pid in
+      Some ((fa, fb, Session.state_digest session, c, switches, crashes) : key)
+    end
+    else None
+  in
+  match key with
+  | Some k when Hashtbl.mem st.visited k ->
+      let d = Hashtbl.find st.visited k in
+      st.dedup_hits <- st.dedup_hits + 1;
+      st.nodes_saved <- st.nodes_saved + d.d_nodes;
+      st.executions <- st.executions + d.d_execs;
+      st.truncated <- st.truncated + d.d_trunc;
+      st.n_violations <- st.n_violations + d.d_viols
+  | _ ->
+      let nodes0 = st.nodes
+      and saved0 = st.nodes_saved
+      and execs0 = st.executions
+      and trunc0 = st.truncated
+      and viols0 = st.n_violations in
+      let runnable = Session.runnable session in
+      if runnable = [] then
+        record_execution st ~decisions:(List.rev decisions) ~inst ~session
+          ~truncated:false
+      else if Session.steps session >= st.cfg.max_steps then
+        record_execution st ~decisions:(List.rev decisions) ~inst ~session
+          ~truncated:true
+      else begin
+        (* crash move *)
+        if crashes < st.cfg.crash_budget then
+          dfs st (Crash :: decisions) ~depth:(depth + 1) None switches
+            (crashes + 1);
+        (* step moves *)
+        List.iter
+          (fun pid ->
+            (* only a preemption costs budget: switching away from a process
+               that finished (or crashed) is free *)
+            let cost =
+              match cur with
+              | None -> 0
+              | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
+            in
+            if switches + cost <= st.cfg.switch_budget then
+              dfs st (Step pid :: decisions) ~depth:(depth + 1) (Some pid)
+                (switches + cost) crashes)
+          runnable
+      end;
+      (match key with
+      | Some k ->
+          Hashtbl.replace st.visited k
+            {
+              d_nodes = st.nodes - nodes0 + (st.nodes_saved - saved0);
+              d_execs = st.executions - execs0;
+              d_trunc = st.truncated - trunc0;
+              d_viols = st.n_violations - viols0;
+            }
+      | None -> ())
+
+(* Merge worker states (worker order, so results are deterministic for a
+   fixed [domains]) into the final outcome. *)
+let finish ~t0 ~domains_used sts =
+  let base = List.hd sts in
+  List.iter
+    (fun st ->
+      Config_set.merge_into ~dst:base.configs ~src:st.configs;
+      Hashtbl.iter
+        (fun depth n ->
+          Hashtbl.replace base.depth_hist depth
+            (n + try Hashtbl.find base.depth_hist depth with Not_found -> 0))
+        st.depth_hist)
+    (List.tl sts);
+  let sum f = List.fold_left (fun acc st -> acc + f st) 0 sts in
+  let nodes = sum (fun st -> st.nodes) in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let violations =
+    let all = List.concat_map (fun st -> List.rev st.violations) sts in
+    List.filteri (fun i _ -> i < base.cfg.max_violations) all
+  in
+  {
+    executions = sum (fun st -> st.executions);
+    truncated = sum (fun st -> st.truncated);
+    nodes;
+    violations;
+    total_violations = sum (fun st -> st.n_violations);
+    distinct_shared_configs = Config_set.cardinal base.configs;
+    metrics =
+      {
+        dedup_hits = sum (fun st -> st.dedup_hits);
+        nodes_saved = sum (fun st -> st.nodes_saved);
+        peak_visited = sum (fun st -> Hashtbl.length st.visited);
+        fingerprint_collisions = Config_set.collisions base.configs;
+        elapsed_s;
+        nodes_per_sec = float_of_int nodes /. Float.max elapsed_s 1e-9;
+        replay_depth_hist =
+          Hashtbl.fold (fun d n acc -> (d, n) :: acc) base.depth_hist []
+          |> List.sort compare;
+        domains_used;
+      };
+  }
+
+let explore_sequential ~t0 ~mk ~workloads cfg =
+  let st = mk_state cfg mk workloads in
+  dfs st [] ~depth:0 None 0 0;
+  finish ~t0 ~domains_used:1 [ st ]
+
+(* Parallel exploration: replay the root once to learn the top-level
+   decision frontier, deal the frontier round-robin to worker domains,
+   and let each worker run the ordinary replay-based DFS on its share.
+   Replay shares no mutable state across workers — every node rebuilds
+   its machine through [mk] — so the only cross-domain traffic is the
+   final merge.  Memo tables are per-worker; because cached summaries
+   are exact, missing cross-worker dedup costs only replays, never
+   accuracy. *)
+let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
+  let root = mk_state cfg mk workloads in
+  root.nodes <- 1;
+  bump root.depth_hist 0;
+  let machine, inst, session = replay root [] in
+  ignore (Config_set.add_live root.configs (Runtime.Machine.mem machine) : bool);
   let runnable = Session.runnable session in
-  if runnable = [] then
-    record_execution st ~decisions:(List.rev decisions) ~inst ~session
-      ~truncated:false
-  else if Session.steps session >= st.cfg.max_steps then
-    record_execution st ~decisions:(List.rev decisions) ~inst ~session
-      ~truncated:true
+  if runnable = [] then begin
+    record_execution root ~decisions:[] ~inst ~session ~truncated:false;
+    finish ~t0 ~domains_used:1 [ root ]
+  end
+  else if Session.steps session >= cfg.max_steps then begin
+    record_execution root ~decisions:[] ~inst ~session ~truncated:true;
+    finish ~t0 ~domains_used:1 [ root ]
+  end
   else begin
-    (* crash move *)
-    if crashes < st.cfg.crash_budget then
-      dfs st (Crash :: decisions) None switches (crashes + 1);
-    (* step moves *)
-    List.iter
-      (fun pid ->
-        (* only a preemption costs budget: switching away from a process
-           that finished (or crashed) is free *)
-        let cost =
-          match cur with
-          | None -> 0
-          | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
-        in
-        if switches + cost <= st.cfg.switch_budget then
-          dfs st (Step pid :: decisions) (Some pid) (switches + cost) crashes)
-      runnable
+    (* mirror [dfs]'s child generation at the root: cur = None, so every
+       step child is free and a crash child spends one crash budget *)
+    let tasks =
+      (if cfg.crash_budget > 0 then [ (Crash, None, 0, 1) ] else [])
+      @ List.map (fun pid -> (Step pid, Some pid, 0, 0)) runnable
+    in
+    let n_workers = min domains (List.length tasks) in
+    let chunks = Array.make n_workers [] in
+    List.iteri
+      (fun i task -> chunks.(i mod n_workers) <- task :: chunks.(i mod n_workers))
+      tasks;
+    let worker idx () =
+      let st = mk_state cfg mk workloads in
+      List.iter
+        (fun (d, cur, switches, crashes) ->
+          dfs st [ d ] ~depth:1 cur switches crashes)
+        (List.rev chunks.(idx));
+      st
+    in
+    let handles = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
+    let sts = Array.to_list (Array.map Domain.join handles) in
+    finish ~t0 ~domains_used:n_workers (root :: sts)
   end
 
 let explore ~mk ~workloads cfg =
-  let st =
-    {
-      cfg;
-      mk;
-      workloads;
-      configs = Config_set.create ();
-      executions = 0;
-      truncated = 0;
-      nodes = 0;
-      violations = [];
-      n_violations = 0;
-    }
-  in
-  dfs st [] None 0 0;
+  let t0 = Unix.gettimeofday () in
+  let domains = max 1 cfg.domains in
+  if domains = 1 then explore_sequential ~t0 ~mk ~workloads cfg
+  else explore_parallel ~t0 ~mk ~workloads cfg ~domains
+
+let no_metrics ~elapsed_s ~nodes =
   {
-    executions = st.executions;
-    truncated = st.truncated;
-    nodes = st.nodes;
-    violations = List.rev st.violations;
-    total_violations = st.n_violations;
-    distinct_shared_configs = Config_set.cardinal st.configs;
+    dedup_hits = 0;
+    nodes_saved = 0;
+    peak_visited = 0;
+    fingerprint_collisions = 0;
+    elapsed_s;
+    nodes_per_sec = float_of_int nodes /. Float.max elapsed_s 1e-9;
+    replay_depth_hist = [];
+    domains_used = 1;
   }
 
 let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)
     ?(keep = fun (_ : Loc.t) -> true) ?(max_steps = 2_000) () =
+  let t0 = Unix.gettimeofday () in
   let configs = Config_set.create () in
   let executions = ref 0 in
   let truncated = ref 0 in
@@ -155,7 +347,7 @@ let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)
     let cut = ref false in
     let continue = ref true in
     while !continue do
-      Config_set.add configs (Mem.snapshot (Runtime.Machine.mem machine));
+      ignore (Config_set.add_live configs (Runtime.Machine.mem machine) : bool);
       match Session.runnable session with
       | [] -> continue := false
       | runnable ->
@@ -198,11 +390,13 @@ let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)
   for k = 0 to total - 1 do
     ignore (run_with_crash (Some (k, true)))
   done;
+  let nodes = !executions + !truncated in
   {
     executions = !executions;
     truncated = !truncated;
-    nodes = !executions + !truncated;
+    nodes;
     violations = List.rev !violations;
     total_violations = List.length !violations;
     distinct_shared_configs = Config_set.cardinal configs;
+    metrics = no_metrics ~elapsed_s:(Unix.gettimeofday () -. t0) ~nodes;
   }

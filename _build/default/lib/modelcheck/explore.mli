@@ -20,6 +20,26 @@ open Sched
     switches), and every scheduling bug this repository's ablations plant
     is found with budgets ≤ 3.
 
+    Two engine features keep larger budgets affordable (see DESIGN.md,
+    "Scaling the checker"):
+
+    - {b Pruning} ([prune], on by default): each DFS node is keyed by a
+      compact fingerprint of (full memory contents, session state
+      digest, scheduler state) and its subtree summary is memoised.
+      Revisiting an equivalent node adds the cached
+      executions/violations counts instead of re-exploring, so pruning
+      is {e exact}: [executions], [truncated], [total_violations] and
+      [distinct_shared_configs] are identical to the unpruned engine's;
+      only [nodes] (physical replays) shrinks.  Commuting interleavings
+      of non-interfering steps all land on the same key, which is where
+      the savings come from.
+    - {b Parallelism} ([domains] > 1): the top-level decision frontier is
+      dealt round-robin to that many OCaml domains, each running the
+      replay-based DFS on its share with its own machines, memo table
+      and configuration set; outcomes merge at the join.  [mk] must
+      therefore be safe to call concurrently (a pure constructor of
+      fresh machines — which every existing factory already is).
+
     The explorer also accumulates the set of pairwise
     non-memory-equivalent shared-memory configurations visited, which is
     how experiment E1 measures reachable configurations against
@@ -36,11 +56,16 @@ type config = {
   policy : Session.policy;
   keep : Loc.t -> bool;  (** write-back mask applied at crashes *)
   max_violations : int;  (** stop collecting after this many samples *)
+  prune : bool;  (** memoise subtrees by state fingerprint (exact) *)
+  domains : int;  (** worker domains; 1 = sequential *)
+  exact_configs : bool;
+      (** audit config-set fingerprints with full snapshots *)
 }
 
 val default_config : config
 (** switch budget 3, crash budget 1, 2_000 steps, [Retry], keep-all,
-    collect up to 3 violations. *)
+    collect up to 3 violations; pruning on, 1 domain, fingerprint-mode
+    configuration counting. *)
 
 type violation = {
   decisions : decision list;  (** the schedule that exhibits it *)
@@ -48,15 +73,33 @@ type violation = {
   msg : string;
 }
 
+type metrics = {
+  dedup_hits : int;  (** nodes answered from the visited set *)
+  nodes_saved : int;
+      (** logical nodes the memo hits avoided replaying; the unpruned
+          engine would have visited [nodes + nodes_saved] nodes *)
+  peak_visited : int;  (** total memo-table entries (summed over domains) *)
+  fingerprint_collisions : int;
+      (** {!Config_set.collisions} of the merged set; always 0 unless
+          [exact_configs] *)
+  elapsed_s : float;
+  nodes_per_sec : float;  (** physical replays per wall-clock second *)
+  replay_depth_hist : (int * int) list;
+      (** (decision-sequence length, replayed nodes at that depth),
+          ascending — the replay work profile of the search *)
+  domains_used : int;
+}
+
 type outcome = {
-  executions : int;  (** complete executions explored *)
+  executions : int;  (** complete executions explored (incl. memoised) *)
   truncated : int;  (** executions cut off by [max_steps] *)
-  nodes : int;  (** DFS nodes visited *)
+  nodes : int;  (** DFS nodes physically replayed *)
   violations : violation list;  (** sample, capped at [max_violations] *)
   total_violations : int;  (** all violating executions, uncapped *)
   distinct_shared_configs : int;
       (** pairwise non-memory-equivalent shared-memory configurations
           seen anywhere in the exploration *)
+  metrics : metrics;
 }
 
 val explore :
@@ -66,7 +109,8 @@ val explore :
   outcome
 (** [mk] must build a fresh machine and instance on every call (the
     explorer re-executes from the initial configuration once per DFS
-    node). *)
+    node) and, when [domains > 1], must tolerate concurrent calls from
+    different domains. *)
 
 val crash_points :
   mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
@@ -83,4 +127,5 @@ val crash_points :
     schedules like round-robin start fresh each time.  Cheap — linear in
     the schedule length — and exactly the shape of the Figure 2
     construction: it is how experiment E3 exhibits the auxiliary-state
-    impossibility on the ablated objects. *)
+    impossibility on the ablated objects.  Its [metrics] carry timing
+    only (no pruning happens here). *)

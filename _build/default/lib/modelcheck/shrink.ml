@@ -45,9 +45,19 @@ let reproduces ~mk ~workloads ?(policy = Session.Retry)
 let minimise ~mk ~workloads ?(policy = Session.Retry)
     ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000) decisions =
   let attempts = ref 0 in
+  (* successive deletion passes can regenerate a candidate already tried
+     (deleting i then j yields the same list as deleting j then i); the
+     outcome is a pure function of the decision list, so memoise it and
+     only count physical replays in [attempts] *)
+  let seen = Hashtbl.create 64 in
   let try_candidate ds =
-    incr attempts;
-    run_candidate ~mk ~workloads ~policy ~keep ~max_steps ds
+    match Hashtbl.find_opt seen ds with
+    | Some cached -> cached
+    | None ->
+        incr attempts;
+        let outcome = run_candidate ~mk ~workloads ~policy ~keep ~max_steps ds in
+        Hashtbl.replace seen ds outcome;
+        outcome
   in
   match try_candidate decisions with
   | None -> None

@@ -87,18 +87,27 @@ let loc_by_id mem id =
   if id < 0 || id >= mem.len then invalid_arg "Mem.loc_by_id: out of range";
   mem.locs.(id)
 
-type snapshot = { s_cells : Value.t array; s_locs : Loc.t array }
+type snapshot = {
+  s_cells : Value.t array;
+  s_locs : Loc.t array;
+  s_max_bits : int array;
+}
 
 let snapshot mem =
   {
     s_cells = Array.sub mem.cells 0 mem.len;
     s_locs = Array.sub mem.locs 0 mem.len;
+    s_max_bits = Array.sub mem.max_bits 0 mem.len;
   }
 
 let restore mem snap =
   if Array.length snap.s_cells <> mem.len then
     invalid_arg "Mem.restore: snapshot from a different allocation state";
-  Array.blit snap.s_cells 0 mem.cells 0 mem.len
+  Array.blit snap.s_cells 0 mem.cells 0 mem.len;
+  (* roll the high-water marks back too: a restore rewinds the whole
+     store, and leaving [max_bits] at the post-rollback peak would make
+     [max_shared_bits] over-report the Theorem 1 footprint *)
+  Array.blit snap.s_max_bits 0 mem.max_bits 0 mem.len
 
 let equal_shared a b =
   Array.length a.s_cells = Array.length b.s_cells
@@ -117,6 +126,41 @@ let hash_shared a =
       if Loc.is_shared loc then h := (!h * 1000003) lxor Value.hash a.s_cells.(i))
     a.s_locs;
   !h
+
+(* Two fingerprint halves chained from independent seeds.  The model
+   checker treats a pair collision as "same configuration", so the halves
+   must be wide and independent; Config_set's exact mode audits them. *)
+let seed_a = 0x2545F4914F6CDD1
+let seed_b = 0x6A09E667F3BCC90
+
+let fingerprint_shared snap =
+  let a = ref seed_a and b = ref seed_b in
+  Array.iteri
+    (fun i loc ->
+      if Loc.is_shared loc then begin
+        a := Value.hash_seeded (Value.mix !a i) snap.s_cells.(i);
+        b := Value.hash_seeded (Value.mix !b i) snap.s_cells.(i)
+      end)
+    snap.s_locs;
+  (!a, !b)
+
+let live_fingerprint_shared mem =
+  let a = ref seed_a and b = ref seed_b in
+  for i = 0 to mem.len - 1 do
+    if Loc.is_shared mem.locs.(i) then begin
+      a := Value.hash_seeded (Value.mix !a i) mem.cells.(i);
+      b := Value.hash_seeded (Value.mix !b i) mem.cells.(i)
+    end
+  done;
+  (!a, !b)
+
+let live_fingerprint_full mem =
+  let a = ref seed_a and b = ref seed_b in
+  for i = 0 to mem.len - 1 do
+    a := Value.hash_seeded (Value.mix !a i) mem.cells.(i);
+    b := Value.hash_seeded (Value.mix !b i) mem.cells.(i)
+  done;
+  (!a, !b)
 
 let equal_full a b =
   Array.length a.s_cells = Array.length b.s_cells

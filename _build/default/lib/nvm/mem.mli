@@ -45,7 +45,13 @@ val loc_by_id : t -> int -> Loc.t
 type snapshot
 
 val snapshot : t -> snapshot
+(** Captures every cell's contents {e and} its [max_bits] high-water
+    mark, so a later {!restore} rewinds the space accounting along with
+    the values. *)
+
 val restore : t -> snapshot -> unit
+(** Restore cell contents and high-water marks to the snapshotted state.
+    Raises [Invalid_argument] if the allocation state differs. *)
 
 val equal_shared : snapshot -> snapshot -> bool
 (** The paper's memory-equivalence: two configurations are
@@ -57,6 +63,29 @@ val hash_shared : snapshot -> int
 
 val equal_full : snapshot -> snapshot -> bool
 (** Equality over all cells, shared and private. *)
+
+(** {1 Fingerprints}
+
+    Compact (two-word) digests used by the model checker's visited set
+    and by {!Modelcheck.Config_set}'s fingerprint mode.  The two halves
+    are chained from independent seeds with {!Value.hash_seeded}, so a
+    pair collision between distinct configurations needs both 63-bit
+    streams to collide at once.  The [live_] variants read the store
+    directly and allocate nothing — they are the model checker's
+    per-node hot path. *)
+
+val fingerprint_shared : snapshot -> int * int
+(** Digest of the shared cells only, consistent with {!equal_shared}:
+    memory-equivalent snapshots have equal fingerprints. *)
+
+val live_fingerprint_shared : t -> int * int
+(** [fingerprint_shared] of the current contents, without materialising
+    a snapshot. *)
+
+val live_fingerprint_full : t -> int * int
+(** Digest over {e all} cells, shared and private — the memory half of
+    the explorer's visited-set key (recovery reads private NVM, so
+    pruning must distinguish private differences). *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 

@@ -55,6 +55,25 @@ let rec hash v =
   | Str s -> Hashtbl.hash s
   | Tup xs -> Array.fold_left (fun acc x -> (acc * 1000003) lxor hash x) 7919 xs
 
+(* 63-bit avalanche combine (xor-multiply-shift, splitmix-style).  The
+   model checker keys its visited-set on chains of [mix], so the mixer
+   must spread single-bit input differences across the whole word. *)
+let mix h x =
+  let h = h lxor x in
+  let h = h * 0x9E3779B97F4A7C1 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0xBF58476D1CE4E5B in
+  h lxor (h lsr 32)
+
+let rec hash_seeded seed v =
+  match v with
+  | Unit -> mix seed 17
+  | Bot -> mix seed 31
+  | Bool b -> mix seed (if b then 83 else 97)
+  | Int n -> mix (mix seed 2) n
+  | Str s -> mix (mix seed 3) (Hashtbl.hash s)
+  | Tup xs -> Array.fold_left hash_seeded (mix seed 4099) xs
+
 let rec pp fmt = function
   | Unit -> Format.fprintf fmt "()"
   | Bot -> Format.fprintf fmt "⊥"

@@ -20,6 +20,18 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val mix : int -> int -> int
+(** [mix h x] folds [x] into accumulator [h] with a 63-bit avalanche
+    mixer.  Chains of [mix] are how the model checker fingerprints
+    configurations; the mixer spreads single-bit differences across the
+    whole word so independent seeds give near-independent digests. *)
+
+val hash_seeded : int -> t -> int
+(** [hash_seeded seed v] is a structural 63-bit digest of [v] chained
+    from [seed].  Unlike {!hash} (a bucketing hash), this recurses with
+    full-width mixing, so two [hash_seeded] streams started from
+    different seeds act as independent fingerprint halves. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

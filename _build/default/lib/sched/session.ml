@@ -21,6 +21,11 @@ type pstate = {
   mutable in_recovery : bool;
   mutable rec_started : bool;
       (* has any recovery run for the current operation instance? *)
+  mutable step_sig : int;
+      (* rolling digest of every (request, response) this process has
+         exchanged with the machine, with crash markers folded in.
+         Programs are deterministic, so this pins down the fiber's
+         continuation state exactly — see [state_digest]. *)
 }
 
 type t = {
@@ -35,9 +40,12 @@ type t = {
   op_steps_tbl : (string, int) Hashtbl.t;
   rec_steps_tbl : (string, int) Hashtbl.t;
   mutable anomalies : string list;
+  mutable hist_sig : int;  (* rolling digest of [events], oldest first *)
 }
 
-let emit s e = s.events <- e :: s.events
+let emit s e =
+  s.events <- e :: s.events;
+  s.hist_sig <- Value.mix s.hist_sig (Hashtbl.hash e)
 
 let fresh_uid s =
   let u = s.uid in
@@ -176,6 +184,7 @@ let create ?(policy = Retry) machine inst ~workloads =
               cur_steps = 0;
               in_recovery = false;
               rec_started = false;
+              step_sig = Value.mix 0 pid;
             })
           workloads;
       events = [];
@@ -185,6 +194,7 @@ let create ?(policy = Retry) machine inst ~workloads =
       op_steps_tbl = Hashtbl.create 8;
       rec_steps_tbl = Hashtbl.create 8;
       anomalies = [];
+      hist_sig = 0;
     }
   in
   Array.iter
@@ -213,6 +223,9 @@ let step s pid =
       match Fiber.status f with
       | Fiber.Pending req ->
           let v = Machine.apply s.machine req in
+          ps.step_sig <-
+            Value.mix ps.step_sig
+              (Value.mix (Hashtbl.hash req) (Value.hash_seeded 11 v));
           s.steps <- s.steps + 1;
           ps.cur_steps <- ps.cur_steps + 1;
           let tbl = if ps.in_recovery then s.rec_steps_tbl else s.op_steps_tbl in
@@ -228,7 +241,10 @@ let crash s ~keep =
   Array.iter
     (fun ps ->
       (match ps.fiber with Some f -> Fiber.kill f | None -> ());
-      ps.fiber <- None)
+      ps.fiber <- None;
+      (* crash marker: restart_prog's behavior depends on everything
+         step_sig already covers, so keep rolling across the restart *)
+      ps.step_sig <- Value.mix ps.step_sig 0xC0FFEE)
     s.procs;
   Machine.crash s.machine ~keep;
   Array.iter
@@ -246,3 +262,46 @@ let dump tbl =
 
 let op_steps s = dump s.op_steps_tbl
 let rec_steps s = dump s.rec_steps_tbl
+
+(* Cheap exact digest of the session's future-relevant state.
+
+   Process programs are deterministic: a fiber's continuation is a pure
+   function of (workload, pid, the request/response sequence it has
+   exchanged, crash restarts) — exactly what [step_sig] rolls up.  The
+   driver-visible fields ([status], [todo], recovery flags) are functions
+   of the same sequence, but folding them in costs nothing and guards the
+   digest against future session features that might mutate them out of
+   band.  [hist_sig] pins the real-time order of emitted events (the
+   linearizability verdict of any extension depends on it), and [uid] /
+   [steps] / [crashes] pin the counters that feed events and truncation.
+
+   Two sessions over the same workloads with equal digests (and equal
+   full-memory contents, which the caller checks separately) therefore
+   behave identically under every future decision sequence. *)
+let state_digest s =
+  let acc = ref (Value.mix s.hist_sig (Value.mix s.uid s.steps)) in
+  acc := Value.mix !acc s.crashes;
+  Array.iter
+    (fun ps ->
+      let status_h =
+        match ps.status with
+        | Idle -> 1
+        | Announced (uid, _) -> Value.mix 2 uid
+        | Completed (uid, _, v) -> Value.mix (Value.mix 3 uid) (Value.hash v)
+      in
+      let flags =
+        (if ps.in_recovery then 1 else 0)
+        lor (if ps.rec_started then 2 else 0)
+        lor (match ps.fiber with
+            | Some f -> (
+                match Fiber.status f with
+                | Fiber.Pending _ -> 4
+                | Fiber.Done _ -> 8
+                | Fiber.Killed -> 12)
+            | None -> 16)
+      in
+      acc := Value.mix !acc ps.step_sig;
+      acc := Value.mix !acc status_h;
+      acc := Value.mix !acc (Value.mix (List.length ps.todo) flags))
+    s.procs;
+  !acc

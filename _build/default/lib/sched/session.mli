@@ -53,3 +53,15 @@ val op_steps : t -> (string * int) list
 (** Per operation name, max own-steps of a single crash-free stretch. *)
 
 val rec_steps : t -> (string * int) list
+
+val state_digest : t -> int
+(** O(N) rolling digest of everything about the session that can affect
+    its future behavior {e other than} memory contents: each process's
+    full request/response interaction history (which, programs being
+    deterministic, pins down its fiber continuation exactly), driver
+    status, remaining workload, the real-time event order so far, and
+    the step/crash/uid counters.  The model checker combines this with
+    {!Nvm.Mem.live_fingerprint_full} to key its visited set: two
+    configurations with equal digests and equal memory behave
+    identically under every future decision sequence (up to 63-bit hash
+    collisions). *)

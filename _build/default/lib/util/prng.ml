@@ -14,11 +14,24 @@ let next_int64 g =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* Rejection sampling over 62-bit draws: a bare [r mod bound] skews low
+   residues whenever [bound] does not divide 2^62.  Draws at or above the
+   largest multiple of [bound] below 2^62 are rejected and redrawn, so
+   every residue class is hit by exactly the same number of accepted
+   draws.  The rejection probability is (2^62 mod bound) / 2^62 — for the
+   small bounds schedules use it is essentially zero, so the stream is
+   unchanged in practice and each call still costs one draw. *)
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  (* keep 62 bits so the conversion to OCaml's 63-bit int stays positive *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
-  r mod bound
+  (* keep 62 bits so the conversion to OCaml's 63-bit int stays positive;
+     2^62 itself is unrepresentable (max_int = 2^62 - 1), so the cutoff is
+     phrased as r <= max_int - (2^62 mod bound) *)
+  let excess = ((max_int mod bound) + 1) mod bound in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+    if excess = 0 || r <= max_int - excess then r mod bound else draw ()
+  in
+  draw ()
 
 let bool g = Int64.logand (next_int64 g) 1L = 1L
 

@@ -20,7 +20,10 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int g bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+(** [int g bound] is {e exactly} uniform in [\[0, bound)] (rejection
+    sampling over 62-bit draws, so there is no modulo bias even for
+    bounds that do not divide 2^62).  Requires [bound > 0].  May consume
+    more than one raw draw, with probability [2^62 mod bound / 2^62]. *)
 
 val bool : t -> bool
 (** Uniform boolean. *)

@@ -57,6 +57,29 @@ let test_snapshot_restore () =
   Mem.restore m snap;
   Alcotest.check v "restored" (i 1) (Mem.read m a)
 
+let test_restore_rolls_back_max_bits () =
+  (* Regression: [restore] used to put values back but leave the per-location
+     high-water marks at whatever the abandoned branch drove them to, so a
+     model-checking replay that explored a wide write first would inflate
+     [max_shared_bits] for every sibling branch explored after it. *)
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let snap = Mem.snapshot m in
+  Alcotest.(check int) "baseline high-water" 1 (Mem.max_shared_bits m);
+  Mem.write m a (i 255);
+  Alcotest.(check int) "wide write raises it" 8 (Mem.max_shared_bits m);
+  Mem.restore m snap;
+  Alcotest.(check int) "restore rolls it back" 1 (Mem.max_shared_bits m);
+  Alcotest.(check int) "per-loc mark rolls back too" 1 (Mem.max_bits_of m a);
+  (* and a snapshot taken *after* the wide write must preserve the mark *)
+  Mem.write m a (i 255);
+  let snap8 = Mem.snapshot m in
+  Mem.restore m snap;
+  Alcotest.(check int) "dropped again" 1 (Mem.max_shared_bits m);
+  Mem.restore m snap8;
+  Alcotest.(check int) "snapshot carries its own mark" 8
+    (Mem.max_shared_bits m)
+
 let test_equal_shared_ignores_private () =
   let mk () =
     let m = Mem.create () in
@@ -184,6 +207,8 @@ let suites =
         Alcotest.test_case "faa" `Quick test_faa;
         Alcotest.test_case "reset" `Quick test_reset;
         Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+        Alcotest.test_case "restore rolls back footprint high-water" `Quick
+          test_restore_rolls_back_max_bits;
         Alcotest.test_case "memory-equivalence" `Quick
           test_equal_shared_ignores_private;
         Alcotest.test_case "footprint accounting" `Quick test_footprint;

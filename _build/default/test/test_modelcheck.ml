@@ -99,6 +99,116 @@ let test_violation_reports_schedule () =
       Alcotest.(check bool) "schedule contains the crash" true
         (List.mem Modelcheck.Explore.Crash v.decisions)
 
+(* --- pruned / parallel engines agree with the original engine ---
+
+   Memoisation stores exact subtree summaries, so every externally
+   observable counter (executions, truncated, violations, distinct shared
+   configurations) must be bit-identical to the unpruned engine; only the
+   number of physically replayed nodes may shrink.  The same holds for the
+   domain-partitioned engine, whose workers split the top-level frontier. *)
+
+let mk_no_vec () =
+  let m = Runtime.Machine.create () in
+  (m, Baselines.Broken.dcas_no_vec m ~n:2 ~init:(i 0))
+
+let no_vec_workload =
+  [| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |]
+
+let mk_reexec () =
+  let m = Runtime.Machine.create () in
+  (m, Baselines.Broken.rw_no_aux_reexec m ~n:2 ~init:(i 0))
+
+(* Figure 2 workload: p writes, q reads around q's own write. *)
+let fig2_workload =
+  [|
+    [ Spec.write_op (i 1) ]; [ Spec.read_op; Spec.write_op (i 0); Spec.read_op ];
+  |]
+
+let check_engines_agree ~mk ~workloads ~switches ~crashes () =
+  let base =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+    }
+  in
+  let run cfg = Modelcheck.Explore.explore ~mk ~workloads cfg in
+  let unpruned = run { base with prune = false } in
+  let agree label (out : Modelcheck.Explore.outcome) =
+    Alcotest.(check int)
+      (label ^ ": total_violations")
+      unpruned.Modelcheck.Explore.total_violations
+      out.Modelcheck.Explore.total_violations;
+    Alcotest.(check int)
+      (label ^ ": distinct_shared_configs")
+      unpruned.Modelcheck.Explore.distinct_shared_configs
+      out.Modelcheck.Explore.distinct_shared_configs;
+    Alcotest.(check int)
+      (label ^ ": executions")
+      unpruned.Modelcheck.Explore.executions
+      out.Modelcheck.Explore.executions;
+    Alcotest.(check int)
+      (label ^ ": truncated")
+      unpruned.Modelcheck.Explore.truncated out.Modelcheck.Explore.truncated
+  in
+  let pruned = run { base with prune = true; exact_configs = true } in
+  agree "pruned" pruned;
+  (* every replay the pruned engine skipped is accounted for *)
+  Alcotest.(check int) "pruned: nodes + nodes_saved = unpruned nodes"
+    unpruned.Modelcheck.Explore.nodes
+    (pruned.Modelcheck.Explore.nodes
+    + pruned.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_saved);
+  Alcotest.(check int) "pruned: no fingerprint collisions" 0
+    pruned.Modelcheck.Explore.metrics.Modelcheck.Explore.fingerprint_collisions;
+  let parallel = run { base with prune = true; domains = 2 } in
+  agree "parallel" parallel;
+  Alcotest.(check int) "parallel: ran on 2 domains" 2
+    parallel.Modelcheck.Explore.metrics.Modelcheck.Explore.domains_used;
+  pruned
+
+let test_engines_agree_no_vec () =
+  let pruned =
+    check_engines_agree ~mk:mk_no_vec ~workloads:no_vec_workload ~switches:2
+      ~crashes:1 ()
+  in
+  (* the no-vec ablation actually violates, so agreement is not vacuous *)
+  Alcotest.(check bool) "violations present" true
+    (pruned.Modelcheck.Explore.total_violations > 0);
+  Alcotest.(check bool) "dedup engaged" true
+    (pruned.Modelcheck.Explore.metrics.Modelcheck.Explore.dedup_hits > 0)
+
+let test_engines_agree_reexec () =
+  ignore
+    (check_engines_agree ~mk:mk_reexec ~workloads:fig2_workload ~switches:2
+       ~crashes:1 ())
+
+let test_metrics_sanity () =
+  let out =
+    Modelcheck.Explore.explore
+      ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 0) (i 2) ] |]
+      { Modelcheck.Explore.default_config with switch_budget = 1 }
+  in
+  let m = out.Modelcheck.Explore.metrics in
+  Alcotest.(check bool) "visited set populated" true
+    (m.Modelcheck.Explore.peak_visited > 0);
+  Alcotest.(check bool) "throughput measured" true
+    (m.Modelcheck.Explore.nodes_per_sec > 0.0);
+  Alcotest.(check bool) "elapsed measured" true
+    (m.Modelcheck.Explore.elapsed_s >= 0.0);
+  Alcotest.(check int) "sequential run reports one domain" 1
+    m.Modelcheck.Explore.domains_used;
+  (* the depth histogram accounts for every replayed node exactly once *)
+  Alcotest.(check int) "depth histogram sums to nodes"
+    out.Modelcheck.Explore.nodes
+    (List.fold_left
+       (fun acc (_, n) -> acc + n)
+       0 m.Modelcheck.Explore.replay_depth_hist);
+  (* histogram is sorted by depth with no duplicate buckets *)
+  let depths = List.map fst m.Modelcheck.Explore.replay_depth_hist in
+  Alcotest.(check bool) "histogram sorted" true
+    (depths = List.sort_uniq compare depths)
+
 let suites =
   [
     ( "modelcheck.explore",
@@ -115,5 +225,10 @@ let suites =
           test_crash_points_covers_all;
         Alcotest.test_case "violation sample" `Quick
           test_violation_reports_schedule;
+        Alcotest.test_case "engines agree (dcas_no_vec)" `Quick
+          test_engines_agree_no_vec;
+        Alcotest.test_case "engines agree (rw_no_aux_reexec)" `Quick
+          test_engines_agree_reexec;
+        Alcotest.test_case "metrics sanity" `Quick test_metrics_sanity;
       ] );
   ]

@@ -71,6 +71,44 @@ let test_int_rejects_nonpositive () =
   Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
     (fun () -> ignore (Prng.int g 0))
 
+let test_int_distribution () =
+  (* [Prng.int] draws by rejection sampling, so residues must land near
+     uniform even for bounds that do not divide the generator's range.  With
+     60_000 draws over 7 buckets the expected count per bucket is ~8571; a
+     +/-5% band is ~27 standard deviations, so a deterministic seed passing
+     once will keep passing unless the sampler regresses to a biased mod. *)
+  let g = Prng.create 42 in
+  let bound = 7 and draws = 60_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Prng.int g bound in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  Array.iteri
+    (fun k c ->
+      let dev = abs_float (float_of_int c -. expected) /. expected in
+      if dev > 0.05 then
+        Alcotest.failf "bucket %d has %d draws (%.1f%% off uniform)" k c
+          (100.0 *. dev))
+    counts
+
+let test_int_large_bound_unbiased_tail () =
+  (* A bound just above half the positive range makes the naive [r mod bound]
+     visibly biased (low residues would be twice as likely); rejection
+     sampling must still return values across the whole interval. *)
+  let g = Prng.create 9 in
+  let bound = (max_int / 2) + 2 in
+  let high = ref 0 in
+  for _ = 1 to 2_000 do
+    let x = Prng.int g bound in
+    if x < 0 || x >= bound then Alcotest.fail "out of range";
+    if x > bound / 2 then incr high
+  done;
+  (* under uniformity ~half the draws exceed bound/2; the biased mod would
+     fold the upper range onto low residues and push this toward a quarter *)
+  Alcotest.(check bool) "upper half populated" true (!high > 800)
+
 let test_table_render () =
   let t = Table.create ~title:"demo" [ "a"; "bb"; "ccc" ] in
   Table.add_row t [ "1"; "2"; "3" ];
@@ -108,6 +146,10 @@ let suites =
         Alcotest.test_case "split" `Quick test_split_independent;
         Alcotest.test_case "int rejects non-positive" `Quick
           test_int_rejects_nonpositive;
+        Alcotest.test_case "int distribution near uniform" `Quick
+          test_int_distribution;
+        Alcotest.test_case "int unbiased at large bounds" `Quick
+          test_int_large_bound_unbiased_tail;
         QCheck_alcotest.to_alcotest prop_int_in_bounds;
         QCheck_alcotest.to_alcotest prop_float_in_unit;
         QCheck_alcotest.to_alcotest prop_shuffle_permutation;
