@@ -1,189 +1,106 @@
-(* Smoke validator for `bench/main.exe --json` output, run from the
-   tier-1 test alias: parses the file with a minimal recursive-descent
-   JSON parser (no external dependency) and checks the checker-metrics
-   schema markers are present, so the bench output stays machine-readable
-   as the engine evolves. *)
+(* Schema validator for the bench/CLI JSON artefacts, run from the
+   tier-1 test alias (and from @bench-check).  Parses the file with the
+   dependency-free Tiny_json parser and dispatches on the "schema"
+   marker:
+
+   - "detectable-bench/checker-v1"  — `bench/main.exe --json` (model
+     checker throughput trajectory);
+   - "detectable-torture/v1"        — one torture run report, as written
+     by `detect_cli torture --json/--report`;
+   - "detectable-bench/torture-v1"  — a torture bench baseline
+     (`bench/main.exe --baseline`, the committed BENCH_torture.json),
+     i.e. header + one embedded torture report per campaign.
+
+   Keeping every producer behind this one validator is what lets future
+   PRs treat the JSON artefacts as a stable machine-readable surface. *)
+
+open Tiny_json
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
+let require_keys what j keys =
+  List.iter
+    (fun k -> if not (mem k j) then fail "json_check: %s missing %S" what k)
+    keys
 
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let error msg = fail "json_check: parse error at byte %d: %s" !pos msg in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some x when x = c -> advance ()
-    | _ -> error (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> error "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-          advance ();
-          (match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-              Buffer.add_char b '?';
-              advance ()
-          | Some 'u' ->
-              advance ();
-              for _ = 1 to 4 do
-                match peek () with
-                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-                | _ -> error "bad \\u escape"
-              done;
-              Buffer.add_char b '?'
-          | _ -> error "bad escape");
-          go ()
-      | Some c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> num_char c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> error "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then (advance (); Obj [])
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | Some '}' ->
-                advance ();
-                Obj (List.rev ((k, v) :: acc))
-            | _ -> error "expected , or } in object"
-          in
-          members []
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then (advance (); List [])
-        else
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elems (v :: acc)
-            | Some ']' ->
-                advance ();
-                List (List.rev (v :: acc))
-            | _ -> error "expected , or ] in array"
-          in
-          elems []
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-    | None -> error "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then error "trailing garbage";
-  v
+let check_engine e =
+  require_keys "engine record" e
+    [
+      "engine"; "switch_budget"; "crash_budget"; "domains"; "executions";
+      "nodes"; "total_violations"; "distinct_shared_configs"; "dedup_hit_rate";
+      "nodes_per_sec"; "elapsed_s";
+    ]
+
+let check_checker j =
+  match get_list (member "engines" j) with
+  | [] -> fail "json_check: \"engines\" must be a non-empty array"
+  | engines -> List.iter check_engine engines
+
+let check_dist what d =
+  require_keys what d [ "min"; "max"; "mean"; "total" ]
+
+(* one detectable-torture/v1 report; [top] says whether the "schema" and
+   "timing" markers are required (they are omitted for reports embedded
+   in a baseline file, whose timing lives in "perf") *)
+let check_torture_report ?(top = true) j =
+  require_keys "torture report" j
+    [
+      "object"; "root_seed"; "trials"; "config"; "verdicts"; "recoveries";
+      "crashes"; "steps"; "max_shared_bits"; "first_failure";
+    ];
+  require_keys "torture config" (member "config" j)
+    [ "policy"; "crash_prob"; "max_crashes"; "max_steps" ];
+  require_keys "torture verdicts" (member "verdicts" j)
+    [ "linearized"; "not_linearized"; "incomplete" ];
+  require_keys "torture recoveries" (member "recoveries" j)
+    [ "returned"; "fail_verdicts" ];
+  let crashes = member "crashes" j in
+  require_keys "torture crashes" crashes
+    [ "injected"; "bucket_width"; "histogram" ];
+  List.iter
+    (fun b -> require_keys "histogram bucket" b [ "from_step"; "count" ])
+    (get_list (member "histogram" crashes));
+  check_dist "steps dist" (member "steps" j);
+  check_dist "max_shared_bits dist" (member "max_shared_bits" j);
+  (match member "first_failure" j with
+  | Null -> ()
+  | f ->
+      require_keys "first_failure" f
+        [ "trial"; "seed"; "msg"; "schedule"; "minimised"; "shrink_attempts" ]);
+  if top then
+    require_keys "torture timing" (member "timing" j)
+      [ "elapsed_s"; "trials_per_sec"; "domains" ]
+
+let check_torture_baseline j =
+  require_keys "torture baseline" j [ "root_seed"; "trials"; "campaigns" ];
+  match get_list (member "campaigns" j) with
+  | [] -> fail "json_check: \"campaigns\" must be a non-empty array"
+  | campaigns ->
+      List.iter
+        (fun c ->
+          require_keys "campaign" c [ "report"; "perf" ];
+          check_torture_report ~top:false (member "report" c);
+          require_keys "campaign perf" (member "perf" c)
+            [ "elapsed_s"; "trials_per_sec"; "domains" ])
+        campaigns
 
 let () =
   let path =
     if Array.length Sys.argv = 2 then Sys.argv.(1)
     else fail "usage: json_check FILE"
   in
-  let contents =
-    (* read by chunks: works for pipes and /dev/stdin, where
-       [in_channel_length] cannot seek *)
-    let ic = open_in_bin path in
-    let b = Buffer.create 4096 in
-    let chunk = Bytes.create 4096 in
-    let rec go () =
-      let k = input ic chunk 0 (Bytes.length chunk) in
-      if k > 0 then begin
-        Buffer.add_subbytes b chunk 0 k;
-        go ()
-      end
-    in
-    go ();
-    close_in ic;
-    Buffer.contents b
-  in
-  match parse contents with
-  | Obj fields ->
-      let get k =
-        match List.assoc_opt k fields with
-        | Some v -> v
-        | None -> fail "json_check: missing key %S" k
-      in
-      (match get "schema" with
-      | Str "detectable-bench/checker-v1" -> ()
-      | _ -> fail "json_check: unexpected schema");
-      (match get "engines" with
-      | List (_ :: _ as engines) ->
-          List.iter
-            (function
-              | Obj e ->
-                  List.iter
-                    (fun k ->
-                      if not (List.mem_assoc k e) then
-                        fail "json_check: engine record missing %S" k)
-                    [
-                      "engine"; "switch_budget"; "crash_budget"; "domains";
-                      "executions"; "nodes"; "total_violations";
-                      "distinct_shared_configs"; "dedup_hit_rate";
-                      "nodes_per_sec"; "elapsed_s";
-                    ]
-              | _ -> fail "json_check: engine entry is not an object")
-            engines
-      | _ -> fail "json_check: \"engines\" must be a non-empty array");
-      print_endline "bench --json output: valid"
-  | _ -> fail "json_check: top-level value is not an object"
+  match of_file path with
+  | exception Error m -> fail "json_check: %s: %s" path m
+  | j -> (
+      match get_str (member "schema" j) with
+      | "detectable-bench/checker-v1" ->
+          check_checker j;
+          print_endline "bench --json output: valid"
+      | "detectable-torture/v1" ->
+          check_torture_report j;
+          print_endline "torture report: valid"
+      | "detectable-bench/torture-v1" ->
+          check_torture_baseline j;
+          print_endline "torture baseline: valid"
+      | s -> fail "json_check: unknown schema %S" s
+      | exception Error m -> fail "json_check: %s: %s" path m)

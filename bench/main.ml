@@ -330,28 +330,242 @@ let checker_json ~budget =
     budget
     (String.concat ",\n" results)
 
-(* [--json [--budget N]]: base switch budget N (default 1: a sub-second
-   smoke run for the test suite); the final engine row always runs at
-   N+1 to track how far past the seed engine's reach the pruned checker
-   gets. *)
-let () =
-  if Array.exists (( = ) "--json") Sys.argv then begin
-    let budget =
-      let rec find i =
-        if i >= Array.length Sys.argv - 1 then 1
-        else if Sys.argv.(i) = "--budget" then
-          match int_of_string_opt Sys.argv.(i + 1) with
-          | Some n when n >= 0 -> n
-          | _ ->
-              prerr_endline
-                "bench: --budget expects a non-negative integer switch budget";
-              exit 2
-        else find (i + 1)
-      in
-      find 1
-    in
-    checker_json ~budget
+(* ------------------------------------------------------------------ *)
+(* Torture bench baselines (`--baseline` / `--compare`).
+
+   `--baseline` runs the standard torture campaigns and writes
+   BENCH_torture.json (schema detectable-bench/torture-v1): per campaign
+   the full deterministic run report plus the measured throughput.
+   `--compare FILE` reruns the same campaigns at the file's recorded
+   (root_seed, trials) and diffs: the deterministic counters must match
+   exactly (they are a pure function of the code and the seed — any
+   drift is a behavioral change that must be acknowledged by
+   regenerating the baseline), while throughput is tolerance-gated
+   (default 10x, machines differ).  `dune build @bench-check` runs the
+   comparison against the committed baseline. *)
+
+let torture_campaigns : Torture.spec list =
+  [
+    Torture.default_spec_of ~label:"dcas_n3_mix" ~mk:mk_dcas_n3
+      ~workloads_of_seed:(fun s ->
+        Workload.cas (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:2)
+      ();
+    Torture.default_spec_of ~label:"dqueue_n3_mix"
+      ~mk:(fun () ->
+        let m = Machine.create () in
+        ( m,
+          Detectable.Dqueue.instance (Detectable.Dqueue.create m ~n:3 ~capacity:64)
+        ))
+      ~workloads_of_seed:(fun s ->
+        Workload.queue (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:3)
+      ();
+    Torture.default_spec_of ~label:"drw_n3_mix"
+      ~mk:(fun () ->
+        let m = Machine.create () in
+        (m, Detectable.Drw.instance (Detectable.Drw.create m ~n:3 ~init:(i 0))))
+      ~workloads_of_seed:(fun s ->
+        Workload.register (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:2)
+      ();
+  ]
+
+let indent_lines ~by s =
+  String.split_on_char '\n' s
+  |> List.map (fun l -> if l = "" then l else by ^ l)
+  |> String.concat "\n"
+
+let torture_baseline ~out ~trials ~root_seed ~domains =
+  let campaigns =
+    List.map
+      (fun spec ->
+        let r = Torture.run ~domains ~root_seed ~trials spec in
+        Printf.sprintf
+          "    {\n\
+          \      \"report\":\n\
+           %s,\n\
+          \      \"perf\": { \"elapsed_s\": %.6f, \"trials_per_sec\": %.1f, \
+           \"domains\": %d }\n\
+          \    }"
+          (indent_lines ~by:"      "
+             (String.trim (Torture.to_json ~timing:false r)))
+          r.Torture.elapsed_s r.Torture.trials_per_sec r.Torture.domains_used)
+      torture_campaigns
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"detectable-bench/torture-v1\",\n\
+      \  \"root_seed\": %d,\n\
+      \  \"trials\": %d,\n\
+      \  \"campaigns\": [\n%s\n  ]\n}\n"
+      root_seed trials
+      (String.concat ",\n" campaigns)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "torture baseline (%d campaigns, %d trials each) written to %s\n"
+    (List.length torture_campaigns) trials out
+
+let torture_compare ~file ~tolerance ~domains =
+  let j =
+    match Tiny_json.of_file file with
+    | j -> j
+    | exception Tiny_json.Error m ->
+        Printf.eprintf "bench --compare: %s: %s\n" file m;
+        exit 1
+    | exception Sys_error m ->
+        Printf.eprintf "bench --compare: %s\n" m;
+        exit 1
+  in
+  let open Tiny_json in
+  let fail_cnt = ref 0 in
+  (try
+     (match get_str (member "schema" j) with
+     | "detectable-bench/torture-v1" -> ()
+     | s ->
+         Printf.eprintf "bench --compare: unexpected schema %S\n" s;
+         exit 1);
+     let root_seed = get_int (member "root_seed" j) in
+     let trials = get_int (member "trials" j) in
+     List.iter
+       (fun campaign ->
+         let base = member "report" campaign in
+         let label = get_str (member "object" base) in
+         match
+           List.find_opt
+             (fun (s : Torture.spec) -> s.Torture.label = label)
+             torture_campaigns
+         with
+         | None ->
+             incr fail_cnt;
+             Printf.printf
+               "%-16s UNKNOWN campaign (renamed/removed?) — regenerate the \
+                baseline with --baseline\n"
+               label
+         | Some spec ->
+             let fresh = Torture.run ~domains ~root_seed ~trials spec in
+             let verdicts = member "verdicts" base in
+             let mismatches =
+               List.filter_map
+                 (fun (name, want, got) ->
+                   if want = got then None
+                   else Some (Printf.sprintf "%s: baseline %d, fresh %d" name want got))
+                 [
+                   ("linearized", get_int (member "linearized" verdicts),
+                    fresh.Torture.linearized);
+                   ("not_linearized", get_int (member "not_linearized" verdicts),
+                    fresh.Torture.not_linearized);
+                   ("incomplete", get_int (member "incomplete" verdicts),
+                    fresh.Torture.incomplete);
+                   ("crashes.injected",
+                    get_int (member "injected" (member "crashes" base)),
+                    fresh.Torture.crashes_injected);
+                   ("recoveries.returned",
+                    get_int (member "returned" (member "recoveries" base)),
+                    fresh.Torture.rec_returned);
+                   ("recoveries.fail_verdicts",
+                    get_int (member "fail_verdicts" (member "recoveries" base)),
+                    fresh.Torture.rec_failed);
+                   ("steps.total", get_int (member "total" (member "steps" base)),
+                    fresh.Torture.steps.Torture.d_total);
+                   ("steps.max", get_int (member "max" (member "steps" base)),
+                    fresh.Torture.steps.Torture.d_max);
+                   ("max_shared_bits.max",
+                    get_int (member "max" (member "max_shared_bits" base)),
+                    fresh.Torture.max_shared_bits.Torture.d_max);
+                 ]
+             in
+             let base_tps =
+               get_num (member "trials_per_sec" (member "perf" campaign))
+             in
+             let ratio = fresh.Torture.trials_per_sec /. Float.max base_tps 1e-9 in
+             if mismatches <> [] then begin
+               incr fail_cnt;
+               Printf.printf "%-16s DETERMINISM MISMATCH\n" label;
+               List.iter (Printf.printf "  %s\n") mismatches;
+               Printf.printf
+                 "  (behavioral change: regenerate the baseline with \
+                  --baseline and explain it in the PR)\n"
+             end
+             else if ratio < 1.0 /. tolerance then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-16s PERF REGRESSION: %.1f trials/sec vs baseline %.1f \
+                  (%.2fx, tolerance %.0fx)\n"
+                 label fresh.Torture.trials_per_sec base_tps ratio tolerance
+             end
+             else
+               Printf.printf
+                 "%-16s ok: counters exact, %.1f trials/sec vs baseline %.1f \
+                  (%.2fx)\n"
+                 label fresh.Torture.trials_per_sec base_tps ratio)
+       (get_list (member "campaigns" j))
+   with Tiny_json.Error m ->
+     Printf.eprintf "bench --compare: %s: %s\n" file m;
+     exit 1);
+  if !fail_cnt = 0 then print_endline "torture baseline comparison: ok"
+  else begin
+    Printf.printf "torture baseline comparison: %d campaign(s) failed\n"
+      !fail_cnt;
+    exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* entry point: ad-hoc flag scan (no cmdliner dependency here)
+
+   --json [--budget N]          checker-throughput JSON to stdout
+   --baseline [--out FILE] [--trials N] [--seed S] [--domains D]
+   --compare FILE [--tolerance X] [--domains D]
+   (no flags)                   full experiment + bench suite *)
+
+let flag_value name =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let int_flag name default =
+  match flag_value name with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | _ ->
+          Printf.eprintf "bench: %s expects a non-negative integer\n" name;
+          exit 2)
+
+let float_flag name default =
+  match flag_value name with
+  | None -> default
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f when f > 0.0 -> f
+      | _ ->
+          Printf.eprintf "bench: %s expects a positive number\n" name;
+          exit 2)
+
+let () =
+  if Array.exists (( = ) "--json") Sys.argv then
+    checker_json ~budget:(int_flag "--budget" 1)
+  else if Array.exists (( = ) "--baseline") Sys.argv then
+    torture_baseline
+      ~out:(Option.value (flag_value "--out") ~default:"BENCH_torture.json")
+      ~trials:(int_flag "--trials" 2_000)
+      ~root_seed:(int_flag "--seed" 1)
+      ~domains:(int_flag "--domains" 1)
+  else if Array.exists (( = ) "--compare") Sys.argv then
+    let file =
+      match flag_value "--compare" with
+      | Some f -> f
+      | None ->
+          prerr_endline "bench: --compare expects a baseline file";
+          exit 2
+    in
+    torture_compare ~file
+      ~tolerance:(float_flag "--tolerance" 10.0)
+      ~domains:(int_flag "--domains" 1)
   else begin
     Experiments.Registry.run_all ();
     print_newline ();

@@ -1,0 +1,177 @@
+(* Minimal dependency-free JSON parser shared by the bench harness
+   (baseline comparison in main.ml) and the schema validator
+   (json_check.ml).  Strings with escapes are decoded approximately
+   (escaped characters become '?'): the bench schemas never depend on
+   escaped string contents, only on keys, numbers and markers. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let error msg = fail "json parse error at byte %d: %s" !pos msg in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              Buffer.add_char b '?';
+              advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> error "bad \\u escape"
+              done;
+              Buffer.add_char b '?'
+          | _ -> error "bad escape");
+          go ()
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> error "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> error "expected , or } in object"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> error "expected , or ] in array"
+          in
+          elems []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> error "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let of_file path =
+  let contents =
+    (* read by chunks: works for pipes and /dev/stdin, where
+       [in_channel_length] cannot seek *)
+    let ic = open_in_bin path in
+    let b = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let k = input ic chunk 0 (Bytes.length chunk) in
+      if k > 0 then begin
+        Buffer.add_subbytes b chunk 0 k;
+        go ()
+      end
+    in
+    go ();
+    close_in ic;
+    Buffer.contents b
+  in
+  parse contents
+
+(* accessors; all raise {!Error} with the offending key in the message *)
+
+let member k = function
+  | Obj fields -> (
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> fail "missing key %S" k)
+  | _ -> fail "looked up %S in a non-object" k
+
+let mem k = function Obj fields -> List.mem_assoc k fields | _ -> false
+
+let get_str = function Str s -> s | _ -> fail "expected a string"
+
+let get_num = function Num f -> f | _ -> fail "expected a number"
+
+let get_int j = int_of_float (get_num j)
+
+let get_list = function List l -> l | _ -> fail "expected an array"

@@ -1,0 +1,30 @@
+(** Minimal dependency-free JSON parser shared by the bench harness and
+    the schema validator.  String escapes decode approximately (each
+    escaped character becomes ['?']): the bench schemas depend only on
+    keys, numbers and plain-ASCII markers. *)
+
+exception Error of string
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> t
+(** Raises {!Error} on malformed input (with a byte offset). *)
+
+val of_file : string -> t
+(** Chunked read (works for pipes), then {!parse}. *)
+
+val member : string -> t -> t
+(** Field lookup; raises {!Error} naming the missing key. *)
+
+val mem : string -> t -> bool
+
+val get_str : t -> string
+val get_num : t -> float
+val get_int : t -> int
+val get_list : t -> t list

@@ -182,49 +182,81 @@ let torture_cmd =
       value & opt float 0.05
       & info [ "crash-prob" ] ~docv:"P" ~doc:"Per-step crash probability.")
   in
-  let run kind procs ops trials crash_prob policy seed =
-    let violations = ref 0 in
-    let crashes = ref 0 in
-    for s = seed to seed + trials - 1 do
-      let prng = Dtc_util.Prng.create s in
-      let machine, inst = mk_of_kind kind ~n:procs () in
-      let cfg =
-        {
-          Driver.schedule = Schedule.random (Dtc_util.Prng.split prng);
-          crash_plan =
-            Crash_plan.random ~max_crashes:3 ~prob:crash_prob
-              (Dtc_util.Prng.split prng);
-          policy;
-          max_steps = 100_000;
-        }
-      in
-      let workloads = workloads_of_kind kind ~seed:s ~procs ~ops in
-      let res = Driver.run machine inst ~workloads cfg in
-      crashes := !crashes + res.Driver.crashes;
-      match Driver.check inst res with
-      | Lin_check.Ok_linearizable _ -> ()
-      | Lin_check.Violation msg ->
-          incr violations;
-          if !violations <= 3 then begin
-            Printf.printf "seed %d VIOLATION: %s\n" s msg;
-            Format.printf "%a@." Event.pp_history res.Driver.history
-          end
-    done;
-    Printf.printf
-      "torture: %d runs, %d crashes injected, %d violating histories\n" trials
-      !crashes !violations;
-    if !violations = 0 then `Ok () else `Error (false, "violations found")
+  let max_crashes =
+    Arg.(
+      value & opt int 3
+      & info [ "max-crashes" ] ~docv:"C" ~doc:"Crash budget per trial.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"W"
+          ~doc:
+            "Shard the trials over this many OCaml domains (1 = sequential). \
+             The merged report is bit-identical for any value: trial i always \
+             runs on the child seed stream derived from (seed, i).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the merged run report as a detectable-torture/v1 JSON \
+             document instead of the text summary.")
+  in
+  let report_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Also write the JSON run report to $(docv) (independent of \
+             $(b,--json)).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Skip minimising the first failing trial's schedule.")
+  in
+  let run kind procs ops trials crash_prob max_crashes policy seed domains json
+      report_file no_shrink =
+    let spec =
+      Torture.default_spec_of
+        ~label:(List.assoc kind (List.map (fun (k, v) -> (v, k)) obj_choices))
+        ~mk:(mk_of_kind kind ~n:procs)
+        ~workloads_of_seed:(fun s -> workloads_of_kind kind ~seed:s ~procs ~ops)
+        ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ()
+    in
+    let report =
+      Torture.run ~domains ~root_seed:seed ~trials ~shrink:(not no_shrink) spec
+    in
+    if json then print_string (Torture.to_json report)
+    else Format.printf "%a" Torture.pp report;
+    (match report_file with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Torture.to_json report);
+        close_out oc;
+        if not json then Printf.printf "report written to %s\n" path
+    | None -> ());
+    if report.Torture.not_linearized = 0 then `Ok ()
+    else `Error (false, "violations found")
   in
   Cmd.v
     (Cmd.info "torture"
        ~doc:
          "Randomized crash-torture: many seeded runs, random schedules and \
           crash points, every history checked for durable linearizability + \
-          detectability.")
+          detectability.  Trials shard deterministically over OCaml domains \
+          ($(b,--domains)) and merge into a structured run report \
+          ($(b,--json), $(b,--report)) with verdict counts, a crash-point \
+          histogram, step and space distributions, and the first failing \
+          trial's minimised schedule.")
     Term.(
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ trials $ crash_prob
-       $ policy_arg $ seed_arg))
+       $ max_crashes $ policy_arg $ seed_arg $ domains $ json $ report_file
+       $ no_shrink))
 
 (* trace *)
 

@@ -1,0 +1,435 @@
+open History
+open Sched
+
+type spec = {
+  label : string;
+  mk : unit -> Runtime.Machine.t * Obj_inst.t;
+  workloads_of_seed : int -> Spec.op list array;
+  policy : Session.policy;
+  crash_prob : float;
+  max_crashes : int;
+  max_steps : int;
+}
+
+let default_spec_of ?(policy = Session.Retry) ?(crash_prob = 0.05)
+    ?(max_crashes = 2) ?(max_steps = 50_000) ~label ~mk ~workloads_of_seed () =
+  { label; mk; workloads_of_seed; policy; crash_prob; max_crashes; max_steps }
+
+type dist = { d_min : int; d_max : int; d_mean : float; d_total : int }
+
+type failure = {
+  trial : int;
+  seed : int;
+  msg : string;
+  schedule : Modelcheck.Explore.decision list;
+  minimised : Modelcheck.Explore.decision list option;
+  shrink_attempts : int;
+}
+
+type report = {
+  label : string;
+  root_seed : int;
+  trials : int;
+  policy : Session.policy;
+  crash_prob : float;
+  max_crashes : int;
+  max_steps : int;
+  linearized : int;
+  not_linearized : int;
+  incomplete : int;
+  crashes_injected : int;
+  crash_hist : (int * int) list;
+  rec_returned : int;
+  rec_failed : int;
+  steps : dist;
+  max_shared_bits : dist;
+  first_failure : failure option;
+  elapsed_s : float;
+  trials_per_sec : float;
+  domains_used : int;
+}
+
+let crash_bucket = 16
+
+(* ------------------------------------------------------------------ *)
+(* one trial *)
+
+type trial = {
+  t_seed : int;  (* derived workload seed *)
+  t_steps : int;
+  t_crashes : int;
+  t_crash_steps : int list;  (* ascending *)
+  t_rec_returned : int;
+  t_rec_failed : int;
+  t_bits : int;
+  t_incomplete : bool;
+  t_violation : string option;
+  t_trace : Modelcheck.Explore.decision list;  (* oldest first *)
+}
+
+(* Everything random in a trial — workload, schedule, crash points —
+   derives from [Prng.stream root ~index], so the trial is a pure
+   function of (spec, root, index) no matter which domain runs it. *)
+let run_trial spec ~root ~index =
+  let prng = Dtc_util.Prng.stream root ~index in
+  let wseed =
+    Int64.to_int (Int64.shift_right_logical (Dtc_util.Prng.next_int64 prng) 2)
+  in
+  let workloads = spec.workloads_of_seed wseed in
+  let machine, inst = spec.mk () in
+  (* record the decision sequence (for Shrink) and the crash points (for
+     the histogram) by wrapping the schedule and the crash plan *)
+  let trace = ref [] in
+  let crash_steps = ref [] in
+  let random_sched = Schedule.random (Dtc_util.Prng.split prng) in
+  let sched =
+    {
+      Schedule.choose =
+        (fun ~runnable ~step ->
+          let pid = random_sched.Schedule.choose ~runnable ~step in
+          trace := Modelcheck.Explore.Step pid :: !trace;
+          pid);
+    }
+  in
+  let base_plan =
+    Crash_plan.random ~max_crashes:spec.max_crashes ~prob:spec.crash_prob
+      (Dtc_util.Prng.split prng)
+  in
+  let plan =
+    {
+      base_plan with
+      Crash_plan.should_crash =
+        (fun ~step ->
+          let fire = base_plan.Crash_plan.should_crash ~step in
+          if fire then begin
+            crash_steps := step :: !crash_steps;
+            trace := Modelcheck.Explore.Crash :: !trace
+          end;
+          fire);
+    }
+  in
+  let cfg =
+    {
+      Driver.schedule = sched;
+      crash_plan = plan;
+      policy = spec.policy;
+      max_steps = spec.max_steps;
+    }
+  in
+  let finish ~steps ~crashes ~rec_returned ~rec_failed ~incomplete ~violation =
+    {
+      t_seed = wseed;
+      t_steps = steps;
+      t_crashes = crashes;
+      t_crash_steps = List.rev !crash_steps;
+      t_rec_returned = rec_returned;
+      t_rec_failed = rec_failed;
+      t_bits = Nvm.Mem.max_shared_bits (Runtime.Machine.mem machine);
+      t_incomplete = incomplete;
+      t_violation = violation;
+      t_trace = List.rev !trace;
+    }
+  in
+  match Driver.run machine inst ~workloads cfg with
+  | res ->
+      let rec_returned, rec_failed =
+        List.fold_left
+          (fun (r, f) -> function
+            | Event.Rec_ret _ -> (r + 1, f)
+            | Event.Rec_fail _ -> (r, f + 1)
+            | _ -> (r, f))
+          (0, 0) res.Driver.history
+      in
+      let violation =
+        match Driver.check inst res with
+        | Lin_check.Ok_linearizable _ -> None
+        | Lin_check.Violation msg -> Some msg
+      in
+      finish ~steps:res.Driver.steps ~crashes:res.Driver.crashes ~rec_returned
+        ~rec_failed ~incomplete:res.Driver.incomplete ~violation
+  | exception (Invalid_argument msg | Failure msg) ->
+      (* an algorithm choked on inconsistent NVM state (possible for the
+         deliberately broken variants): a correctness violation, not a
+         harness failure — same convention as E6 *)
+      finish
+        ~steps:
+          (List.length
+             (List.filter
+                (function Modelcheck.Explore.Step _ -> true | _ -> false)
+                !trace))
+        ~crashes:(List.length !crash_steps)
+        ~rec_returned:0 ~rec_failed:0 ~incomplete:false
+        ~violation:(Some ("exception: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* campaign = shard + merge *)
+
+let dist_of xs =
+  match xs with
+  | [] -> { d_min = 0; d_max = 0; d_mean = 0.0; d_total = 0 }
+  | x :: rest ->
+      let mn, mx, total =
+        List.fold_left
+          (fun (mn, mx, total) v -> (min mn v, max mx v, total + v))
+          (x, x, x) rest
+      in
+      {
+        d_min = mn;
+        d_max = mx;
+        d_mean = float_of_int total /. float_of_int (List.length xs);
+        d_total = total;
+      }
+
+let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true) spec =
+  if trials < 0 then invalid_arg "Torture.run: trials must be non-negative";
+  let t0 = Unix.gettimeofday () in
+  let domains = max 1 (min domains (max 1 trials)) in
+  (* shard d owns trial indices { i | i mod domains = d }; trials share
+     nothing, so the only cross-domain traffic is the join *)
+  let worker d () =
+    let acc = ref [] in
+    let i = ref d in
+    while !i < trials do
+      acc := (!i, run_trial spec ~root:root_seed ~index:!i) :: !acc;
+      i := !i + domains
+    done;
+    !acc
+  in
+  let shards =
+    if domains = 1 then [ worker 0 () ]
+    else
+      let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+      Array.to_list (Array.map Domain.join handles)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let by_index = Array.make trials None in
+  List.iter (List.iter (fun (i, tr) -> by_index.(i) <- Some tr)) shards;
+  let ordered =
+    Array.to_list
+      (Array.map
+         (function
+           | Some tr -> tr
+           | None -> invalid_arg "Torture.run: shard lost a trial")
+         by_index)
+  in
+  (* merge in trial-index order: every aggregate below is a fold over
+     [ordered], so the report is independent of shard layout *)
+  let linearized = ref 0 and not_linearized = ref 0 and incomplete = ref 0 in
+  let crashes_injected = ref 0 in
+  let rec_returned = ref 0 and rec_failed = ref 0 in
+  let hist = Hashtbl.create 32 in
+  List.iter
+    (fun tr ->
+      (match tr.t_violation with
+      | Some _ -> incr not_linearized
+      | None -> if tr.t_incomplete then incr incomplete else incr linearized);
+      crashes_injected := !crashes_injected + tr.t_crashes;
+      rec_returned := !rec_returned + tr.t_rec_returned;
+      rec_failed := !rec_failed + tr.t_rec_failed;
+      List.iter
+        (fun s ->
+          let b = s / crash_bucket * crash_bucket in
+          Hashtbl.replace hist b
+            (1 + try Hashtbl.find hist b with Not_found -> 0))
+        tr.t_crash_steps)
+    ordered;
+  let crash_hist =
+    Hashtbl.fold (fun b n acc -> (b, n) :: acc) hist [] |> List.sort compare
+  in
+  let first_failure =
+    let rec find i = function
+      | [] -> None
+      | tr :: rest -> (
+          match tr.t_violation with
+          | Some msg -> Some (i, tr, msg)
+          | None -> find (i + 1) rest)
+    in
+    match find 0 ordered with
+    | None -> None
+    | Some (i, tr, msg) ->
+        let minimised, shrink_attempts =
+          if not shrink then (None, 0)
+          else
+            (* tolerant replay of an exception-raising trial can re-raise
+               inside the minimiser; losing the minimisation then is fine,
+               the raw schedule is still reported *)
+            match
+              try
+                Modelcheck.Shrink.minimise ~mk:spec.mk
+                  ~workloads:(spec.workloads_of_seed tr.t_seed)
+                  ~policy:spec.policy ~max_steps:spec.max_steps tr.t_trace
+              with Invalid_argument _ | Failure _ -> None
+            with
+            | Some r ->
+                (Some r.Modelcheck.Shrink.decisions, r.Modelcheck.Shrink.attempts)
+            | None -> (None, 0)
+        in
+        Some
+          {
+            trial = i;
+            seed = tr.t_seed;
+            msg;
+            schedule = tr.t_trace;
+            minimised;
+            shrink_attempts;
+          }
+  in
+  {
+    label = spec.label;
+    root_seed;
+    trials;
+    policy = spec.policy;
+    crash_prob = spec.crash_prob;
+    max_crashes = spec.max_crashes;
+    max_steps = spec.max_steps;
+    linearized = !linearized;
+    not_linearized = !not_linearized;
+    incomplete = !incomplete;
+    crashes_injected = !crashes_injected;
+    crash_hist;
+    rec_returned = !rec_returned;
+    rec_failed = !rec_failed;
+    steps = dist_of (List.map (fun tr -> tr.t_steps) ordered);
+    max_shared_bits = dist_of (List.map (fun tr -> tr.t_bits) ordered);
+    first_failure;
+    elapsed_s;
+    trials_per_sec = float_of_int trials /. Float.max elapsed_s 1e-9;
+    domains_used = domains;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let policy_string = function
+  | Session.Retry -> "retry"
+  | Session.Give_up -> "giveup"
+
+let decision_string = function
+  | Modelcheck.Explore.Step pid -> Printf.sprintf "p%d" pid
+  | Modelcheck.Explore.Crash -> "CRASH"
+
+(* JSON string escaping (the checker's violation messages are the only
+   free-form strings; keep them valid whatever they contain) *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let dist_json d =
+  Printf.sprintf {|{ "min": %d, "max": %d, "mean": %.4f, "total": %d }|}
+    d.d_min d.d_max d.d_mean d.d_total
+
+let schedule_json ds =
+  "[ "
+  ^ String.concat ", "
+      (List.map (fun d -> Printf.sprintf "%S" (decision_string d)) ds)
+  ^ " ]"
+
+let to_json ?(timing = true) r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"detectable-torture/v1\",\n";
+  add "  \"object\": \"%s\",\n" (escape r.label);
+  add "  \"root_seed\": %d,\n" r.root_seed;
+  add "  \"trials\": %d,\n" r.trials;
+  add
+    "  \"config\": { \"policy\": %S, \"crash_prob\": %.4f, \"max_crashes\": \
+     %d, \"max_steps\": %d },\n"
+    (policy_string r.policy) r.crash_prob r.max_crashes r.max_steps;
+  add
+    "  \"verdicts\": { \"linearized\": %d, \"not_linearized\": %d, \
+     \"incomplete\": %d },\n"
+    r.linearized r.not_linearized r.incomplete;
+  add "  \"recoveries\": { \"returned\": %d, \"fail_verdicts\": %d },\n"
+    r.rec_returned r.rec_failed;
+  add
+    "  \"crashes\": { \"injected\": %d, \"bucket_width\": %d, \"histogram\": \
+     [ %s ] },\n"
+    r.crashes_injected crash_bucket
+    (String.concat ", "
+       (List.map
+          (fun (b0, n) ->
+            Printf.sprintf {|{ "from_step": %d, "count": %d }|} b0 n)
+          r.crash_hist));
+  add "  \"steps\": %s,\n" (dist_json r.steps);
+  add "  \"max_shared_bits\": %s,\n" (dist_json r.max_shared_bits);
+  (match r.first_failure with
+  | None -> add "  \"first_failure\": null"
+  | Some f ->
+      add "  \"first_failure\": {\n";
+      add "    \"trial\": %d,\n" f.trial;
+      add "    \"seed\": %d,\n" f.seed;
+      add "    \"msg\": \"%s\",\n" (escape f.msg);
+      add "    \"schedule\": %s,\n" (schedule_json f.schedule);
+      (match f.minimised with
+      | None -> add "    \"minimised\": null,\n"
+      | Some ds -> add "    \"minimised\": %s,\n" (schedule_json ds));
+      add "    \"shrink_attempts\": %d\n" f.shrink_attempts;
+      add "  }");
+  if timing then
+    add
+      ",\n  \"timing\": { \"elapsed_s\": %.6f, \"trials_per_sec\": %.1f, \
+       \"domains\": %d }\n"
+      r.elapsed_s r.trials_per_sec r.domains_used
+  else add "\n";
+  add "}\n";
+  Buffer.contents b
+
+let pp fmt r =
+  Format.fprintf fmt "torture: %s — %d trials, root seed %d, policy %s, %d domain(s)@."
+    r.label r.trials r.root_seed (policy_string r.policy) r.domains_used;
+  Format.fprintf fmt
+    "verdicts:   %d linearized, %d not-linearized, %d incomplete@." r.linearized
+    r.not_linearized r.incomplete;
+  Format.fprintf fmt
+    "crashes:    %d injected; recoveries: %d returned, %d fail verdicts@."
+    r.crashes_injected r.rec_returned r.rec_failed;
+  Format.fprintf fmt "steps:      min %d, mean %.1f, max %d (total %d)@."
+    r.steps.d_min r.steps.d_mean r.steps.d_max r.steps.d_total;
+  Format.fprintf fmt "space:      max_shared_bits min %d, mean %.1f, max %d@."
+    r.max_shared_bits.d_min r.max_shared_bits.d_mean r.max_shared_bits.d_max;
+  Format.fprintf fmt "throughput: %.1f trials/sec (%.3fs elapsed)@."
+    r.trials_per_sec r.elapsed_s;
+  (match r.crash_hist with
+  | [] -> ()
+  | hist ->
+      let widest = List.fold_left (fun acc (_, n) -> max acc n) 1 hist in
+      Format.fprintf fmt "crash-point histogram (bucket width %d):@."
+        crash_bucket;
+      List.iter
+        (fun (b0, n) ->
+          let bar = max 1 (n * 40 / widest) in
+          Format.fprintf fmt "  [%5d,%5d) %s %d@." b0 (b0 + crash_bucket)
+            (String.make bar '#') n)
+        hist);
+  match r.first_failure with
+  | None -> ()
+  | Some f ->
+      Format.fprintf fmt "first failure: trial %d (seed %d): %s@." f.trial
+        f.seed f.msg;
+      Format.fprintf fmt "  schedule (%d decisions): %s@."
+        (List.length f.schedule)
+        (String.concat " " (List.map decision_string f.schedule));
+      (match f.minimised with
+      | Some ds ->
+          Format.fprintf fmt
+            "  minimised to %d decisions (%d replays): %s  [prefix, then free \
+             run]@."
+            (List.length ds) f.shrink_attempts
+            (String.concat " " (List.map decision_string ds))
+      | None ->
+          Format.fprintf fmt
+            "  (no minimisation: failure did not reproduce under tolerant \
+             replay)@.")

@@ -1,0 +1,124 @@
+open History
+open Sched
+
+(** The sharded, deterministic crash-torture engine.
+
+    A torture {e campaign} runs [trials] independent seeded executions of
+    one object under random schedules and random crash injection, checks
+    every history for durable linearizability + detectability, and merges
+    everything into one structured {!report}: verdict counts, a
+    crash-point histogram, recovery-verdict counts, step and
+    [max_shared_bits] distributions, throughput, and — when a trial
+    fails — the first failing trial's schedule, minimised with
+    {!Modelcheck.Shrink}.
+
+    {2 Determinism contract}
+
+    Trial [i] of a campaign with root seed [r] {e always} runs on the
+    child generator [Dtc_util.Prng.stream r ~index:i], computed in O(1)
+    from [(r, i)] alone.  Shards own disjoint trial-index sets and every
+    trial builds its own machine, so no state crosses trials; the merge
+    folds per-trial records in trial-index order.  Hence the merged
+    report — every field except the [timing] block — is a pure function
+    of [(spec, root_seed, trials)]: bit-identical for any [domains],
+    including 1.  {!to_json} with [~timing:false] renders exactly the
+    deterministic fields, which is what the determinism regression test
+    and the bench baseline comparison rely on.
+
+    The full JSON schema is documented field-by-field in
+    [docs/TORTURE.md]. *)
+
+type spec = {
+  label : string;  (** object / campaign name, e.g. ["dcas"] *)
+  mk : unit -> Runtime.Machine.t * Obj_inst.t;
+      (** fresh machine + instance per trial *)
+  workloads_of_seed : int -> Spec.op list array;
+      (** per-trial workload from the trial's derived seed *)
+  policy : Session.policy;
+  crash_prob : float;  (** per-step crash probability *)
+  max_crashes : int;  (** crash budget per trial *)
+  max_steps : int;  (** step budget per trial; exceeding it is [incomplete] *)
+}
+
+val default_spec_of :
+  ?policy:Session.policy ->
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  ?max_steps:int ->
+  label:string ->
+  mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
+  workloads_of_seed:(int -> Spec.op list array) ->
+  unit ->
+  spec
+(** Spec with the E6 torture defaults: [Retry], crash probability 0.05,
+    at most 2 crashes, 50_000 steps. *)
+
+type dist = {
+  d_min : int;
+  d_max : int;
+  d_mean : float;
+  d_total : int;
+}
+(** Distribution summary of a per-trial integer measure (all zero when
+    [trials = 0]). *)
+
+type failure = {
+  trial : int;  (** lowest failing trial index *)
+  seed : int;  (** the trial's derived workload seed *)
+  msg : string;  (** checker verdict or escaped exception message *)
+  schedule : Modelcheck.Explore.decision list;
+      (** the full decision trace of the failing trial, oldest first *)
+  minimised : Modelcheck.Explore.decision list option;
+      (** 1-minimal prefix from {!Modelcheck.Shrink.minimise} ([None] if
+          the failure does not reproduce under tolerant replay, or
+          shrinking was disabled) *)
+  shrink_attempts : int;  (** replays the minimiser performed *)
+}
+
+type report = {
+  label : string;
+  root_seed : int;
+  trials : int;
+  policy : Session.policy;
+  crash_prob : float;
+  max_crashes : int;
+  max_steps : int;
+  linearized : int;  (** trials whose history checked OK *)
+  not_linearized : int;  (** trials with a checker violation or anomaly *)
+  incomplete : int;  (** trials cut by the step budget (verdict OK) *)
+  crashes_injected : int;  (** total crash events across all trials *)
+  crash_hist : (int * int) list;
+      (** crash-point histogram: [(bucket_lo, count)], ascending, bucket
+          width {!crash_bucket}; a crash at global step [s] lands in the
+          bucket [s / crash_bucket * crash_bucket] *)
+  rec_returned : int;
+      (** recovery verdicts "was linearized, here is the response"
+          ([Event.Rec_ret]) across all trials *)
+  rec_failed : int;
+      (** recovery [fail] verdicts ([Event.Rec_fail]) across all trials *)
+  steps : dist;  (** per-trial primitive-step counts *)
+  max_shared_bits : dist;
+      (** per-trial shared-NVM high-water marks ({!Nvm.Mem.max_shared_bits}) *)
+  first_failure : failure option;
+  elapsed_s : float;  (** wall-clock of the trial phase (shrinking excluded) *)
+  trials_per_sec : float;
+  domains_used : int;
+}
+
+val crash_bucket : int
+(** Width of the crash-point histogram buckets (16 steps). *)
+
+val run :
+  ?domains:int -> ?root_seed:int -> ?trials:int -> ?shrink:bool -> spec -> report
+(** Run a campaign.  [domains] (default 1) shards the trial indices
+    round-robin over that many OCaml domains; [shrink] (default [true])
+    minimises the first failing trial's schedule after the merge.
+    Defaults: [root_seed = 1], [trials = 200]. *)
+
+val to_json : ?timing:bool -> report -> string
+(** Render the report as the [detectable-torture/v1] JSON document.
+    [~timing:false] (default [true]) omits the [timing] block, leaving
+    exactly the fields the determinism contract covers. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable multi-line summary. *)

@@ -6,13 +6,16 @@ let create seed = { state = Int64.of_int seed }
 
 let copy g = { state = g.state }
 
-(* splitmix64 output function: advance by the golden gamma, then mix. *)
-let next_int64 g =
-  g.state <- Int64.add g.state golden_gamma;
-  let z = g.state in
+(* splitmix64 finaliser (Steele, Lea & Flood). *)
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* splitmix64 output function: advance by the golden gamma, then mix. *)
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
 
 (* Rejection sampling over 62-bit draws: a bare [r mod bound] skews low
    residues whenever [bound] does not divide 2^62.  Draws at or above the
@@ -58,3 +61,20 @@ let shuffle g xs =
 let split g =
   let seed = next_int64 g in
   { state = seed }
+
+(* The [index]-th raw output of a generator with counter state [root] is
+   [mix (root + (index+1) * gamma)], so any child stream of a root seed
+   can be derived in O(1) without advancing a shared generator.  This is
+   the determinism backbone of the sharded torture engine: shard layout
+   never touches the per-trial streams. *)
+let stream root ~index =
+  if index < 0 then invalid_arg "Prng.stream: index must be non-negative";
+  let raw =
+    mix
+      (Int64.add (Int64.of_int root)
+         (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+  in
+  { state = raw }
+
+let stream_seed root ~index =
+  Int64.to_int (Int64.shift_right_logical (stream root ~index).state 2)

@@ -45,3 +45,20 @@ val shuffle : t -> 'a array -> unit
 val split : t -> t
 (** [split g] derives a statistically independent generator and advances
     [g].  Used to give each process its own stream. *)
+
+val stream : int -> index:int -> t
+(** [stream root ~index] is the [index]-th child generator of the seed
+    [root], derived in O(1) without materialising or advancing the root
+    generator: its initial state is the [index]-th raw output of
+    [create root].  Consequently [stream root ~index:i] behaves exactly
+    like the generator obtained by calling {!split} on [create root]
+    [i+1] times and keeping the last result — but any worker can compute
+    any stream directly.  This is the determinism contract of the
+    sharded torture engine: trial [i] always runs on
+    [stream root ~index:i], no matter which domain executes it or how
+    many domains exist.  Requires [index >= 0]. *)
+
+val stream_seed : int -> index:int -> int
+(** [stream_seed root ~index] is a non-negative integer seed (62 bits)
+    deterministically derived from the [index]-th child stream, for APIs
+    that take [int] seeds (e.g. workload generators). *)

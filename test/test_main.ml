@@ -33,4 +33,5 @@ let () =
          Test_reference.suites;
          Test_lemma_proofs.suites;
          Test_shrink.suites;
+         Test_torture.suites;
        ])

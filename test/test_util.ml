@@ -109,6 +109,44 @@ let test_int_large_bound_unbiased_tail () =
      fold the upper range onto low residues and push this toward a quarter *)
   Alcotest.(check bool) "upper half populated" true (!high > 800)
 
+let test_stream_matches_split_chain () =
+  (* the determinism backbone of the sharded torture engine:
+     [stream root ~index:i] equals the i-th successive [split] of
+     [create root], but is derived in O(1) without advancing a shared
+     generator — so any worker can reconstruct any trial's stream *)
+  let root = 12345 in
+  let g = Prng.create root in
+  for index = 0 to 31 do
+    let via_split = Prng.split g in
+    let via_stream = Prng.stream root ~index in
+    for _ = 1 to 4 do
+      Alcotest.(check int64)
+        (Printf.sprintf "stream %d tracks the %d-th split" index index)
+        (Prng.next_int64 via_split)
+        (Prng.next_int64 via_stream)
+    done
+  done
+
+let test_stream_independent_of_order () =
+  (* drawing stream 7 before stream 3 yields the same streams as the
+     reverse order — nothing is shared *)
+  let a7 = Prng.stream 99 ~index:7 and a3 = Prng.stream 99 ~index:3 in
+  let b3 = Prng.stream 99 ~index:3 and b7 = Prng.stream 99 ~index:7 in
+  Alcotest.(check int64) "stream 3 stable" (Prng.next_int64 a3) (Prng.next_int64 b3);
+  Alcotest.(check int64) "stream 7 stable" (Prng.next_int64 a7) (Prng.next_int64 b7);
+  Alcotest.(check bool) "streams 3 and 7 differ" true
+    (Prng.next_int64 (Prng.stream 99 ~index:3)
+    <> Prng.next_int64 (Prng.stream 99 ~index:7))
+
+let test_stream_seed_deterministic () =
+  Alcotest.(check int) "stream_seed is a pure function"
+    (Prng.stream_seed 4 ~index:11) (Prng.stream_seed 4 ~index:11);
+  Alcotest.(check bool) "stream_seed non-negative" true
+    (Prng.stream_seed 4 ~index:11 >= 0);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.stream: index must be non-negative") (fun () ->
+      ignore (Prng.stream 1 ~index:(-1)))
+
 let test_table_render () =
   let t = Table.create ~title:"demo" [ "a"; "bb"; "ccc" ] in
   Table.add_row t [ "1"; "2"; "3" ];
@@ -150,6 +188,11 @@ let suites =
           test_int_distribution;
         Alcotest.test_case "int unbiased at large bounds" `Quick
           test_int_large_bound_unbiased_tail;
+        Alcotest.test_case "stream = successive splits" `Quick
+          test_stream_matches_split_chain;
+        Alcotest.test_case "stream order-independent" `Quick
+          test_stream_independent_of_order;
+        Alcotest.test_case "stream_seed" `Quick test_stream_seed_deterministic;
         QCheck_alcotest.to_alcotest prop_int_in_bounds;
         QCheck_alcotest.to_alcotest prop_float_in_unit;
         QCheck_alcotest.to_alcotest prop_shuffle_permutation;
