@@ -9,7 +9,11 @@
      by `detect_cli torture --json/--report`;
    - "detectable-bench/torture-v1"  — a torture bench baseline
      (`bench/main.exe --baseline`, the committed BENCH_torture.json),
-     i.e. header + one embedded torture report per campaign.
+     i.e. header + one embedded torture report per campaign;
+   - "detectable-modelcheck/v1"     — a modelcheck engine baseline
+     (`bench/main.exe --baseline`, the committed BENCH_modelcheck.json):
+     per case the engine-independent counters plus one throughput record
+     per execution substrate and the measured undo/replay speedup.
 
    Keeping every producer behind this one validator is what lets future
    PRs treat the JSON artefacts as a stable machine-readable surface. *)
@@ -84,6 +88,35 @@ let check_torture_baseline j =
             [ "elapsed_s"; "trials_per_sec"; "domains" ])
         campaigns
 
+let check_modelcheck_baseline j =
+  match get_list (member "cases" j) with
+  | [] -> fail "json_check: \"cases\" must be a non-empty array"
+  | cases ->
+      List.iter
+        (fun c ->
+          require_keys "modelcheck case" c
+            [
+              "object"; "switch_budget"; "crash_budget"; "domains"; "counters";
+              "engines"; "undo_speedup"; "min_speedup";
+            ];
+          require_keys "modelcheck counters" (member "counters" c)
+            [
+              "executions"; "truncated"; "nodes"; "total_violations";
+              "distinct_shared_configs";
+            ];
+          match get_list (member "engines" c) with
+          | [] -> fail "json_check: case \"engines\" must be a non-empty array"
+          | engines ->
+              List.iter
+                (fun e ->
+                  require_keys "substrate record" e
+                    [
+                      "engine"; "elapsed_s"; "nodes_per_sec"; "rewound_cells";
+                      "rewound_cells_per_sec"; "intern_hit_rate";
+                    ])
+                engines)
+        cases
+
 let () =
   let path =
     if Array.length Sys.argv = 2 then Sys.argv.(1)
@@ -102,5 +135,8 @@ let () =
       | "detectable-bench/torture-v1" ->
           check_torture_baseline j;
           print_endline "torture baseline: valid"
+      | "detectable-modelcheck/v1" ->
+          check_modelcheck_baseline j;
+          print_endline "modelcheck baseline: valid"
       | s -> fail "json_check: unknown schema %S" s
       | exception Error m -> fail "json_check: %s: %s" path m)

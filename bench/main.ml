@@ -264,7 +264,14 @@ let dcas_n3_workload =
     [ Spec.cas_op (i 0) (i 2) ];
   |]
 
-let engine_json ~engine (cfg : Modelcheck.Explore.config)
+let mk_drw_n2 () =
+  let m = Machine.create () in
+  (m, Detectable.Drw.instance (Detectable.Drw.create m ~n:2 ~init:(i 0)))
+
+let drw_n2_workload =
+  [| [ Spec.write_op (i 1); Spec.read_op ]; [ Spec.write_op (i 2) ] |]
+
+let engine_json ~engine ~workload (cfg : Modelcheck.Explore.config)
     (out : Modelcheck.Explore.outcome) =
   let m = out.Modelcheck.Explore.metrics in
   let hit_rate =
@@ -273,13 +280,17 @@ let engine_json ~engine (cfg : Modelcheck.Explore.config)
     else float_of_int m.Modelcheck.Explore.dedup_hits /. float_of_int total
   in
   Printf.sprintf
-    {|    { "engine": %S, "switch_budget": %d, "crash_budget": %d,
+    {|    { "engine": %S, "workload": %S, "substrate": %S,
+      "switch_budget": %d, "crash_budget": %d,
       "domains": %d, "prune": %b,
       "executions": %d, "truncated": %d, "nodes": %d,
       "total_violations": %d, "distinct_shared_configs": %d,
       "dedup_hits": %d, "dedup_hit_rate": %.4f, "nodes_saved": %d,
-      "peak_visited": %d, "elapsed_s": %.6f, "nodes_per_sec": %.1f }|}
-    engine cfg.Modelcheck.Explore.switch_budget
+      "peak_visited": %d, "elapsed_s": %.6f, "nodes_per_sec": %.1f,
+      "rewound_cells": %d, "rewound_cells_per_sec": %.1f,
+      "intern_hit_rate": %.4f }|}
+    engine workload m.Modelcheck.Explore.engine
+    cfg.Modelcheck.Explore.switch_budget
     cfg.Modelcheck.Explore.crash_budget m.Modelcheck.Explore.domains_used
     cfg.Modelcheck.Explore.prune out.Modelcheck.Explore.executions
     out.Modelcheck.Explore.truncated out.Modelcheck.Explore.nodes
@@ -288,8 +299,11 @@ let engine_json ~engine (cfg : Modelcheck.Explore.config)
     m.Modelcheck.Explore.dedup_hits hit_rate
     m.Modelcheck.Explore.nodes_saved m.Modelcheck.Explore.peak_visited
     m.Modelcheck.Explore.elapsed_s m.Modelcheck.Explore.nodes_per_sec
+    m.Modelcheck.Explore.rewound_cells
+    m.Modelcheck.Explore.rewound_cells_per_sec
+    m.Modelcheck.Explore.intern_hit_rate
 
-let checker_json ~budget =
+let checker_json ~budget ~smoke =
   let base =
     {
       Modelcheck.Explore.default_config with
@@ -300,7 +314,7 @@ let checker_json ~budget =
   (* On a single-core box extra domains only buy stop-the-world GC
      synchronisation, so follow the runtime's recommendation. *)
   let domains = min 8 (Domain.recommended_domain_count ()) in
-  let runs =
+  let dcas_runs =
     [
       ("seed_unpruned", { base with Modelcheck.Explore.prune = false });
       ("pruned", base);
@@ -313,6 +327,25 @@ let checker_json ~budget =
         } );
     ]
   in
+  (* the acceptance pair: DRW at switch_budget = 4, one row per execution
+     substrate, single domain, identical configuration otherwise — the
+     nodes/sec ratio of the two rows is the undo engine's speedup.
+     Skipped under --smoke (the replay row alone runs for ~a minute). *)
+  let drw_runs =
+    if smoke then []
+    else
+      let drw =
+        {
+          Modelcheck.Explore.default_config with
+          switch_budget = 4;
+          crash_budget = 1;
+        }
+      in
+      [
+        ("replay_drw_sw4", { drw with Modelcheck.Explore.engine = `Replay });
+        ("undo_drw_sw4", { drw with Modelcheck.Explore.engine = `Undo });
+      ]
+  in
   let results =
     List.map
       (fun (engine, cfg) ->
@@ -320,8 +353,16 @@ let checker_json ~budget =
           Modelcheck.Explore.explore ~mk:mk_dcas_n3 ~workloads:dcas_n3_workload
             cfg
         in
-        engine_json ~engine cfg out)
-      runs
+        engine_json ~engine ~workload:"dcas_n3_one_cas_each" cfg out)
+      dcas_runs
+    @ List.map
+        (fun (engine, cfg) ->
+          let out =
+            Modelcheck.Explore.explore ~mk:mk_drw_n2 ~workloads:drw_n2_workload
+              cfg
+          in
+          engine_json ~engine ~workload:"drw_n2_write_read" cfg out)
+        drw_runs
   in
   Printf.printf
     "{\n  \"schema\": \"detectable-bench/checker-v1\",\n  \"workload\": \
@@ -406,25 +447,10 @@ let torture_baseline ~out ~trials ~root_seed ~domains =
   Printf.printf "torture baseline (%d campaigns, %d trials each) written to %s\n"
     (List.length torture_campaigns) trials out
 
-let torture_compare ~file ~tolerance ~domains =
-  let j =
-    match Tiny_json.of_file file with
-    | j -> j
-    | exception Tiny_json.Error m ->
-        Printf.eprintf "bench --compare: %s: %s\n" file m;
-        exit 1
-    | exception Sys_error m ->
-        Printf.eprintf "bench --compare: %s\n" m;
-        exit 1
-  in
+let torture_compare ~j ~file ~tolerance ~domains =
   let open Tiny_json in
   let fail_cnt = ref 0 in
   (try
-     (match get_str (member "schema" j) with
-     | "detectable-bench/torture-v1" -> ()
-     | s ->
-         Printf.eprintf "bench --compare: unexpected schema %S\n" s;
-         exit 1);
      let root_seed = get_int (member "root_seed" j) in
      let trials = get_int (member "trials" j) in
      List.iter
@@ -511,12 +537,239 @@ let torture_compare ~file ~tolerance ~domains =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Modelcheck engine baselines (BENCH_modelcheck.json, schema
+   detectable-modelcheck/v1).
+
+   `--baseline` also runs each modelcheck case under BOTH execution
+   substrates (`Replay and `Undo) at the same budgets, asserts the
+   deterministic counters are byte-identical (engine equivalence is part
+   of the recorded contract, not just a test), and writes per-substrate
+   throughput plus the measured undo/replay speedup.  `--compare` on a
+   file with this schema reruns the cases at the file's recorded budgets
+   and diffs: counters exactly, throughput within the tolerance, and the
+   fresh speedup against the file's "min_speedup" gate (set below the
+   measured speedup so slower CI machines don't flake; the committed
+   baseline records the real measured number). *)
+
+let mc_speedup_gate = 3.0
+
+let mc_cases ~budget =
+  [
+    ("drw_n2_write_read", budget, 1);
+    ("dcas_n3_one_cas_each", max 1 (budget - 2), 1);
+  ]
+
+let mc_factory = function
+  | "drw_n2_write_read" -> Some (mk_drw_n2, drw_n2_workload)
+  | "dcas_n3_one_cas_each" -> Some (mk_dcas_n3, dcas_n3_workload)
+  | _ -> None
+
+type mc_counters = {
+  c_executions : int;
+  c_truncated : int;
+  c_nodes : int;
+  c_violations : int;
+  c_configs : int;
+}
+
+let mc_run_case ~label ~switches ~crashes =
+  let mk, workloads =
+    match mc_factory label with
+    | Some mw -> mw
+    | None -> failwith ("unknown modelcheck bench case " ^ label)
+  in
+  let cfg engine =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      engine;
+    }
+  in
+  let replay = Modelcheck.Explore.explore ~mk ~workloads (cfg `Replay) in
+  let undo = Modelcheck.Explore.explore ~mk ~workloads (cfg `Undo) in
+  let counters (o : Modelcheck.Explore.outcome) =
+    {
+      c_executions = o.Modelcheck.Explore.executions;
+      c_truncated = o.Modelcheck.Explore.truncated;
+      c_nodes = o.Modelcheck.Explore.nodes;
+      c_violations = o.Modelcheck.Explore.total_violations;
+      c_configs = o.Modelcheck.Explore.distinct_shared_configs;
+    }
+  in
+  let cr = counters replay and cu = counters undo in
+  if cr <> cu then
+    failwith
+      (Printf.sprintf
+         "ENGINE DIVERGENCE on %s (sw=%d cr=%d): replay \
+          ex=%d/tr=%d/nodes=%d/viol=%d/cfgs=%d vs undo \
+          ex=%d/tr=%d/nodes=%d/viol=%d/cfgs=%d"
+         label switches crashes cr.c_executions cr.c_truncated cr.c_nodes
+         cr.c_violations cr.c_configs cu.c_executions cu.c_truncated cu.c_nodes
+         cu.c_violations cu.c_configs);
+  (cr, replay, undo)
+
+let mc_engine_json (o : Modelcheck.Explore.outcome) =
+  let m = o.Modelcheck.Explore.metrics in
+  Printf.sprintf
+    {|        { "engine": %S, "elapsed_s": %.6f, "nodes_per_sec": %.1f,
+          "rewound_cells": %d, "rewound_cells_per_sec": %.1f,
+          "intern_hit_rate": %.4f }|}
+    m.Modelcheck.Explore.engine m.Modelcheck.Explore.elapsed_s
+    m.Modelcheck.Explore.nodes_per_sec m.Modelcheck.Explore.rewound_cells
+    m.Modelcheck.Explore.rewound_cells_per_sec
+    m.Modelcheck.Explore.intern_hit_rate
+
+let mc_speedup (replay : Modelcheck.Explore.outcome)
+    (undo : Modelcheck.Explore.outcome) =
+  undo.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_per_sec
+  /. Float.max replay.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_per_sec
+       1e-9
+
+let modelcheck_baseline ~out ~budget =
+  let cases =
+    List.map
+      (fun (label, switches, crashes) ->
+        let c, replay, undo = mc_run_case ~label ~switches ~crashes in
+        let speedup = mc_speedup replay undo in
+        Printf.printf "%-24s sw=%d cr=%d: undo %.2fx over replay (%.0f vs %.0f \
+                       nodes/sec)\n%!"
+          label switches crashes speedup
+          undo.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_per_sec
+          replay.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_per_sec;
+        Printf.sprintf
+          "    { \"object\": %S, \"switch_budget\": %d, \"crash_budget\": %d,\n\
+          \      \"domains\": 1,\n\
+          \      \"counters\": { \"executions\": %d, \"truncated\": %d, \
+           \"nodes\": %d,\n\
+          \        \"total_violations\": %d, \"distinct_shared_configs\": %d },\n\
+          \      \"engines\": [\n%s,\n%s\n      ],\n\
+          \      \"undo_speedup\": %.2f, \"min_speedup\": %.1f }"
+          label switches crashes c.c_executions c.c_truncated c.c_nodes
+          c.c_violations c.c_configs (mc_engine_json replay)
+          (mc_engine_json undo) speedup mc_speedup_gate)
+      (mc_cases ~budget)
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"detectable-modelcheck/v1\",\n\
+      \  \"cases\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" cases)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "modelcheck baseline (%d cases, both engines) written to %s\n"
+    (List.length cases) out
+
+let modelcheck_compare ~j ~file ~tolerance =
+  let open Tiny_json in
+  let fail_cnt = ref 0 in
+  (try
+     List.iter
+       (fun case ->
+         let label = get_str (member "object" case) in
+         match mc_factory label with
+         | None ->
+             incr fail_cnt;
+             Printf.printf
+               "%-24s UNKNOWN case (renamed/removed?) — regenerate the \
+                baseline with --baseline\n"
+               label
+         | Some _ ->
+             let switches = get_int (member "switch_budget" case) in
+             let crashes = get_int (member "crash_budget" case) in
+             let c, replay, undo = mc_run_case ~label ~switches ~crashes in
+             let base = member "counters" case in
+             let mismatches =
+               List.filter_map
+                 (fun (name, want, got) ->
+                   if want = got then None
+                   else
+                     Some
+                       (Printf.sprintf "%s: baseline %d, fresh %d" name want
+                          got))
+                 [
+                   ("executions", get_int (member "executions" base),
+                    c.c_executions);
+                   ("truncated", get_int (member "truncated" base), c.c_truncated);
+                   ("nodes", get_int (member "nodes" base), c.c_nodes);
+                   ("total_violations",
+                    get_int (member "total_violations" base), c.c_violations);
+                   ("distinct_shared_configs",
+                    get_int (member "distinct_shared_configs" base), c.c_configs);
+                 ]
+             in
+             let base_undo_nps =
+               List.fold_left
+                 (fun acc e ->
+                   if get_str (member "engine" e) = "undo" then
+                     get_num (member "nodes_per_sec" e)
+                   else acc)
+                 0.0
+                 (get_list (member "engines" case))
+             in
+             let fresh_undo_nps =
+               undo.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_per_sec
+             in
+             let min_speedup = get_num (member "min_speedup" case) in
+             let speedup = mc_speedup replay undo in
+             let ratio = fresh_undo_nps /. Float.max base_undo_nps 1e-9 in
+             if mismatches <> [] then begin
+               incr fail_cnt;
+               Printf.printf "%-24s DETERMINISM MISMATCH\n" label;
+               List.iter (Printf.printf "  %s\n") mismatches;
+               Printf.printf
+                 "  (behavioral change: regenerate the baseline with \
+                  --baseline and explain it in the PR)\n"
+             end
+             else if speedup < min_speedup then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-24s SPEEDUP REGRESSION: undo %.2fx over replay \
+                  (baseline gate %.1fx, recorded %.2fx)\n"
+                 label speedup min_speedup
+                 (get_num (member "undo_speedup" case))
+             end
+             else if ratio < 1.0 /. tolerance then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-24s PERF REGRESSION: undo %.0f nodes/sec vs baseline \
+                  %.0f (%.2fx, tolerance %.0fx)\n"
+                 label fresh_undo_nps base_undo_nps ratio tolerance
+             end
+             else
+               Printf.printf
+                 "%-24s ok: counters exact, undo %.2fx over replay, %.0f \
+                  nodes/sec vs baseline %.0f (%.2fx)\n"
+                 label speedup fresh_undo_nps base_undo_nps ratio)
+       (get_list (member "cases" j))
+   with Tiny_json.Error m ->
+     Printf.eprintf "bench --compare: %s: %s\n" file m;
+     exit 1);
+  if !fail_cnt = 0 then print_endline "modelcheck baseline comparison: ok"
+  else begin
+    Printf.printf "modelcheck baseline comparison: %d case(s) failed\n"
+      !fail_cnt;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* entry point: ad-hoc flag scan (no cmdliner dependency here)
 
-   --json [--budget N]          checker-throughput JSON to stdout
+   --json [--budget N] [--smoke]   checker-throughput JSON to stdout
+                                   (--smoke skips the slow DRW@4
+                                   replay/undo substrate rows)
    --baseline [--out FILE] [--trials N] [--seed S] [--domains D]
+              [--mc-out FILE] [--mc-budget N]
+                                   writes BOTH the torture baseline
+                                   (--out) and the modelcheck engine
+                                   baseline (--mc-out)
    --compare FILE [--tolerance X] [--domains D]
-   (no flags)                   full experiment + bench suite *)
+                                   dispatches on the file's "schema"
+                                   (torture-v1 or modelcheck/v1)
+   (no flags)                      full experiment + bench suite *)
 
 let flag_value name =
   let rec find i =
@@ -549,12 +802,18 @@ let float_flag name default =
 let () =
   if Array.exists (( = ) "--json") Sys.argv then
     checker_json ~budget:(int_flag "--budget" 1)
-  else if Array.exists (( = ) "--baseline") Sys.argv then
+      ~smoke:(Array.exists (( = ) "--smoke") Sys.argv)
+  else if Array.exists (( = ) "--baseline") Sys.argv then begin
     torture_baseline
       ~out:(Option.value (flag_value "--out") ~default:"BENCH_torture.json")
       ~trials:(int_flag "--trials" 2_000)
       ~root_seed:(int_flag "--seed" 1)
-      ~domains:(int_flag "--domains" 1)
+      ~domains:(int_flag "--domains" 1);
+    modelcheck_baseline
+      ~out:
+        (Option.value (flag_value "--mc-out") ~default:"BENCH_modelcheck.json")
+      ~budget:(int_flag "--mc-budget" 4)
+  end
   else if Array.exists (( = ) "--compare") Sys.argv then
     let file =
       match flag_value "--compare" with
@@ -563,9 +822,27 @@ let () =
           prerr_endline "bench: --compare expects a baseline file";
           exit 2
     in
-    torture_compare ~file
-      ~tolerance:(float_flag "--tolerance" 10.0)
-      ~domains:(int_flag "--domains" 1)
+    let j =
+      match Tiny_json.of_file file with
+      | j -> j
+      | exception Tiny_json.Error m ->
+          Printf.eprintf "bench --compare: %s: %s\n" file m;
+          exit 1
+      | exception Sys_error m ->
+          Printf.eprintf "bench --compare: %s\n" m;
+          exit 1
+    in
+    let tolerance = float_flag "--tolerance" 10.0 in
+    match Tiny_json.get_str (Tiny_json.member "schema" j) with
+    | "detectable-bench/torture-v1" ->
+        torture_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
+    | "detectable-modelcheck/v1" -> modelcheck_compare ~j ~file ~tolerance
+    | s ->
+        Printf.eprintf "bench --compare: unexpected schema %S\n" s;
+        exit 1
+    | exception Tiny_json.Error m ->
+        Printf.eprintf "bench --compare: %s: %s\n" file m;
+        exit 1
   else begin
     Experiments.Registry.run_all ();
     print_newline ();

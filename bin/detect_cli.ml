@@ -337,8 +337,26 @@ let modelcheck_cmd =
             "Keep full snapshots in the configuration set to audit \
              fingerprint collisions (more memory).")
   in
-  let run kind procs ops switches crashes domains no_prune exact_configs policy
-      seed =
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("undo", (`Undo : Modelcheck.Explore.engine));
+               ("replay", `Replay);
+             ])
+          `Undo
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution substrate: $(b,undo) backtracks one live \
+             machine/session over the store's write journal; $(b,replay) \
+             rebuilds from the root at every DFS node (the historical \
+             engine).  Both visit the same nodes and report identical \
+             counters.")
+  in
+  let run kind procs ops switches crashes domains no_prune exact_configs engine
+      policy seed =
     let workloads = workloads_of_kind kind ~seed ~procs ~ops in
     let cfg =
       {
@@ -349,6 +367,7 @@ let modelcheck_cmd =
         domains;
         prune = not no_prune;
         exact_configs;
+        engine;
       }
     in
     let out =
@@ -374,9 +393,26 @@ let modelcheck_cmd =
          Printf.sprintf ", %d fingerprint collisions"
            m.Modelcheck.Explore.fingerprint_collisions
        else "");
-    Printf.printf "throughput: %.0f nodes/sec over %.2fs on %d domain(s)\n"
+    Printf.printf
+      "throughput: %.0f nodes/sec over %.2fs on %d domain(s), %s engine\n"
       m.Modelcheck.Explore.nodes_per_sec m.Modelcheck.Explore.elapsed_s
-      m.Modelcheck.Explore.domains_used;
+      m.Modelcheck.Explore.domains_used m.Modelcheck.Explore.engine;
+    if m.Modelcheck.Explore.engine = "undo" then (
+      let hits = m.Modelcheck.Explore.intern_hits
+      and misses = m.Modelcheck.Explore.intern_misses in
+      Printf.printf
+        "undo: %d cells rewound (%.0f cells/sec), intern hit rate %.1f%% \
+         (%d hits / %d misses)\n"
+        m.Modelcheck.Explore.rewound_cells
+        m.Modelcheck.Explore.rewound_cells_per_sec
+        (100.0 *. m.Modelcheck.Explore.intern_hit_rate)
+        hits misses;
+      match m.Modelcheck.Explore.journal_depth_hist with
+      | [] -> ()
+      | hist ->
+          Printf.printf "journal depth (log2 buckets): %s\n"
+            (String.concat " "
+               (List.map (fun (b, n) -> Printf.sprintf "%d:%d" b n) hist)));
     (match m.Modelcheck.Explore.replay_depth_hist with
     | [] -> ()
     | hist ->
@@ -401,7 +437,7 @@ let modelcheck_cmd =
         match
           Modelcheck.Shrink.minimise
             ~mk:(mk_of_kind kind ~n:procs)
-            ~workloads ~policy v.decisions
+            ~workloads ~policy ~engine v.decisions
         with
         | Some r ->
             Printf.printf
@@ -428,7 +464,7 @@ let modelcheck_cmd =
     Term.(
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ switches $ crashes
-       $ domains $ no_prune $ exact_configs $ policy_arg $ seed_arg))
+       $ domains $ no_prune $ exact_configs $ engine $ policy_arg $ seed_arg))
 
 (* witness *)
 

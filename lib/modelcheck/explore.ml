@@ -8,6 +8,8 @@ let pp_decision fmt = function
   | Step pid -> Format.fprintf fmt "p%d" pid
   | Crash -> Format.fprintf fmt "CRASH"
 
+type engine = [ `Replay | `Undo ]
+
 type config = {
   switch_budget : int;
   crash_budget : int;
@@ -18,6 +20,7 @@ type config = {
   prune : bool;
   domains : int;
   exact_configs : bool;
+  engine : engine;
 }
 
 let default_config =
@@ -31,7 +34,10 @@ let default_config =
     prune = true;
     domains = 1;
     exact_configs = false;
+    engine = `Undo;
   }
+
+let engine_name = function `Replay -> "replay" | `Undo -> "undo"
 
 type violation = {
   decisions : decision list;
@@ -40,6 +46,7 @@ type violation = {
 }
 
 type metrics = {
+  engine : string;
   dedup_hits : int;
   nodes_saved : int;
   peak_visited : int;
@@ -48,6 +55,12 @@ type metrics = {
   nodes_per_sec : float;
   replay_depth_hist : (int * int) list;
   domains_used : int;
+  rewound_cells : int;
+  rewound_cells_per_sec : float;
+  journal_depth_hist : (int * int) list;
+  intern_hits : int;
+  intern_misses : int;
+  intern_hit_rate : float;
 }
 
 type outcome = {
@@ -88,6 +101,8 @@ type state = {
   configs : Config_set.t;
   visited : (key, subtree) Hashtbl.t;
   depth_hist : (int, int) Hashtbl.t;
+  journal_hist : (int, int) Hashtbl.t;
+      (* undo engine: log2-bucketed journal depth sampled at each node *)
   mutable executions : int;
   mutable truncated : int;
   mutable nodes : int;
@@ -95,6 +110,9 @@ type state = {
   mutable n_violations : int;
   mutable dedup_hits : int;
   mutable nodes_saved : int;
+  mutable rewound : int;  (* undo engine: cells restored by rewinds *)
+  mutable intern_hits : int;
+  mutable intern_misses : int;
 }
 
 let mk_state cfg mk workloads =
@@ -108,6 +126,7 @@ let mk_state cfg mk workloads =
         ();
     visited = Hashtbl.create 4096;
     depth_hist = Hashtbl.create 64;
+    journal_hist = Hashtbl.create 16;
     executions = 0;
     truncated = 0;
     nodes = 0;
@@ -115,6 +134,9 @@ let mk_state cfg mk workloads =
     n_violations = 0;
     dedup_hits = 0;
     nodes_saved = 0;
+    rewound = 0;
+    intern_hits = 0;
+    intern_misses = 0;
   }
 
 let bump tbl k =
@@ -218,25 +240,122 @@ let rec dfs st decisions ~depth cur switches crashes =
             }
       | None -> ())
 
+(* ---- undo engine ----------------------------------------------------
+
+   Same node structure, child generation and memoisation as [dfs], but
+   over ONE machine/session pair: each child is explored by
+   Session.mark → apply the decision → recurse → Session.rewind, so a
+   node costs O(work in its own subtree edge) instead of a full replay
+   of the decision prefix.  Because decisions are applied to a
+   configuration that is (by Session.rewind's contract) byte-identical
+   to what a fresh replay would produce, every counter, digest, memo
+   key and violation sample comes out identical to the replay engine's. *)
+
+let log2_bucket n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let rec dfs_undo st session machine inst decisions ~depth cur switches crashes =
+  st.nodes <- st.nodes + 1;
+  bump st.depth_hist depth;
+  bump st.journal_hist (log2_bucket (Mem.journal_depth (Runtime.Machine.mem machine)));
+  ignore (Config_set.add_live st.configs (Runtime.Machine.mem machine) : bool);
+  let key =
+    if st.cfg.prune then begin
+      let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
+      let c = match cur with None -> -1 | Some pid -> pid in
+      Some ((fa, fb, Session.state_digest session, c, switches, crashes) : key)
+    end
+    else None
+  in
+  match key with
+  | Some k when Hashtbl.mem st.visited k ->
+      let d = Hashtbl.find st.visited k in
+      st.dedup_hits <- st.dedup_hits + 1;
+      st.nodes_saved <- st.nodes_saved + d.d_nodes;
+      st.executions <- st.executions + d.d_execs;
+      st.truncated <- st.truncated + d.d_trunc;
+      st.n_violations <- st.n_violations + d.d_viols
+  | _ ->
+      let nodes0 = st.nodes
+      and saved0 = st.nodes_saved
+      and execs0 = st.executions
+      and trunc0 = st.truncated
+      and viols0 = st.n_violations in
+      let runnable = Session.runnable session in
+      if runnable = [] then
+        record_execution st ~decisions:(List.rev decisions) ~inst ~session
+          ~truncated:false
+      else if Session.steps session >= st.cfg.max_steps then
+        record_execution st ~decisions:(List.rev decisions) ~inst ~session
+          ~truncated:true
+      else begin
+        (* crash move *)
+        if crashes < st.cfg.crash_budget then begin
+          let m = Session.mark session in
+          Session.crash session ~keep:st.cfg.keep;
+          dfs_undo st session machine inst (Crash :: decisions)
+            ~depth:(depth + 1) None switches (crashes + 1);
+          Session.rewind session m
+        end;
+        (* step moves *)
+        List.iter
+          (fun pid ->
+            (* only a preemption costs budget: switching away from a process
+               that finished (or crashed) is free *)
+            let cost =
+              match cur with
+              | None -> 0
+              | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
+            in
+            if switches + cost <= st.cfg.switch_budget then begin
+              let m = Session.mark session in
+              Session.step session pid;
+              dfs_undo st session machine inst (Step pid :: decisions)
+                ~depth:(depth + 1) (Some pid) (switches + cost) crashes;
+              Session.rewind session m
+            end)
+          runnable
+      end;
+      (match key with
+      | Some k ->
+          Hashtbl.replace st.visited k
+            {
+              d_nodes = st.nodes - nodes0 + (st.nodes_saved - saved0);
+              d_execs = st.executions - execs0;
+              d_trunc = st.truncated - trunc0;
+              d_viols = st.n_violations - viols0;
+            }
+      | None -> ())
+
 (* Merge worker states (worker order, so results are deterministic for a
    fixed [domains]) into the final outcome. *)
 let finish ~t0 ~domains_used sts =
   let base = List.hd sts in
+  let merge_hist dst src =
+    Hashtbl.iter
+      (fun k n ->
+        Hashtbl.replace dst k (n + try Hashtbl.find dst k with Not_found -> 0))
+      src
+  in
   List.iter
     (fun st ->
       Config_set.merge_into ~dst:base.configs ~src:st.configs;
-      Hashtbl.iter
-        (fun depth n ->
-          Hashtbl.replace base.depth_hist depth
-            (n + try Hashtbl.find base.depth_hist depth with Not_found -> 0))
-        st.depth_hist)
+      merge_hist base.depth_hist st.depth_hist;
+      merge_hist base.journal_hist st.journal_hist)
     (List.tl sts);
   let sum f = List.fold_left (fun acc st -> acc + f st) 0 sts in
   let nodes = sum (fun st -> st.nodes) in
+  let rewound = sum (fun st -> st.rewound) in
+  let intern_hits = sum (fun st -> st.intern_hits) in
+  let intern_misses = sum (fun st -> st.intern_misses) in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let violations =
     let all = List.concat_map (fun st -> List.rev st.violations) sts in
     List.filteri (fun i _ -> i < base.cfg.max_violations) all
+  in
+  let sorted_hist tbl =
+    Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort compare
   in
   {
     executions = sum (fun st -> st.executions);
@@ -247,22 +366,51 @@ let finish ~t0 ~domains_used sts =
     distinct_shared_configs = Config_set.cardinal base.configs;
     metrics =
       {
+        engine = engine_name base.cfg.engine;
         dedup_hits = sum (fun st -> st.dedup_hits);
         nodes_saved = sum (fun st -> st.nodes_saved);
         peak_visited = sum (fun st -> Hashtbl.length st.visited);
         fingerprint_collisions = Config_set.collisions base.configs;
         elapsed_s;
         nodes_per_sec = float_of_int nodes /. Float.max elapsed_s 1e-9;
-        replay_depth_hist =
-          Hashtbl.fold (fun d n acc -> (d, n) :: acc) base.depth_hist []
-          |> List.sort compare;
+        replay_depth_hist = sorted_hist base.depth_hist;
         domains_used;
+        rewound_cells = rewound;
+        rewound_cells_per_sec = float_of_int rewound /. Float.max elapsed_s 1e-9;
+        journal_depth_hist = sorted_hist base.journal_hist;
+        intern_hits;
+        intern_misses;
+        intern_hit_rate =
+          (let total = intern_hits + intern_misses in
+           if total = 0 then 0.
+           else float_of_int intern_hits /. float_of_int total);
       };
   }
 
+(* Intern-table traffic attributable to this state's work: delta in the
+   calling domain's counters around [f ()]. *)
+let with_intern_stats st f =
+  let h0, m0 = Value.intern_stats () in
+  let r = f () in
+  let h1, m1 = Value.intern_stats () in
+  st.intern_hits <- st.intern_hits + (h1 - h0);
+  st.intern_misses <- st.intern_misses + (m1 - m0);
+  r
+
 let explore_sequential ~t0 ~mk ~workloads cfg =
   let st = mk_state cfg mk workloads in
-  dfs st [] ~depth:0 None 0 0;
+  with_intern_stats st (fun () -> dfs st [] ~depth:0 None 0 0);
+  finish ~t0 ~domains_used:1 [ st ]
+
+let explore_undo_sequential ~t0 ~mk ~workloads cfg =
+  let st = mk_state cfg mk workloads in
+  with_intern_stats st (fun () ->
+      let machine, inst = mk () in
+      let session =
+        Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
+      in
+      dfs_undo st session machine inst [] ~depth:0 None 0 0;
+      st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine));
   finish ~t0 ~domains_used:1 [ st ]
 
 (* Parallel exploration: replay the root once to learn the top-level
@@ -313,14 +461,86 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
     finish ~t0 ~domains_used:n_workers (root :: sts)
   end
 
+(* Parallel undo engine: same frontier dealing as [explore_parallel],
+   but each worker owns ONE undo session — it marks the root
+   configuration once and explores its whole share of the frontier by
+   apply/recurse/rewind, never replaying. *)
+let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
+  let root = mk_state cfg mk workloads in
+  root.nodes <- 1;
+  bump root.depth_hist 0;
+  bump root.journal_hist 0;
+  let machine, inst, session =
+    with_intern_stats root (fun () ->
+        let machine, inst = mk () in
+        let session =
+          Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
+        in
+        (machine, inst, session))
+  in
+  ignore (Config_set.add_live root.configs (Runtime.Machine.mem machine) : bool);
+  let runnable = Session.runnable session in
+  if runnable = [] then begin
+    record_execution root ~decisions:[] ~inst ~session ~truncated:false;
+    finish ~t0 ~domains_used:1 [ root ]
+  end
+  else if Session.steps session >= cfg.max_steps then begin
+    record_execution root ~decisions:[] ~inst ~session ~truncated:true;
+    finish ~t0 ~domains_used:1 [ root ]
+  end
+  else begin
+    (* mirror [dfs]'s child generation at the root: cur = None, so every
+       step child is free and a crash child spends one crash budget *)
+    let tasks =
+      (if cfg.crash_budget > 0 then [ (Crash, None, 0, 1) ] else [])
+      @ List.map (fun pid -> (Step pid, Some pid, 0, 0)) runnable
+    in
+    let n_workers = min domains (List.length tasks) in
+    let chunks = Array.make n_workers [] in
+    List.iteri
+      (fun i task -> chunks.(i mod n_workers) <- task :: chunks.(i mod n_workers))
+      tasks;
+    let worker idx () =
+      let st = mk_state cfg mk workloads in
+      let machine, inst = mk () in
+      let session =
+        Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
+      in
+      let root_mark = Session.mark session in
+      List.iter
+        (fun (d, cur, switches, crashes) ->
+          (match d with
+          | Step pid -> Session.step session pid
+          | Crash -> Session.crash session ~keep:cfg.keep);
+          dfs_undo st session machine inst [ d ] ~depth:1 cur switches crashes;
+          Session.rewind session root_mark)
+        (List.rev chunks.(idx));
+      st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine);
+      (* worker domains are fresh, so absolute counters = this worker's *)
+      let h, m = Value.intern_stats () in
+      st.intern_hits <- h;
+      st.intern_misses <- m;
+      st
+    in
+    let handles = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
+    let sts = Array.to_list (Array.map Domain.join handles) in
+    finish ~t0 ~domains_used:n_workers (root :: sts)
+  end
+
 let explore ~mk ~workloads cfg =
   let t0 = Unix.gettimeofday () in
   let domains = max 1 cfg.domains in
-  if domains = 1 then explore_sequential ~t0 ~mk ~workloads cfg
-  else explore_parallel ~t0 ~mk ~workloads cfg ~domains
+  match cfg.engine with
+  | `Replay ->
+      if domains = 1 then explore_sequential ~t0 ~mk ~workloads cfg
+      else explore_parallel ~t0 ~mk ~workloads cfg ~domains
+  | `Undo ->
+      if domains = 1 then explore_undo_sequential ~t0 ~mk ~workloads cfg
+      else explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains
 
 let no_metrics ~elapsed_s ~nodes =
   {
+    engine = "replay";
     dedup_hits = 0;
     nodes_saved = 0;
     peak_visited = 0;
@@ -329,6 +549,12 @@ let no_metrics ~elapsed_s ~nodes =
     nodes_per_sec = float_of_int nodes /. Float.max elapsed_s 1e-9;
     replay_depth_hist = [];
     domains_used = 1;
+    rewound_cells = 0;
+    rewound_cells_per_sec = 0.;
+    journal_depth_hist = [];
+    intern_hits = 0;
+    intern_misses = 0;
+    intern_hit_rate = 0.;
   }
 
 let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)

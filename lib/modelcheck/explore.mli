@@ -49,6 +49,19 @@ type decision = Step of int  (** process [pid] takes one step *) | Crash
 
 val pp_decision : Format.formatter -> decision -> unit
 
+type engine = [ `Replay | `Undo ]
+(** Execution substrate of the DFS.
+
+    [`Replay] rebuilds machine + session from the root for every node
+    (the historical engine, O(depth) per node).  [`Undo] keeps ONE
+    machine/session pair and backtracks by [Session.mark]/[rewind] over
+    the store's write journal — O(work-since-mark) per node, with
+    discarded fibers rebuilt lazily by ghost replay.  Both engines
+    visit the same nodes in the same order with identical state
+    digests, so [executions]/[truncated]/[total_violations]/
+    [distinct_shared_configs] and the violation samples are identical;
+    only speed (and the engine-specific metrics) differ. *)
+
 type config = {
   switch_budget : int;  (** max context switches per execution *)
   crash_budget : int;  (** max crashes per execution *)
@@ -60,12 +73,16 @@ type config = {
   domains : int;  (** worker domains; 1 = sequential *)
   exact_configs : bool;
       (** audit config-set fingerprints with full snapshots *)
+  engine : engine;  (** execution substrate; default [`Undo] *)
 }
 
 val default_config : config
 (** switch budget 3, crash budget 1, 2_000 steps, [Retry], keep-all,
     collect up to 3 violations; pruning on, 1 domain, fingerprint-mode
-    configuration counting. *)
+    configuration counting, undo engine. *)
+
+val engine_name : engine -> string
+(** ["replay"] / ["undo"] — the label used in metrics and JSON. *)
 
 type violation = {
   decisions : decision list;  (** the schedule that exhibits it *)
@@ -74,6 +91,7 @@ type violation = {
 }
 
 type metrics = {
+  engine : string;  (** {!engine_name} of the engine that ran *)
   dedup_hits : int;  (** nodes answered from the visited set *)
   nodes_saved : int;
       (** logical nodes the memo hits avoided replaying; the unpruned
@@ -83,11 +101,21 @@ type metrics = {
       (** {!Config_set.collisions} of the merged set; always 0 unless
           [exact_configs] *)
   elapsed_s : float;
-  nodes_per_sec : float;  (** physical replays per wall-clock second *)
+  nodes_per_sec : float;  (** physically visited nodes per wall-clock second *)
   replay_depth_hist : (int * int) list;
-      (** (decision-sequence length, replayed nodes at that depth),
-          ascending — the replay work profile of the search *)
+      (** (decision-sequence length, visited nodes at that depth),
+          ascending — the work profile of the search *)
   domains_used : int;
+  rewound_cells : int;
+      (** undo engine: total cell restorations performed by rewinds *)
+  rewound_cells_per_sec : float;
+  journal_depth_hist : (int * int) list;
+      (** undo engine: (log2 bucket of journal depth, nodes sampled at
+          that depth), ascending; bucket [b] covers depths
+          [2^(b-1) .. 2^b - 1] (bucket 0 = empty journal) *)
+  intern_hits : int;  (** {!Nvm.Value.intern} table hits during the run *)
+  intern_misses : int;
+  intern_hit_rate : float;  (** hits / (hits + misses), 0 if no traffic *)
 }
 
 type outcome = {

@@ -8,19 +8,16 @@ type result = {
   attempts : int;
 }
 
-let run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions =
-  let machine, inst = mk () in
-  let session = Session.create ~policy machine inst ~workloads in
-  ignore machine;
-  (* tolerant prefix replay *)
-  List.iter
-    (fun d ->
-      match (d : Explore.decision) with
-      | Explore.Crash -> Session.crash session ~keep
-      | Explore.Step pid ->
-          if List.mem pid (Session.runnable session) then Session.step session pid)
-    decisions;
-  (* close the run: round-robin until done or budget *)
+(* "prefix then free run": tolerantly apply the decisions, then round-robin
+   until done or budget, then judge the closed history *)
+
+let apply_decision session ~keep d =
+  match (d : Explore.decision) with
+  | Explore.Crash -> Session.crash session ~keep
+  | Explore.Step pid ->
+      if List.mem pid (Session.runnable session) then Session.step session pid
+
+let free_run session ~max_steps =
   let continue = ref true in
   while !continue do
     match Session.runnable session with
@@ -28,7 +25,9 @@ let run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions =
     | pid :: _ ->
         if Session.steps session >= max_steps then continue := false
         else Session.step session pid
-  done;
+  done
+
+let judge session (inst : Obj_inst.t) =
   let verdict =
     match Session.anomalies session with
     | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
@@ -38,12 +37,24 @@ let run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions =
   | Lin_check.Ok_linearizable _ -> None
   | Lin_check.Violation msg -> Some (Session.history session, msg)
 
+let run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions =
+  let machine, inst = mk () in
+  let session = Session.create ~policy machine inst ~workloads in
+  ignore machine;
+  List.iter (apply_decision session ~keep) decisions;
+  free_run session ~max_steps;
+  judge session inst
+
 let reproduces ~mk ~workloads ?(policy = Session.Retry)
     ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000) decisions =
   run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions
 
-let minimise ~mk ~workloads ?(policy = Session.Retry)
-    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000) decisions =
+(* Both engines perform the same greedy single-deletion search with the
+   same memoisation, so they try the same candidates in the same order
+   and return identical results (decisions, history, msg, attempts);
+   they differ only in how a candidate execution is realised. *)
+
+let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps decisions =
   let attempts = ref 0 in
   (* successive deletion passes can regenerate a candidate already tried
      (deleting i then j yields the same list as deleting j then i); the
@@ -80,3 +91,71 @@ let minimise ~mk ~workloads ?(policy = Session.Retry)
       in
       let ds, history, msg = shrink (decisions, history0, msg0) in
       Some { decisions = ds; history; msg; attempts = !attempts }
+
+(* Incremental engine: ONE undo session for the whole search.  Deleting
+   index [k] leaves the first [k] decisions of the current sequence
+   unchanged, and the greedy pass walks [k] upward, so the session is
+   simply advanced through the kept prefix one decision at a time; a
+   candidate is then evaluated by taking a mark where the session stands,
+   running only its tail plus the free run, and rewinding.  Candidate
+   cost drops from O(whole sequence) to O(its tail), and nothing is ever
+   replayed from the root.  Marks stay LIFO: the only outstanding mark is
+   the candidate-local one, plus the root mark used to restart passes. *)
+
+let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions =
+  let machine, inst = mk () in
+  let session = Session.create ~policy ~undo:true machine inst ~workloads in
+  ignore machine;
+  let root = Session.mark session in
+  let attempts = ref 0 in
+  let seen = Hashtbl.create 64 in
+  (* session stands at the state reached by [candidate]'s first decisions;
+     [tail] is the rest of [candidate].  Leaves the session where it
+     stood. *)
+  let try_candidate ~tail candidate =
+    match Hashtbl.find_opt seen candidate with
+    | Some cached -> cached
+    | None ->
+        incr attempts;
+        let m = Session.mark session in
+        List.iter (apply_decision session ~keep) tail;
+        free_run session ~max_steps;
+        let outcome = judge session inst in
+        Session.rewind session m;
+        Hashtbl.replace seen candidate outcome;
+        outcome
+  in
+  match try_candidate ~tail:decisions decisions with
+  | None -> None
+  | Some (history0, msg0) ->
+      let rec shrink (cur, history, msg) =
+        (* session stands at the root here *)
+        let arr = Array.of_list cur in
+        let n = Array.length arr in
+        let rec try_deletions k =
+          (* session stands after arr.(0..k-1) *)
+          if k >= n then None
+          else
+            let candidate = List.filteri (fun idx _ -> idx <> k) cur in
+            let tail = Array.to_list (Array.sub arr (k + 1) (n - k - 1)) in
+            match try_candidate ~tail candidate with
+            | Some (h, m) -> Some (candidate, h, m)
+            | None ->
+                apply_decision session ~keep arr.(k);
+                try_deletions (k + 1)
+        in
+        let next = try_deletions 0 in
+        Session.rewind session root;
+        match next with
+        | Some shorter -> shrink shorter
+        | None -> (cur, history, msg)
+      in
+      let ds, history, msg = shrink (decisions, history0, msg0) in
+      Some { decisions = ds; history; msg; attempts = !attempts }
+
+let minimise ~mk ~workloads ?(policy = Session.Retry)
+    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000)
+    ?(engine = (`Undo : Explore.engine)) decisions =
+  match engine with
+  | `Replay -> minimise_replay ~mk ~workloads ~policy ~keep ~max_steps decisions
+  | `Undo -> minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions

@@ -15,7 +15,16 @@ open Sched
     (deleting an early decision shifts everything after it), and the
     run is completed after the prefix by round-robin so the history is
     closed.  The result therefore reproduces a violation under "prefix
-    then free run", which is how the minimised schedule should be read. *)
+    then free run", which is how the minimised schedule should be read.
+
+    Like {!Explore.explore}, the shrinker has two execution substrates
+    selected by [?engine].  [`Replay] builds a fresh machine + session
+    per candidate.  [`Undo] (the default) keeps one session in undo
+    mode: the greedy pass advances the session through the kept prefix
+    and evaluates each deletion candidate by mark / run-tail / rewind,
+    so a candidate costs O(its tail) instead of O(the whole sequence).
+    Both engines try the same candidates in the same order and return
+    identical results, including [attempts]. *)
 
 type result = {
   decisions : Explore.decision list;  (** the minimised prefix *)
@@ -41,6 +50,7 @@ val minimise :
   ?policy:Session.policy ->
   ?keep:(Nvm.Loc.t -> bool) ->
   ?max_steps:int ->
+  ?engine:Explore.engine ->
   Explore.decision list ->
   result option
 (** [None] if the input sequence does not reproduce a violation under

@@ -42,3 +42,11 @@ let persist_all c = List.iter (persist c) (dirty_locs c)
 let crash c ~keep =
   List.iter (fun loc -> if keep loc then persist c loc) (dirty_locs c);
   Hashtbl.reset c.dirty
+
+let entries c = Hashtbl.fold (fun _ e acc -> e :: acc) c.dirty []
+
+let restore_entries c entries =
+  Hashtbl.reset c.dirty;
+  List.iter
+    (fun ((loc : Loc.t), v) -> Hashtbl.replace c.dirty loc.Loc.id (loc, v))
+    entries

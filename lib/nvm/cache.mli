@@ -40,3 +40,11 @@ val crash : t -> keep:(Loc.t -> bool) -> unit
     back to NVM iff [keep] returns [true] for it, then the whole cache is
     discarded.  [keep] models the hardware's arbitrary write-back
     behaviour at the instant of failure. *)
+
+val entries : t -> (Loc.t * Value.t) list
+(** The dirty set, unordered — a checkpoint token for
+    {!restore_entries}.  The undo engine snapshots the cache with this
+    when it marks a configuration. *)
+
+val restore_entries : t -> (Loc.t * Value.t) list -> unit
+(** Replace the dirty set with a previously captured {!entries} list. *)

@@ -1,20 +1,42 @@
+(* Cells hold interned values ([Value.hc]) so that equality on the
+   [cas] hot path and per-cell fingerprint folding are O(1).  All
+   public read/write traffic stays in plain [Value.t]; interning is an
+   internal representation choice. *)
+
 type t = {
-  mutable cells : Value.t array;
-  mutable inits : Value.t array;
+  mutable cells : Value.hc array;
+  mutable inits : Value.hc array;
   mutable locs : Loc.t array;
   mutable max_bits : int array;
   mutable len : int;
+  (* write journal: parallel stacks of (cell id, old contents, old
+     max_bits), pushed by every mutation while [journal_on].  [rewind]
+     pops back to a [mark] in O(writes-since-mark). *)
+  mutable journal_on : bool;
+  mutable j_ids : int array;
+  mutable j_cells : Value.hc array;
+  mutable j_bits : int array;
+  mutable j_len : int;
+  mutable rewound : int;  (** cumulative cells restored by [rewind] *)
 }
 
 let initial_capacity = 64
+let bot () = Value.intern Value.Bot
 
 let create () =
+  let b = bot () in
   {
-    cells = Array.make initial_capacity Value.Bot;
-    inits = Array.make initial_capacity Value.Bot;
+    cells = Array.make initial_capacity b;
+    inits = Array.make initial_capacity b;
     locs = Array.make initial_capacity (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
     max_bits = Array.make initial_capacity 0;
     len = 0;
+    journal_on = false;
+    j_ids = [||];
+    j_cells = [||];
+    j_bits = [||];
+    j_len = 0;
+    rewound = 0;
   }
 
 let grow mem =
@@ -25,8 +47,9 @@ let grow mem =
     Array.blit a 0 b 0 cap;
     b
   in
-  mem.cells <- extend mem.cells Value.Bot;
-  mem.inits <- extend mem.inits Value.Bot;
+  let b = bot () in
+  mem.cells <- extend mem.cells b;
+  mem.inits <- extend mem.inits b;
   mem.locs <- extend mem.locs (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
   mem.max_bits <- extend mem.max_bits 0
 
@@ -34,10 +57,11 @@ let alloc mem ~name ~kind init =
   if mem.len = Array.length mem.cells then grow mem;
   let id = mem.len in
   let loc = Loc.make ~id ~name ~kind in
+  let init = Value.intern init in
   mem.cells.(id) <- init;
   mem.inits.(id) <- init;
   mem.locs.(id) <- loc;
-  mem.max_bits.(id) <- Value.bits init;
+  mem.max_bits.(id) <- Value.bits init.Value.node;
   mem.len <- id + 1;
   loc
 
@@ -47,7 +71,59 @@ let check mem (loc : Loc.t) =
 
 let read mem (loc : Loc.t) =
   check mem loc;
-  mem.cells.(loc.Loc.id)
+  mem.cells.(loc.Loc.id).Value.node
+
+(* ---- journal ---- *)
+
+let grow_journal mem =
+  let cap = Array.length mem.j_ids in
+  let cap' = if cap = 0 then 256 else 2 * cap in
+  let extend a fill =
+    let b = Array.make cap' fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  mem.j_ids <- extend mem.j_ids 0;
+  mem.j_cells <- extend mem.j_cells (bot ());
+  mem.j_bits <- extend mem.j_bits 0
+
+let journal mem id =
+  if mem.journal_on then begin
+    if mem.j_len = Array.length mem.j_ids then grow_journal mem;
+    mem.j_ids.(mem.j_len) <- id;
+    mem.j_cells.(mem.j_len) <- mem.cells.(id);
+    mem.j_bits.(mem.j_len) <- mem.max_bits.(id);
+    mem.j_len <- mem.j_len + 1
+  end
+
+let set_journal mem on =
+  mem.journal_on <- on;
+  if not on then mem.j_len <- 0
+
+let journaling mem = mem.journal_on
+let journal_depth mem = mem.j_len
+let rewound_cells mem = mem.rewound
+
+type mark = { m_len : int; m_j : int }
+
+let mark mem =
+  if not mem.journal_on then invalid_arg "Mem.mark: journaling is off";
+  { m_len = mem.len; m_j = mem.j_len }
+
+let rewind mem m =
+  if not mem.journal_on then invalid_arg "Mem.rewind: journaling is off";
+  if m.m_len <> mem.len then
+    invalid_arg "Mem.rewind: allocations since mark";
+  if m.m_j > mem.j_len then invalid_arg "Mem.rewind: stale mark";
+  for k = mem.j_len - 1 downto m.m_j do
+    let id = mem.j_ids.(k) in
+    mem.cells.(id) <- mem.j_cells.(k);
+    mem.max_bits.(id) <- mem.j_bits.(k)
+  done;
+  mem.rewound <- mem.rewound + (mem.j_len - m.m_j);
+  mem.j_len <- m.m_j
+
+(* ---- mutation ---- *)
 
 let note_bits mem id v =
   let b = Value.bits v in
@@ -55,30 +131,34 @@ let note_bits mem id v =
 
 let write mem (loc : Loc.t) v =
   check mem loc;
-  mem.cells.(loc.Loc.id) <- v;
+  journal mem loc.Loc.id;
+  mem.cells.(loc.Loc.id) <- Value.intern v;
   note_bits mem loc.Loc.id v
 
 let cas mem (loc : Loc.t) expected desired =
   check mem loc;
   let cur = mem.cells.(loc.Loc.id) in
-  if Value.equal cur expected then (
-    mem.cells.(loc.Loc.id) <- desired;
+  if Value.hc_equal cur (Value.intern expected) then (
+    journal mem loc.Loc.id;
+    mem.cells.(loc.Loc.id) <- Value.intern desired;
     note_bits mem loc.Loc.id desired;
     true)
   else false
 
 let faa mem (loc : Loc.t) delta =
   check mem loc;
-  let old = Value.to_int mem.cells.(loc.Loc.id) in
+  let old = Value.to_int mem.cells.(loc.Loc.id).Value.node in
   let v = Value.Int (old + delta) in
-  mem.cells.(loc.Loc.id) <- v;
+  journal mem loc.Loc.id;
+  mem.cells.(loc.Loc.id) <- Value.intern v;
   note_bits mem loc.Loc.id v;
   old
 
 let reset mem =
   for i = 0 to mem.len - 1 do
+    journal mem i;
     mem.cells.(i) <- mem.inits.(i);
-    mem.max_bits.(i) <- Value.bits mem.inits.(i)
+    mem.max_bits.(i) <- Value.bits mem.inits.(i).Value.node
   done
 
 let n_locs mem = mem.len
@@ -88,7 +168,7 @@ let loc_by_id mem id =
   mem.locs.(id)
 
 type snapshot = {
-  s_cells : Value.t array;
+  s_cells : Value.hc array;
   s_locs : Loc.t array;
   s_max_bits : int array;
 }
@@ -103,33 +183,53 @@ let snapshot mem =
 let restore mem snap =
   if Array.length snap.s_cells <> mem.len then
     invalid_arg "Mem.restore: snapshot from a different allocation state";
-  Array.blit snap.s_cells 0 mem.cells 0 mem.len;
   (* roll the high-water marks back too: a restore rewinds the whole
      store, and leaving [max_bits] at the post-rollback peak would make
-     [max_shared_bits] over-report the Theorem 1 footprint *)
-  Array.blit snap.s_max_bits 0 mem.max_bits 0 mem.len
+     [max_shared_bits] over-report the Theorem 1 footprint.  While the
+     journal is on, each changed cell is journaled so an enclosing
+     [rewind] still sees a consistent log. *)
+  if mem.journal_on then
+    for i = 0 to mem.len - 1 do
+      if
+        (not (Value.hc_equal mem.cells.(i) snap.s_cells.(i)))
+        || mem.max_bits.(i) <> snap.s_max_bits.(i)
+      then begin
+        journal mem i;
+        mem.cells.(i) <- snap.s_cells.(i);
+        mem.max_bits.(i) <- snap.s_max_bits.(i)
+      end
+    done
+  else begin
+    Array.blit snap.s_cells 0 mem.cells 0 mem.len;
+    Array.blit snap.s_max_bits 0 mem.max_bits 0 mem.len
+  end
 
 let equal_shared a b =
-  Array.length a.s_cells = Array.length b.s_cells
-  && (let ok = ref true in
-      Array.iteri
-        (fun i loc ->
-          if Loc.is_shared loc && not (Value.equal a.s_cells.(i) b.s_cells.(i))
-          then ok := false)
-        a.s_locs;
-      !ok)
+  let n = Array.length a.s_cells in
+  n = Array.length b.s_cells
+  &&
+  let rec go i =
+    i >= n
+    || ((not (Loc.is_shared a.s_locs.(i)))
+        || Value.hc_equal a.s_cells.(i) b.s_cells.(i))
+       && go (i + 1)
+  in
+  go 0
 
 let hash_shared a =
   let h = ref 5381 in
   Array.iteri
     (fun i loc ->
-      if Loc.is_shared loc then h := (!h * 1000003) lxor Value.hash a.s_cells.(i))
+      if Loc.is_shared loc then h := (!h * 1000003) lxor a.s_cells.(i).Value.h)
     a.s_locs;
   !h
 
 (* Two fingerprint halves chained from independent seeds.  The model
    checker treats a pair collision as "same configuration", so the halves
-   must be wide and independent; Config_set's exact mode audits them. *)
+   must be wide and independent; Config_set's exact mode audits them.
+   Per-cell folding uses the digests cached at interning time
+   ([Value.hc.da]/[db]), so each cell costs O(1) regardless of value
+   size. *)
 let seed_a = 0x2545F4914F6CDD1
 let seed_b = 0x6A09E667F3BCC90
 
@@ -138,8 +238,9 @@ let fingerprint_shared snap =
   Array.iteri
     (fun i loc ->
       if Loc.is_shared loc then begin
-        a := Value.hash_seeded (Value.mix !a i) snap.s_cells.(i);
-        b := Value.hash_seeded (Value.mix !b i) snap.s_cells.(i)
+        let c = snap.s_cells.(i) in
+        a := Value.mix (Value.mix !a i) c.Value.da;
+        b := Value.mix (Value.mix !b i) c.Value.db
       end)
     snap.s_locs;
   (!a, !b)
@@ -148,8 +249,9 @@ let live_fingerprint_shared mem =
   let a = ref seed_a and b = ref seed_b in
   for i = 0 to mem.len - 1 do
     if Loc.is_shared mem.locs.(i) then begin
-      a := Value.hash_seeded (Value.mix !a i) mem.cells.(i);
-      b := Value.hash_seeded (Value.mix !b i) mem.cells.(i)
+      let c = mem.cells.(i) in
+      a := Value.mix (Value.mix !a i) c.Value.da;
+      b := Value.mix (Value.mix !b i) c.Value.db
     end
   done;
   (!a, !b)
@@ -157,29 +259,33 @@ let live_fingerprint_shared mem =
 let live_fingerprint_full mem =
   let a = ref seed_a and b = ref seed_b in
   for i = 0 to mem.len - 1 do
-    a := Value.hash_seeded (Value.mix !a i) mem.cells.(i);
-    b := Value.hash_seeded (Value.mix !b i) mem.cells.(i)
+    let c = mem.cells.(i) in
+    a := Value.mix (Value.mix !a i) c.Value.da;
+    b := Value.mix (Value.mix !b i) c.Value.db
   done;
   (!a, !b)
 
 let equal_full a b =
-  Array.length a.s_cells = Array.length b.s_cells
-  && (let ok = ref true in
-      Array.iteri
-        (fun i v -> if not (Value.equal v b.s_cells.(i)) then ok := false)
-        a.s_cells;
-      !ok)
+  let n = Array.length a.s_cells in
+  n = Array.length b.s_cells
+  &&
+  let rec go i =
+    i >= n || (Value.hc_equal a.s_cells.(i) b.s_cells.(i) && go (i + 1))
+  in
+  go 0
 
 let pp_snapshot fmt snap =
   Array.iteri
     (fun i loc ->
-      Format.fprintf fmt "%a = %a@." Loc.pp loc Value.pp snap.s_cells.(i))
+      Format.fprintf fmt "%a = %a@." Loc.pp loc Value.pp
+        snap.s_cells.(i).Value.node)
     snap.s_locs
 
 let shared_bits mem =
   let total = ref 0 in
   for i = 0 to mem.len - 1 do
-    if Loc.is_shared mem.locs.(i) then total := !total + Value.bits mem.cells.(i)
+    if Loc.is_shared mem.locs.(i) then
+      total := !total + Value.bits mem.cells.(i).Value.node
   done;
   !total
 

@@ -40,6 +40,43 @@ val loc_by_id : t -> int -> Loc.t
 (** Inverse of allocation order; raises [Invalid_argument] if out of
     range. *)
 
+(** {1 Write journal}
+
+    The undo-engine's backtracking substrate.  While journaling is on,
+    every mutation ([write], successful [cas], [faa], and the cells
+    changed by [reset]/[restore]) pushes [(cell id, old contents, old
+    max_bits)] onto a log; {!rewind} pops back to a {!mark} in
+    O(writes-since-mark), restoring contents {e and} the [max_bits]
+    high-water marks (the bf9564b stale-accounting class of bug).
+
+    Marks are LIFO: rewinding to a mark invalidates every mark taken
+    after it.  Rewinding past an allocation is rejected (the explorer
+    never allocates mid-exploration). *)
+
+type mark
+
+val set_journal : t -> bool -> unit
+(** Turn journaling on or off.  Turning it off discards the log (and
+    invalidates all marks). *)
+
+val journaling : t -> bool
+
+val mark : t -> mark
+(** O(1).  Raises [Invalid_argument] if journaling is off. *)
+
+val rewind : t -> mark -> unit
+(** Pop the journal back to [mark], restoring each logged cell's
+    contents and high-water mark.  Raises [Invalid_argument] if
+    journaling is off, if allocations happened since the mark, or if
+    the mark is stale (deeper than the current log). *)
+
+val journal_depth : t -> int
+(** Current number of live journal entries. *)
+
+val rewound_cells : t -> int
+(** Cumulative number of cell restorations performed by {!rewind} over
+    this store's lifetime (the undo-engine throughput metric). *)
+
 (** {1 Snapshots and memory-equivalence} *)
 
 type snapshot

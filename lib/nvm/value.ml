@@ -7,16 +7,19 @@ type t =
   | Bot
 
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Unit, Unit | Bot, Bot -> true
   | Bool x, Bool y -> x = y
   | Int x, Int y -> x = y
   | Str x, Str y -> String.equal x y
   | Tup x, Tup y ->
-      Array.length x = Array.length y
-      && (let ok = ref true in
-          Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
-          !ok)
+      let n = Array.length x in
+      n = Array.length y
+      &&
+      let rec go i = i >= n || (equal x.(i) y.(i) && go (i + 1)) in
+      go 0
   | (Unit | Bool _ | Int _ | Str _ | Tup _ | Bot), _ -> false
 
 let tag = function
@@ -125,3 +128,71 @@ let set_nth v i x =
       ys.(i) <- x;
       Tup ys
   | v -> type_error (Printf.sprintf "tuple with component %d" i) v
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing.
+
+   The undo-engine's hot loop fingerprints whole configurations and
+   compares cell contents on every [cas], so values that live in
+   memory cells are interned: one canonical [hc] node per structural
+   value (per domain), carrying its bucketing hash and the two
+   fixed-seed fingerprint half-digests used by [Mem.fingerprint_*].
+   Interning makes same-domain equality a pointer comparison and
+   fingerprint folding a single table lookup per cell.
+
+   Tables are domain-local ([Domain.DLS]): the parallel explorer's
+   workers each intern into their own table, so no locking is needed.
+   Consequently [==] on [hc] certifies equality only within a domain —
+   cross-domain comparisons must fall back to [hc_equal], which is why
+   it first compares the cached hashes.  The interned seeds are fixed
+   (below) so the cached digests agree across domains. *)
+
+type hc = { node : t; h : int; da : int; db : int }
+
+(* Distinct from Mem's chain seeds; only the per-value digests matter,
+   the chain seeds stay in Mem. *)
+let digest_seed_a = 0x71C94A2F3E609D1
+let digest_seed_b = 0x2B992DDFA23249D
+
+type intern_state = {
+  tbl : (int, hc list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let intern_key : intern_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { tbl = Hashtbl.create 1024; hits = 0; misses = 0 })
+
+let intern v =
+  let st = Domain.DLS.get intern_key in
+  let h = hash v in
+  let bucket = try Hashtbl.find st.tbl h with Not_found -> [] in
+  let rec find = function
+    | [] ->
+        st.misses <- st.misses + 1;
+        let c =
+          {
+            node = v;
+            h;
+            da = hash_seeded digest_seed_a v;
+            db = hash_seeded digest_seed_b v;
+          }
+        in
+        Hashtbl.replace st.tbl h (c :: bucket);
+        c
+    | c :: rest -> if equal c.node v then (st.hits <- st.hits + 1; c) else find rest
+  in
+  find bucket
+
+let hc_equal a b = a == b || (a.h = b.h && equal a.node b.node)
+
+let intern_stats () =
+  let st = Domain.DLS.get intern_key in
+  (st.hits, st.misses)
+
+let intern_reset () =
+  let st = Domain.DLS.get intern_key in
+  Hashtbl.reset st.tbl;
+  st.hits <- 0;
+  st.misses <- 0

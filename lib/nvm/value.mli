@@ -64,3 +64,41 @@ val nth : t -> int -> t
 val set_nth : t -> int -> t -> t
 (** [set_nth v i x] is tuple [v] with component [i] replaced by [x]
     (functional update; the original is unchanged). *)
+
+(** {1 Hash-consing}
+
+    Memory cells store interned values so that equality (the [cas] hot
+    path) and configuration fingerprinting become O(1) per cell.  The
+    intern table is domain-local: within one domain, [intern] returns
+    the same physical node for structurally equal inputs, so [==]
+    certifies equality; across domains use {!hc_equal}, which falls
+    back to a (hash-gated) structural comparison.  The cached digests
+    [da]/[db] are computed with fixed seeds, hence identical for the
+    same structural value in every domain. *)
+
+type hc = private {
+  node : t;  (** the underlying structural value *)
+  h : int;  (** [hash node], cached *)
+  da : int;  (** fixed-seed fingerprint half-digest A *)
+  db : int;  (** fixed-seed fingerprint half-digest B *)
+}
+
+val intern : t -> hc
+(** Canonical interned node for [v] in the calling domain.  O(1)
+    expected; a hit costs one hash + one (physical-equality-biased)
+    structural comparison. *)
+
+val hc_equal : hc -> hc -> bool
+(** Structural equality on interned nodes.  Same-domain nodes compare
+    by pointer; the fallback compares cached hashes first, so a
+    mismatch is almost always O(1) too. *)
+
+val intern_stats : unit -> int * int
+(** [(hits, misses)] of the calling domain's intern table since domain
+    start (or the last {!intern_reset}). *)
+
+val intern_reset : unit -> unit
+(** Clear the calling domain's intern table and zero its counters.
+    Existing [hc] nodes stay valid (they just stop being canonical), so
+    this is only safe between explorations, e.g. to bound table growth
+    in a long-lived process. *)

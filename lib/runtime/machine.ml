@@ -73,3 +73,27 @@ let reset t =
   t.steps <- 0
 
 let nvm_snapshot t = Mem.snapshot t.mem
+
+(* ---- incremental checkpointing (undo engine) ---- *)
+
+let set_journal t on = Mem.set_journal t.mem on
+
+type mark = {
+  k_mem : Mem.mark;
+  k_steps : int;
+  k_dirty : (Loc.t * Value.t) list; (* shared-cache dirty set; [] otherwise *)
+}
+
+let mark t =
+  {
+    k_mem = Mem.mark t.mem;
+    k_steps = t.steps;
+    k_dirty = (match t.cache with None -> [] | Some c -> Cache.entries c);
+  }
+
+let rewind t m =
+  Mem.rewind t.mem m.k_mem;
+  t.steps <- m.k_steps;
+  match t.cache with
+  | None -> ()
+  | Some c -> Cache.restore_entries c m.k_dirty

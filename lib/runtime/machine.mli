@@ -52,3 +52,23 @@ val reset : t -> unit
 val nvm_snapshot : t -> Mem.snapshot
 (** Snapshot of the {e non-volatile} state only — what survives a crash.
     In the shared-cache model, dirty cache lines are not included. *)
+
+(** {1 Incremental checkpointing}
+
+    The undo engine's machine-level hooks.  With the store's write
+    journal enabled ({!set_journal}), {!mark} captures the full machine
+    state in O(dirty-cache-lines) — the NVM side is a journal cursor —
+    and {!rewind} restores it in O(writes-since-mark).  Marks are LIFO,
+    inheriting {!Nvm.Mem.rewind}'s discipline. *)
+
+val set_journal : t -> bool -> unit
+(** Enable/disable the store's write journal (see {!Nvm.Mem.set_journal}). *)
+
+type mark
+
+val mark : t -> mark
+(** Capture journal cursor, step counter, and (shared-cache model) the
+    volatile dirty set.  Requires the journal to be on. *)
+
+val rewind : t -> mark -> unit
+(** Roll the store, step counter and cache back to [mark]. *)

@@ -12,6 +12,38 @@ type op_status =
   | Announced of int * Spec.op  (* uid, op: in flight, response not returned *)
   | Completed of int * Spec.op * Value.t  (* returned, announcement not yet cleared *)
 
+(* ------------------------------------------------------------------ *)
+(* Undo mode: incarnations and ghost replay.
+
+   OCaml effect continuations are one-shot, so a fiber cannot be
+   snapshotted for backtracking.  What CAN be replayed is the program
+   itself: process programs are deterministic functions of (workload,
+   pid) and of the external inputs they consume — primitive-step
+   responses, fresh uids, and the driver-context [pending] query.  In
+   undo mode the session records exactly those inputs, per process and
+   per {e incarnation} (the program segment between two crashes), so a
+   discarded fiber can be rebuilt at any logged position by re-running
+   its program and feeding it the log ("ghost replay"), with all
+   session side effects suppressed.  Ghost replay touches no memory —
+   requests are answered from the log, not the machine — so it costs
+   O(own steps of that one process) and nothing else. *)
+
+type entry =
+  | E_resp of Value.t  (* response fed to the fiber's pending request *)
+  | E_uid of int  (* result of a [fresh_uid] draw *)
+  | E_pending of Spec.op option  (* result of the driver-context pending query *)
+
+type incarnation = {
+  restart : bool;  (* restart_prog (post-crash) or client_prog (initial) *)
+  i_todo : Spec.op list;  (* driver fields at incarnation start: the *)
+  i_status : op_status;  (* program's behavior is a function of these *)
+  i_rec_started : bool;  (* plus the logged entries *)
+  mutable log : entry array;
+  mutable log_len : int;
+}
+
+type ghost = { g_log : entry array; g_end : int; mutable g_pos : int }
+
 type pstate = {
   pid : int;
   mutable todo : Spec.op list;
@@ -26,12 +58,18 @@ type pstate = {
          exchanged with the machine, with crash markers folded in.
          Programs are deterministic, so this pins down the fiber's
          continuation state exactly — see [state_digest]. *)
+  (* undo mode only: *)
+  mutable l_runnable : bool;  (* logical fiber status, valid even when *)
+  mutable l_done : bool;  (* the physical fiber has been discarded *)
+  mutable stale : bool;  (* fiber discarded by [rewind]; rebuild on demand *)
+  mutable incs : incarnation list;  (* head = current incarnation; [] outside undo mode *)
 }
 
 type t = {
   machine : Machine.t;
   inst : Obj_inst.t;
   policy : policy;
+  undo : bool;
   procs : pstate array;
   mutable events : Event.t list;  (* reversed *)
   mutable uid : int;
@@ -41,19 +79,69 @@ type t = {
   rec_steps_tbl : (string, int) Hashtbl.t;
   mutable anomalies : string list;
   mutable hist_sig : int;  (* rolling digest of [events], oldest first *)
+  mutable ghost : ghost option;  (* Some iff a ghost replay is running *)
 }
 
 let emit s e =
-  s.events <- e :: s.events;
-  s.hist_sig <- Value.mix s.hist_sig (Hashtbl.hash e)
+  match s.ghost with
+  | Some _ -> ()  (* already recorded when it happened for real *)
+  | None ->
+      s.events <- e :: s.events;
+      s.hist_sig <- Value.mix s.hist_sig (Hashtbl.hash e)
 
-let fresh_uid s =
-  let u = s.uid in
-  s.uid <- u + 1;
-  u
+let log_entry ps e =
+  match ps.incs with
+  | [] -> ()
+  | inc :: _ ->
+      if inc.log_len = Array.length inc.log then begin
+        let cap = max 16 (2 * Array.length inc.log) in
+        let b = Array.make cap e in
+        Array.blit inc.log 0 b 0 inc.log_len;
+        inc.log <- b
+      end;
+      inc.log.(inc.log_len) <- e;
+      inc.log_len <- inc.log_len + 1
+
+let desync what = failwith ("Session: ghost replay desync (" ^ what ^ ")")
+
+let ghost_next g what =
+  if g.g_pos >= g.g_end then desync what
+  else begin
+    let e = g.g_log.(g.g_pos) in
+    g.g_pos <- g.g_pos + 1;
+    e
+  end
+
+let fresh_uid s ps =
+  match s.ghost with
+  | Some g -> (
+      match ghost_next g "uid" with E_uid u -> u | _ -> desync "uid")
+  | None ->
+      let u = s.uid in
+      s.uid <- u + 1;
+      if s.undo then log_entry ps (E_uid u);
+      u
+
+(* [Obj_inst.pending] reads memory in driver context; at ghost-replay
+   time the store holds the {e rewound} contents, not what this
+   incarnation's prologue originally observed, so the original answer
+   must come from the log. *)
+let query_pending s ps =
+  match s.ghost with
+  | Some g -> (
+      match ghost_next g "pending" with E_pending p -> p | _ -> desync "pending")
+  | None ->
+      let p = s.inst.pending ~pid:ps.pid in
+      if s.undo then log_entry ps (E_pending p);
+      p
 
 let anomaly s fmt =
-  Format.kasprintf (fun msg -> s.anomalies <- msg :: s.anomalies) fmt
+  Format.kasprintf
+    (fun msg ->
+      match s.ghost with
+      | Some _ -> ()
+      | None -> s.anomalies <- msg :: s.anomalies)
+    fmt
 
 let note_max tbl key v =
   match Hashtbl.find_opt tbl key with
@@ -68,7 +156,7 @@ let rec client_prog s ps () =
   match ps.todo with
   | [] -> Value.Unit
   | op :: _ ->
-      let uid = fresh_uid s in
+      let uid = fresh_uid s ps in
       emit s (Event.Inv { pid = ps.pid; uid; op });
       ps.status <- Announced (uid, op);
       ps.cur_steps <- 0;
@@ -94,7 +182,7 @@ let rec client_prog s ps () =
    single operation instance never gets two outcome events no matter how
    many times its recovery is re-crashed. *)
 let restart_prog s ps () =
-  (match s.inst.pending ~pid:ps.pid with
+  (match query_pending s ps with
   | None -> (
       match ps.status with
       | Idle -> ()
@@ -167,12 +255,46 @@ let op_name ps =
   | Announced (_, op) | Completed (_, op, _) -> op.Spec.name
   | Idle -> "idle"
 
-let create ?(policy = Retry) machine inst ~workloads =
+(* Mirror the physical fiber status into the logical flags that survive
+   the fiber's disposal.  Called after every fiber transition — never
+   after [rewind], which restores the flags from the mark instead. *)
+let sync_logical ps =
+  match ps.fiber with
+  | Some f -> (
+      match Fiber.status f with
+      | Fiber.Pending _ ->
+          ps.l_runnable <- true;
+          ps.l_done <- false
+      | Fiber.Done _ ->
+          ps.l_runnable <- false;
+          ps.l_done <- true
+      | Fiber.Killed ->
+          ps.l_runnable <- false;
+          ps.l_done <- false)
+  | None ->
+      ps.l_runnable <- false;
+      ps.l_done <- false
+
+let push_incarnation ps ~restart =
+  ps.incs <-
+    {
+      restart;
+      i_todo = ps.todo;
+      i_status = ps.status;
+      i_rec_started = ps.rec_started;
+      log = [||];
+      log_len = 0;
+    }
+    :: ps.incs
+
+let create ?(policy = Retry) ?(undo = false) machine inst ~workloads =
+  if undo then Machine.set_journal machine true;
   let s =
     {
       machine;
       inst;
       policy;
+      undo;
       procs =
         Array.mapi
           (fun pid todo ->
@@ -185,6 +307,10 @@ let create ?(policy = Retry) machine inst ~workloads =
               in_recovery = false;
               rec_started = false;
               step_sig = Value.mix 0 pid;
+              l_runnable = false;
+              l_done = false;
+              stale = false;
+              incs = [];
             })
           workloads;
       events = [];
@@ -195,45 +321,115 @@ let create ?(policy = Retry) machine inst ~workloads =
       rec_steps_tbl = Hashtbl.create 8;
       anomalies = [];
       hist_sig = 0;
+      ghost = None;
     }
   in
   Array.iter
-    (fun ps -> ps.fiber <- Some (Fiber.start (client_prog s ps)))
+    (fun ps ->
+      if undo then push_incarnation ps ~restart:false;
+      ps.fiber <- Some (Fiber.start (client_prog s ps));
+      sync_logical ps)
     s.procs;
   s
 
 let runnable s =
-  Array.to_list s.procs
-  |> List.filter_map (fun ps ->
-         match ps.fiber with
-         | Some f -> (
-             match Fiber.status f with
-             | Fiber.Pending _ -> Some ps.pid
-             | Fiber.Done _ | Fiber.Killed -> None)
-         | None -> None)
+  if s.undo then
+    Array.to_list s.procs
+    |> List.filter_map (fun ps -> if ps.l_runnable then Some ps.pid else None)
+  else
+    Array.to_list s.procs
+    |> List.filter_map (fun ps ->
+           match ps.fiber with
+           | Some f -> (
+               match Fiber.status f with
+               | Fiber.Pending _ -> Some ps.pid
+               | Fiber.Done _ | Fiber.Killed -> None)
+           | None -> None)
 
 let finished s = runnable s = []
+
+(* Rebuild a stale fiber at its authoritative position: re-run the
+   current incarnation's program, feeding it the logged inputs, with
+   session side effects suppressed ([s.ghost]).  The program re-mutates
+   the driver fields as it replays, so the authoritative (rewound)
+   values are saved around the run — the replay necessarily converges
+   back to them, but restoring is cheap insurance and keeps this code
+   obviously correct. *)
+let rebuild s ps =
+  let inc = match ps.incs with inc :: _ -> inc | [] -> desync "incarnation" in
+  let save_todo = ps.todo
+  and save_status = ps.status
+  and save_cur_steps = ps.cur_steps
+  and save_in_recovery = ps.in_recovery
+  and save_rec_started = ps.rec_started in
+  ps.todo <- inc.i_todo;
+  ps.status <- inc.i_status;
+  ps.rec_started <- inc.i_rec_started;
+  let g = { g_log = inc.log; g_end = inc.log_len; g_pos = 0 } in
+  s.ghost <- Some g;
+  Fun.protect
+    ~finally:(fun () -> s.ghost <- None)
+    (fun () ->
+      let f =
+        Fiber.start ((if inc.restart then restart_prog else client_prog) s ps)
+      in
+      while g.g_pos < g.g_end do
+        match ghost_next g "resume" with
+        | E_resp v -> (
+            match Fiber.status f with
+            | Fiber.Pending _ -> Fiber.resume f v
+            | Fiber.Done _ | Fiber.Killed -> desync "resume")
+        | E_uid _ | E_pending _ -> desync "entry order"
+      done;
+      ps.fiber <- Some f);
+  ps.stale <- false;
+  ps.todo <- save_todo;
+  ps.status <- save_status;
+  ps.cur_steps <- save_cur_steps;
+  ps.in_recovery <- save_in_recovery;
+  ps.rec_started <- save_rec_started;
+  (* the rebuilt fiber must land on the logical status the mark promised *)
+  match (ps.fiber, ps.l_runnable) with
+  | Some f, true -> (
+      match Fiber.status f with Fiber.Pending _ -> () | _ -> desync "status")
+  | _ -> desync "status"
+
+let do_step s ps f req =
+  let v = Machine.apply s.machine req in
+  ps.step_sig <-
+    Value.mix ps.step_sig
+      (Value.mix (Hashtbl.hash req) (Value.hash_seeded 11 v));
+  s.steps <- s.steps + 1;
+  ps.cur_steps <- ps.cur_steps + 1;
+  let tbl = if ps.in_recovery then s.rec_steps_tbl else s.op_steps_tbl in
+  note_max tbl (op_name ps) ps.cur_steps;
+  if s.undo then log_entry ps (E_resp v);
+  Fiber.resume f v;
+  if s.undo then sync_logical ps
 
 let step s pid =
   if pid < 0 || pid >= Array.length s.procs then
     invalid_arg "Session.step: no such process";
   let ps = s.procs.(pid) in
-  match ps.fiber with
-  | Some f -> (
-      match Fiber.status f with
-      | Fiber.Pending req ->
-          let v = Machine.apply s.machine req in
-          ps.step_sig <-
-            Value.mix ps.step_sig
-              (Value.mix (Hashtbl.hash req) (Value.hash_seeded 11 v));
-          s.steps <- s.steps + 1;
-          ps.cur_steps <- ps.cur_steps + 1;
-          let tbl = if ps.in_recovery then s.rec_steps_tbl else s.op_steps_tbl in
-          note_max tbl (op_name ps) ps.cur_steps;
-          Fiber.resume f v
-      | Fiber.Done _ | Fiber.Killed ->
-          invalid_arg "Session.step: process is not runnable")
-  | None -> invalid_arg "Session.step: process is not runnable"
+  if s.undo then begin
+    if not ps.l_runnable then invalid_arg "Session.step: process is not runnable";
+    if ps.stale then rebuild s ps;
+    match ps.fiber with
+    | Some f -> (
+        match Fiber.status f with
+        | Fiber.Pending req -> do_step s ps f req
+        | Fiber.Done _ | Fiber.Killed ->
+            invalid_arg "Session.step: process is not runnable")
+    | None -> invalid_arg "Session.step: process is not runnable"
+  end
+  else
+    match ps.fiber with
+    | Some f -> (
+        match Fiber.status f with
+        | Fiber.Pending req -> do_step s ps f req
+        | Fiber.Done _ | Fiber.Killed ->
+            invalid_arg "Session.step: process is not runnable")
+    | None -> invalid_arg "Session.step: process is not runnable"
 
 let crash s ~keep =
   emit s Event.Crash;
@@ -242,13 +438,19 @@ let crash s ~keep =
     (fun ps ->
       (match ps.fiber with Some f -> Fiber.kill f | None -> ());
       ps.fiber <- None;
+      ps.stale <- false;
       (* crash marker: restart_prog's behavior depends on everything
          step_sig already covers, so keep rolling across the restart *)
       ps.step_sig <- Value.mix ps.step_sig 0xC0FFEE)
     s.procs;
   Machine.crash s.machine ~keep;
   Array.iter
-    (fun ps -> ps.fiber <- Some (Fiber.start (restart_prog s ps)))
+    (fun ps ->
+      (* snapshot the driver fields BEFORE the restart program runs: its
+         prologue (pending query, possibly a give-up pop) mutates them *)
+      if s.undo then push_incarnation ps ~restart:true;
+      ps.fiber <- Some (Fiber.start (restart_prog s ps));
+      sync_logical ps)
     s.procs
 
 let steps s = s.steps
@@ -262,6 +464,125 @@ let dump tbl =
 
 let op_steps s = dump s.op_steps_tbl
 let rec_steps s = dump s.rec_steps_tbl
+
+(* ------------------------------------------------------------------ *)
+(* Undo-mode checkpointing.
+
+   A mark is O(N): machine mark (a journal cursor + the shared-cache
+   dirty set), the cons-list heads of [events]/[anomalies] (immutable
+   spines, so a pointer IS a snapshot), the scalar counters, and per
+   process the driver fields plus the incarnation-list head and its log
+   length.  Rewind restores all of it and decides, per process, whether
+   the physical fiber is still positioned exactly at the mark — if so
+   it survives (the common case for processes the explored branch never
+   stepped); otherwise it is killed and lazily rebuilt by ghost replay
+   the next time the process is stepped.
+
+   Marks are LIFO: rewinding to a mark invalidates every mark taken
+   after it (their journal suffixes and log suffixes are gone).
+
+   Deliberately NOT rewound: [op_steps_tbl]/[rec_steps_tbl], the
+   max-own-steps report tables.  They are monotone maxima used only for
+   reporting — the model checker's verdicts, histories and digests never
+   read them — and a branch that was explored did execute those steps,
+   so the maxima stay honest as "over everything tried". *)
+
+type pmark = {
+  pm_todo : Spec.op list;
+  pm_status : op_status;
+  pm_cur_steps : int;
+  pm_in_recovery : bool;
+  pm_rec_started : bool;
+  pm_step_sig : int;
+  pm_runnable : bool;
+  pm_done : bool;
+  pm_incs : incarnation list;
+  pm_log_len : int;
+}
+
+type mark = {
+  mk_machine : Machine.mark;
+  mk_events : Event.t list;
+  mk_anoms : string list;
+  mk_hist_sig : int;
+  mk_uid : int;
+  mk_steps : int;
+  mk_crashes : int;
+  mk_procs : pmark array;
+}
+
+let mark s =
+  if not s.undo then invalid_arg "Session.mark: session is not in undo mode";
+  {
+    mk_machine = Machine.mark s.machine;
+    mk_events = s.events;
+    mk_anoms = s.anomalies;
+    mk_hist_sig = s.hist_sig;
+    mk_uid = s.uid;
+    mk_steps = s.steps;
+    mk_crashes = s.crashes;
+    mk_procs =
+      Array.map
+        (fun ps ->
+          {
+            pm_todo = ps.todo;
+            pm_status = ps.status;
+            pm_cur_steps = ps.cur_steps;
+            pm_in_recovery = ps.in_recovery;
+            pm_rec_started = ps.rec_started;
+            pm_step_sig = ps.step_sig;
+            pm_runnable = ps.l_runnable;
+            pm_done = ps.l_done;
+            pm_incs = ps.incs;
+            pm_log_len =
+              (match ps.incs with inc :: _ -> inc.log_len | [] -> 0);
+          })
+        s.procs;
+  }
+
+let rewind s m =
+  if not s.undo then invalid_arg "Session.rewind: session is not in undo mode";
+  Machine.rewind s.machine m.mk_machine;
+  s.events <- m.mk_events;
+  s.anomalies <- m.mk_anoms;
+  s.hist_sig <- m.mk_hist_sig;
+  s.uid <- m.mk_uid;
+  s.steps <- m.mk_steps;
+  s.crashes <- m.mk_crashes;
+  Array.iteri
+    (fun i pm ->
+      let ps = s.procs.(i) in
+      (* the physical fiber is exactly at the mark iff the process is in
+         the same incarnation and has consumed the same number of logged
+         inputs; then it survives (still [stale] if it already was).
+         Otherwise its continuation has advanced past the mark — one-shot
+         continuations cannot run backwards, so discard it and let
+         [rebuild] ghost-replay it on demand. *)
+      let same_pos =
+        ps.incs == pm.pm_incs
+        &&
+        match ps.incs with
+        | inc :: _ -> inc.log_len = pm.pm_log_len
+        | [] -> true
+      in
+      ps.todo <- pm.pm_todo;
+      ps.status <- pm.pm_status;
+      ps.cur_steps <- pm.pm_cur_steps;
+      ps.in_recovery <- pm.pm_in_recovery;
+      ps.rec_started <- pm.pm_rec_started;
+      ps.step_sig <- pm.pm_step_sig;
+      ps.l_runnable <- pm.pm_runnable;
+      ps.l_done <- pm.pm_done;
+      if not same_pos then begin
+        (match ps.fiber with Some f -> Fiber.kill f | None -> ());
+        ps.fiber <- None;
+        ps.stale <- true;
+        ps.incs <- pm.pm_incs;
+        match ps.incs with
+        | inc :: _ -> inc.log_len <- pm.pm_log_len
+        | [] -> ()
+      end)
+    m.mk_procs
 
 (* Cheap exact digest of the session's future-relevant state.
 
@@ -298,7 +619,13 @@ let state_digest s =
                 | Fiber.Pending _ -> 4
                 | Fiber.Done _ -> 8
                 | Fiber.Killed -> 12)
-            | None -> 16)
+            | None ->
+                (* a stale undo-mode fiber is logically alive: digest the
+                   status it will have once rebuilt, so replay- and
+                   undo-engine digests of the same configuration agree *)
+                if s.undo && ps.stale then
+                  if ps.l_runnable then 4 else if ps.l_done then 8 else 12
+                else 16)
       in
       acc := Value.mix !acc ps.step_sig;
       acc := Value.mix !acc status_h;

@@ -16,13 +16,22 @@ type t
 
 val create :
   ?policy:policy ->
+  ?undo:bool ->
   Runtime.Machine.t ->
   Obj_inst.t ->
   workloads:Spec.op list array ->
   t
 (** Start a session: every process's fiber is launched up to its first
     primitive step (invocation events for first operations are emitted).
-    Default policy: [Retry]. *)
+    Default policy: [Retry].
+
+    [~undo:true] puts the session in {e undo mode}: the machine's write
+    journal is enabled and every external input a process program
+    consumes (step responses, uid draws, pending queries) is logged, so
+    the whole configuration can be checkpointed with {!mark} and rolled
+    back with {!rewind} in O(work-since-mark) instead of replaying the
+    decision prefix from the root.  Outside undo mode the session
+    behaves exactly as before, with zero bookkeeping overhead. *)
 
 val runnable : t -> int list
 (** Pids with a pending primitive step, ascending.  Empty iff the run is
@@ -53,6 +62,35 @@ val op_steps : t -> (string * int) list
 (** Per operation name, max own-steps of a single crash-free stretch. *)
 
 val rec_steps : t -> (string * int) list
+
+(** {1 Undo-mode checkpointing}
+
+    Available only on sessions created with [~undo:true].  {!mark} is
+    O(N) (machine journal cursor + dirty-set snapshot + per-process
+    driver fields and log positions; the event/anomaly lists are
+    immutable cons spines, so their heads are snapshots already).
+    {!rewind} restores memory in O(cells-written-since-mark) and kills
+    only the fibers that actually moved past the mark; a killed fiber
+    is rebuilt lazily, the next time its process is stepped, by
+    {e ghost replay} — re-running its deterministic program against the
+    logged inputs with all session side effects suppressed, at a cost
+    of O(that process's own steps) and no memory traffic.
+
+    Marks are LIFO: rewinding to a mark invalidates every mark taken
+    after it.  The [op_steps]/[rec_steps] max-tables are deliberately
+    not rewound — they are reporting-only monotone maxima over
+    everything actually executed, and the checker's verdicts, digests
+    and histories never read them. *)
+
+type mark
+
+val mark : t -> mark
+(** Checkpoint the full configuration.  Raises [Invalid_argument]
+    outside undo mode. *)
+
+val rewind : t -> mark -> unit
+(** Roll the configuration back to [mark].  Raises [Invalid_argument]
+    outside undo mode; marks must be used in LIFO order. *)
 
 val state_digest : t -> int
 (** O(N) rolling digest of everything about the session that can affect

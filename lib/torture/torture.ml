@@ -257,7 +257,8 @@ let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true) spec =
               try
                 Modelcheck.Shrink.minimise ~mk:spec.mk
                   ~workloads:(spec.workloads_of_seed tr.t_seed)
-                  ~policy:spec.policy ~max_steps:spec.max_steps tr.t_trace
+                  ~policy:spec.policy ~max_steps:spec.max_steps ~engine:`Undo
+                  tr.t_trace
               with Invalid_argument _ | Failure _ -> None
             with
             | Some r ->

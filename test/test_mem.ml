@@ -178,6 +178,97 @@ let test_cache_dirty_tracking () =
   Cache.persist c a;
   Alcotest.(check int) "one dirty" 1 (List.length (Cache.dirty_locs c))
 
+(* --- write journal (the undo engine's substrate) --- *)
+
+let test_mark_rewind_basic () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 0) in
+  let b = Mem.alloc m ~name:"b" ~kind:Loc.Shared (i 10) in
+  Mem.set_journal m true;
+  let mk = Mem.mark m in
+  Mem.write m a (i 5);
+  Alcotest.(check bool) "cas journals too" true (Mem.cas m a (i 5) (i 6));
+  Alcotest.(check int) "faa journals too" 10 (Mem.faa m b 7);
+  Alcotest.(check bool) "journal grew" true (Mem.journal_depth m > 0);
+  Mem.rewind m mk;
+  Alcotest.check v "a restored" (i 0) (Mem.read m a);
+  Alcotest.check v "b restored" (i 10) (Mem.read m b);
+  Alcotest.(check int) "journal back to the mark" 0 (Mem.journal_depth m);
+  Alcotest.(check bool) "restorations counted" true (Mem.rewound_cells m >= 3)
+
+let test_rewind_restores_max_bits () =
+  (* The journal must roll back the per-location high-water marks along
+     with the contents — the same stale-accounting class of bug that
+     [restore] had before bf9564b, now on the incremental path. *)
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  Mem.set_journal m true;
+  let mk = Mem.mark m in
+  Alcotest.(check int) "baseline high-water" 1 (Mem.max_shared_bits m);
+  Mem.write m a (i 255);
+  Alcotest.(check int) "wide write raises it" 8 (Mem.max_shared_bits m);
+  Mem.rewind m mk;
+  Alcotest.(check int) "rewind rolls it back" 1 (Mem.max_shared_bits m);
+  Alcotest.(check int) "per-loc mark rolls back too" 1 (Mem.max_bits_of m a);
+  (* marks are positions, not snapshots: a mark taken after the wide
+     write keeps the raised mark through deeper rewinds *)
+  Mem.write m a (i 255);
+  let mk8 = Mem.mark m in
+  Mem.write m a (i 0);
+  Mem.rewind m mk8;
+  Alcotest.(check int) "inner rewind keeps the raised mark" 8
+    (Mem.max_shared_bits m)
+
+let test_journal_discipline () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 0) in
+  (match Mem.mark m with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mark must require journaling");
+  Mem.set_journal m true;
+  let mk = Mem.mark m in
+  Mem.write m a (i 1);
+  let inner = Mem.mark m in
+  Mem.rewind m mk;
+  (* [inner] is now deeper than the log: stale, must be rejected *)
+  (match Mem.rewind m inner with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "stale (non-LIFO) mark must be rejected");
+  (* allocations since a mark make it unrewindable *)
+  let mk2 = Mem.mark m in
+  ignore (Mem.alloc m ~name:"late" ~kind:Loc.Shared (i 0));
+  (match Mem.rewind m mk2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rewinding past an allocation must be rejected");
+  (* turning the journal off invalidates everything *)
+  Mem.set_journal m false;
+  match Mem.rewind m mk with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rewind must require journaling"
+
+let prop_mark_rewind_roundtrip =
+  QCheck.Test.make ~name:"mark/rewind roundtrip (values + max_bits)"
+    ~count:Test_support.qcheck_count
+    QCheck.(
+      pair
+        (list (pair (int_bound 9) small_signed_int))
+        (list (pair (int_bound 9) small_signed_int)))
+    (fun (before, after) ->
+      let m = Mem.create () in
+      let locs =
+        Array.init 10 (fun k ->
+            Mem.alloc m ~name:(Printf.sprintf "l%d" k) ~kind:Loc.Shared (i 0))
+      in
+      Mem.set_journal m true;
+      List.iter (fun (k, x) -> Mem.write m locs.(k) (i x)) before;
+      let reference = Mem.snapshot m in
+      let max_bits_ref = Mem.max_shared_bits m in
+      let mk = Mem.mark m in
+      List.iter (fun (k, x) -> Mem.write m locs.(k) (i x)) after;
+      Mem.rewind m mk;
+      Mem.equal_full (Mem.snapshot m) reference
+      && Mem.max_shared_bits m = max_bits_ref)
+
 let prop_snapshot_roundtrip =
   QCheck.Test.make ~name:"snapshot/restore roundtrip"
     ~count:Test_support.qcheck_count
@@ -214,6 +305,12 @@ let suites =
         Alcotest.test_case "footprint accounting" `Quick test_footprint;
         Alcotest.test_case "foreign loc rejected" `Quick
           test_foreign_loc_rejected;
+        Alcotest.test_case "journal mark/rewind" `Quick test_mark_rewind_basic;
+        Alcotest.test_case "rewind restores max_bits high-water" `Quick
+          test_rewind_restores_max_bits;
+        Alcotest.test_case "journal mark discipline" `Quick
+          test_journal_discipline;
+        QCheck_alcotest.to_alcotest prop_mark_rewind_roundtrip;
         QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
       ] );
     ( "nvm.cache",

@@ -182,6 +182,118 @@ let test_engines_agree_reexec () =
     (check_engines_agree ~mk:mk_reexec ~workloads:fig2_workload ~switches:2
        ~crashes:1 ())
 
+(* --- the undo engine agrees with the replay engine ---
+
+   The undo engine visits the same DFS nodes in the same order as the
+   replay engine (same runnable ordering, same digests, same memo keys),
+   so EVERY externally observable number — including physically visited
+   nodes and the memo statistics — and the violation samples must be
+   byte-identical; only wall-clock differs. *)
+
+let viol_sig (o : Modelcheck.Explore.outcome) =
+  List.map
+    (fun (v : Modelcheck.Explore.violation) -> (v.decisions, v.msg))
+    o.Modelcheck.Explore.violations
+
+let check_undo_matches_replay ?(domains = 1) ~mk ~workloads ~switches ~crashes
+    () =
+  let cfg engine =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      domains;
+      engine;
+    }
+  in
+  let run e = Modelcheck.Explore.explore ~mk ~workloads (cfg e) in
+  let r = run `Replay and u = run `Undo in
+  let ck label f =
+    Alcotest.(check int) label (f r) (f u)
+  in
+  ck "executions" (fun o -> o.Modelcheck.Explore.executions);
+  ck "truncated" (fun o -> o.Modelcheck.Explore.truncated);
+  ck "nodes" (fun o -> o.Modelcheck.Explore.nodes);
+  ck "total_violations" (fun o -> o.Modelcheck.Explore.total_violations);
+  ck "distinct_shared_configs"
+    (fun o -> o.Modelcheck.Explore.distinct_shared_configs);
+  ck "dedup_hits"
+    (fun o -> o.Modelcheck.Explore.metrics.Modelcheck.Explore.dedup_hits);
+  ck "nodes_saved"
+    (fun o -> o.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_saved);
+  ck "peak_visited"
+    (fun o -> o.Modelcheck.Explore.metrics.Modelcheck.Explore.peak_visited);
+  Alcotest.(check bool) "violation samples identical" true
+    (viol_sig r = viol_sig u);
+  Alcotest.(check string) "undo run is labelled undo" "undo"
+    u.Modelcheck.Explore.metrics.Modelcheck.Explore.engine;
+  u
+
+let test_undo_engine_drw () =
+  ignore
+    (check_undo_matches_replay
+       ~mk:(fun () -> Test_support.mk_drw ~n:2 ())
+       ~workloads:[| [ Spec.write_op (i 1); Spec.read_op ]; [ Spec.write_op (i 2) ] |]
+       ~switches:2 ~crashes:1 ())
+
+let test_undo_engine_dcas () =
+  ignore
+    (check_undo_matches_replay
+       ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+       ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |]
+       ~switches:2 ~crashes:1 ())
+
+let test_undo_engine_broken_violating () =
+  (* on the broken baselines the agreement covers real violation sets *)
+  let u =
+    check_undo_matches_replay ~mk:mk_no_vec ~workloads:no_vec_workload
+      ~switches:2 ~crashes:1 ()
+  in
+  Alcotest.(check bool) "no_vec violates" true
+    (u.Modelcheck.Explore.total_violations > 0);
+  Alcotest.(check bool) "undo engine rewinds" true
+    (u.Modelcheck.Explore.metrics.Modelcheck.Explore.rewound_cells > 0);
+  let u2 =
+    check_undo_matches_replay ~mk:mk_reexec ~workloads:fig2_workload
+      ~switches:2 ~crashes:1 ()
+  in
+  Alcotest.(check bool) "reexec violates" true
+    (u2.Modelcheck.Explore.total_violations > 0)
+
+let test_undo_engine_parallel () =
+  ignore
+    (check_undo_matches_replay ~domains:2 ~mk:mk_no_vec
+       ~workloads:no_vec_workload ~switches:2 ~crashes:1 ())
+
+let prop_undo_replay_random_workloads =
+  (* engine equivalence over randomly generated cas workloads on the
+     ablated (violating) object — each seed is a fresh property case *)
+  QCheck.Test.make ~name:"undo = replay on random workloads" ~count:12
+    QCheck.small_nat (fun seed ->
+      let workloads =
+        Workload.cas
+          (Dtc_util.Prng.create (seed + 1))
+          ~procs:2 ~ops_per_proc:2 ~values:2
+      in
+      let cfg engine =
+        {
+          Modelcheck.Explore.default_config with
+          switch_budget = 2;
+          crash_budget = 1;
+          engine;
+        }
+      in
+      let run e = Modelcheck.Explore.explore ~mk:mk_no_vec ~workloads (cfg e) in
+      let r = run `Replay and u = run `Undo in
+      r.Modelcheck.Explore.executions = u.Modelcheck.Explore.executions
+      && r.Modelcheck.Explore.truncated = u.Modelcheck.Explore.truncated
+      && r.Modelcheck.Explore.nodes = u.Modelcheck.Explore.nodes
+      && r.Modelcheck.Explore.total_violations
+         = u.Modelcheck.Explore.total_violations
+      && r.Modelcheck.Explore.distinct_shared_configs
+         = u.Modelcheck.Explore.distinct_shared_configs
+      && viol_sig r = viol_sig u)
+
 let test_metrics_sanity () =
   let out =
     Modelcheck.Explore.explore
@@ -229,6 +341,13 @@ let suites =
           test_engines_agree_no_vec;
         Alcotest.test_case "engines agree (rw_no_aux_reexec)" `Quick
           test_engines_agree_reexec;
+        Alcotest.test_case "undo = replay (drw)" `Quick test_undo_engine_drw;
+        Alcotest.test_case "undo = replay (dcas)" `Quick test_undo_engine_dcas;
+        Alcotest.test_case "undo = replay (broken, violating)" `Quick
+          test_undo_engine_broken_violating;
+        Alcotest.test_case "undo = replay (parallel)" `Quick
+          test_undo_engine_parallel;
+        QCheck_alcotest.to_alcotest prop_undo_replay_random_workloads;
         Alcotest.test_case "metrics sanity" `Quick test_metrics_sanity;
       ] );
   ]

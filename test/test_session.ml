@@ -260,6 +260,77 @@ let test_workload_determinism () =
   Alcotest.(check bool) "same seed, same workload" true (mk 42 = mk 42);
   Alcotest.(check bool) "different seeds differ" true (mk 42 <> mk 43)
 
+(* --- undo-mode checkpointing --- *)
+
+let undo_workloads =
+  [| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |]
+
+let test_undo_mark_rewind_roundtrip () =
+  let machine, inst = Test_support.mk_dcas ~n:2 () in
+  let session = Session.create ~undo:true machine inst ~workloads:undo_workloads in
+  let fp () = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
+  let dig0 = Session.state_digest session and fp0 = fp () in
+  let runnable0 = Session.runnable session in
+  let m = Session.mark session in
+  (* advance through steps AND a crash (recovery restarts every fiber) *)
+  Session.step session 0;
+  Session.step session 1;
+  Session.crash session ~keep:(fun _ -> true);
+  (match Session.runnable session with
+  | pid :: _ -> Session.step session pid
+  | [] -> ());
+  Alcotest.(check bool) "configuration moved" true
+    (Session.state_digest session <> dig0 || fp () <> fp0);
+  Session.rewind session m;
+  Alcotest.(check int) "state digest restored" dig0
+    (Session.state_digest session);
+  Alcotest.(check bool) "memory fingerprint restored" true (fp () = fp0);
+  Alcotest.(check (list int)) "runnable set restored" runnable0
+    (Session.runnable session);
+  Alcotest.(check int) "step counter restored" 0 (Session.steps session);
+  Alcotest.(check int) "crash counter restored" 0 (Session.crashes session);
+  Alcotest.(check int) "history restored" 2
+    (List.length (Session.history session));
+  (* the rolled-back configuration is live: ghost replay rebuilds the
+     discarded fibers on demand and the run completes *)
+  let rec drain () =
+    match Session.runnable session with
+    | [] -> ()
+    | pid :: _ ->
+        Session.step session pid;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "finished after rewind" true (Session.finished session)
+
+let test_undo_rewind_is_repeatable () =
+  (* rewinding and re-running the same decisions must reproduce the same
+     digest — the property the explorer's memoisation keys depend on *)
+  let machine, inst = Test_support.mk_dcas ~n:2 () in
+  let session = Session.create ~undo:true machine inst ~workloads:undo_workloads in
+  let m = Session.mark session in
+  let run () =
+    Session.step session 0;
+    Session.crash session ~keep:(fun _ -> true);
+    (match Session.runnable session with
+    | pid :: _ -> Session.step session pid
+    | [] -> ());
+    Session.state_digest session
+  in
+  let d1 = run () in
+  Session.rewind session m;
+  let d2 = run () in
+  Alcotest.(check int) "same decisions, same digest" d1 d2
+
+let test_mark_requires_undo_mode () =
+  let machine, inst = Test_support.mk_dcas ~n:1 () in
+  let session =
+    Session.create machine inst ~workloads:[| [ Spec.read_op ] |]
+  in
+  match Session.mark session with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mark must require undo mode"
+
 let suites =
   [
     ( "sched.driver",
@@ -276,6 +347,12 @@ let suites =
           test_session_step_not_runnable;
         Alcotest.test_case "crash restarts all" `Quick test_crash_restarts_all;
         Alcotest.test_case "verdict stability" `Slow test_verdict_stability;
+        Alcotest.test_case "undo mark/rewind roundtrip" `Quick
+          test_undo_mark_rewind_roundtrip;
+        Alcotest.test_case "undo rewind repeatable" `Quick
+          test_undo_rewind_is_repeatable;
+        Alcotest.test_case "mark requires undo mode" `Quick
+          test_mark_requires_undo_mode;
       ] );
     ( "sched.schedule",
       [

@@ -90,6 +90,36 @@ let test_tolerant_replay_skips_dead_steps () =
   | None -> ()
   | Some (_, msg) -> Alcotest.failf "unexpected violation: %s" msg
 
+let test_engine_parity () =
+  (* the undo-substrate shrinker tries the same candidates in the same
+     order as the replay one, so every field of the result — including
+     the number of physical attempts — must be identical *)
+  let v = find_violation () in
+  let run engine =
+    Modelcheck.Shrink.minimise ~mk:mk_no_vec ~workloads ~engine
+      v.Modelcheck.Explore.decisions
+  in
+  match (run `Replay, run `Undo) with
+  | Some r, Some u ->
+      Alcotest.(check bool) "same minimised decisions" true
+        (r.Modelcheck.Shrink.decisions = u.Modelcheck.Shrink.decisions);
+      Alcotest.(check string) "same message" r.Modelcheck.Shrink.msg
+        u.Modelcheck.Shrink.msg;
+      Alcotest.(check bool) "same history" true
+        (r.Modelcheck.Shrink.history = u.Modelcheck.Shrink.history);
+      Alcotest.(check int) "same attempts" r.Modelcheck.Shrink.attempts
+        u.Modelcheck.Shrink.attempts
+  | _ -> Alcotest.fail "engines disagree on reproducibility"
+
+let test_undo_refuses_non_repro () =
+  let mk () = Test_support.mk_dcas ~n:2 () in
+  match
+    Modelcheck.Shrink.minimise ~mk ~workloads ~engine:`Undo
+      [ Modelcheck.Explore.Crash ]
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "undo minimise invented a violation"
+
 let suites =
   [
     ( "modelcheck.shrink",
@@ -104,5 +134,9 @@ let suites =
           test_minimise_none_for_correct_object;
         Alcotest.test_case "tolerant replay" `Quick
           test_tolerant_replay_skips_dead_steps;
+        Alcotest.test_case "undo = replay engine parity" `Quick
+          test_engine_parity;
+        Alcotest.test_case "undo refuses non-repro" `Quick
+          test_undo_refuses_non_repro;
       ] );
   ]

@@ -115,6 +115,57 @@ let prop_set_nth_roundtrip =
           Value.equal (Value.nth (Value.set_nth t k x) k) x
       | _ -> QCheck.assume_fail ())
 
+(* --- hash-consing --- *)
+
+let test_intern_canonical () =
+  (* two structurally equal values built independently intern to the
+     same physical node within a domain, so [==] certifies equality *)
+  let x = Value.pair (Value.Int 3) (Value.Str "ab") in
+  let y = Value.pair (Value.Int 3) (Value.Str "ab") in
+  Alcotest.(check bool) "distinct nodes in" false (x == y);
+  let hx = Value.intern x and hy = Value.intern y in
+  Alcotest.(check bool) "same node out" true (hx == hy);
+  Alcotest.(check bool) "hc_equal" true (Value.hc_equal hx hy);
+  Alcotest.(check int) "cached hash" (Value.hash x) hx.Value.h;
+  let hz = Value.intern (Value.pair (Value.Int 4) (Value.Str "ab")) in
+  Alcotest.(check bool) "different values differ" false
+    (Value.hc_equal hx hz)
+
+let test_intern_stats_move () =
+  let _, m0 = Value.intern_stats () in
+  ignore (Value.intern (Value.Str "intern-stats-probe"));
+  let h1, m1 = Value.intern_stats () in
+  ignore (Value.intern (Value.Str "intern-stats-probe"));
+  let h2, m2 = Value.intern_stats () in
+  Alcotest.(check bool) "first sight is a miss" true (m1 > m0);
+  Alcotest.(check int) "second sight is a hit" (h1 + 1) h2;
+  Alcotest.(check int) "and not a miss" m1 m2
+
+let prop_intern_respects_equal =
+  QCheck.Test.make ~name:"intern canonical iff structurally equal"
+    ~count:Test_support.qcheck_count
+    QCheck.(pair arb_value arb_value)
+    (fun (x, y) ->
+      let hx = Value.intern x and hy = Value.intern y in
+      Value.hc_equal hx hy = Value.equal x y
+      && (hx == hy) = Value.equal x y)
+
+let rec deep_copy = function
+  | Value.Tup xs -> Value.Tup (Array.map deep_copy xs)
+  | Value.Str s -> Value.Str (String.init (String.length s) (String.get s))
+  | v -> v
+
+let prop_intern_digests_fixed =
+  QCheck.Test.make ~name:"interned digests are value-determined"
+    ~count:Test_support.qcheck_count arb_value (fun x ->
+      (* intern a physically distinct structural copy: the cached hash
+         and fingerprint digests must depend only on the value *)
+      let h1 = Value.intern x and h2 = Value.intern (deep_copy x) in
+      h1 == h2
+      && h1.Value.da = h2.Value.da
+      && h1.Value.db = h2.Value.db
+      && h1.Value.h = Value.hash x)
+
 let prop_bits_nonneg =
   QCheck.Test.make ~name:"bits >= 0" ~count:Test_support.qcheck_count arb_value
     (fun x -> Value.bits x >= 0)
@@ -134,5 +185,10 @@ let suites =
         QCheck_alcotest.to_alcotest prop_hash_consistent;
         QCheck_alcotest.to_alcotest prop_set_nth_roundtrip;
         QCheck_alcotest.to_alcotest prop_bits_nonneg;
+        Alcotest.test_case "intern canonicalises" `Quick test_intern_canonical;
+        Alcotest.test_case "intern hit/miss counters" `Quick
+          test_intern_stats_move;
+        QCheck_alcotest.to_alcotest prop_intern_respects_equal;
+        QCheck_alcotest.to_alcotest prop_intern_digests_fixed;
       ] );
   ]
