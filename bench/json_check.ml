@@ -13,7 +13,12 @@
    - "detectable-modelcheck/v1"     — a modelcheck engine baseline
      (`bench/main.exe --baseline`, the committed BENCH_modelcheck.json):
      per case the engine-independent counters plus one throughput record
-     per execution substrate and the measured undo/replay speedup.
+     per execution substrate and the measured undo/replay speedup;
+   - "detectable-lincheck/v1"       — a linearizability-checker engine
+     baseline (`bench/main.exe --baseline`, the committed
+     BENCH_lincheck.json): per case the engine-independent counters plus
+     one record per checker engine and the measured incremental/batch
+     speedup.
 
    Keeping every producer behind this one validator is what lets future
    PRs treat the JSON artefacts as a stable machine-readable surface. *)
@@ -32,7 +37,8 @@ let check_engine e =
     [
       "engine"; "switch_budget"; "crash_budget"; "domains"; "executions";
       "nodes"; "total_violations"; "distinct_shared_configs"; "dedup_hit_rate";
-      "nodes_per_sec"; "elapsed_s";
+      "nodes_per_sec"; "elapsed_s"; "lin_engine"; "leaf_checks";
+      "lin_elapsed_s"; "lin_checks_per_sec"; "lin_reuse_rate";
     ]
 
 let check_checker j =
@@ -117,6 +123,40 @@ let check_modelcheck_baseline j =
                 engines)
         cases
 
+let check_lincheck_baseline j =
+  match get_list (member "cases" j) with
+  | [] -> fail "json_check: \"cases\" must be a non-empty array"
+  | cases ->
+      List.iter
+        (fun c ->
+          require_keys "lincheck case" c
+            [
+              "object"; "kind"; "counters"; "engines"; "incremental_speedup";
+              "min_speedup";
+            ];
+          (match get_str (member "kind" c) with
+          | "modelcheck_leaves" ->
+              require_keys "modelcheck_leaves case" c
+                [ "switch_budget"; "crash_budget" ]
+          | "torture_histories" ->
+              require_keys "torture_histories case" c
+                [ "trials"; "procs"; "ops_per_proc"; "seed" ]
+          | k -> fail "json_check: unknown lincheck case kind %S" k);
+          require_keys "lincheck counters" (member "counters" c)
+            [ "checks"; "events_total"; "violations" ];
+          match get_list (member "engines" c) with
+          | [] -> fail "json_check: case \"engines\" must be a non-empty array"
+          | engines ->
+              List.iter
+                (fun e ->
+                  require_keys "lin engine record" e
+                    [
+                      "lin_engine"; "elapsed_s"; "checks_per_sec";
+                      "events_pushed"; "reuse_rate";
+                    ])
+                engines)
+        cases
+
 let () =
   let path =
     if Array.length Sys.argv = 2 then Sys.argv.(1)
@@ -138,5 +178,8 @@ let () =
       | "detectable-modelcheck/v1" ->
           check_modelcheck_baseline j;
           print_endline "modelcheck baseline: valid"
+      | "detectable-lincheck/v1" ->
+          check_lincheck_baseline j;
+          print_endline "lincheck baseline: valid"
       | s -> fail "json_check: unknown schema %S" s
       | exception Error m -> fail "json_check: %s: %s" path m)

@@ -288,7 +288,9 @@ let engine_json ~engine ~workload (cfg : Modelcheck.Explore.config)
       "dedup_hits": %d, "dedup_hit_rate": %.4f, "nodes_saved": %d,
       "peak_visited": %d, "elapsed_s": %.6f, "nodes_per_sec": %.1f,
       "rewound_cells": %d, "rewound_cells_per_sec": %.1f,
-      "intern_hit_rate": %.4f }|}
+      "intern_hit_rate": %.4f,
+      "lin_engine": %S, "leaf_checks": %d, "lin_elapsed_s": %.6f,
+      "lin_checks_per_sec": %.1f, "lin_reuse_rate": %.4f }|}
     engine workload m.Modelcheck.Explore.engine
     cfg.Modelcheck.Explore.switch_budget
     cfg.Modelcheck.Explore.crash_budget m.Modelcheck.Explore.domains_used
@@ -301,7 +303,10 @@ let engine_json ~engine ~workload (cfg : Modelcheck.Explore.config)
     m.Modelcheck.Explore.elapsed_s m.Modelcheck.Explore.nodes_per_sec
     m.Modelcheck.Explore.rewound_cells
     m.Modelcheck.Explore.rewound_cells_per_sec
-    m.Modelcheck.Explore.intern_hit_rate
+    m.Modelcheck.Explore.intern_hit_rate m.Modelcheck.Explore.lin_engine
+    m.Modelcheck.Explore.leaf_checks m.Modelcheck.Explore.lin_elapsed_s
+    m.Modelcheck.Explore.lin_checks_per_sec
+    m.Modelcheck.Explore.lin_reuse_rate
 
 let checker_json ~budget ~smoke =
   let base =
@@ -756,6 +761,337 @@ let modelcheck_compare ~j ~file ~tolerance =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Lincheck engine baselines (BENCH_lincheck.json, schema
+   detectable-lincheck/v1).
+
+   Two cases, one per way the incremental checker is used:
+
+   - "modelcheck_leaves": the DRW model-check workload is explored twice,
+     once per checker engine, with everything else identical.  All
+     exploration counters (plus leaf_checks and the total leaf-history
+     event count) must be byte-identical — checker-engine equivalence is
+     part of the recorded contract — and the speedup is the ratio of
+     checker-attributable wall time (batch re-checks every leaf from
+     scratch; incremental reuses the frontier of the shared prefix along
+     the decision stack).
+
+   - "torture_histories": long random crash histories (> Lin_check.word_ops
+     operation instances, so both engines run on chunked bitsets) are
+     generated once with the driver, then each is checked from scratch by
+     both engines; verdicts — including violation messages — must agree
+     history by history.  No prefix sharing here, so this measures the
+     engines' raw one-shot cost on deep histories.
+
+   `--compare` reruns both cases at the recorded parameters and diffs:
+   counters exactly (any divergence between the engines hard-fails the
+   run itself), the fresh speedup against the recorded min_speedup gate,
+   and incremental throughput against the baseline within the
+   tolerance. *)
+
+let lc_leaf_gate = 3.0
+
+(* The long-history case has no prefix sharing, so the incremental
+   engine's eager frontier closure makes it somewhat slower than batch
+   one-shot checking; the case is recorded for verdict parity on > 62-op
+   histories and to catch pathological regressions, and its gate only
+   guards against the incremental engine collapsing (timings are a few
+   ms, so the ratio is noisy). *)
+let lc_hist_gate = 0.25
+
+type lc_counters = { l_checks : int; l_events : int; l_violations : int }
+
+type lc_engine_row = {
+  l_name : string;
+  l_elapsed : float;
+  l_pushed : int;
+  l_reuse : float;
+}
+
+let lc_checks_per_sec c row =
+  float_of_int c.l_checks /. Float.max row.l_elapsed 1e-9
+
+(* modelcheck-leaf case: same exploration under both checker engines.
+   Slightly longer histories than drw_n2_workload so the per-leaf batch
+   re-check has real work to redo. *)
+let lc_leaf_workload =
+  [|
+    [ Spec.write_op (i 1); Spec.read_op ];
+    [ Spec.write_op (i 2); Spec.read_op ];
+  |]
+
+let lc_run_leaf_case ~switches ~crashes =
+  let cfg lin_engine =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      lin_engine;
+    }
+  in
+  let run eng =
+    Modelcheck.Explore.explore ~mk:mk_drw_n2 ~workloads:lc_leaf_workload
+      (cfg eng)
+  in
+  let batch = run `Batch and inc = run `Incremental in
+  let signature (o : Modelcheck.Explore.outcome) =
+    ( o.Modelcheck.Explore.executions,
+      o.Modelcheck.Explore.truncated,
+      o.Modelcheck.Explore.nodes,
+      o.Modelcheck.Explore.total_violations,
+      o.Modelcheck.Explore.distinct_shared_configs,
+      o.Modelcheck.Explore.metrics.Modelcheck.Explore.leaf_checks,
+      o.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_events_total,
+      List.map
+        (fun (v : Modelcheck.Explore.violation) -> v.Modelcheck.Explore.msg)
+        o.Modelcheck.Explore.violations )
+  in
+  if signature batch <> signature inc then
+    failwith
+      (Printf.sprintf
+         "LIN ENGINE DIVERGENCE on drw_n2_leaf_reuse (sw=%d cr=%d): the \
+          batch and incremental checkers disagree on the exploration outcome"
+         switches crashes);
+  let row eng (o : Modelcheck.Explore.outcome) =
+    let m = o.Modelcheck.Explore.metrics in
+    {
+      l_name = eng;
+      l_elapsed = m.Modelcheck.Explore.lin_elapsed_s;
+      l_pushed = m.Modelcheck.Explore.lin_events_pushed;
+      l_reuse = m.Modelcheck.Explore.lin_reuse_rate;
+    }
+  in
+  let m = batch.Modelcheck.Explore.metrics in
+  let counters =
+    {
+      l_checks = m.Modelcheck.Explore.leaf_checks;
+      l_events = m.Modelcheck.Explore.lin_events_total;
+      l_violations = batch.Modelcheck.Explore.total_violations;
+    }
+  in
+  (counters, row "batch" batch, row "incremental" inc)
+
+(* torture-history case: long random crash histories, checked one-shot *)
+let lc_histories ~trials ~procs ~ops_per_proc ~seed =
+  List.init trials (fun index ->
+      let prng = Prng.stream seed ~index in
+      let wseed =
+        Int64.to_int (Int64.shift_right_logical (Prng.next_int64 prng) 2)
+      in
+      let machine, inst =
+        let m = Machine.create () in
+        (m, Detectable.Drw.instance (Detectable.Drw.create m ~n:procs ~init:(i 0)))
+      in
+      let workloads =
+        Workload.register (Prng.create wseed) ~procs ~ops_per_proc ~values:3
+      in
+      let cfg =
+        {
+          Driver.schedule = Schedule.random (Prng.split prng);
+          crash_plan =
+            Crash_plan.random ~max_crashes:2 ~prob:0.002 (Prng.split prng);
+          policy = Session.Retry;
+          max_steps = 1_000_000;
+        }
+      in
+      let res = Driver.run machine inst ~workloads cfg in
+      (inst.Obj_inst.spec, res.Driver.history))
+
+let lc_run_hist_case ~trials ~procs ~ops_per_proc ~seed =
+  let histories = lc_histories ~trials ~procs ~ops_per_proc ~seed in
+  let time_engine eng =
+    let t0 = Unix.gettimeofday () in
+    let verdicts =
+      List.map
+        (fun (spec, h) -> Lin_check.check_with eng spec h)
+        histories
+    in
+    (Unix.gettimeofday () -. t0, verdicts)
+  in
+  let b_elapsed, b_verdicts = time_engine `Batch in
+  let i_elapsed, i_verdicts = time_engine `Incremental in
+  List.iteri
+    (fun k (vb, vi) ->
+      let tag = function
+        | Lin_check.Ok_linearizable _ -> "ok"
+        | Lin_check.Violation m -> "violation: " ^ m
+      in
+      if tag vb <> tag vi then
+        failwith
+          (Printf.sprintf
+             "LIN ENGINE DIVERGENCE on drw_long_histories trial %d: batch %S \
+              vs incremental %S"
+             k (tag vb) (tag vi)))
+    (List.combine b_verdicts i_verdicts);
+  let events =
+    List.fold_left (fun acc (_, h) -> acc + List.length h) 0 histories
+  in
+  let violations =
+    List.fold_left
+      (fun acc v ->
+        match v with Lin_check.Violation _ -> acc + 1 | _ -> acc)
+      0 b_verdicts
+  in
+  let counters =
+    { l_checks = trials; l_events = events; l_violations = violations }
+  in
+  let row name elapsed =
+    { l_name = name; l_elapsed = elapsed; l_pushed = events; l_reuse = 0.0 }
+  in
+  (counters, row "batch" b_elapsed, row "incremental" i_elapsed)
+
+let lc_engine_json c row =
+  Printf.sprintf
+    {|        { "lin_engine": %S, "elapsed_s": %.6f, "checks_per_sec": %.1f,
+          "events_pushed": %d, "reuse_rate": %.4f }|}
+    row.l_name row.l_elapsed (lc_checks_per_sec c row) row.l_pushed row.l_reuse
+
+let lc_speedup batch inc = batch.l_elapsed /. Float.max inc.l_elapsed 1e-9
+
+let lc_case_json ~label ~kind ~params (c, batch, inc) ~gate =
+  let speedup = lc_speedup batch inc in
+  Printf.printf
+    "%-24s %s: incremental %.2fx over batch (%.4fs vs %.4fs checker time, \
+     reuse %.1f%%)\n\
+     %!"
+    label params speedup batch.l_elapsed inc.l_elapsed (100.0 *. inc.l_reuse);
+  Printf.sprintf
+    "    { \"object\": %S, \"kind\": %S, %s,\n\
+    \      \"counters\": { \"checks\": %d, \"events_total\": %d, \
+     \"violations\": %d },\n\
+    \      \"engines\": [\n%s,\n%s\n      ],\n\
+    \      \"incremental_speedup\": %.2f, \"min_speedup\": %.1f }"
+    label kind params c.l_checks c.l_events c.l_violations
+    (lc_engine_json c batch) (lc_engine_json c inc) speedup gate
+
+let lincheck_baseline ~out ~budget ~trials =
+  let leaf =
+    lc_case_json ~label:"drw_n2_leaf_reuse" ~kind:"modelcheck_leaves"
+      ~params:(Printf.sprintf "\"switch_budget\": %d, \"crash_budget\": 1" budget)
+      (lc_run_leaf_case ~switches:budget ~crashes:1)
+      ~gate:lc_leaf_gate
+  in
+  let hist =
+    lc_case_json ~label:"drw_long_histories" ~kind:"torture_histories"
+      ~params:
+        (Printf.sprintf
+           "\"trials\": %d, \"procs\": 3, \"ops_per_proc\": 40, \"seed\": 7"
+           trials)
+      (lc_run_hist_case ~trials ~procs:3 ~ops_per_proc:40 ~seed:7)
+      ~gate:lc_hist_gate
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"detectable-lincheck/v1\",\n\
+      \  \"cases\": [\n%s,\n%s\n  ]\n}\n"
+      leaf hist
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "lincheck baseline (2 cases, both engines) written to %s\n" out
+
+let lincheck_compare ~j ~file ~tolerance =
+  let open Tiny_json in
+  let fail_cnt = ref 0 in
+  (try
+     List.iter
+       (fun case ->
+         let label = get_str (member "object" case) in
+         let rerun =
+           match get_str (member "kind" case) with
+           | "modelcheck_leaves" ->
+               Some
+                 (lc_run_leaf_case
+                    ~switches:(get_int (member "switch_budget" case))
+                    ~crashes:(get_int (member "crash_budget" case)))
+           | "torture_histories" ->
+               Some
+                 (lc_run_hist_case
+                    ~trials:(get_int (member "trials" case))
+                    ~procs:(get_int (member "procs" case))
+                    ~ops_per_proc:(get_int (member "ops_per_proc" case))
+                    ~seed:(get_int (member "seed" case)))
+           | k ->
+               incr fail_cnt;
+               Printf.printf
+                 "%-24s UNKNOWN kind %S (renamed/removed?) — regenerate the \
+                  baseline with --baseline\n"
+                 label k;
+               None
+         in
+         match rerun with
+         | None -> ()
+         | Some (c, batch, inc) ->
+             let base = member "counters" case in
+             let mismatches =
+               List.filter_map
+                 (fun (name, want, got) ->
+                   if want = got then None
+                   else
+                     Some
+                       (Printf.sprintf "%s: baseline %d, fresh %d" name want
+                          got))
+                 [
+                   ("checks", get_int (member "checks" base), c.l_checks);
+                   ("events_total", get_int (member "events_total" base),
+                    c.l_events);
+                   ("violations", get_int (member "violations" base),
+                    c.l_violations);
+                 ]
+             in
+             let base_cps =
+               List.fold_left
+                 (fun acc e ->
+                   if get_str (member "lin_engine" e) = "incremental" then
+                     get_num (member "checks_per_sec" e)
+                   else acc)
+                 0.0
+                 (get_list (member "engines" case))
+             in
+             let fresh_cps = lc_checks_per_sec c inc in
+             let min_speedup = get_num (member "min_speedup" case) in
+             let speedup = lc_speedup batch inc in
+             let ratio = fresh_cps /. Float.max base_cps 1e-9 in
+             if mismatches <> [] then begin
+               incr fail_cnt;
+               Printf.printf "%-24s DETERMINISM MISMATCH\n" label;
+               List.iter (Printf.printf "  %s\n") mismatches;
+               Printf.printf
+                 "  (behavioral change: regenerate the baseline with \
+                  --baseline and explain it in the PR)\n"
+             end
+             else if speedup < min_speedup then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-24s SPEEDUP REGRESSION: incremental %.2fx over batch \
+                  (baseline gate %.1fx, recorded %.2fx)\n"
+                 label speedup min_speedup
+                 (get_num (member "incremental_speedup" case))
+             end
+             else if ratio < 1.0 /. tolerance then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-24s PERF REGRESSION: incremental %.0f checks/sec vs \
+                  baseline %.0f (%.2fx, tolerance %.0fx)\n"
+                 label fresh_cps base_cps ratio tolerance
+             end
+             else
+               Printf.printf
+                 "%-24s ok: counters exact, incremental %.2fx over batch, \
+                  %.0f checks/sec vs baseline %.0f (%.2fx)\n"
+                 label speedup fresh_cps base_cps ratio)
+       (get_list (member "cases" j))
+   with Tiny_json.Error m ->
+     Printf.eprintf "bench --compare: %s: %s\n" file m;
+     exit 1);
+  if !fail_cnt = 0 then print_endline "lincheck baseline comparison: ok"
+  else begin
+    Printf.printf "lincheck baseline comparison: %d case(s) failed\n" !fail_cnt;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* entry point: ad-hoc flag scan (no cmdliner dependency here)
 
    --json [--budget N] [--smoke]   checker-throughput JSON to stdout
@@ -763,12 +1099,15 @@ let modelcheck_compare ~j ~file ~tolerance =
                                    replay/undo substrate rows)
    --baseline [--out FILE] [--trials N] [--seed S] [--domains D]
               [--mc-out FILE] [--mc-budget N]
-                                   writes BOTH the torture baseline
-                                   (--out) and the modelcheck engine
-                                   baseline (--mc-out)
+              [--lin-out FILE] [--lin-budget N] [--lin-trials N]
+                                   writes the torture baseline (--out),
+                                   the modelcheck engine baseline
+                                   (--mc-out) and the lincheck engine
+                                   baseline (--lin-out)
    --compare FILE [--tolerance X] [--domains D]
                                    dispatches on the file's "schema"
-                                   (torture-v1 or modelcheck/v1)
+                                   (torture-v1, modelcheck/v1 or
+                                   lincheck/v1)
    (no flags)                      full experiment + bench suite *)
 
 let flag_value name =
@@ -812,7 +1151,11 @@ let () =
     modelcheck_baseline
       ~out:
         (Option.value (flag_value "--mc-out") ~default:"BENCH_modelcheck.json")
-      ~budget:(int_flag "--mc-budget" 4)
+      ~budget:(int_flag "--mc-budget" 4);
+    lincheck_baseline
+      ~out:(Option.value (flag_value "--lin-out") ~default:"BENCH_lincheck.json")
+      ~budget:(int_flag "--lin-budget" 4)
+      ~trials:(int_flag "--lin-trials" 30)
   end
   else if Array.exists (( = ) "--compare") Sys.argv then
     let file =
@@ -837,6 +1180,7 @@ let () =
     | "detectable-bench/torture-v1" ->
         torture_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
     | "detectable-modelcheck/v1" -> modelcheck_compare ~j ~file ~tolerance
+    | "detectable-lincheck/v1" -> lincheck_compare ~j ~file ~tolerance
     | s ->
         Printf.eprintf "bench --compare: unexpected schema %S\n" s;
         exit 1

@@ -129,6 +129,23 @@ let policy_arg =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"What the caller does after a fail verdict: retry or giveup.")
 
+let lin_engine_arg =
+  let choices =
+    [
+      ("incremental", (`Incremental : Lin_check.engine)); ("batch", `Batch);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum choices) `Incremental
+    & info [ "lin-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Linearizability-checker engine: $(b,incremental) maintains the \
+           Wing-Gong frontier event by event, so a verdict costs O(new \
+           events) and shared history prefixes are checked once; $(b,batch) \
+           re-checks every history from scratch (the reference engine).  \
+           Both return identical verdicts.")
+
 (* ------------------------------------------------------------------ *)
 (* list *)
 
@@ -218,14 +235,14 @@ let torture_cmd =
       & info [ "no-shrink" ]
           ~doc:"Skip minimising the first failing trial's schedule.")
   in
-  let run kind procs ops trials crash_prob max_crashes policy seed domains json
-      report_file no_shrink =
+  let run kind procs ops trials crash_prob max_crashes policy lin_engine seed
+      domains json report_file no_shrink =
     let spec =
       Torture.default_spec_of
         ~label:(List.assoc kind (List.map (fun (k, v) -> (v, k)) obj_choices))
         ~mk:(mk_of_kind kind ~n:procs)
         ~workloads_of_seed:(fun s -> workloads_of_kind kind ~seed:s ~procs ~ops)
-        ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ()
+        ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ~lin_engine ()
     in
     let report =
       Torture.run ~domains ~root_seed:seed ~trials ~shrink:(not no_shrink) spec
@@ -255,8 +272,8 @@ let torture_cmd =
     Term.(
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ trials $ crash_prob
-       $ max_crashes $ policy_arg $ seed_arg $ domains $ json $ report_file
-       $ no_shrink))
+       $ max_crashes $ policy_arg $ lin_engine_arg $ seed_arg $ domains $ json
+       $ report_file $ no_shrink))
 
 (* trace *)
 
@@ -356,7 +373,7 @@ let modelcheck_cmd =
              counters.")
   in
   let run kind procs ops switches crashes domains no_prune exact_configs engine
-      policy seed =
+      lin_engine policy seed =
     let workloads = workloads_of_kind kind ~seed ~procs ~ops in
     let cfg =
       {
@@ -368,6 +385,7 @@ let modelcheck_cmd =
         prune = not no_prune;
         exact_configs;
         engine;
+        lin_engine;
       }
     in
     let out =
@@ -413,6 +431,20 @@ let modelcheck_cmd =
           Printf.printf "journal depth (log2 buckets): %s\n"
             (String.concat " "
                (List.map (fun (b, n) -> Printf.sprintf "%d:%d" b n) hist)));
+    Printf.printf
+      "checker: %s engine, %d leaf checks (%.0f checks/sec, %.3fs), %.1f%% \
+       event reuse (%d of %d events pushed)\n"
+      m.Modelcheck.Explore.lin_engine m.Modelcheck.Explore.leaf_checks
+      m.Modelcheck.Explore.lin_checks_per_sec m.Modelcheck.Explore.lin_elapsed_s
+      (100.0 *. m.Modelcheck.Explore.lin_reuse_rate)
+      m.Modelcheck.Explore.lin_events_pushed
+      m.Modelcheck.Explore.lin_events_total;
+    (match m.Modelcheck.Explore.frontier_hist with
+    | [] -> ()
+    | hist ->
+        Printf.printf "checker frontier size (log2 buckets): %s\n"
+          (String.concat " "
+             (List.map (fun (b, n) -> Printf.sprintf "%d:%d" b n) hist)));
     (match m.Modelcheck.Explore.replay_depth_hist with
     | [] -> ()
     | hist ->
@@ -437,7 +469,7 @@ let modelcheck_cmd =
         match
           Modelcheck.Shrink.minimise
             ~mk:(mk_of_kind kind ~n:procs)
-            ~workloads ~policy ~engine v.decisions
+            ~workloads ~policy ~engine ~lin_engine v.decisions
         with
         | Some r ->
             Printf.printf
@@ -464,7 +496,8 @@ let modelcheck_cmd =
     Term.(
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ switches $ crashes
-       $ domains $ no_prune $ exact_configs $ engine $ policy_arg $ seed_arg))
+       $ domains $ no_prune $ exact_configs $ engine $ lin_engine_arg
+       $ policy_arg $ seed_arg))
 
 (* witness *)
 

@@ -14,11 +14,25 @@
     - operations still pending when the history ends may be linearized or
       not, with any specification-consistent response.
 
-    The search is a Wing–Gong style interleaving exploration with
-    memoization on (set of linearized operations, set of discarded pending
-    operations, abstract state).  It is exact, and exponential in the
-    worst case, so histories fed to it should stay small (tens of
-    operations) — which the test and experiment harnesses ensure. *)
+    Two engines implement the same judgment:
+
+    - {!check}, the batch reference: a Wing–Gong style interleaving
+      exploration over one whole history, with memoization on
+      (set of linearized operations, abstract state) keyed on
+      {!Nvm.Value.intern} fingerprints.  Exact, exponential in the worst
+      case, O(whole history) even on success.
+    - {!Session}, the incremental engine: events are pushed one at a
+      time and the reachable Wing–Gong frontier is maintained as state,
+      so a verdict after k new events costs O(k · frontier), and
+      {!Session.mark}/{!Session.rewind} let a DFS (the model checker,
+      the shrinker) reuse the frontier of a shared history prefix across
+      all sibling leaves instead of restarting from the empty history.
+
+    Both engines agree on every verdict, including violation messages
+    (property-tested in [test/test_lin_check.ml]); they may differ in
+    which witness linearization they return where several exist.
+    Histories are no longer bounded by a word size: sets of more than
+    {!word_ops} operations transparently switch to chunked {!Bitset}s. *)
 
 type verdict =
   | Ok_linearizable of Spec.op list
@@ -26,6 +40,7 @@ type verdict =
   | Violation of string  (** human-readable reason *)
 
 val check : Spec.t -> Event.t list -> verdict
+(** The batch reference engine. *)
 
 val is_ok : verdict -> bool
 
@@ -33,5 +48,67 @@ val check_exn : Spec.t -> Event.t list -> unit
 (** Raises [Failure] with the violation message and the pretty-printed
     history on a violation; for tests. *)
 
-val max_ops : int
-(** Upper bound on operation instances per history (bitmask width). *)
+val word_ops : int
+(** Histories of at most this many operation instances (62) run on the
+    historical one-word bitmask fast path; longer histories use chunked
+    bitsets.  No history is rejected for size. *)
+
+type engine = [ `Batch | `Incremental ]
+
+val engine_name : engine -> string
+(** ["batch"] / ["incremental"] — the label used in metrics and JSON. *)
+
+val check_with : engine -> Spec.t -> Event.t list -> verdict
+(** [check_with `Batch] is {!check}; [check_with `Incremental] runs a
+    fresh {!Session} over the whole history.  Same verdicts either
+    way. *)
+
+(** The incremental checker engine. *)
+module Session : sig
+  type t
+
+  val create : Spec.t -> t
+  (** A session over the empty history (verdict: linearizable). *)
+
+  val push_event : t -> Event.t -> unit
+  (** Append one event to the history and update the frontier.  A
+      malformed event (duplicate invocation, outcome for an unknown
+      operation, second outcome) does not raise: it latches the
+      violation, exactly as {!check} reports it, and further pushes
+      become no-ops until rewound past the offending event. *)
+
+  val push_history : t -> Event.t list -> unit
+  (** [push_event] for each event, oldest first. *)
+
+  val verdict : t -> verdict
+  (** Verdict for the history pushed so far.  O(frontier); on success
+      the witness is read off the surviving configuration's parent
+      chain.  Once a prefix is violating, every extension is too. *)
+
+  type mark
+
+  val mark : t -> mark
+  (** O(1) checkpoint of the current history position. *)
+
+  val rewind : t -> mark -> unit
+  (** Pop events back to [mark].  Marks are positions and strictly
+      LIFO, mirroring the [Nvm.Mem] journal contract: rewinding to a
+      mark invalidates every mark taken after it, and rewinding to such
+      a stale mark raises [Invalid_argument]. *)
+
+  val events : t -> int
+  (** Events currently in the history prefix. *)
+
+  val frontier_size : t -> int
+  (** Configurations currently in the frontier (0 iff violating). *)
+
+  (** Monotone counters over the session's whole life — deliberately not
+      rewound, for metrics. *)
+
+  val peak_frontier : t -> int
+  val events_pushed : t -> int
+  val spec_steps : t -> int
+end
+
+val check_incremental : Spec.t -> Event.t list -> verdict
+(** Fresh session, push the whole history, verdict. *)

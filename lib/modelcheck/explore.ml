@@ -21,6 +21,7 @@ type config = {
   domains : int;
   exact_configs : bool;
   engine : engine;
+  lin_engine : Lin_check.engine;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     domains = 1;
     exact_configs = false;
     engine = `Undo;
+    lin_engine = `Incremental;
   }
 
 let engine_name = function `Replay -> "replay" | `Undo -> "undo"
@@ -61,6 +63,14 @@ type metrics = {
   intern_hits : int;
   intern_misses : int;
   intern_hit_rate : float;
+  lin_engine : string;
+  leaf_checks : int;
+  lin_elapsed_s : float;
+  lin_checks_per_sec : float;
+  lin_events_pushed : int;
+  lin_events_total : int;
+  lin_reuse_rate : float;
+  frontier_hist : (int * int) list;
 }
 
 type outcome = {
@@ -103,6 +113,16 @@ type state = {
   depth_hist : (int, int) Hashtbl.t;
   journal_hist : (int, int) Hashtbl.t;
       (* undo engine: log2-bucketed journal depth sampled at each node *)
+  frontier_hist : (int, int) Hashtbl.t;
+      (* incremental checker: log2-bucketed frontier size per node *)
+  mutable lin : Lin_check.Session.t option;
+      (* the one incremental checker session, synced along the decision
+         stack; None under `Batch (and at parallel roots, which fall
+         back to whole-history checks) *)
+  mutable leaf_checks : int;
+  mutable lin_pushed : int;  (* events fed to the checker *)
+  mutable lin_total : int;  (* sum of leaf history lengths *)
+  mutable lin_elapsed : float;  (* checker-attributable wall time *)
   mutable executions : int;
   mutable truncated : int;
   mutable nodes : int;
@@ -127,6 +147,12 @@ let mk_state cfg mk workloads =
     visited = Hashtbl.create 4096;
     depth_hist = Hashtbl.create 64;
     journal_hist = Hashtbl.create 16;
+    frontier_hist = Hashtbl.create 16;
+    lin = None;
+    leaf_checks = 0;
+    lin_pushed = 0;
+    lin_total = 0;
+    lin_elapsed = 0.;
     executions = 0;
     truncated = 0;
     nodes = 0;
@@ -154,15 +180,84 @@ let replay st decisions =
     (List.rev decisions);
   (machine, inst, session)
 
+let log2_bucket n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* ---- incremental-checker plumbing ----------------------------------
+
+   Under [lin_engine = `Incremental] the state carries ONE
+   [Lin_check.Session] whose history mirrors the decision stack: on
+   entering a DFS node whose parent had [hlen] events, the checker is
+   marked and fed the [event_count - hlen] events this node's decision
+   added (the session spine is newest-first, so the delta is its
+   prefix); on leaving, it is rewound.  A leaf verdict then reads the
+   already-maintained frontier instead of re-running Wing–Gong over the
+   whole history.  All checker-attributable wall time is accumulated in
+   [lin_elapsed] so engines can be compared on checker work alone. *)
+
+let take_rev k l =
+  let rec go k l acc =
+    if k = 0 then acc
+    else match l with [] -> acc | x :: tl -> go (k - 1) tl (x :: acc)
+  in
+  go k l []
+
+let lin_enter st ~inst ~session ~hlen =
+  match st.cfg.lin_engine with
+  | `Batch -> None
+  | `Incremental ->
+      let ls =
+        match st.lin with
+        | Some ls -> ls
+        | None ->
+            let ls = Lin_check.Session.create inst.Obj_inst.spec in
+            st.lin <- Some ls;
+            ls
+      in
+      let t0 = Unix.gettimeofday () in
+      let m = Lin_check.Session.mark ls in
+      let here = Session.event_count session in
+      List.iter
+        (Lin_check.Session.push_event ls)
+        (take_rev (here - hlen) (Session.events_rev session));
+      st.lin_pushed <- st.lin_pushed + (here - hlen);
+      st.lin_elapsed <- st.lin_elapsed +. (Unix.gettimeofday () -. t0);
+      bump st.frontier_hist (log2_bucket (Lin_check.Session.frontier_size ls));
+      Some (ls, m)
+
+let lin_leave st = function
+  | None -> ()
+  | Some (ls, m) ->
+      let t0 = Unix.gettimeofday () in
+      Lin_check.Session.rewind ls m;
+      st.lin_elapsed <- st.lin_elapsed +. (Unix.gettimeofday () -. t0)
+
+(* Leaf verdict: driver anomalies short-circuit; otherwise the synced
+   incremental session answers in O(frontier), falling back to a
+   whole-history check when no session is synced (parallel roots). *)
+let leaf_verdict st ~inst ~session =
+  match Session.anomalies session with
+  | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
+  | [] ->
+      st.leaf_checks <- st.leaf_checks + 1;
+      st.lin_total <- st.lin_total + Session.event_count session;
+      let t0 = Unix.gettimeofday () in
+      let v =
+        match st.lin with
+        | Some ls -> Lin_check.Session.verdict ls
+        | None ->
+            st.lin_pushed <- st.lin_pushed + Session.event_count session;
+            Lin_check.check_with st.cfg.lin_engine inst.Obj_inst.spec
+              (Session.history session)
+      in
+      st.lin_elapsed <- st.lin_elapsed +. (Unix.gettimeofday () -. t0);
+      v
+
 let record_execution st ~decisions ~inst ~session ~truncated =
   if truncated then st.truncated <- st.truncated + 1
   else st.executions <- st.executions + 1;
-  let verdict =
-    match Session.anomalies session with
-    | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
-    | [] -> Lin_check.check inst.Obj_inst.spec (Session.history session)
-  in
-  match verdict with
+  match leaf_verdict st ~inst ~session with
   | Lin_check.Ok_linearizable _ -> ()
   | Lin_check.Violation msg ->
       st.n_violations <- st.n_violations + 1;
@@ -175,7 +270,9 @@ let record_execution st ~decisions ~inst ~session ~truncated =
    away from it costs budget; after a crash any process is free),
    [switches]/[crashes] are budget spent so far, [depth] the length of
    [decisions]. *)
-let rec dfs st decisions ~depth cur switches crashes =
+(* [hlen] is the parent node's history length: what the incremental
+   checker session has already been fed when this node is entered. *)
+let rec dfs st decisions ~depth ~hlen cur switches crashes =
   st.nodes <- st.nodes + 1;
   bump st.depth_hist depth;
   let machine, inst, session = replay st decisions in
@@ -202,6 +299,8 @@ let rec dfs st decisions ~depth cur switches crashes =
       and execs0 = st.executions
       and trunc0 = st.truncated
       and viols0 = st.n_violations in
+      let here = Session.event_count session in
+      let lm = lin_enter st ~inst ~session ~hlen in
       let runnable = Session.runnable session in
       if runnable = [] then
         record_execution st ~decisions:(List.rev decisions) ~inst ~session
@@ -212,8 +311,8 @@ let rec dfs st decisions ~depth cur switches crashes =
       else begin
         (* crash move *)
         if crashes < st.cfg.crash_budget then
-          dfs st (Crash :: decisions) ~depth:(depth + 1) None switches
-            (crashes + 1);
+          dfs st (Crash :: decisions) ~depth:(depth + 1) ~hlen:here None
+            switches (crashes + 1);
         (* step moves *)
         List.iter
           (fun pid ->
@@ -225,10 +324,11 @@ let rec dfs st decisions ~depth cur switches crashes =
               | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
             in
             if switches + cost <= st.cfg.switch_budget then
-              dfs st (Step pid :: decisions) ~depth:(depth + 1) (Some pid)
-                (switches + cost) crashes)
+              dfs st (Step pid :: decisions) ~depth:(depth + 1) ~hlen:here
+                (Some pid) (switches + cost) crashes)
           runnable
       end;
+      lin_leave st lm;
       (match key with
       | Some k ->
           Hashtbl.replace st.visited k
@@ -251,11 +351,8 @@ let rec dfs st decisions ~depth cur switches crashes =
    to what a fresh replay would produce, every counter, digest, memo
    key and violation sample comes out identical to the replay engine's. *)
 
-let log2_bucket n =
-  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
-  go 0 n
-
-let rec dfs_undo st session machine inst decisions ~depth cur switches crashes =
+let rec dfs_undo st session machine inst decisions ~depth ~hlen cur switches
+    crashes =
   st.nodes <- st.nodes + 1;
   bump st.depth_hist depth;
   bump st.journal_hist (log2_bucket (Mem.journal_depth (Runtime.Machine.mem machine)));
@@ -282,6 +379,8 @@ let rec dfs_undo st session machine inst decisions ~depth cur switches crashes =
       and execs0 = st.executions
       and trunc0 = st.truncated
       and viols0 = st.n_violations in
+      let here = Session.event_count session in
+      let lm = lin_enter st ~inst ~session ~hlen in
       let runnable = Session.runnable session in
       if runnable = [] then
         record_execution st ~decisions:(List.rev decisions) ~inst ~session
@@ -295,7 +394,7 @@ let rec dfs_undo st session machine inst decisions ~depth cur switches crashes =
           let m = Session.mark session in
           Session.crash session ~keep:st.cfg.keep;
           dfs_undo st session machine inst (Crash :: decisions)
-            ~depth:(depth + 1) None switches (crashes + 1);
+            ~depth:(depth + 1) ~hlen:here None switches (crashes + 1);
           Session.rewind session m
         end;
         (* step moves *)
@@ -312,11 +411,13 @@ let rec dfs_undo st session machine inst decisions ~depth cur switches crashes =
               let m = Session.mark session in
               Session.step session pid;
               dfs_undo st session machine inst (Step pid :: decisions)
-                ~depth:(depth + 1) (Some pid) (switches + cost) crashes;
+                ~depth:(depth + 1) ~hlen:here (Some pid) (switches + cost)
+                crashes;
               Session.rewind session m
             end)
           runnable
       end;
+      lin_leave st lm;
       (match key with
       | Some k ->
           Hashtbl.replace st.visited k
@@ -342,10 +443,16 @@ let finish ~t0 ~domains_used sts =
     (fun st ->
       Config_set.merge_into ~dst:base.configs ~src:st.configs;
       merge_hist base.depth_hist st.depth_hist;
-      merge_hist base.journal_hist st.journal_hist)
+      merge_hist base.journal_hist st.journal_hist;
+      merge_hist base.frontier_hist st.frontier_hist)
     (List.tl sts);
   let sum f = List.fold_left (fun acc st -> acc + f st) 0 sts in
+  let sumf f = List.fold_left (fun acc st -> acc +. f st) 0. sts in
   let nodes = sum (fun st -> st.nodes) in
+  let leaf_checks = sum (fun st -> st.leaf_checks) in
+  let lin_pushed = sum (fun st -> st.lin_pushed) in
+  let lin_total = sum (fun st -> st.lin_total) in
+  let lin_elapsed = sumf (fun st -> st.lin_elapsed) in
   let rewound = sum (fun st -> st.rewound) in
   let intern_hits = sum (fun st -> st.intern_hits) in
   let intern_misses = sum (fun st -> st.intern_misses) in
@@ -384,6 +491,17 @@ let finish ~t0 ~domains_used sts =
           (let total = intern_hits + intern_misses in
            if total = 0 then 0.
            else float_of_int intern_hits /. float_of_int total);
+        lin_engine = Lin_check.engine_name base.cfg.lin_engine;
+        leaf_checks;
+        lin_elapsed_s = lin_elapsed;
+        lin_checks_per_sec =
+          float_of_int leaf_checks /. Float.max lin_elapsed 1e-9;
+        lin_events_pushed = lin_pushed;
+        lin_events_total = lin_total;
+        lin_reuse_rate =
+          (if lin_total = 0 then 0.
+           else 1. -. (float_of_int lin_pushed /. float_of_int lin_total));
+        frontier_hist = sorted_hist base.frontier_hist;
       };
   }
 
@@ -399,7 +517,7 @@ let with_intern_stats st f =
 
 let explore_sequential ~t0 ~mk ~workloads cfg =
   let st = mk_state cfg mk workloads in
-  with_intern_stats st (fun () -> dfs st [] ~depth:0 None 0 0);
+  with_intern_stats st (fun () -> dfs st [] ~depth:0 ~hlen:0 None 0 0);
   finish ~t0 ~domains_used:1 [ st ]
 
 let explore_undo_sequential ~t0 ~mk ~workloads cfg =
@@ -409,7 +527,7 @@ let explore_undo_sequential ~t0 ~mk ~workloads cfg =
       let session =
         Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
       in
-      dfs_undo st session machine inst [] ~depth:0 None 0 0;
+      dfs_undo st session machine inst [] ~depth:0 ~hlen:0 None 0 0;
       st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine));
   finish ~t0 ~domains_used:1 [ st ]
 
@@ -452,7 +570,7 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
       let st = mk_state cfg mk workloads in
       List.iter
         (fun (d, cur, switches, crashes) ->
-          dfs st [ d ] ~depth:1 cur switches crashes)
+          dfs st [ d ] ~depth:1 ~hlen:0 cur switches crashes)
         (List.rev chunks.(idx));
       st
     in
@@ -512,7 +630,8 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
           (match d with
           | Step pid -> Session.step session pid
           | Crash -> Session.crash session ~keep:cfg.keep);
-          dfs_undo st session machine inst [ d ] ~depth:1 cur switches crashes;
+          dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0 cur switches
+            crashes;
           Session.rewind session root_mark)
         (List.rev chunks.(idx));
       st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine);
@@ -555,6 +674,14 @@ let no_metrics ~elapsed_s ~nodes =
     intern_hits = 0;
     intern_misses = 0;
     intern_hit_rate = 0.;
+    lin_engine = "batch";
+    leaf_checks = 0;
+    lin_elapsed_s = 0.;
+    lin_checks_per_sec = 0.;
+    lin_events_pushed = 0;
+    lin_events_total = 0;
+    lin_reuse_rate = 0.;
+    frontier_hist = [];
   }
 
 let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)

@@ -74,12 +74,23 @@ type config = {
   exact_configs : bool;
       (** audit config-set fingerprints with full snapshots *)
   engine : engine;  (** execution substrate; default [`Undo] *)
+  lin_engine : Lin_check.engine;
+      (** linearizability-checker engine; default [`Incremental].
+          [`Incremental] keeps one {!Lin_check.Session} synced along
+          the decision stack (frontier marked/extended/rewound in step
+          with the DFS), so a leaf verdict costs O(new events since the
+          shared prefix) instead of a whole-history Wing–Gong restart.
+          [`Batch] re-checks every leaf from scratch with
+          {!Lin_check.check} — the reference the parity tests and the
+          committed lincheck benchmark compare against.  Verdicts (and
+          so all outcome counters and violation messages) are identical
+          under both. *)
 }
 
 val default_config : config
 (** switch budget 3, crash budget 1, 2_000 steps, [Retry], keep-all,
     collect up to 3 violations; pruning on, 1 domain, fingerprint-mode
-    configuration counting, undo engine. *)
+    configuration counting, undo engine, incremental checker. *)
 
 val engine_name : engine -> string
 (** ["replay"] / ["undo"] — the label used in metrics and JSON. *)
@@ -116,6 +127,25 @@ type metrics = {
   intern_hits : int;  (** {!Nvm.Value.intern} table hits during the run *)
   intern_misses : int;
   intern_hit_rate : float;  (** hits / (hits + misses), 0 if no traffic *)
+  lin_engine : string;  (** {!Lin_check.engine_name} of the checker used *)
+  leaf_checks : int;  (** leaf histories submitted to the checker *)
+  lin_elapsed_s : float;
+      (** checker-attributable wall time: event pushes, frontier
+          rewinds and verdicts (incremental), or whole-history checks
+          (batch) *)
+  lin_checks_per_sec : float;  (** [leaf_checks / lin_elapsed_s] *)
+  lin_events_pushed : int;
+      (** events actually fed to the checker; under the incremental
+          engine each shared-prefix event is pushed once, not once per
+          leaf below it *)
+  lin_events_total : int;  (** sum of leaf history lengths *)
+  lin_reuse_rate : float;
+      (** [1 - pushed/total]: the fraction of per-leaf checker work the
+          frontier reuse avoided (0 under batch) *)
+  frontier_hist : (int * int) list;
+      (** incremental checker: (log2 bucket of frontier size, nodes
+          sampled at that size), ascending; same bucket convention as
+          [journal_depth_hist] *)
 }
 
 type outcome = {

@@ -27,34 +27,39 @@ let free_run session ~max_steps =
         else Session.step session pid
   done
 
-let judge session (inst : Obj_inst.t) =
+let judge ~lin_engine session (inst : Obj_inst.t) =
   let verdict =
     match Session.anomalies session with
     | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
-    | [] -> Lin_check.check inst.Obj_inst.spec (Session.history session)
+    | [] ->
+        Lin_check.check_with lin_engine inst.Obj_inst.spec
+          (Session.history session)
   in
   match verdict with
   | Lin_check.Ok_linearizable _ -> None
   | Lin_check.Violation msg -> Some (Session.history session, msg)
 
-let run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions =
+let run_candidate ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
+    =
   let machine, inst = mk () in
   let session = Session.create ~policy machine inst ~workloads in
   ignore machine;
   List.iter (apply_decision session ~keep) decisions;
   free_run session ~max_steps;
-  judge session inst
+  judge ~lin_engine session inst
 
 let reproduces ~mk ~workloads ?(policy = Session.Retry)
-    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000) decisions =
-  run_candidate ~mk ~workloads ~policy ~keep ~max_steps decisions
+    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000)
+    ?(lin_engine = (`Incremental : Lin_check.engine)) decisions =
+  run_candidate ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
 
 (* Both engines perform the same greedy single-deletion search with the
    same memoisation, so they try the same candidates in the same order
    and return identical results (decisions, history, msg, attempts);
    they differ only in how a candidate execution is realised. *)
 
-let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps decisions =
+let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
+    decisions =
   let attempts = ref 0 in
   (* successive deletion passes can regenerate a candidate already tried
      (deleting i then j yields the same list as deleting j then i); the
@@ -66,7 +71,9 @@ let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps decisions =
     | Some cached -> cached
     | None ->
         incr attempts;
-        let outcome = run_candidate ~mk ~workloads ~policy ~keep ~max_steps ds in
+        let outcome =
+          run_candidate ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine ds
+        in
         Hashtbl.replace seen ds outcome;
         outcome
   in
@@ -100,13 +107,69 @@ let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps decisions =
    running only its tail plus the free run, and rewinding.  Candidate
    cost drops from O(whole sequence) to O(its tail), and nothing is ever
    replayed from the root.  Marks stay LIFO: the only outstanding mark is
-   the candidate-local one, plus the root mark used to restart passes. *)
+   the candidate-local one, plus the root mark used to restart passes.
 
-let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions =
+   Under the incremental checker a [Lin_check.Session] shadows the undo
+   session mark-for-mark: kept-prefix events are pushed below the
+   candidate mark (so their frontier survives the rewind and is shared by
+   every later candidate of the pass), the candidate's own tail events
+   above it. *)
+
+let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
+    =
   let machine, inst = mk () in
   let session = Session.create ~policy ~undo:true machine inst ~workloads in
   ignore machine;
+  let lin =
+    match lin_engine with
+    | `Batch -> None
+    | `Incremental -> Some (Lin_check.Session.create inst.Obj_inst.spec)
+  in
+  (* push the sched-session events the checker session has not seen yet
+     (the two rewind in lockstep, so the gap is always a suffix) *)
+  let sync () =
+    match lin with
+    | None -> ()
+    | Some ls ->
+        let missing =
+          Session.event_count session - Lin_check.Session.events ls
+        in
+        let rec take_rev k acc l =
+          if k = 0 then acc
+          else
+            match l with
+            | [] -> acc
+            | e :: tl -> take_rev (k - 1) (e :: acc) tl
+        in
+        Lin_check.Session.push_history ls
+          (take_rev missing [] (Session.events_rev session))
+  in
+  let lin_mark () =
+    sync ();
+    Option.map (fun ls -> (ls, Lin_check.Session.mark ls)) lin
+  in
+  let lin_rewind = function
+    | None -> ()
+    | Some (ls, m) -> Lin_check.Session.rewind ls m
+  in
+  let judge () =
+    let verdict =
+      match Session.anomalies session with
+      | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
+      | [] -> (
+          match lin with
+          | Some ls ->
+              sync ();
+              Lin_check.Session.verdict ls
+          | None ->
+              Lin_check.check inst.Obj_inst.spec (Session.history session))
+    in
+    match verdict with
+    | Lin_check.Ok_linearizable _ -> None
+    | Lin_check.Violation msg -> Some (Session.history session, msg)
+  in
   let root = Session.mark session in
+  let lin_root = lin_mark () in
   let attempts = ref 0 in
   let seen = Hashtbl.create 64 in
   (* session stands at the state reached by [candidate]'s first decisions;
@@ -118,10 +181,12 @@ let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions =
     | None ->
         incr attempts;
         let m = Session.mark session in
+        let lm = lin_mark () in
         List.iter (apply_decision session ~keep) tail;
         free_run session ~max_steps;
-        let outcome = judge session inst in
+        let outcome = judge () in
         Session.rewind session m;
+        lin_rewind lm;
         Hashtbl.replace seen candidate outcome;
         outcome
   in
@@ -146,6 +211,7 @@ let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions =
         in
         let next = try_deletions 0 in
         Session.rewind session root;
+        lin_rewind lin_root;
         match next with
         | Some shorter -> shrink shorter
         | None -> (cur, history, msg)
@@ -155,7 +221,12 @@ let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions =
 
 let minimise ~mk ~workloads ?(policy = Session.Retry)
     ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000)
-    ?(engine = (`Undo : Explore.engine)) decisions =
+    ?(engine = (`Undo : Explore.engine))
+    ?(lin_engine = (`Incremental : Lin_check.engine)) decisions =
   match engine with
-  | `Replay -> minimise_replay ~mk ~workloads ~policy ~keep ~max_steps decisions
-  | `Undo -> minimise_undo ~mk ~workloads ~policy ~keep ~max_steps decisions
+  | `Replay ->
+      minimise_replay ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
+        decisions
+  | `Undo ->
+      minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
+        decisions

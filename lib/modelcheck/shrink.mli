@@ -24,7 +24,15 @@ open Sched
     and evaluates each deletion candidate by mark / run-tail / rewind,
     so a candidate costs O(its tail) instead of O(the whole sequence).
     Both engines try the same candidates in the same order and return
-    identical results, including [attempts]. *)
+    identical results, including [attempts].
+
+    Orthogonally, [?lin_engine] selects the linearizability-checker
+    engine (default [`Incremental]).  Under [`Undo] + [`Incremental] a
+    {!Lin_check.Session} shadows the undo session mark-for-mark, so each
+    candidate's verdict reuses the frontier of the kept prefix instead
+    of re-checking the whole history; verdicts are identical to
+    [`Batch]'s, so the search trajectory and result do not depend on the
+    choice. *)
 
 type result = {
   decisions : Explore.decision list;  (** the minimised prefix *)
@@ -39,6 +47,7 @@ val reproduces :
   ?policy:Session.policy ->
   ?keep:(Nvm.Loc.t -> bool) ->
   ?max_steps:int ->
+  ?lin_engine:Lin_check.engine ->
   Explore.decision list ->
   (Event.t list * string) option
 (** Run "prefix then free run" for a decision sequence; [Some] iff the
@@ -51,6 +60,7 @@ val minimise :
   ?keep:(Nvm.Loc.t -> bool) ->
   ?max_steps:int ->
   ?engine:Explore.engine ->
+  ?lin_engine:Lin_check.engine ->
   Explore.decision list ->
   result option
 (** [None] if the input sequence does not reproduce a violation under

@@ -53,7 +53,8 @@ let run machine inst ~workloads cfg =
     incomplete = !incomplete;
   }
 
-let check inst (result : result) =
+let check ?(lin_engine = (`Incremental : Lin_check.engine)) inst
+    (result : result) =
   match result.anomalies with
   | a :: _ -> Lin_check.Violation ("driver anomaly: " ^ a)
-  | [] -> Lin_check.check inst.Obj_inst.spec result.history
+  | [] -> Lin_check.check_with lin_engine inst.Obj_inst.spec result.history

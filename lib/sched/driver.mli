@@ -45,6 +45,9 @@ val run :
     of abstract operations process [p] performs.  The machine must be the
     one the instance allocated its locations in. *)
 
-val check : Obj_inst.t -> result -> Lin_check.verdict
+val check :
+  ?lin_engine:Lin_check.engine -> Obj_inst.t -> result -> Lin_check.verdict
 (** Check the run's history against the instance's specification; driver
-    anomalies are reported as violations too. *)
+    anomalies are reported as violations too.  [lin_engine] (default
+    [`Incremental]) selects the checker engine; both agree on every
+    verdict. *)

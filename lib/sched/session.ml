@@ -72,6 +72,7 @@ type t = {
   undo : bool;
   procs : pstate array;
   mutable events : Event.t list;  (* reversed *)
+  mutable n_events : int;  (* = List.length events *)
   mutable uid : int;
   mutable steps : int;
   mutable crashes : int;
@@ -87,6 +88,7 @@ let emit s e =
   | Some _ -> ()  (* already recorded when it happened for real *)
   | None ->
       s.events <- e :: s.events;
+      s.n_events <- s.n_events + 1;
       s.hist_sig <- Value.mix s.hist_sig (Hashtbl.hash e)
 
 let log_entry ps e =
@@ -314,6 +316,7 @@ let create ?(policy = Retry) ?(undo = false) machine inst ~workloads =
             })
           workloads;
       events = [];
+      n_events = 0;
       uid = 0;
       steps = 0;
       crashes = 0;
@@ -456,6 +459,8 @@ let crash s ~keep =
 let steps s = s.steps
 let crashes s = s.crashes
 let history s = List.rev s.events
+let events_rev s = s.events
+let event_count s = s.n_events
 let anomalies s = List.rev s.anomalies
 
 let dump tbl =
@@ -503,6 +508,7 @@ type pmark = {
 type mark = {
   mk_machine : Machine.mark;
   mk_events : Event.t list;
+  mk_n_events : int;
   mk_anoms : string list;
   mk_hist_sig : int;
   mk_uid : int;
@@ -516,6 +522,7 @@ let mark s =
   {
     mk_machine = Machine.mark s.machine;
     mk_events = s.events;
+    mk_n_events = s.n_events;
     mk_anoms = s.anomalies;
     mk_hist_sig = s.hist_sig;
     mk_uid = s.uid;
@@ -544,6 +551,7 @@ let rewind s m =
   if not s.undo then invalid_arg "Session.rewind: session is not in undo mode";
   Machine.rewind s.machine m.mk_machine;
   s.events <- m.mk_events;
+  s.n_events <- m.mk_n_events;
   s.anomalies <- m.mk_anoms;
   s.hist_sig <- m.mk_hist_sig;
   s.uid <- m.mk_uid;

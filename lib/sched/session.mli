@@ -54,7 +54,18 @@ val steps : t -> int
 val crashes : t -> int
 
 val history : t -> Event.t list
-(** Events so far, in real-time order. *)
+(** Events so far, in real-time order.  O(n) — it reverses the internal
+    spine; incremental consumers should use {!events_rev} +
+    {!event_count} to take only the suffix they have not seen. *)
+
+val events_rev : t -> Event.t list
+(** The raw internal event spine, {e newest first}.  O(1); the spine is
+    an immutable cons list, so holding on to it is safe across
+    {!mark}/{!rewind}.  The first [event_count s - k] elements are
+    exactly the events emitted after the history had [k] events. *)
+
+val event_count : t -> int
+(** Events emitted so far (O(1); rewinds restore it). *)
 
 val anomalies : t -> string list
 

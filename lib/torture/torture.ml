@@ -9,11 +9,23 @@ type spec = {
   crash_prob : float;
   max_crashes : int;
   max_steps : int;
+  lin_engine : Lin_check.engine;
 }
 
 let default_spec_of ?(policy = Session.Retry) ?(crash_prob = 0.05)
-    ?(max_crashes = 2) ?(max_steps = 50_000) ~label ~mk ~workloads_of_seed () =
-  { label; mk; workloads_of_seed; policy; crash_prob; max_crashes; max_steps }
+    ?(max_crashes = 2) ?(max_steps = 50_000)
+    ?(lin_engine = (`Incremental : Lin_check.engine)) ~label ~mk
+    ~workloads_of_seed () =
+  {
+    label;
+    mk;
+    workloads_of_seed;
+    policy;
+    crash_prob;
+    max_crashes;
+    max_steps;
+    lin_engine;
+  }
 
 type dist = { d_min : int; d_max : int; d_mean : float; d_total : int }
 
@@ -141,7 +153,7 @@ let run_trial spec ~root ~index =
           (0, 0) res.Driver.history
       in
       let violation =
-        match Driver.check inst res with
+        match Driver.check ~lin_engine:spec.lin_engine inst res with
         | Lin_check.Ok_linearizable _ -> None
         | Lin_check.Violation msg -> Some msg
       in

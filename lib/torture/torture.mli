@@ -38,6 +38,9 @@ type spec = {
   crash_prob : float;  (** per-step crash probability *)
   max_crashes : int;  (** crash budget per trial *)
   max_steps : int;  (** step budget per trial; exceeding it is [incomplete] *)
+  lin_engine : Lin_check.engine;
+      (** checker engine for per-trial verdicts; both engines agree on
+          every verdict, so the report is identical either way *)
 }
 
 val default_spec_of :
@@ -45,13 +48,14 @@ val default_spec_of :
   ?crash_prob:float ->
   ?max_crashes:int ->
   ?max_steps:int ->
+  ?lin_engine:Lin_check.engine ->
   label:string ->
   mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
   workloads_of_seed:(int -> Spec.op list array) ->
   unit ->
   spec
 (** Spec with the E6 torture defaults: [Retry], crash probability 0.05,
-    at most 2 crashes, 50_000 steps. *)
+    at most 2 crashes, 50_000 steps, incremental checker. *)
 
 type dist = {
   d_min : int;

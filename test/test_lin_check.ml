@@ -13,13 +13,28 @@ let ret pid uid v = Event.Ret { pid; uid; v }
 let rret pid uid v = Event.Rec_ret { pid; uid; v }
 let rfail pid uid = Event.Rec_fail { pid; uid }
 
+(* every hand-crafted history is judged by BOTH engines; they must agree
+   on the verdict class and, for violations, on the exact message *)
+let both spec h =
+  let vb = Lin_check.check spec h in
+  let vi = Lin_check.check_incremental spec h in
+  (match (vb, vi) with
+  | Lin_check.Ok_linearizable _, Lin_check.Ok_linearizable _ -> ()
+  | Lin_check.Violation mb, Lin_check.Violation mi ->
+      Alcotest.(check string) "engines agree on the message" mb mi
+  | Lin_check.Ok_linearizable _, Lin_check.Violation mi ->
+      Alcotest.failf "batch OK but incremental rejects: %s" mi
+  | Lin_check.Violation mb, Lin_check.Ok_linearizable _ ->
+      Alcotest.failf "incremental OK but batch rejects: %s" mb);
+  vb
+
 let ok spec h =
-  match Lin_check.check spec h with
+  match both spec h with
   | Lin_check.Ok_linearizable _ -> ()
   | Lin_check.Violation msg -> Alcotest.failf "expected OK, got: %s" msg
 
 let bad spec h =
-  match Lin_check.check spec h with
+  match both spec h with
   | Lin_check.Ok_linearizable _ -> Alcotest.fail "expected a violation"
   | Lin_check.Violation _ -> ()
 
@@ -194,6 +209,159 @@ let test_identity_cas_success_accepted () =
       ret 0 2 (i 1);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* histories beyond the one-word bitmask (> Lin_check.word_ops ops) *)
+
+let long_history n =
+  List.concat
+    (List.init n (fun k ->
+         if k mod 2 = 0 then
+           [ inv 0 k (Spec.write_op (i (k mod 7))); ret 0 k Spec.ack ]
+         else [ inv 0 k Spec.read_op; ret 0 k (i ((k - 1) mod 7)) ]))
+
+let test_long_history_accepted () =
+  Alcotest.(check bool)
+    "70 > word_ops" true
+    (70 > Lin_check.word_ops);
+  ok reg (long_history 70)
+
+let test_long_history_corrupted () =
+  (* corrupt one read deep past the word boundary *)
+  let h =
+    List.map
+      (function
+        | Event.Ret { pid; uid = 67; v = _ } -> ret pid 67 (i 6)
+        | e -> e)
+      (long_history 70)
+  in
+  bad reg h
+
+(* ------------------------------------------------------------------ *)
+(* the incremental session: mark/rewind semantics *)
+
+let test_session_rewind_different_suffix () =
+  let s = Lin_check.Session.create reg in
+  Lin_check.Session.push_history s
+    [ inv 0 0 (Spec.write_op (i 5)); ret 0 0 Spec.ack ];
+  let m = Lin_check.Session.mark s in
+  Lin_check.Session.push_history s [ inv 1 1 Spec.read_op; ret 1 1 (i 7) ];
+  (match Lin_check.Session.verdict s with
+  | Lin_check.Violation _ -> ()
+  | Lin_check.Ok_linearizable _ -> Alcotest.fail "bad suffix accepted");
+  Lin_check.Session.rewind s m;
+  (match Lin_check.Session.verdict s with
+  | Lin_check.Ok_linearizable _ -> ()
+  | Lin_check.Violation msg -> Alcotest.failf "prefix rejected: %s" msg);
+  Lin_check.Session.push_history s [ inv 1 1 Spec.read_op; ret 1 1 (i 5) ];
+  match Lin_check.Session.verdict s with
+  | Lin_check.Ok_linearizable _ -> ()
+  | Lin_check.Violation msg -> Alcotest.failf "good suffix rejected: %s" msg
+
+let test_session_rewind_past_malformed () =
+  let s = Lin_check.Session.create reg in
+  Lin_check.Session.push_event s (inv 0 0 Spec.read_op);
+  let m = Lin_check.Session.mark s in
+  Lin_check.Session.push_event s (inv 0 0 Spec.read_op);
+  (match Lin_check.Session.verdict s with
+  | Lin_check.Violation msg ->
+      Alcotest.(check string)
+        "batch message" msg
+        (match
+           Lin_check.check reg [ inv 0 0 Spec.read_op; inv 0 0 Spec.read_op ]
+         with
+        | Lin_check.Violation m -> m
+        | Lin_check.Ok_linearizable _ -> "?")
+  | Lin_check.Ok_linearizable _ -> Alcotest.fail "duplicate inv accepted");
+  Lin_check.Session.rewind s m;
+  Lin_check.Session.push_event s (ret 0 0 (i 0));
+  match Lin_check.Session.verdict s with
+  | Lin_check.Ok_linearizable _ -> ()
+  | Lin_check.Violation msg ->
+      Alcotest.failf "clean suffix after rewind rejected: %s" msg
+
+let test_session_stale_mark_rejected () =
+  (* same LIFO contract as Nvm.Mem: rewinding to a mark invalidates every
+     mark taken after it *)
+  let s = Lin_check.Session.create reg in
+  let m1 = Lin_check.Session.mark s in
+  Lin_check.Session.push_event s (inv 0 0 Spec.read_op);
+  let m2 = Lin_check.Session.mark s in
+  Lin_check.Session.rewind s m1;
+  Alcotest.check_raises "stale mark"
+    (Invalid_argument
+       "Lin_check.Session.rewind: stale mark (marks must be used in LIFO \
+        order)") (fun () -> Lin_check.Session.rewind s m2)
+
+(* ------------------------------------------------------------------ *)
+(* visited-set hashing on deep values (regression: the old visited set
+   keyed on polymorphic Hashtbl.hash, which stops sampling after a few
+   nodes, so deep states whose difference is buried collapse into one
+   bucket; Value.intern fingerprints hash the whole structure) *)
+
+let deep_chain k =
+  let rec go k acc = if k = 0 then acc else go (k - 1) (Value.pair (i 0) acc) in
+  go k (i k)
+
+let test_deep_value_fingerprints () =
+  let n = 200 in
+  let chains = List.init n (fun k -> deep_chain (k + 16)) in
+  let distinct f =
+    let t = Hashtbl.create 64 in
+    List.iter (fun c -> Hashtbl.replace t (f c) ()) chains;
+    Hashtbl.length t
+  in
+  let poly = distinct Hashtbl.hash in
+  let interned = distinct (fun c -> (Value.intern c).Value.da) in
+  Alcotest.(check int) "interned fingerprints are collision-free" n interned;
+  if poly > n / 4 then
+    Alcotest.failf
+      "expected polymorphic hash to collapse deep chains (got %d distinct \
+       of %d) — the regression premise no longer holds"
+      poly n
+
+(* a register whose abstract state drags the whole write history behind
+   it as a deep chain: every distinct linearization prefix has a deep,
+   mostly-identical state, so the checker's memo table lives on its
+   fingerprint hashing *)
+let deep_reg =
+  {
+    Spec.obj_name = "deep_register";
+    init = Value.pair (i 0) Value.Bot;
+    step =
+      (fun st op ->
+        match (op.Spec.name, op.Spec.args) with
+        | "read", [||] -> (st, Value.nth st 0)
+        | "write", [| v |] -> (Value.pair v st, Spec.ack)
+        | _ -> invalid_arg "deep_register: unknown op");
+  }
+
+let test_deep_state_parity () =
+  (* concurrent writes of the SAME value: all reachable states at a given
+     linearized-set size are deep chains differing only in depth/suffix *)
+  let h =
+    [
+      inv 0 0 (Spec.write_op (i 0));
+      inv 1 1 (Spec.write_op (i 0));
+      ret 0 0 Spec.ack;
+      ret 1 1 Spec.ack;
+      inv 0 2 Spec.read_op;
+      inv 1 3 (Spec.write_op (i 0));
+      ret 0 2 (i 0);
+      ret 1 3 Spec.ack;
+    ]
+  in
+  ok deep_reg h;
+  bad deep_reg (h @ [ inv 0 4 Spec.read_op; ret 0 4 (i 9) ]);
+  (* crash + detectability on the deep spec *)
+  ok deep_reg
+    [
+      inv 0 0 (Spec.write_op (i 0));
+      Event.Crash;
+      rfail 0 0;
+      inv 1 1 Spec.read_op;
+      ret 1 1 (i 0);
+    ]
+
 let test_witness_is_reported () =
   match
     Lin_check.check reg
@@ -204,7 +372,10 @@ let test_witness_is_reported () =
   | Lin_check.Violation msg -> Alcotest.failf "unexpected: %s" msg
 
 (* Property: every crash-free sequential history generated from the spec
-   itself is accepted. *)
+   itself is accepted by both engines — with the SAME witness, since a
+   complete sequential history has exactly one linearization.  The 80-op
+   bound deliberately exceeds [Lin_check.word_ops] so the chunked-bitset
+   slow path is exercised on random data. *)
 let prop_sequential_accepted =
   let gen = QCheck.(list (option (int_bound 9))) in
   QCheck.Test.make ~name:"sequential histories accepted"
@@ -214,7 +385,10 @@ let prop_sequential_accepted =
           (function Some x -> Spec.write_op (i x) | None -> Spec.read_op)
           cmds
       in
-      let ops = if List.length ops > 20 then List.filteri (fun k _ -> k < 20) ops else ops in
+      let ops =
+        if List.length ops > 80 then List.filteri (fun k _ -> k < 80) ops
+        else ops
+      in
       let responses = Spec.run reg ops in
       let events =
         List.concat
@@ -222,10 +396,14 @@ let prop_sequential_accepted =
              (fun k (op, r) -> [ inv 0 k op; ret 0 k r ])
              (List.combine ops responses))
       in
-      Lin_check.is_ok (Lin_check.check reg events))
+      match
+        (Lin_check.check reg events, Lin_check.check_incremental reg events)
+      with
+      | Lin_check.Ok_linearizable wb, Lin_check.Ok_linearizable wi -> wb = wi
+      | _ -> false)
 
 (* Property: corrupting one read response of a non-trivial sequential
-   history is rejected. *)
+   history is rejected by both engines. *)
 let prop_corrupted_rejected =
   let gen = QCheck.(pair (int_range 1 9) (int_range 1 9)) in
   QCheck.Test.make ~name:"corrupted read rejected"
@@ -239,7 +417,62 @@ let prop_corrupted_rejected =
           ret 0 1 (i y);
         ]
       in
-      not (Lin_check.is_ok (Lin_check.check reg events)))
+      (not (Lin_check.is_ok (Lin_check.check reg events)))
+      && not (Lin_check.is_ok (Lin_check.check_incremental reg events)))
+
+(* Property: a session driven through random push/mark/rewind traffic
+   always agrees with a batch check of whatever history it currently
+   holds.  Commands: [Some (Some x)] push a write+ret pair, [Some None]
+   push a read+ret pair (response read off a shadow run), [None] mark
+   here — and at the end every outstanding mark is rewound in LIFO
+   order, re-checking parity after each rewind. *)
+let prop_session_rewind_parity =
+  let gen = QCheck.(list (option (option (int_bound 4)))) in
+  QCheck.Test.make ~name:"session mark/rewind parity"
+    ~count:Test_support.qcheck_count gen (fun cmds ->
+      let cmds = List.filteri (fun k _ -> k < 40) cmds in
+      let s = Lin_check.Session.create reg in
+      let hist = ref [] (* newest first *) in
+      let cur = ref (i 0) in
+      let marks = ref [] in
+      let push e =
+        hist := e :: !hist;
+        Lin_check.Session.push_event s e
+      in
+      let agree () =
+        let batch = Lin_check.check reg (List.rev !hist) in
+        match (batch, Lin_check.Session.verdict s) with
+        | Lin_check.Ok_linearizable _, Lin_check.Ok_linearizable _ -> true
+        | Lin_check.Violation mb, Lin_check.Violation mi -> mb = mi
+        | _ -> false
+      in
+      let uid = ref 0 in
+      let ok =
+        List.for_all
+          (fun cmd ->
+            (match cmd with
+            | Some (Some x) ->
+                push (inv 0 !uid (Spec.write_op (i x)));
+                push (ret 0 !uid Spec.ack);
+                cur := i x;
+                incr uid
+            | Some None ->
+                push (inv 0 !uid Spec.read_op);
+                push (ret 0 !uid !cur);
+                incr uid
+            | None ->
+                marks := (Lin_check.Session.mark s, !hist, !cur) :: !marks);
+            agree ())
+          cmds
+      in
+      ok
+      && List.for_all
+           (fun (m, h, c) ->
+             Lin_check.Session.rewind s m;
+             hist := h;
+             cur := c;
+             agree ())
+           !marks)
 
 let suites =
   [
@@ -279,7 +512,21 @@ let suites =
         Alcotest.test_case "identity cas success" `Quick
           test_identity_cas_success_accepted;
         Alcotest.test_case "witness reported" `Quick test_witness_is_reported;
+        Alcotest.test_case "long history accepted (bitset path)" `Quick
+          test_long_history_accepted;
+        Alcotest.test_case "long history corrupted (bitset path)" `Quick
+          test_long_history_corrupted;
+        Alcotest.test_case "session rewind, different suffix" `Quick
+          test_session_rewind_different_suffix;
+        Alcotest.test_case "session rewind past malformed" `Quick
+          test_session_rewind_past_malformed;
+        Alcotest.test_case "session stale mark rejected" `Quick
+          test_session_stale_mark_rejected;
+        Alcotest.test_case "deep value fingerprints (regression)" `Quick
+          test_deep_value_fingerprints;
+        Alcotest.test_case "deep state parity" `Quick test_deep_state_parity;
         QCheck_alcotest.to_alcotest prop_sequential_accepted;
         QCheck_alcotest.to_alcotest prop_corrupted_rejected;
+        QCheck_alcotest.to_alcotest prop_session_rewind_parity;
       ] );
   ]

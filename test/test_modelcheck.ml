@@ -265,6 +265,71 @@ let test_undo_engine_parallel () =
     (check_undo_matches_replay ~domains:2 ~mk:mk_no_vec
        ~workloads:no_vec_workload ~switches:2 ~crashes:1 ())
 
+(* --- the incremental lin-checker agrees with the batch reference ---
+
+   Same contract as undo-vs-replay: the checker engine must not change
+   ANY externally observable number, only the leaf-check cost. *)
+
+let check_lin_engines_agree ~mk ~workloads ~switches ~crashes () =
+  let cfg lin_engine =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      lin_engine;
+    }
+  in
+  let run e = Modelcheck.Explore.explore ~mk ~workloads (cfg e) in
+  let b = run `Batch and inc = run `Incremental in
+  let ck label f = Alcotest.(check int) label (f b) (f inc) in
+  ck "executions" (fun o -> o.Modelcheck.Explore.executions);
+  ck "truncated" (fun o -> o.Modelcheck.Explore.truncated);
+  ck "nodes" (fun o -> o.Modelcheck.Explore.nodes);
+  ck "total_violations" (fun o -> o.Modelcheck.Explore.total_violations);
+  ck "distinct_shared_configs"
+    (fun o -> o.Modelcheck.Explore.distinct_shared_configs);
+  ck "leaf_checks"
+    (fun o -> o.Modelcheck.Explore.metrics.Modelcheck.Explore.leaf_checks);
+  ck "lin_events_total"
+    (fun o -> o.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_events_total);
+  Alcotest.(check bool) "violation samples identical" true
+    (viol_sig b = viol_sig inc);
+  Alcotest.(check string) "batch run labelled batch" "batch"
+    b.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_engine;
+  Alcotest.(check string) "incremental run labelled incremental" "incremental"
+    inc.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_engine;
+  (* only the incremental engine skips re-pushing shared prefixes *)
+  let pushed (o : Modelcheck.Explore.outcome) =
+    o.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_events_pushed
+  in
+  Alcotest.(check bool) "incremental pushes fewer (or equal) events" true
+    (pushed inc <= pushed b);
+  Alcotest.(check bool) "incremental reuse measured" true
+    (inc.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_reuse_rate >= 0.0);
+  Alcotest.(check bool) "frontier histogram populated" true
+    (inc.Modelcheck.Explore.metrics.Modelcheck.Explore.frontier_hist <> []);
+  inc
+
+let test_lin_engines_agree_drw () =
+  let inc =
+    check_lin_engines_agree
+      ~mk:(fun () -> Test_support.mk_drw ~n:2 ())
+      ~workloads:
+        [| [ Spec.write_op (i 1); Spec.read_op ]; [ Spec.write_op (i 2) ] |]
+      ~switches:2 ~crashes:1 ()
+  in
+  Alcotest.(check bool) "frontier actually reused" true
+    (inc.Modelcheck.Explore.metrics.Modelcheck.Explore.lin_reuse_rate > 0.0)
+
+let test_lin_engines_agree_broken () =
+  (* on a violating object the parity covers real violation messages *)
+  let inc =
+    check_lin_engines_agree ~mk:mk_no_vec ~workloads:no_vec_workload
+      ~switches:2 ~crashes:1 ()
+  in
+  Alcotest.(check bool) "violations present" true
+    (inc.Modelcheck.Explore.total_violations > 0)
+
 let prop_undo_replay_random_workloads =
   (* engine equivalence over randomly generated cas workloads on the
      ablated (violating) object — each seed is a fresh property case *)
@@ -347,6 +412,10 @@ let suites =
           test_undo_engine_broken_violating;
         Alcotest.test_case "undo = replay (parallel)" `Quick
           test_undo_engine_parallel;
+        Alcotest.test_case "lin engines agree (drw)" `Quick
+          test_lin_engines_agree_drw;
+        Alcotest.test_case "lin engines agree (broken, violating)" `Quick
+          test_lin_engines_agree_broken;
         QCheck_alcotest.to_alcotest prop_undo_replay_random_workloads;
         Alcotest.test_case "metrics sanity" `Quick test_metrics_sanity;
       ] );

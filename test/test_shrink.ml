@@ -111,6 +111,29 @@ let test_engine_parity () =
         u.Modelcheck.Shrink.attempts
   | _ -> Alcotest.fail "engines disagree on reproducibility"
 
+let test_lin_engine_parity () =
+  (* the shadowing incremental lin-session must judge every shrink
+     candidate exactly as the batch checker does, on both substrates —
+     rewind-heavy traffic by construction, since the shrinker rewinds
+     the session across every rejected candidate *)
+  let v = find_violation () in
+  let run engine lin_engine =
+    Modelcheck.Shrink.minimise ~mk:mk_no_vec ~workloads ~engine ~lin_engine
+      v.Modelcheck.Explore.decisions
+  in
+  List.iter
+    (fun engine ->
+      match (run engine `Batch, run engine `Incremental) with
+      | Some b, Some inc ->
+          Alcotest.(check bool) "same minimised decisions" true
+            (b.Modelcheck.Shrink.decisions = inc.Modelcheck.Shrink.decisions);
+          Alcotest.(check string) "same message" b.Modelcheck.Shrink.msg
+            inc.Modelcheck.Shrink.msg;
+          Alcotest.(check int) "same attempts" b.Modelcheck.Shrink.attempts
+            inc.Modelcheck.Shrink.attempts
+      | _ -> Alcotest.fail "lin engines disagree on reproducibility")
+    [ `Replay; `Undo ]
+
 let test_undo_refuses_non_repro () =
   let mk () = Test_support.mk_dcas ~n:2 () in
   match
@@ -138,5 +161,7 @@ let suites =
           test_engine_parity;
         Alcotest.test_case "undo refuses non-repro" `Quick
           test_undo_refuses_non_repro;
+        Alcotest.test_case "lin engine parity (both substrates)" `Quick
+          test_lin_engine_parity;
       ] );
   ]

@@ -130,6 +130,23 @@ let test_json_shape () =
   Alcotest.(check bool) "timing:false omits the timing block" false
     (contains (Torture.to_json ~timing:false r) {|"timing"|})
 
+(* The checker engine must be invisible in the merged report: batch and
+   incremental campaigns over the same seed produce bit-identical JSON,
+   on a clean object and on a violating one (where the parity covers the
+   captured failure and its minimised schedule too). *)
+let test_lin_engine_parity () =
+  let with_engine mkspec lin_engine = { (mkspec ()) with Torture.lin_engine } in
+  List.iter
+    (fun mkspec ->
+      let run e =
+        Torture.run ~root_seed:11 ~trials:40 (with_engine mkspec e)
+      in
+      Alcotest.(check string)
+        "batch vs incremental: identical merged reports"
+        (Torture.to_json ~timing:false (run `Batch))
+        (Torture.to_json ~timing:false (run `Incremental)))
+    [ (fun () -> dcas_spec ()); broken_spec ]
+
 let test_give_up_policy_runs () =
   let r = Torture.run ~root_seed:5 ~trials:30 (dcas_spec ~policy:Session.Give_up ()) in
   Alcotest.(check int) "give-up dcas stays correct" 0 r.Torture.not_linearized
@@ -148,5 +165,7 @@ let suites =
         Alcotest.test_case "shrink disabled" `Quick test_shrink_disabled;
         Alcotest.test_case "json shape" `Quick test_json_shape;
         Alcotest.test_case "give-up policy" `Quick test_give_up_policy_runs;
+        Alcotest.test_case "lin engine parity (clean + violating)" `Quick
+          test_lin_engine_parity;
       ] );
   ]
