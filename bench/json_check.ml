@@ -5,11 +5,21 @@
 
    - "detectable-bench/checker-v1"  — `bench/main.exe --json` (model
      checker throughput trajectory);
-   - "detectable-torture/v1"        — one torture run report, as written
-     by `detect_cli torture --json/--report`;
+   - "detectable-torture/v1"        — one torture run report from the
+     pre-fault-model engine (still validated so archived reports keep
+     checking);
+   - "detectable-torture/v2"        — one torture run report, as written
+     by `detect_cli torture --json/--report`: v1 plus the fault-model
+     and watchdog config, the budget_exhausted / engine_faults verdict
+     counters and the first_engine_fault record;
    - "detectable-bench/torture-v1"  — a torture bench baseline
      (`bench/main.exe --baseline`, the committed BENCH_torture.json),
-     i.e. header + one embedded torture report per campaign;
+     i.e. header + one embedded torture report per campaign (either
+     report version, detected per report);
+   - "detectable-bench/fault-v1"    — the fault-model matrix baseline
+     (`bench/main.exe --baseline`, the committed BENCH_fault.json):
+     one cell per (object, fault model) with the five verdict counters
+     and throughput;
    - "detectable-modelcheck/v1"     — a modelcheck engine baseline
      (`bench/main.exe --baseline`, the committed BENCH_modelcheck.json):
      per case the engine-independent counters plus one throughput record
@@ -49,19 +59,24 @@ let check_checker j =
 let check_dist what d =
   require_keys what d [ "min"; "max"; "mean"; "total" ]
 
-(* one detectable-torture/v1 report; [top] says whether the "schema" and
-   "timing" markers are required (they are omitted for reports embedded
-   in a baseline file, whose timing lives in "perf") *)
-let check_torture_report ?(top = true) j =
+(* one torture report; [v] selects the report version (2 adds the
+   fault-model config, the extra verdict counters and
+   first_engine_fault); [top] says whether the "schema" and "timing"
+   markers are required (they are omitted for reports embedded in a
+   baseline file, whose timing lives in "perf") *)
+let check_torture_report ?(top = true) ~v j =
   require_keys "torture report" j
-    [
-      "object"; "root_seed"; "trials"; "config"; "verdicts"; "recoveries";
-      "crashes"; "steps"; "max_shared_bits"; "first_failure";
-    ];
+    ([
+       "object"; "root_seed"; "trials"; "config"; "verdicts"; "recoveries";
+       "crashes"; "steps"; "max_shared_bits"; "first_failure";
+     ]
+    @ if v >= 2 then [ "first_engine_fault" ] else []);
   require_keys "torture config" (member "config" j)
-    [ "policy"; "crash_prob"; "max_crashes"; "max_steps" ];
+    ([ "policy"; "crash_prob"; "max_crashes"; "max_steps" ]
+    @ if v >= 2 then [ "fault"; "watchdog" ] else []);
   require_keys "torture verdicts" (member "verdicts" j)
-    [ "linearized"; "not_linearized"; "incomplete" ];
+    ([ "linearized"; "not_linearized"; "incomplete" ]
+    @ if v >= 2 then [ "budget_exhausted"; "engine_faults" ] else []);
   require_keys "torture recoveries" (member "recoveries" j)
     [ "returned"; "fail_verdicts" ];
   let crashes = member "crashes" j in
@@ -77,9 +92,18 @@ let check_torture_report ?(top = true) j =
   | f ->
       require_keys "first_failure" f
         [ "trial"; "seed"; "msg"; "schedule"; "minimised"; "shrink_attempts" ]);
+  (if v >= 2 then
+     match member "first_engine_fault" j with
+     | Null -> ()
+     | f -> require_keys "first_engine_fault" f [ "trial"; "seed"; "msg" ]);
   if top then
     require_keys "torture timing" (member "timing" j)
-      [ "elapsed_s"; "trials_per_sec"; "domains" ]
+      ([ "elapsed_s"; "trials_per_sec"; "domains" ]
+      @ if v >= 2 then [ "shards_rescued" ] else [])
+
+(* embedded baseline reports carry no "schema" key; sniff the version
+   from the config block *)
+let torture_report_version j = if mem "fault" (member "config" j) then 2 else 1
 
 let check_torture_baseline j =
   require_keys "torture baseline" j [ "root_seed"; "trials"; "campaigns" ];
@@ -89,10 +113,30 @@ let check_torture_baseline j =
       List.iter
         (fun c ->
           require_keys "campaign" c [ "report"; "perf" ];
-          check_torture_report ~top:false (member "report" c);
+          let r = member "report" c in
+          check_torture_report ~top:false ~v:(torture_report_version r) r;
           require_keys "campaign perf" (member "perf" c)
             [ "elapsed_s"; "trials_per_sec"; "domains" ])
         campaigns
+
+let check_fault_baseline j =
+  require_keys "fault baseline" j [ "root_seed"; "trials"; "cells" ];
+  match get_list (member "cells" j) with
+  | [] -> fail "json_check: \"cells\" must be a non-empty array"
+  | cells ->
+      List.iter
+        (fun c ->
+          require_keys "fault cell" c
+            [ "object"; "fault"; "verdicts"; "crashes_injected"; "steps_total";
+              "perf" ];
+          require_keys "fault cell verdicts" (member "verdicts" c)
+            [
+              "linearized"; "not_linearized"; "incomplete"; "budget_exhausted";
+              "engine_faults";
+            ];
+          require_keys "fault cell perf" (member "perf" c)
+            [ "elapsed_s"; "trials_per_sec"; "domains" ])
+        cells
 
 let check_modelcheck_baseline j =
   match get_list (member "cases" j) with
@@ -170,11 +214,17 @@ let () =
           check_checker j;
           print_endline "bench --json output: valid"
       | "detectable-torture/v1" ->
-          check_torture_report j;
+          check_torture_report ~v:1 j;
+          print_endline "torture report: valid"
+      | "detectable-torture/v2" ->
+          check_torture_report ~v:2 j;
           print_endline "torture report: valid"
       | "detectable-bench/torture-v1" ->
           check_torture_baseline j;
           print_endline "torture baseline: valid"
+      | "detectable-bench/fault-v1" ->
+          check_fault_baseline j;
+          print_endline "fault baseline: valid"
       | "detectable-modelcheck/v1" ->
           check_modelcheck_baseline j;
           print_endline "modelcheck baseline: valid"

@@ -542,6 +542,215 @@ let torture_compare ~j ~file ~tolerance ~domains =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fault-model matrix baseline (BENCH_fault.json, schema
+   detectable-bench/fault-v1).
+
+   One torture campaign per (object, fault model) cell: the three
+   single-word detectable objects of the paper, the two broken
+   ablations, crossed with every fault model.  Non-atomic fault models
+   only bite when a crash can lose volatile state, so those cells run
+   the object on a shared-cache machine with a persist after every
+   shared access (the Section 6 transformation); atomic cells keep the
+   historical private-cache setup.  The verdict counters per cell are a
+   pure function of (cell, root_seed, trials), so `--compare`
+   exact-matches them; the documented expectations (docs/TORTURE.md):
+   Drw/Dcas/Dmax survive drop and reorder by design, the broken
+   ablations are flagged under every model, and torn — which breaks the
+   per-word atomic-persistence assumption the paper's model makes —
+   additionally tears Dcas's composite words. *)
+
+let fault_matrix_faults =
+  [
+    Fault_model.Atomic;
+    Fault_model.Drop { keep_prob = 0.7 };
+    Fault_model.Torn { granularity = 1 };
+    Fault_model.Reorder;
+  ]
+
+let fault_matrix_objects = function
+  | "drw" ->
+      Some
+        ( (fun ~model ~persist () ->
+            let m = Machine.create ~model () in
+            (m, Detectable.Drw.instance (Detectable.Drw.create ~persist m ~n:3 ~init:(i 0)))),
+          fun s -> Workload.register (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:3 )
+  | "dcas" ->
+      Some
+        ( (fun ~model ~persist () ->
+            let m = Machine.create ~model () in
+            (m, Detectable.Dcas.instance (Detectable.Dcas.create ~persist m ~n:3 ~init:(i 0)))),
+          fun s -> Workload.cas (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:3 )
+  | "dmax" ->
+      Some
+        ( (fun ~model ~persist () ->
+            let m = Machine.create ~model () in
+            (m, Detectable.Dmax.instance (Detectable.Dmax.create ~persist m ~n:3 ~init:0))),
+          fun s ->
+            Workload.max_register (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:8 )
+  | "broken_drw_no_toggle" ->
+      Some
+        ( (fun ~model ~persist () ->
+            let m = Machine.create ~model () in
+            (m, Baselines.Broken.drw_no_toggle ~persist m ~n:3 ~init:(i 0))),
+          fun s -> Workload.register (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:3 )
+  | "broken_dcas_no_vec" ->
+      Some
+        ( (fun ~model ~persist () ->
+            let m = Machine.create ~model () in
+            (m, Baselines.Broken.dcas_no_vec ~persist m ~n:3 ~init:(i 0))),
+          fun s -> Workload.cas (Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:3 )
+  | _ -> None
+
+let fault_matrix_labels =
+  [ "drw"; "dcas"; "dmax"; "broken_drw_no_toggle"; "broken_dcas_no_vec" ]
+
+let fault_run_cell ~label ~fault ~root_seed ~trials ~domains =
+  let mk, workloads_of_seed =
+    match fault_matrix_objects label with
+    | Some mw -> mw
+    | None -> failwith ("unknown fault matrix object " ^ label)
+  in
+  let model, persist =
+    match (fault : Fault_model.t) with
+    | Fault_model.Atomic -> (Machine.Private_cache, false)
+    | _ -> (Machine.Shared_cache, true)
+  in
+  let spec =
+    Torture.default_spec_of ~label ~mk:(mk ~model ~persist) ~workloads_of_seed
+      ~fault ()
+  in
+  Torture.run ~domains ~root_seed ~trials ~shrink:false spec
+
+let fault_cell_json ~label ~fault (r : Torture.report) =
+  Printf.sprintf
+    "    { \"object\": %S, \"fault\": %S,\n\
+    \      \"verdicts\": { \"linearized\": %d, \"not_linearized\": %d, \
+     \"incomplete\": %d, \"budget_exhausted\": %d, \"engine_faults\": %d },\n\
+    \      \"crashes_injected\": %d, \"steps_total\": %d,\n\
+    \      \"perf\": { \"elapsed_s\": %.6f, \"trials_per_sec\": %.1f, \
+     \"domains\": %d } }"
+    label
+    (Fault_model.to_string fault)
+    r.Torture.linearized r.Torture.not_linearized r.Torture.incomplete
+    r.Torture.budget_exhausted r.Torture.engine_faults
+    r.Torture.crashes_injected r.Torture.steps.Torture.d_total
+    r.Torture.elapsed_s r.Torture.trials_per_sec r.Torture.domains_used
+
+let fault_baseline ~out ~trials ~root_seed ~domains =
+  let cells =
+    List.concat_map
+      (fun label ->
+        List.map
+          (fun fault ->
+            let r = fault_run_cell ~label ~fault ~root_seed ~trials ~domains in
+            Printf.printf "%-22s %-16s flagged %d / %d trials\n%!" label
+              (Fault_model.to_string fault)
+              r.Torture.not_linearized trials;
+            fault_cell_json ~label ~fault r)
+          fault_matrix_faults)
+      fault_matrix_labels
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"detectable-bench/fault-v1\",\n\
+      \  \"root_seed\": %d,\n\
+      \  \"trials\": %d,\n\
+      \  \"cells\": [\n%s\n  ]\n}\n"
+      root_seed trials
+      (String.concat ",\n" cells)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "fault baseline (%d cells, %d trials each) written to %s\n"
+    (List.length cells) trials out
+
+let fault_compare ~j ~file ~tolerance ~domains =
+  let open Tiny_json in
+  let fail_cnt = ref 0 in
+  (try
+     let root_seed = get_int (member "root_seed" j) in
+     let trials = get_int (member "trials" j) in
+     List.iter
+       (fun cell ->
+         let label = get_str (member "object" cell) in
+         let fault_s = get_str (member "fault" cell) in
+         let tag = Printf.sprintf "%s / %s" label fault_s in
+         match
+           (fault_matrix_objects label, Fault_model.of_string fault_s)
+         with
+         | None, _ | _, Error _ ->
+             incr fail_cnt;
+             Printf.printf
+               "%-36s UNKNOWN cell (renamed/removed?) — regenerate the \
+                baseline with --baseline\n"
+               tag
+         | Some _, Ok fault ->
+             let fresh =
+               fault_run_cell ~label ~fault ~root_seed ~trials ~domains
+             in
+             let verdicts = member "verdicts" cell in
+             let mismatches =
+               List.filter_map
+                 (fun (name, want, got) ->
+                   if want = got then None
+                   else
+                     Some
+                       (Printf.sprintf "%s: baseline %d, fresh %d" name want got))
+                 [
+                   ("linearized", get_int (member "linearized" verdicts),
+                    fresh.Torture.linearized);
+                   ("not_linearized", get_int (member "not_linearized" verdicts),
+                    fresh.Torture.not_linearized);
+                   ("incomplete", get_int (member "incomplete" verdicts),
+                    fresh.Torture.incomplete);
+                   ("budget_exhausted",
+                    get_int (member "budget_exhausted" verdicts),
+                    fresh.Torture.budget_exhausted);
+                   ("engine_faults", get_int (member "engine_faults" verdicts),
+                    fresh.Torture.engine_faults);
+                   ("crashes_injected", get_int (member "crashes_injected" cell),
+                    fresh.Torture.crashes_injected);
+                   ("steps_total", get_int (member "steps_total" cell),
+                    fresh.Torture.steps.Torture.d_total);
+                 ]
+             in
+             let base_tps =
+               get_num (member "trials_per_sec" (member "perf" cell))
+             in
+             let ratio = fresh.Torture.trials_per_sec /. Float.max base_tps 1e-9 in
+             if mismatches <> [] then begin
+               incr fail_cnt;
+               Printf.printf "%-36s DETERMINISM MISMATCH\n" tag;
+               List.iter (Printf.printf "  %s\n") mismatches;
+               Printf.printf
+                 "  (behavioral change: regenerate the baseline with \
+                  --baseline and explain it in the PR)\n"
+             end
+             else if ratio < 1.0 /. tolerance then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-36s PERF REGRESSION: %.1f trials/sec vs baseline %.1f \
+                  (%.2fx, tolerance %.0fx)\n"
+                 tag fresh.Torture.trials_per_sec base_tps ratio tolerance
+             end
+             else
+               Printf.printf
+                 "%-36s ok: counters exact, %.1f trials/sec vs baseline %.1f \
+                  (%.2fx)\n"
+                 tag fresh.Torture.trials_per_sec base_tps ratio)
+       (get_list (member "cells" j))
+   with Tiny_json.Error m ->
+     Printf.eprintf "bench --compare: %s: %s\n" file m;
+     exit 1);
+  if !fail_cnt = 0 then print_endline "fault baseline comparison: ok"
+  else begin
+    Printf.printf "fault baseline comparison: %d cell(s) failed\n" !fail_cnt;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Modelcheck engine baselines (BENCH_modelcheck.json, schema
    detectable-modelcheck/v1).
 
@@ -1098,16 +1307,18 @@ let lincheck_compare ~j ~file ~tolerance =
                                    (--smoke skips the slow DRW@4
                                    replay/undo substrate rows)
    --baseline [--out FILE] [--trials N] [--seed S] [--domains D]
+              [--fault-out FILE] [--fault-trials N]
               [--mc-out FILE] [--mc-budget N]
               [--lin-out FILE] [--lin-budget N] [--lin-trials N]
                                    writes the torture baseline (--out),
-                                   the modelcheck engine baseline
-                                   (--mc-out) and the lincheck engine
-                                   baseline (--lin-out)
+                                   the fault-model matrix baseline
+                                   (--fault-out), the modelcheck engine
+                                   baseline (--mc-out) and the lincheck
+                                   engine baseline (--lin-out)
    --compare FILE [--tolerance X] [--domains D]
                                    dispatches on the file's "schema"
-                                   (torture-v1, modelcheck/v1 or
-                                   lincheck/v1)
+                                   (torture-v1, fault-v1, modelcheck/v1
+                                   or lincheck/v1)
    (no flags)                      full experiment + bench suite *)
 
 let flag_value name =
@@ -1148,6 +1359,11 @@ let () =
       ~trials:(int_flag "--trials" 2_000)
       ~root_seed:(int_flag "--seed" 1)
       ~domains:(int_flag "--domains" 1);
+    fault_baseline
+      ~out:(Option.value (flag_value "--fault-out") ~default:"BENCH_fault.json")
+      ~trials:(int_flag "--fault-trials" 300)
+      ~root_seed:(int_flag "--seed" 1)
+      ~domains:(int_flag "--domains" 1);
     modelcheck_baseline
       ~out:
         (Option.value (flag_value "--mc-out") ~default:"BENCH_modelcheck.json")
@@ -1179,6 +1395,8 @@ let () =
     match Tiny_json.get_str (Tiny_json.member "schema" j) with
     | "detectable-bench/torture-v1" ->
         torture_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
+    | "detectable-bench/fault-v1" ->
+        fault_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
     | "detectable-modelcheck/v1" -> modelcheck_compare ~j ~file ~tolerance
     | "detectable-lincheck/v1" -> lincheck_compare ~j ~file ~tolerance
     | s ->

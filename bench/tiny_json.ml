@@ -1,8 +1,9 @@
 (* Minimal dependency-free JSON parser shared by the bench harness
-   (baseline comparison in main.ml) and the schema validator
-   (json_check.ml).  Strings with escapes are decoded approximately
-   (escaped characters become '?'): the bench schemas never depend on
-   escaped string contents, only on keys, numbers and markers. *)
+   (baseline comparison in main.ml), the schema validator
+   (json_check.ml) and the torture engine's checkpoint reader.  String
+   escapes decode exactly (the checkpoint resume path re-emits parsed
+   violation messages and must reproduce the original report
+   byte-for-byte); \uXXXX escapes outside ASCII are encoded as UTF-8. *)
 
 exception Error of string
 
@@ -11,6 +12,7 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 type t =
   | Null
   | Bool of bool
+  | Int of int
   | Num of float
   | Str of string
   | List of t list
@@ -48,17 +50,53 @@ let parse (s : string) : t =
       | Some '\\' ->
           advance ();
           (match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-              Buffer.add_char b '?';
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char b c;
+              advance ()
+          | Some 'b' ->
+              Buffer.add_char b '\b';
+              advance ()
+          | Some 'f' ->
+              Buffer.add_char b '\012';
+              advance ()
+          | Some 'n' ->
+              Buffer.add_char b '\n';
+              advance ()
+          | Some 'r' ->
+              Buffer.add_char b '\r';
+              advance ()
+          | Some 't' ->
+              Buffer.add_char b '\t';
               advance ()
           | Some 'u' ->
               advance ();
+              let code = ref 0 in
               for _ = 1 to 4 do
                 match peek () with
-                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | Some ('0' .. '9' as c) ->
+                    code := (!code * 16) + (Char.code c - Char.code '0');
+                    advance ()
+                | Some ('a' .. 'f' as c) ->
+                    code := (!code * 16) + (Char.code c - Char.code 'a' + 10);
+                    advance ()
+                | Some ('A' .. 'F' as c) ->
+                    code := (!code * 16) + (Char.code c - Char.code 'A' + 10);
+                    advance ()
                 | _ -> error "bad \\u escape"
               done;
-              Buffer.add_char b '?'
+              let cp = !code in
+              (* UTF-8 encode; surrogates round-trip as-is for our
+                 emitters, which only escape control bytes *)
+              if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+              else if cp < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+              end
           | _ -> error "bad escape");
           go ()
       | Some c ->
@@ -78,9 +116,15 @@ let parse (s : string) : t =
     while (match peek () with Some c -> num_char c | None -> false) do
       advance ()
     done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> error "bad number"
+    let lexeme = String.sub s start (!pos - start) in
+    (* integer lexemes keep exact precision: a 63-bit seed does not
+       survive a round-trip through float *)
+    match int_of_string_opt lexeme with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt lexeme with
+        | Some f -> Num f
+        | None -> error "bad number")
   in
   let rec parse_value () =
     skip_ws ();
@@ -129,7 +173,7 @@ let parse (s : string) : t =
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
+    | Some _ -> parse_number ()
     | None -> error "unexpected end of input"
   in
   let v = parse_value () in
@@ -170,8 +214,14 @@ let mem k = function Obj fields -> List.mem_assoc k fields | _ -> false
 
 let get_str = function Str s -> s | _ -> fail "expected a string"
 
-let get_num = function Num f -> f | _ -> fail "expected a number"
+let get_num = function
+  | Num f -> f
+  | Int i -> float_of_int i
+  | _ -> fail "expected a number"
 
-let get_int j = int_of_float (get_num j)
+let get_int = function
+  | Int i -> i
+  | Num f -> int_of_float f
+  | _ -> fail "expected a number"
 
 let get_list = function List l -> l | _ -> fail "expected an array"

@@ -1,13 +1,17 @@
-(** Minimal dependency-free JSON parser shared by the bench harness and
-    the schema validator.  String escapes decode approximately (each
-    escaped character becomes ['?']): the bench schemas depend only on
-    keys, numbers and plain-ASCII markers. *)
+(** Minimal dependency-free JSON parser shared by the bench harness,
+    the schema validator and the torture engine's checkpoint reader.
+    String escapes decode exactly (quote, backslash, slash, backspace,
+    formfeed, newline, return, tab, and [\uXXXX] as UTF-8), so a string
+    emitted with the repo's JSON escapers parses back to the original
+    bytes — which the checkpoint/resume byte-identity contract relies
+    on. *)
 
 exception Error of string
 
 type t =
   | Null
   | Bool of bool
+  | Int of int  (** integer lexemes, kept exact (63-bit seeds) *)
   | Num of float
   | Str of string
   | List of t list

@@ -56,31 +56,47 @@ let obj_choices =
 
 let i n = Value.Int n
 
-let mk_of_kind kind ~n () =
-  let m = Machine.create () in
+(* [model]/[persist] select the memory model the instance runs on:
+   non-atomic fault models only bite when crashes can lose volatile
+   state, so faulted torture builds Shared_cache machines whose objects
+   persist every shared access (the Section 6 transformation). *)
+let mk_of_kind ?(model = Machine.Private_cache) ?(persist = false) kind ~n () =
+  let m = Machine.create ~model () in
   let inst =
     match kind with
-    | Drw -> Detectable.Drw.instance (Detectable.Drw.create m ~n ~init:(i 0))
-    | Dcas -> Detectable.Dcas.instance (Detectable.Dcas.create m ~n ~init:(i 0))
-    | Dmax -> Detectable.Dmax.instance (Detectable.Dmax.create m ~n ~init:0)
+    | Drw ->
+        Detectable.Drw.instance (Detectable.Drw.create ~persist m ~n ~init:(i 0))
+    | Dcas ->
+        Detectable.Dcas.instance
+          (Detectable.Dcas.create ~persist m ~n ~init:(i 0))
+    | Dmax ->
+        Detectable.Dmax.instance (Detectable.Dmax.create ~persist m ~n ~init:0)
     | Dcounter ->
-        Detectable.Transform.instance (Detectable.Transform.counter m ~n ~init:0)
-    | Dfaa -> Detectable.Transform.instance (Detectable.Transform.faa m ~n ~init:0)
+        Detectable.Transform.instance
+          (Detectable.Transform.counter ~persist m ~n ~init:0)
+    | Dfaa ->
+        Detectable.Transform.instance
+          (Detectable.Transform.faa ~persist m ~n ~init:0)
     | Dswap ->
-        Detectable.Transform.instance (Detectable.Transform.swap m ~n ~init:(i 0))
-    | Dtas -> Detectable.Transform.instance (Detectable.Transform.tas m ~n)
+        Detectable.Transform.instance
+          (Detectable.Transform.swap ~persist m ~n ~init:(i 0))
+    | Dtas -> Detectable.Transform.instance (Detectable.Transform.tas ~persist m ~n)
     | Dbounded ->
         Detectable.Transform.instance
-          (Detectable.Transform.bounded_counter m ~n ~lo:0 ~hi:3 ~init:0)
+          (Detectable.Transform.bounded_counter ~persist m ~n ~lo:0 ~hi:3 ~init:0)
     | Dprotected ->
-        Detectable.Dprotected.instance (Detectable.Dprotected.create m ~n ~init:0)
-    | Dqueue -> Detectable.Dqueue.instance (Detectable.Dqueue.create m ~n ~capacity:256)
-    | Urw -> Baselines.Urw.instance (Baselines.Urw.create m ~n ~init:(i 0))
-    | Ucas -> Baselines.Ucas.instance (Baselines.Ucas.create m ~n ~init:(i 0))
-    | Broken_rw_refail -> Baselines.Broken.rw_no_aux_refail m ~n ~init:(i 0)
-    | Broken_rw_reexec -> Baselines.Broken.rw_no_aux_reexec m ~n ~init:(i 0)
-    | Broken_drw_no_toggle -> Baselines.Broken.drw_no_toggle m ~n ~init:(i 0)
-    | Broken_dcas_no_vec -> Baselines.Broken.dcas_no_vec m ~n ~init:(i 0)
+        Detectable.Dprotected.instance
+          (Detectable.Dprotected.create ~persist m ~n ~init:0)
+    | Dqueue ->
+        Detectable.Dqueue.instance
+          (Detectable.Dqueue.create ~persist m ~n ~capacity:256)
+    | Urw -> Baselines.Urw.instance (Baselines.Urw.create ~persist m ~n ~init:(i 0))
+    | Ucas ->
+        Baselines.Ucas.instance (Baselines.Ucas.create ~persist m ~n ~init:(i 0))
+    | Broken_rw_refail -> Baselines.Broken.rw_no_aux_refail ~persist m ~n ~init:(i 0)
+    | Broken_rw_reexec -> Baselines.Broken.rw_no_aux_reexec ~persist m ~n ~init:(i 0)
+    | Broken_drw_no_toggle -> Baselines.Broken.drw_no_toggle ~persist m ~n ~init:(i 0)
+    | Broken_dcas_no_vec -> Baselines.Broken.dcas_no_vec ~persist m ~n ~init:(i 0)
   in
   (m, inst)
 
@@ -190,6 +206,15 @@ let exp_cmd =
 
 (* torture *)
 
+let fault_conv =
+  let parse s =
+    match Fault_model.of_string s with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf f = Format.pp_print_string ppf (Fault_model.to_string f) in
+  Arg.conv ~docv:"FAULT" (parse, print)
+
 let torture_cmd =
   let trials =
     Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random runs.")
@@ -213,12 +238,56 @@ let torture_cmd =
              The merged report is bit-identical for any value: trial i always \
              runs on the child seed stream derived from (seed, i).")
   in
+  let fault =
+    Arg.(
+      value
+      & opt fault_conv Fault_model.default
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Crash fault model: $(b,atomic) (every dirty cache line \
+             persists — the historical semantics), $(b,drop) or \
+             $(b,drop:P) (each dirty line independently persists with \
+             probability P, default 0.5), $(b,torn) or $(b,torn:G) \
+             (dirty tuple values persist component-wise in chunks of G, \
+             default 1 — a torn multi-word write), $(b,reorder) \
+             (an adversarial prefix of a random persist order).  \
+             Non-atomic models run the object on a shared-cache machine \
+             with a persist instruction after every shared access.")
+  in
+  let watchdog =
+    Arg.(
+      value & opt int 10_000
+      & info [ "watchdog" ] ~docv:"STEPS"
+          ~doc:
+            "Per-operation step budget: a single operation or recovery \
+             exceeding it turns the trial into a budget_exhausted verdict \
+             instead of spinning to the trial step limit.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal one JSONL line per completed trial to $(docv) \
+             (schema detectable-torture-checkpoint/v1), so an interrupted \
+             campaign can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Load completed trials from the $(b,--checkpoint) journal and \
+             run only the missing ones; the merged report is \
+             byte-identical to an uninterrupted campaign's.")
+  in
   let json =
     Arg.(
       value & flag
       & info [ "json" ]
           ~doc:
-            "Print the merged run report as a detectable-torture/v1 JSON \
+            "Print the merged run report as a detectable-torture/v2 JSON \
              document instead of the text summary.")
   in
   let report_file =
@@ -236,44 +305,61 @@ let torture_cmd =
           ~doc:"Skip minimising the first failing trial's schedule.")
   in
   let run kind procs ops trials crash_prob max_crashes policy lin_engine seed
-      domains json report_file no_shrink =
-    let spec =
-      Torture.default_spec_of
-        ~label:(List.assoc kind (List.map (fun (k, v) -> (v, k)) obj_choices))
-        ~mk:(mk_of_kind kind ~n:procs)
-        ~workloads_of_seed:(fun s -> workloads_of_kind kind ~seed:s ~procs ~ops)
-        ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ~lin_engine ()
-    in
-    let report =
-      Torture.run ~domains ~root_seed:seed ~trials ~shrink:(not no_shrink) spec
-    in
-    if json then print_string (Torture.to_json report)
-    else Format.printf "%a" Torture.pp report;
-    (match report_file with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Torture.to_json report);
-        close_out oc;
-        if not json then Printf.printf "report written to %s\n" path
-    | None -> ());
-    if report.Torture.not_linearized = 0 then `Ok ()
-    else `Error (false, "violations found")
+      domains fault watchdog checkpoint resume json report_file no_shrink =
+    if resume && checkpoint = None then
+      `Error (false, "--resume requires --checkpoint FILE")
+    else begin
+      let model, persist =
+        match (fault : Fault_model.t) with
+        | Fault_model.Atomic -> (Machine.Private_cache, false)
+        | _ -> (Machine.Shared_cache, true)
+      in
+      let spec =
+        Torture.default_spec_of
+          ~label:(List.assoc kind (List.map (fun (k, v) -> (v, k)) obj_choices))
+          ~mk:(mk_of_kind ~model ~persist kind ~n:procs)
+          ~workloads_of_seed:(fun s -> workloads_of_kind kind ~seed:s ~procs ~ops)
+          ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ~lin_engine ~fault
+          ~watchdog ()
+      in
+      let report =
+        Torture.run ~domains ~root_seed:seed ~trials ~shrink:(not no_shrink)
+          ?checkpoint ~resume spec
+      in
+      if json then print_string (Torture.to_json report)
+      else Format.printf "%a" Torture.pp report;
+      (match report_file with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Torture.to_json report);
+          close_out oc;
+          if not json then Printf.printf "report written to %s\n" path
+      | None -> ());
+      if report.Torture.not_linearized > 0 then
+        `Error (false, "violations found")
+      else if report.Torture.engine_faults > 0 then
+        `Error (false, "engine faults recorded (object code raised)")
+      else `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "torture"
        ~doc:
          "Randomized crash-torture: many seeded runs, random schedules and \
           crash points, every history checked for durable linearizability + \
-          detectability.  Trials shard deterministically over OCaml domains \
-          ($(b,--domains)) and merge into a structured run report \
-          ($(b,--json), $(b,--report)) with verdict counts, a crash-point \
-          histogram, step and space distributions, and the first failing \
-          trial's minimised schedule.")
+          detectability.  A configurable fault model ($(b,--fault)) decides \
+          what a crash does to dirty cache lines.  Trials shard \
+          deterministically over OCaml domains ($(b,--domains)), journal to \
+          a resumable checkpoint ($(b,--checkpoint), $(b,--resume)) and \
+          merge into a structured run report ($(b,--json), $(b,--report)) \
+          with verdict counts, a crash-point histogram, step and space \
+          distributions, and the first failing trial's minimised schedule.")
     Term.(
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ trials $ crash_prob
-       $ max_crashes $ policy_arg $ lin_engine_arg $ seed_arg $ domains $ json
-       $ report_file $ no_shrink))
+       $ max_crashes $ policy_arg $ lin_engine_arg $ seed_arg $ domains
+       $ fault $ watchdog $ checkpoint $ resume $ json $ report_file
+       $ no_shrink))
 
 (* trace *)
 

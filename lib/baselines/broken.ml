@@ -7,17 +7,17 @@ open Detectable
    store followed by a "return instruction" (a yield step), so a crash can
    separate the store from the return exactly as in Figure 2.  Recovery
    decides from shared state alone — which Theorem 2 proves cannot work. *)
-let rw_no_aux machine ~n ~init ~reexec =
-  let ctx = Base.make_ctx machine ~n in
+let rw_no_aux ?persist machine ~n ~init ~reexec =
+  let ctx = Base.make_ctx ?persist machine ~n in
   let r = Machine.alloc_shared machine "R" init in
   let invoke ~pid:_ (op : Spec.op) =
     match (op.Spec.name, op.Spec.args) with
     | "read", [||] ->
-        let v = Fiber.read r in
+        let v = Base.rd ctx r in
         Fiber.yield ();
         v
     | "write", [| v |] ->
-        Fiber.write r v;
+        Base.wr ctx r v;
         Fiber.yield ();
         Spec.ack
     | _ -> Base.bad_op "Broken.rw_no_aux" op
@@ -38,15 +38,18 @@ let rw_no_aux machine ~n ~init ~reexec =
     strict_recovery = false;
   }
 
-let rw_no_aux_refail machine ~n ~init = rw_no_aux machine ~n ~init ~reexec:false
-let rw_no_aux_reexec machine ~n ~init = rw_no_aux machine ~n ~init ~reexec:true
+let rw_no_aux_refail ?persist machine ~n ~init =
+  rw_no_aux ?persist machine ~n ~init ~reexec:false
+
+let rw_no_aux_reexec ?persist machine ~n ~init =
+  rw_no_aux ?persist machine ~n ~init ~reexec:true
 
 (* Algorithm 1 without the toggle-bit arrays: the register holds
    (value, writer) and recovery at checkpoint 1 concludes "not linearized"
    whenever R still holds what it held before the write — which the ABA
    problem makes wrong. *)
-let drw_no_toggle machine ~n ~init =
-  let ctx = Base.make_ctx machine ~n in
+let drw_no_toggle ?persist machine ~n ~init =
+  let ctx = Base.make_ctx ?persist machine ~n in
   let r = Machine.alloc_shared machine "R" (Value.pair init (Value.Int 0)) in
   let rd_p =
     Array.init n (fun pid -> Machine.alloc_private machine ~pid "RD" Value.Bot)
@@ -108,8 +111,8 @@ let drw_no_toggle machine ~n ~init =
 
 (* Algorithm 2 without the flip vector: C holds the bare value and
    recovery guesses success iff C currently equals the CAS's new value. *)
-let dcas_no_vec machine ~n ~init =
-  let ctx = Base.make_ctx machine ~n in
+let dcas_no_vec ?persist machine ~n ~init =
+  let ctx = Base.make_ctx ?persist machine ~n in
   let c = Machine.alloc_shared machine "C" init in
   let cas_body ~pid ~old_v ~new_v =
     let cv = Base.rd ctx c in

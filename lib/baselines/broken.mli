@@ -24,16 +24,25 @@ open Runtime
 
     Every variant still {e announces} operations (the system must know
     which recovery to dispatch); what is ablated is the state the
-    operation itself reads. *)
+    operation itself reads.
 
-val rw_no_aux_refail : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+    [?persist] (default [false]) follows every shared access with a
+    persist of the touched line, as in {!Detectable.Base.make_ctx} — the
+    standard Section 6 transformation for running these ablations on a
+    shared-cache machine under a non-atomic fault model. *)
+
+val rw_no_aux_refail :
+  ?persist:bool -> Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
 (** Recovery always answers [fail]. *)
 
-val rw_no_aux_reexec : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+val rw_no_aux_reexec :
+  ?persist:bool -> Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
 (** Recovery re-executes the operation and answers its response. *)
 
-val drw_no_toggle : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+val drw_no_toggle :
+  ?persist:bool -> Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
 (** Algorithm 1 with the ABA defence removed. *)
 
-val dcas_no_vec : Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
+val dcas_no_vec :
+  ?persist:bool -> Machine.t -> n:int -> init:Value.t -> Sched.Obj_inst.t
 (** Algorithm 2 with the flip vector removed. *)

@@ -16,6 +16,7 @@ type config = {
   max_steps : int;
   policy : Session.policy;
   keep : Loc.t -> bool;
+  wipe : Fault_model.wipe option;
   max_violations : int;
   prune : bool;
   domains : int;
@@ -24,6 +25,11 @@ type config = {
   lin_engine : Lin_check.engine;
 }
 
+(* the wipe actually applied at a Crash decision: an explicit fault
+   model wins over the legacy keep mask *)
+let config_wipe cfg =
+  match cfg.wipe with Some w -> w | None -> Fault_model.Keep cfg.keep
+
 let default_config =
   {
     switch_budget = 3;
@@ -31,6 +37,7 @@ let default_config =
     max_steps = 2_000;
     policy = Session.Retry;
     keep = (fun _ -> true);
+    wipe = None;
     max_violations = 3;
     prune = true;
     domains = 1;
@@ -176,7 +183,7 @@ let replay st decisions =
   List.iter
     (function
       | Step pid -> Session.step session pid
-      | Crash -> Session.crash session ~keep:st.cfg.keep)
+      | Crash -> Session.crash_wipe session (config_wipe st.cfg))
     (List.rev decisions);
   (machine, inst, session)
 
@@ -392,7 +399,7 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen cur switches
         (* crash move *)
         if crashes < st.cfg.crash_budget then begin
           let m = Session.mark session in
-          Session.crash session ~keep:st.cfg.keep;
+          Session.crash_wipe session (config_wipe st.cfg);
           dfs_undo st session machine inst (Crash :: decisions)
             ~depth:(depth + 1) ~hlen:here None switches (crashes + 1);
           Session.rewind session m
@@ -629,7 +636,7 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
         (fun (d, cur, switches, crashes) ->
           (match d with
           | Step pid -> Session.step session pid
-          | Crash -> Session.crash session ~keep:cfg.keep);
+          | Crash -> Session.crash_wipe session (config_wipe cfg));
           dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0 cur switches
             crashes;
           Session.rewind session root_mark)

@@ -68,6 +68,12 @@ type config = {
   max_steps : int;  (** per-execution step bound (safety) *)
   policy : Session.policy;
   keep : Loc.t -> bool;  (** write-back mask applied at crashes *)
+  wipe : Fault_model.wipe option;
+      (** when [Some w], crashes apply fault-model wipe [w] instead of
+          the [keep] mask (see {!Nvm.Fault_model}); [Seeded] wipes key
+          their randomness on the session's crash counter, which the
+          undo engine rewinds, so both engines replay identical crash
+          outcomes.  Default [None]. *)
   max_violations : int;  (** stop collecting after this many samples *)
   prune : bool;  (** memoise subtrees by state fingerprint (exact) *)
   domains : int;  (** worker domains; 1 = sequential *)

@@ -11,9 +11,9 @@ type result = {
 (* "prefix then free run": tolerantly apply the decisions, then round-robin
    until done or budget, then judge the closed history *)
 
-let apply_decision session ~keep d =
+let apply_decision session ~wipe d =
   match (d : Explore.decision) with
-  | Explore.Crash -> Session.crash session ~keep
+  | Explore.Crash -> Session.crash_wipe session wipe
   | Explore.Step pid ->
       if List.mem pid (Session.runnable session) then Session.step session pid
 
@@ -39,26 +39,29 @@ let judge ~lin_engine session (inst : Obj_inst.t) =
   | Lin_check.Ok_linearizable _ -> None
   | Lin_check.Violation msg -> Some (Session.history session, msg)
 
-let run_candidate ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
+let run_candidate ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine decisions
     =
   let machine, inst = mk () in
   let session = Session.create ~policy machine inst ~workloads in
   ignore machine;
-  List.iter (apply_decision session ~keep) decisions;
+  List.iter (apply_decision session ~wipe) decisions;
   free_run session ~max_steps;
   judge ~lin_engine session inst
 
 let reproduces ~mk ~workloads ?(policy = Session.Retry)
-    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000)
+    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?wipe ?(max_steps = 5_000)
     ?(lin_engine = (`Incremental : Lin_check.engine)) decisions =
-  run_candidate ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
+  let wipe =
+    match wipe with Some w -> w | None -> Nvm.Fault_model.Keep keep
+  in
+  run_candidate ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine decisions
 
 (* Both engines perform the same greedy single-deletion search with the
    same memoisation, so they try the same candidates in the same order
    and return identical results (decisions, history, msg, attempts);
    they differ only in how a candidate execution is realised. *)
 
-let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
+let minimise_replay ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine
     decisions =
   let attempts = ref 0 in
   (* successive deletion passes can regenerate a candidate already tried
@@ -72,7 +75,7 @@ let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
     | None ->
         incr attempts;
         let outcome =
-          run_candidate ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine ds
+          run_candidate ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine ds
         in
         Hashtbl.replace seen ds outcome;
         outcome
@@ -115,7 +118,7 @@ let minimise_replay ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
    every later candidate of the pass), the candidate's own tail events
    above it. *)
 
-let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
+let minimise_undo ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine decisions
     =
   let machine, inst = mk () in
   let session = Session.create ~policy ~undo:true machine inst ~workloads in
@@ -182,7 +185,7 @@ let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
         incr attempts;
         let m = Session.mark session in
         let lm = lin_mark () in
-        List.iter (apply_decision session ~keep) tail;
+        List.iter (apply_decision session ~wipe) tail;
         free_run session ~max_steps;
         let outcome = judge () in
         Session.rewind session m;
@@ -206,7 +209,7 @@ let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
             match try_candidate ~tail candidate with
             | Some (h, m) -> Some (candidate, h, m)
             | None ->
-                apply_decision session ~keep arr.(k);
+                apply_decision session ~wipe arr.(k);
                 try_deletions (k + 1)
         in
         let next = try_deletions 0 in
@@ -220,13 +223,16 @@ let minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine decisions
       Some { decisions = ds; history; msg; attempts = !attempts }
 
 let minimise ~mk ~workloads ?(policy = Session.Retry)
-    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?(max_steps = 5_000)
+    ?(keep = fun (_ : Nvm.Loc.t) -> true) ?wipe ?(max_steps = 5_000)
     ?(engine = (`Undo : Explore.engine))
     ?(lin_engine = (`Incremental : Lin_check.engine)) decisions =
+  let wipe =
+    match wipe with Some w -> w | None -> Nvm.Fault_model.Keep keep
+  in
   match engine with
   | `Replay ->
-      minimise_replay ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
+      minimise_replay ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine
         decisions
   | `Undo ->
-      minimise_undo ~mk ~workloads ~policy ~keep ~max_steps ~lin_engine
+      minimise_undo ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine
         decisions

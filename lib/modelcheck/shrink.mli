@@ -46,22 +46,28 @@ val reproduces :
   workloads:Spec.op list array ->
   ?policy:Session.policy ->
   ?keep:(Nvm.Loc.t -> bool) ->
+  ?wipe:Nvm.Fault_model.wipe ->
   ?max_steps:int ->
   ?lin_engine:Lin_check.engine ->
   Explore.decision list ->
   (Event.t list * string) option
 (** Run "prefix then free run" for a decision sequence; [Some] iff the
-    checker rejects the resulting history. *)
+    checker rejects the resulting history.  [wipe] overrides [keep] when
+    given: crashes in the sequence then apply that fault-model wipe
+    (a [Seeded] wipe keys on the crash index, so the exact faulted run
+    that produced the violation is replayed). *)
 
 val minimise :
   mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
   workloads:Spec.op list array ->
   ?policy:Session.policy ->
   ?keep:(Nvm.Loc.t -> bool) ->
+  ?wipe:Nvm.Fault_model.wipe ->
   ?max_steps:int ->
   ?engine:Explore.engine ->
   ?lin_engine:Lin_check.engine ->
   Explore.decision list ->
   result option
 (** [None] if the input sequence does not reproduce a violation under
-    tolerant replay (shrinking needs a reproducible starting point). *)
+    tolerant replay (shrinking needs a reproducible starting point).
+    [wipe] as in {!reproduces}. *)

@@ -41,10 +41,19 @@ val crash : t -> keep:(Loc.t -> bool) -> unit
     discarded.  [keep] models the hardware's arbitrary write-back
     behaviour at the instant of failure. *)
 
+val crash_faulted : t -> fault:Fault_model.t -> prng:Dtc_util.Prng.t -> unit
+(** [crash_faulted c ~fault ~prng] simulates a power failure under a
+    {!Fault_model.t}: the dirty lines reach (or miss, or partially
+    reach) NVM as the model dictates, drawing every random decision
+    from [prng], then the whole cache is discarded.  Lines are visited
+    in allocation-id order so the outcome is a deterministic function
+    of [(fault, prng, dirty set)].  [~fault:Atomic] is equivalent to
+    [crash ~keep:(fun _ -> true)] and consumes no randomness. *)
+
 val entries : t -> (Loc.t * Value.t) list
-(** The dirty set, unordered — a checkpoint token for
-    {!restore_entries}.  The undo engine snapshots the cache with this
-    when it marks a configuration. *)
+(** The dirty set, in allocation-id order (deterministic) — a
+    checkpoint token for {!restore_entries}.  The undo engine snapshots
+    the cache with this when it marks a configuration. *)
 
 val restore_entries : t -> (Loc.t * Value.t) list -> unit
 (** Replace the dirty set with a previously captured {!entries} list. *)

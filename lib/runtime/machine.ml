@@ -65,6 +65,18 @@ let poke t l v =
 let crash t ~keep =
   match t.cache with None -> () | Some c -> Cache.crash c ~keep
 
+let crash_wipe t ~index wipe =
+  match t.cache with
+  | None -> ()
+  | Some c -> (
+      match (wipe : Fault_model.wipe) with
+      | Fault_model.Keep keep -> Cache.crash c ~keep
+      | Fault_model.Seeded (fault, seed) ->
+          (* one dedicated stream per crash: outcome depends only on
+             (fault, seed, crash index, dirty set) *)
+          let prng = Dtc_util.Prng.stream seed ~index in
+          Cache.crash_faulted c ~fault ~prng)
+
 let steps t = t.steps
 
 let reset t =

@@ -42,6 +42,15 @@ val crash : t -> keep:(Loc.t -> bool) -> unit
     shared-cache model each dirty cache line is written back iff [keep]
     accepts it and the cache is discarded. *)
 
+val crash_wipe : t -> index:int -> Fault_model.wipe -> unit
+(** Fault-model-aware crash.  [crash_wipe t ~index w] behaves like
+    {!crash} when [w] is [Keep keep]; for [Seeded (fault, seed)] it
+    applies [fault] to the dirty set with randomness drawn from
+    [Prng.stream seed ~index], where [index] is the 0-based crash
+    number of the run — so every crash's write-back is independently
+    replayable (the undo engine rewinds crash counters and gets the
+    identical NVM image back).  No-op in the private-cache model. *)
+
 val steps : t -> int
 (** Number of primitive steps applied since creation/reset. *)
 

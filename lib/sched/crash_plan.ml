@@ -1,12 +1,24 @@
 open Dtc_util
 open Nvm
 
-type t = { should_crash : step:int -> bool; keep : Loc.t -> bool }
+type t = { should_crash : step:int -> bool; wipe : Fault_model.wipe }
 
-let none = { should_crash = (fun ~step:_ -> false); keep = (fun _ -> true) }
+let none =
+  { should_crash = (fun ~step:_ -> false); wipe = Fault_model.keep_all }
 
-let at_steps ?(keep = fun (_ : Loc.t) -> true) ks =
-  let remaining = ref (List.sort_uniq Int.compare ks) in
+(* 62-bit non-negative seed for a dedicated fault stream, drawn from the
+   plan's own PRNG at construction time. *)
+let draw_seed prng = Int64.to_int (Int64.shift_right_logical (Prng.next_int64 prng) 2)
+
+let at_steps ?keep ks =
+  let wipe =
+    match keep with
+    | None -> Fault_model.keep_all
+    | Some k -> Fault_model.Keep k
+  in
+  (* plain sort, not sort_uniq: two crashes requested at the same step
+     must both fire (on consecutive consultations) *)
+  let remaining = ref (List.sort Int.compare ks) in
   let should_crash ~step =
     match !remaining with
     | k :: rest when step >= k ->
@@ -14,9 +26,19 @@ let at_steps ?(keep = fun (_ : Loc.t) -> true) ks =
         true
     | _ -> false
   in
-  { should_crash; keep }
+  { should_crash; wipe }
 
 let random ?(max_crashes = 3) ?(keep_prob = 1.0) ~prob prng =
+  (* The wipe randomness must not come from [prng]: the schedule PRNG's
+     consumption would then depend on the dirty-set size at each crash,
+     coupling crash times to memory contents.  A dedicated seed makes
+     the wipe a pure function of (crash index, dirty set).  Nothing is
+     drawn at all for keep_prob >= 1.0, so keep-everything plans (the
+     default) consume exactly as much randomness as before. *)
+  let wipe =
+    if keep_prob >= 1.0 then Fault_model.keep_all
+    else Fault_model.Seeded (Fault_model.Drop { keep_prob }, draw_seed prng)
+  in
   let fired = ref 0 in
   let should_crash ~step:_ =
     if !fired >= max_crashes then false
@@ -25,7 +47,26 @@ let random ?(max_crashes = 3) ?(keep_prob = 1.0) ~prob prng =
       true)
     else false
   in
-  let keep _loc = keep_prob >= 1.0 || Prng.float prng < keep_prob in
-  { should_crash; keep }
+  { should_crash; wipe }
 
-let adversarial_keep_none plan = { plan with keep = (fun _ -> false) }
+let faulted ?(max_crashes = 3) ~fault ~prob prng =
+  let wipe =
+    match (fault : Fault_model.t) with
+    | Fault_model.Atomic -> Fault_model.keep_all
+    | _ -> Fault_model.Seeded (fault, draw_seed prng)
+  in
+  let fired = ref 0 in
+  let should_crash ~step:_ =
+    if !fired >= max_crashes then false
+    else if Prng.float prng < prob then (
+      incr fired;
+      true)
+    else false
+  in
+  { should_crash; wipe }
+
+let adversarial_keep_none plan =
+  { plan with wipe = Fault_model.Keep (fun _ -> false) }
+
+let fault_seed plan =
+  match plan.wipe with Fault_model.Seeded (_, s) -> s | Fault_model.Keep _ -> 0

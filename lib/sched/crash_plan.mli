@@ -4,29 +4,50 @@ open Nvm
 (** Crash-injection plans.
 
     A plan decides, before every scheduled step, whether a system-wide
-    crash strikes now, and — for the shared-cache model — which dirty
-    cache lines the hardware happens to write back at the instant of
-    failure (the [keep] mask).  In the private-cache model the mask is
-    irrelevant. *)
+    crash strikes now, and — for the shared-cache model — what happens
+    to the dirty cache lines at the instant of failure (the {!wipe}).
+    In the private-cache model the wipe is irrelevant. *)
 
 type t = {
   should_crash : step:int -> bool;
       (** consulted with the global step count before each step; a plan is
           responsible for bounding its own number of crashes *)
-  keep : Loc.t -> bool;  (** write-back decision per dirty line *)
+  wipe : Fault_model.wipe;
+      (** write-back behaviour for the dirty lines: a legacy per-location
+          [Keep] predicate, or a [Seeded] fault model whose randomness is
+          a pure function of the crash index (see
+          {!Runtime.Machine.crash_wipe}) *)
 }
 
 val none : t
 (** Never crash. *)
 
 val at_steps : ?keep:(Loc.t -> bool) -> int list -> t
-(** Crash immediately before global steps [ks] (each fires once; default
-    mask keeps everything — private-cache semantics). *)
+(** Crash immediately before global steps [ks].  Each listed step fires
+    exactly once, including duplicates — [at_steps [4; 4]] crashes on
+    two consecutive consultations once step 4 is reached.  Default wipe
+    keeps everything (private-cache semantics). *)
 
 val random : ?max_crashes:int -> ?keep_prob:float -> prob:float -> Prng.t -> t
 (** Crash before each step with probability [prob], at most [max_crashes]
     times (default 3); each dirty line survives with probability
-    [keep_prob] (default 1.0). *)
+    [keep_prob] (default 1.0).  For [keep_prob < 1.0] the survival
+    decisions are drawn from a dedicated fault stream seeded at
+    construction from [prng] ([Seeded (Drop _, seed)]), never from
+    [prng] itself — crash outcomes cannot perturb the crash/schedule
+    stream.  With the default [keep_prob] nothing extra is drawn, so
+    existing keep-everything plans consume identical randomness. *)
+
+val faulted : ?max_crashes:int -> fault:Fault_model.t -> prob:float -> Prng.t -> t
+(** Like {!random} but injecting crashes under an arbitrary
+    {!Fault_model.t}.  A fault seed is drawn from [prng] at construction
+    (except for [Atomic], which needs none); the plan's wipe is
+    [Seeded (fault, seed)]. *)
 
 val adversarial_keep_none : t -> t
 (** Same crash times, but no dirty line ever survives. *)
+
+val fault_seed : t -> int
+(** The seed inside a [Seeded] wipe, or [0] for a [Keep] wipe — recorded
+    in torture trial records so the shrinker can replay the exact fault
+    stream. *)

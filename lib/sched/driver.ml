@@ -23,11 +23,13 @@ type result = {
   rec_steps : (string * int) list;
   anomalies : string list;
   incomplete : bool;
+  budget_exhausted : bool;
 }
 
-let run machine inst ~workloads cfg =
+let run ?watchdog machine inst ~workloads cfg =
   let session = Session.create ~policy:cfg.policy machine inst ~workloads in
   let incomplete = ref false in
+  let budget_exhausted = ref false in
   let continue = ref true in
   while !continue do
     match Session.runnable session with
@@ -38,8 +40,20 @@ let run machine inst ~workloads cfg =
           incomplete := true;
           continue := false
         end
+        else if
+          match watchdog with
+          | Some w -> Session.max_cur_steps session > w
+          | None -> false
+        then begin
+          (* some operation or recovery has run for more steps than any
+             wait-free implementation could need: a runaway trial, not a
+             slow one *)
+          budget_exhausted := true;
+          incomplete := true;
+          continue := false
+        end
         else if cfg.crash_plan.Crash_plan.should_crash ~step then
-          Session.crash session ~keep:cfg.crash_plan.Crash_plan.keep
+          Session.crash_wipe session cfg.crash_plan.Crash_plan.wipe
         else
           Session.step session (cfg.schedule.Schedule.choose ~runnable ~step)
   done;
@@ -51,6 +65,7 @@ let run machine inst ~workloads cfg =
     rec_steps = Session.rec_steps session;
     anomalies = Session.anomalies session;
     incomplete = !incomplete;
+    budget_exhausted = !budget_exhausted;
   }
 
 let check ?(lin_engine = (`Incremental : Lin_check.engine)) inst

@@ -33,9 +33,15 @@ type result = {
           already-completed operation disagreeing with its persisted
           response); empty for a correct implementation *)
   incomplete : bool;  (** step budget exhausted before all workloads done *)
+  budget_exhausted : bool;
+      (** the per-operation watchdog tripped: some single operation or
+          recovery ran longer than the [watchdog] bound — a runaway
+          trial, not merely a short global budget.  Implies
+          [incomplete]. *)
 }
 
 val run :
+  ?watchdog:int ->
   Runtime.Machine.t ->
   Obj_inst.t ->
   workloads:Spec.op list array ->
@@ -43,7 +49,10 @@ val run :
   result
 (** [run machine inst ~workloads config] — [workloads.(p)] is the sequence
     of abstract operations process [p] performs.  The machine must be the
-    one the instance allocated its locations in. *)
+    one the instance allocated its locations in.  [watchdog] bounds the
+    steps any single operation/recovery may take
+    ({!Session.max_cur_steps}); exceeding it stops the run with
+    [budget_exhausted] set instead of spinning until [max_steps]. *)
 
 val check :
   ?lin_engine:Lin_check.engine -> Obj_inst.t -> result -> Lin_check.verdict

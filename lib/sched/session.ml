@@ -434,7 +434,11 @@ let step s pid =
             invalid_arg "Session.step: process is not runnable")
     | None -> invalid_arg "Session.step: process is not runnable"
 
-let crash s ~keep =
+let crash_wipe s wipe =
+  (* The crash index is the pre-increment counter: crash k of the run
+     uses fault stream k, and since rewind restores [s.crashes], a
+     re-executed crash replays the identical wipe. *)
+  let index = s.crashes in
   emit s Event.Crash;
   s.crashes <- s.crashes + 1;
   Array.iter
@@ -446,7 +450,7 @@ let crash s ~keep =
          step_sig already covers, so keep rolling across the restart *)
       ps.step_sig <- Value.mix ps.step_sig 0xC0FFEE)
     s.procs;
-  Machine.crash s.machine ~keep;
+  Machine.crash_wipe s.machine ~index wipe;
   Array.iter
     (fun ps ->
       (* snapshot the driver fields BEFORE the restart program runs: its
@@ -456,8 +460,12 @@ let crash s ~keep =
       sync_logical ps)
     s.procs
 
+let crash s ~keep = crash_wipe s (Fault_model.Keep keep)
+
 let steps s = s.steps
 let crashes s = s.crashes
+let max_cur_steps s =
+  Array.fold_left (fun acc ps -> max acc ps.cur_steps) 0 s.procs
 let history s = List.rev s.events
 let events_rev s = s.events
 let event_count s = s.n_events

@@ -46,12 +46,26 @@ val step : t -> int -> unit
 val crash : t -> keep:(Loc.t -> bool) -> unit
 (** System-wide crash: kill all fibers (volatile state lost), apply the
     memory model's write-back semantics with [keep], then restart every
-    process on its recovery-then-resume program. *)
+    process on its recovery-then-resume program.  Equivalent to
+    [crash_wipe s (Fault_model.Keep keep)]. *)
+
+val crash_wipe : t -> Nvm.Fault_model.wipe -> unit
+(** Fault-model-aware crash.  The crash index passed to
+    {!Runtime.Machine.crash_wipe} is the session's crash counter before
+    the increment, and {!rewind} restores that counter — so a crash
+    re-executed after a rewind replays the identical wipe. *)
 
 val steps : t -> int
 (** Primitive steps executed so far. *)
 
 val crashes : t -> int
+
+val max_cur_steps : t -> int
+(** The largest per-process step count since that process last started
+    an operation or a recovery.  A wait-free detectable object keeps
+    this bounded; a runaway (spinning) operation or recovery makes it
+    grow without bound, which the driver's watchdog turns into a
+    budget-exhausted verdict instead of a hang. *)
 
 val history : t -> Event.t list
 (** Events so far, in real-time order.  O(n) — it reverses the internal

@@ -10,11 +10,14 @@ type spec = {
   max_crashes : int;
   max_steps : int;
   lin_engine : Lin_check.engine;
+  fault : Nvm.Fault_model.t;
+  watchdog : int;
 }
 
 let default_spec_of ?(policy = Session.Retry) ?(crash_prob = 0.05)
     ?(max_crashes = 2) ?(max_steps = 50_000)
-    ?(lin_engine = (`Incremental : Lin_check.engine)) ~label ~mk
+    ?(lin_engine = (`Incremental : Lin_check.engine))
+    ?(fault = Nvm.Fault_model.Atomic) ?(watchdog = 10_000) ~label ~mk
     ~workloads_of_seed () =
   {
     label;
@@ -25,6 +28,8 @@ let default_spec_of ?(policy = Session.Retry) ?(crash_prob = 0.05)
     max_crashes;
     max_steps;
     lin_engine;
+    fault;
+    watchdog;
   }
 
 type dist = { d_min : int; d_max : int; d_mean : float; d_total : int }
@@ -38,6 +43,8 @@ type failure = {
   shrink_attempts : int;
 }
 
+type engine_fault = { ef_trial : int; ef_seed : int; ef_msg : string }
+
 type report = {
   label : string;
   root_seed : int;
@@ -46,9 +53,13 @@ type report = {
   crash_prob : float;
   max_crashes : int;
   max_steps : int;
+  fault : Nvm.Fault_model.t;
+  watchdog : int;
   linearized : int;
   not_linearized : int;
   incomplete : int;
+  budget_exhausted : int;
+  engine_faults : int;
   crashes_injected : int;
   crash_hist : (int * int) list;
   rec_returned : int;
@@ -56,262 +67,17 @@ type report = {
   steps : dist;
   max_shared_bits : dist;
   first_failure : failure option;
+  first_engine_fault : engine_fault option;
   elapsed_s : float;
   trials_per_sec : float;
   domains_used : int;
+  shards_rescued : int;
 }
 
 let crash_bucket = 16
 
 (* ------------------------------------------------------------------ *)
-(* one trial *)
-
-type trial = {
-  t_seed : int;  (* derived workload seed *)
-  t_steps : int;
-  t_crashes : int;
-  t_crash_steps : int list;  (* ascending *)
-  t_rec_returned : int;
-  t_rec_failed : int;
-  t_bits : int;
-  t_incomplete : bool;
-  t_violation : string option;
-  t_trace : Modelcheck.Explore.decision list;  (* oldest first *)
-}
-
-(* Everything random in a trial — workload, schedule, crash points —
-   derives from [Prng.stream root ~index], so the trial is a pure
-   function of (spec, root, index) no matter which domain runs it. *)
-let run_trial spec ~root ~index =
-  let prng = Dtc_util.Prng.stream root ~index in
-  let wseed =
-    Int64.to_int (Int64.shift_right_logical (Dtc_util.Prng.next_int64 prng) 2)
-  in
-  let workloads = spec.workloads_of_seed wseed in
-  let machine, inst = spec.mk () in
-  (* record the decision sequence (for Shrink) and the crash points (for
-     the histogram) by wrapping the schedule and the crash plan *)
-  let trace = ref [] in
-  let crash_steps = ref [] in
-  let random_sched = Schedule.random (Dtc_util.Prng.split prng) in
-  let sched =
-    {
-      Schedule.choose =
-        (fun ~runnable ~step ->
-          let pid = random_sched.Schedule.choose ~runnable ~step in
-          trace := Modelcheck.Explore.Step pid :: !trace;
-          pid);
-    }
-  in
-  let base_plan =
-    Crash_plan.random ~max_crashes:spec.max_crashes ~prob:spec.crash_prob
-      (Dtc_util.Prng.split prng)
-  in
-  let plan =
-    {
-      base_plan with
-      Crash_plan.should_crash =
-        (fun ~step ->
-          let fire = base_plan.Crash_plan.should_crash ~step in
-          if fire then begin
-            crash_steps := step :: !crash_steps;
-            trace := Modelcheck.Explore.Crash :: !trace
-          end;
-          fire);
-    }
-  in
-  let cfg =
-    {
-      Driver.schedule = sched;
-      crash_plan = plan;
-      policy = spec.policy;
-      max_steps = spec.max_steps;
-    }
-  in
-  let finish ~steps ~crashes ~rec_returned ~rec_failed ~incomplete ~violation =
-    {
-      t_seed = wseed;
-      t_steps = steps;
-      t_crashes = crashes;
-      t_crash_steps = List.rev !crash_steps;
-      t_rec_returned = rec_returned;
-      t_rec_failed = rec_failed;
-      t_bits = Nvm.Mem.max_shared_bits (Runtime.Machine.mem machine);
-      t_incomplete = incomplete;
-      t_violation = violation;
-      t_trace = List.rev !trace;
-    }
-  in
-  match Driver.run machine inst ~workloads cfg with
-  | res ->
-      let rec_returned, rec_failed =
-        List.fold_left
-          (fun (r, f) -> function
-            | Event.Rec_ret _ -> (r + 1, f)
-            | Event.Rec_fail _ -> (r, f + 1)
-            | _ -> (r, f))
-          (0, 0) res.Driver.history
-      in
-      let violation =
-        match Driver.check ~lin_engine:spec.lin_engine inst res with
-        | Lin_check.Ok_linearizable _ -> None
-        | Lin_check.Violation msg -> Some msg
-      in
-      finish ~steps:res.Driver.steps ~crashes:res.Driver.crashes ~rec_returned
-        ~rec_failed ~incomplete:res.Driver.incomplete ~violation
-  | exception (Invalid_argument msg | Failure msg) ->
-      (* an algorithm choked on inconsistent NVM state (possible for the
-         deliberately broken variants): a correctness violation, not a
-         harness failure — same convention as E6 *)
-      finish
-        ~steps:
-          (List.length
-             (List.filter
-                (function Modelcheck.Explore.Step _ -> true | _ -> false)
-                !trace))
-        ~crashes:(List.length !crash_steps)
-        ~rec_returned:0 ~rec_failed:0 ~incomplete:false
-        ~violation:(Some ("exception: " ^ msg))
-
-(* ------------------------------------------------------------------ *)
-(* campaign = shard + merge *)
-
-let dist_of xs =
-  match xs with
-  | [] -> { d_min = 0; d_max = 0; d_mean = 0.0; d_total = 0 }
-  | x :: rest ->
-      let mn, mx, total =
-        List.fold_left
-          (fun (mn, mx, total) v -> (min mn v, max mx v, total + v))
-          (x, x, x) rest
-      in
-      {
-        d_min = mn;
-        d_max = mx;
-        d_mean = float_of_int total /. float_of_int (List.length xs);
-        d_total = total;
-      }
-
-let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true) spec =
-  if trials < 0 then invalid_arg "Torture.run: trials must be non-negative";
-  let t0 = Unix.gettimeofday () in
-  let domains = max 1 (min domains (max 1 trials)) in
-  (* shard d owns trial indices { i | i mod domains = d }; trials share
-     nothing, so the only cross-domain traffic is the join *)
-  let worker d () =
-    let acc = ref [] in
-    let i = ref d in
-    while !i < trials do
-      acc := (!i, run_trial spec ~root:root_seed ~index:!i) :: !acc;
-      i := !i + domains
-    done;
-    !acc
-  in
-  let shards =
-    if domains = 1 then [ worker 0 () ]
-    else
-      let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
-      Array.to_list (Array.map Domain.join handles)
-  in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  let by_index = Array.make trials None in
-  List.iter (List.iter (fun (i, tr) -> by_index.(i) <- Some tr)) shards;
-  let ordered =
-    Array.to_list
-      (Array.map
-         (function
-           | Some tr -> tr
-           | None -> invalid_arg "Torture.run: shard lost a trial")
-         by_index)
-  in
-  (* merge in trial-index order: every aggregate below is a fold over
-     [ordered], so the report is independent of shard layout *)
-  let linearized = ref 0 and not_linearized = ref 0 and incomplete = ref 0 in
-  let crashes_injected = ref 0 in
-  let rec_returned = ref 0 and rec_failed = ref 0 in
-  let hist = Hashtbl.create 32 in
-  List.iter
-    (fun tr ->
-      (match tr.t_violation with
-      | Some _ -> incr not_linearized
-      | None -> if tr.t_incomplete then incr incomplete else incr linearized);
-      crashes_injected := !crashes_injected + tr.t_crashes;
-      rec_returned := !rec_returned + tr.t_rec_returned;
-      rec_failed := !rec_failed + tr.t_rec_failed;
-      List.iter
-        (fun s ->
-          let b = s / crash_bucket * crash_bucket in
-          Hashtbl.replace hist b
-            (1 + try Hashtbl.find hist b with Not_found -> 0))
-        tr.t_crash_steps)
-    ordered;
-  let crash_hist =
-    Hashtbl.fold (fun b n acc -> (b, n) :: acc) hist [] |> List.sort compare
-  in
-  let first_failure =
-    let rec find i = function
-      | [] -> None
-      | tr :: rest -> (
-          match tr.t_violation with
-          | Some msg -> Some (i, tr, msg)
-          | None -> find (i + 1) rest)
-    in
-    match find 0 ordered with
-    | None -> None
-    | Some (i, tr, msg) ->
-        let minimised, shrink_attempts =
-          if not shrink then (None, 0)
-          else
-            (* tolerant replay of an exception-raising trial can re-raise
-               inside the minimiser; losing the minimisation then is fine,
-               the raw schedule is still reported *)
-            match
-              try
-                Modelcheck.Shrink.minimise ~mk:spec.mk
-                  ~workloads:(spec.workloads_of_seed tr.t_seed)
-                  ~policy:spec.policy ~max_steps:spec.max_steps ~engine:`Undo
-                  tr.t_trace
-              with Invalid_argument _ | Failure _ -> None
-            with
-            | Some r ->
-                (Some r.Modelcheck.Shrink.decisions, r.Modelcheck.Shrink.attempts)
-            | None -> (None, 0)
-        in
-        Some
-          {
-            trial = i;
-            seed = tr.t_seed;
-            msg;
-            schedule = tr.t_trace;
-            minimised;
-            shrink_attempts;
-          }
-  in
-  {
-    label = spec.label;
-    root_seed;
-    trials;
-    policy = spec.policy;
-    crash_prob = spec.crash_prob;
-    max_crashes = spec.max_crashes;
-    max_steps = spec.max_steps;
-    linearized = !linearized;
-    not_linearized = !not_linearized;
-    incomplete = !incomplete;
-    crashes_injected = !crashes_injected;
-    crash_hist;
-    rec_returned = !rec_returned;
-    rec_failed = !rec_failed;
-    steps = dist_of (List.map (fun tr -> tr.t_steps) ordered);
-    max_shared_bits = dist_of (List.map (fun tr -> tr.t_bits) ordered);
-    first_failure;
-    elapsed_s;
-    trials_per_sec = float_of_int trials /. Float.max elapsed_s 1e-9;
-    domains_used = domains;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* rendering *)
+(* rendering primitives (also used by the checkpoint journal) *)
 
 let policy_string = function
   | Session.Retry -> "retry"
@@ -321,8 +87,18 @@ let decision_string = function
   | Modelcheck.Explore.Step pid -> Printf.sprintf "p%d" pid
   | Modelcheck.Explore.Crash -> "CRASH"
 
-(* JSON string escaping (the checker's violation messages are the only
-   free-form strings; keep them valid whatever they contain) *)
+let decision_of_string s =
+  if s = "CRASH" then Modelcheck.Explore.Crash
+  else if String.length s >= 2 && s.[0] = 'p' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some pid -> Modelcheck.Explore.Step pid
+    | None -> failwith ("Torture: bad decision " ^ s)
+  else failwith ("Torture: bad decision " ^ s)
+
+(* JSON string escaping (checker violation messages and engine-fault
+   backtraces are the only free-form strings; keep them valid whatever
+   they contain).  Tiny_json.parse inverts this exactly, which the
+   checkpoint/resume byte-identity contract relies on. *)
 let escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -349,22 +125,531 @@ let schedule_json ds =
       (List.map (fun d -> Printf.sprintf "%S" (decision_string d)) ds)
   ^ " ]"
 
+(* ------------------------------------------------------------------ *)
+(* one trial *)
+
+type verdict =
+  | V_ok
+  | V_violation of string
+  | V_incomplete
+  | V_budget
+  | V_engine_fault of string
+
+type trial = {
+  t_seed : int;  (* derived workload seed *)
+  t_fault_seed : int;  (* seed of the trial's dedicated fault stream *)
+  t_steps : int;
+  t_crashes : int;
+  t_crash_steps : int list;  (* ascending *)
+  t_rec_returned : int;
+  t_rec_failed : int;
+  t_bits : int;
+  t_verdict : verdict;
+  t_trace : Modelcheck.Explore.decision list;  (* oldest first *)
+}
+
+(* Everything random in a trial — workload, schedule, crash points, and
+   (via the fault seed recorded in the crash plan) every crash's
+   write-back — derives from [Prng.stream root ~index], so the trial is
+   a pure function of (spec, root, index) no matter which domain runs
+   it.  For [fault = Atomic] the draws are identical to the historical
+   engine, so atomic campaigns reproduce pre-fault-model reports. *)
+let run_trial spec ~root ~index =
+  let prng = Dtc_util.Prng.stream root ~index in
+  let wseed =
+    Int64.to_int (Int64.shift_right_logical (Dtc_util.Prng.next_int64 prng) 2)
+  in
+  let workloads = spec.workloads_of_seed wseed in
+  let machine, inst = spec.mk () in
+  (* record the decision sequence (for Shrink) and the crash points (for
+     the histogram) by wrapping the schedule and the crash plan *)
+  let trace = ref [] in
+  let crash_steps = ref [] in
+  let random_sched = Schedule.random (Dtc_util.Prng.split prng) in
+  let sched =
+    {
+      Schedule.choose =
+        (fun ~runnable ~step ->
+          let pid = random_sched.Schedule.choose ~runnable ~step in
+          trace := Modelcheck.Explore.Step pid :: !trace;
+          pid);
+    }
+  in
+  let base_plan =
+    Crash_plan.faulted ~max_crashes:spec.max_crashes ~fault:spec.fault
+      ~prob:spec.crash_prob
+      (Dtc_util.Prng.split prng)
+  in
+  let fault_seed = Crash_plan.fault_seed base_plan in
+  let plan =
+    {
+      base_plan with
+      Crash_plan.should_crash =
+        (fun ~step ->
+          let fire = base_plan.Crash_plan.should_crash ~step in
+          if fire then begin
+            crash_steps := step :: !crash_steps;
+            trace := Modelcheck.Explore.Crash :: !trace
+          end;
+          fire);
+    }
+  in
+  let cfg =
+    {
+      Driver.schedule = sched;
+      crash_plan = plan;
+      policy = spec.policy;
+      max_steps = spec.max_steps;
+    }
+  in
+  let finish ~steps ~crashes ~rec_returned ~rec_failed ~verdict =
+    {
+      t_seed = wseed;
+      t_fault_seed = fault_seed;
+      t_steps = steps;
+      t_crashes = crashes;
+      t_crash_steps = List.rev !crash_steps;
+      t_rec_returned = rec_returned;
+      t_rec_failed = rec_failed;
+      t_bits = Nvm.Mem.max_shared_bits (Runtime.Machine.mem machine);
+      t_verdict = verdict;
+      t_trace = List.rev !trace;
+    }
+  in
+  let trace_steps () =
+    List.length
+      (List.filter
+         (function Modelcheck.Explore.Step _ -> true | _ -> false)
+         !trace)
+  in
+  match
+    let res = Driver.run ~watchdog:spec.watchdog machine inst ~workloads cfg in
+    let rec_returned, rec_failed =
+      List.fold_left
+        (fun (r, f) -> function
+          | Event.Rec_ret _ -> (r + 1, f)
+          | Event.Rec_fail _ -> (r, f + 1)
+          | _ -> (r, f))
+        (0, 0) res.Driver.history
+    in
+    let verdict =
+      match Driver.check ~lin_engine:spec.lin_engine inst res with
+      | Lin_check.Violation msg -> V_violation msg
+      | Lin_check.Ok_linearizable _ ->
+          if res.Driver.budget_exhausted then V_budget
+          else if res.Driver.incomplete then V_incomplete
+          else V_ok
+    in
+    (res, rec_returned, rec_failed, verdict)
+  with
+  | res, rec_returned, rec_failed, verdict ->
+      finish ~steps:res.Driver.steps ~crashes:res.Driver.crashes ~rec_returned
+        ~rec_failed ~verdict
+  | exception (Invalid_argument msg | Failure msg) ->
+      (* an algorithm choked on inconsistent NVM state (possible for the
+         deliberately broken variants): a correctness violation, not a
+         harness failure — same convention as E6 *)
+      finish ~steps:(trace_steps ())
+        ~crashes:(List.length !crash_steps)
+        ~rec_returned:0 ~rec_failed:0
+        ~verdict:(V_violation ("exception: " ^ msg))
+  | exception e ->
+      (* anything else is a fault of the object under test or the engine
+         itself: contain it in this trial's verdict — with the exception
+         text and any recorded backtrace — and let the campaign go on *)
+      let bt = Printexc.get_backtrace () in
+      let msg =
+        Printexc.to_string e
+        ^ if String.trim bt = "" then "" else "\n" ^ String.trim bt
+      in
+      finish ~steps:(trace_steps ())
+        ~crashes:(List.length !crash_steps)
+        ~rec_returned:0 ~rec_failed:0 ~verdict:(V_engine_fault msg)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint journal *)
+
+let checkpoint_schema = "detectable-torture-checkpoint/v1"
+
+let header_line (spec : spec) ~root_seed ~trials =
+  Printf.sprintf
+    {|{ "schema": %S, "object": "%s", "root_seed": %d, "trials": %d, "policy": %S, "crash_prob": %.4f, "max_crashes": %d, "max_steps": %d, "fault": %S, "watchdog": %d }|}
+    checkpoint_schema (escape spec.label) root_seed trials
+    (policy_string spec.policy)
+    spec.crash_prob spec.max_crashes spec.max_steps
+    (Nvm.Fault_model.to_string spec.fault)
+    spec.watchdog
+
+let verdict_tag = function
+  | V_ok -> "ok"
+  | V_violation _ -> "violation"
+  | V_incomplete -> "incomplete"
+  | V_budget -> "budget_exhausted"
+  | V_engine_fault _ -> "engine_fault"
+
+let verdict_msg = function
+  | V_violation m | V_engine_fault m -> Some m
+  | V_ok | V_incomplete | V_budget -> None
+
+let trial_line i tr =
+  Printf.sprintf
+    {|{ "i": %d, "seed": %d, "fault_seed": %d, "steps": %d, "crashes": %d, "crash_steps": [ %s ], "rec_returned": %d, "rec_failed": %d, "bits": %d, "verdict": %S%s, "trace": %s }|}
+    i tr.t_seed tr.t_fault_seed tr.t_steps tr.t_crashes
+    (String.concat ", " (List.map string_of_int tr.t_crash_steps))
+    tr.t_rec_returned tr.t_rec_failed tr.t_bits (verdict_tag tr.t_verdict)
+    (match verdict_msg tr.t_verdict with
+    | None -> ""
+    | Some m -> Printf.sprintf {|, "msg": "%s"|} (escape m))
+    (schedule_json tr.t_trace)
+
+let trial_of_json j =
+  let int k = Tiny_json.get_int (Tiny_json.member k j) in
+  let verdict =
+    let msg () = Tiny_json.get_str (Tiny_json.member "msg" j) in
+    match Tiny_json.get_str (Tiny_json.member "verdict" j) with
+    | "ok" -> V_ok
+    | "violation" -> V_violation (msg ())
+    | "incomplete" -> V_incomplete
+    | "budget_exhausted" -> V_budget
+    | "engine_fault" -> V_engine_fault (msg ())
+    | v -> failwith ("Torture: unknown checkpoint verdict " ^ v)
+  in
+  ( int "i",
+    {
+      t_seed = int "seed";
+      t_fault_seed = int "fault_seed";
+      t_steps = int "steps";
+      t_crashes = int "crashes";
+      t_crash_steps =
+        List.map Tiny_json.get_int
+          (Tiny_json.get_list (Tiny_json.member "crash_steps" j));
+      t_rec_returned = int "rec_returned";
+      t_rec_failed = int "rec_failed";
+      t_bits = int "bits";
+      t_verdict = verdict;
+      t_trace =
+        List.map
+          (fun d -> decision_of_string (Tiny_json.get_str d))
+          (Tiny_json.get_list (Tiny_json.member "trace" j));
+    } )
+
+(* Completed trials recorded in an (possibly interrupted) journal.  The
+   header must match this campaign exactly — resuming under different
+   parameters would silently mix incompatible seed streams.  A torn
+   trailing line (the process died mid-write) is ignored; any complete
+   line is trusted because trials are pure functions of their index. *)
+let read_checkpoint path (spec : spec) ~root_seed ~trials =
+  let contents =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  match String.split_on_char '\n' contents with
+  | [] -> []
+  | header :: rest when String.trim header <> "" ->
+      let h =
+        try Tiny_json.parse header
+        with Tiny_json.Error m ->
+          invalid_arg ("Torture.run: unreadable checkpoint header: " ^ m)
+      in
+      let str k = Tiny_json.get_str (Tiny_json.member k h) in
+      let int k = Tiny_json.get_int (Tiny_json.member k h) in
+      let num k = Tiny_json.get_num (Tiny_json.member k h) in
+      let mismatch what =
+        invalid_arg
+          (Printf.sprintf
+             "Torture.run: checkpoint %s was written by a different campaign \
+              (%s differs)"
+             path what)
+      in
+      if str "schema" <> checkpoint_schema then mismatch "schema";
+      if str "object" <> spec.label then mismatch "object";
+      if int "root_seed" <> root_seed then mismatch "root_seed";
+      if int "trials" <> trials then mismatch "trials";
+      if str "policy" <> policy_string spec.policy then mismatch "policy";
+      if abs_float (num "crash_prob" -. spec.crash_prob) > 1e-9 then
+        mismatch "crash_prob";
+      if int "max_crashes" <> spec.max_crashes then mismatch "max_crashes";
+      if int "max_steps" <> spec.max_steps then mismatch "max_steps";
+      if str "fault" <> Nvm.Fault_model.to_string spec.fault then
+        mismatch "fault";
+      if int "watchdog" <> spec.watchdog then mismatch "watchdog";
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match trial_of_json (Tiny_json.parse line) with
+            | entry -> Some entry
+            | exception _ -> None (* torn trailing line *))
+        rest
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* campaign = shard + merge *)
+
+let dist_of xs =
+  match xs with
+  | [] -> { d_min = 0; d_max = 0; d_mean = 0.0; d_total = 0 }
+  | x :: rest ->
+      let mn, mx, total =
+        List.fold_left
+          (fun (mn, mx, total) v -> (min mn v, max mx v, total + v))
+          (x, x, x) rest
+      in
+      {
+        d_min = mn;
+        d_max = mx;
+        d_mean = float_of_int total /. float_of_int (List.length xs);
+        d_total = total;
+      }
+
+let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
+    ?checkpoint ?(resume = false) spec =
+  if trials < 0 then invalid_arg "Torture.run: trials must be non-negative";
+  if resume && checkpoint = None then
+    invalid_arg "Torture.run: resume requires a checkpoint path";
+  let t0 = Unix.gettimeofday () in
+  let by_index = Array.make (max 1 trials) None in
+  (match checkpoint with
+  | Some path when resume && Sys.file_exists path ->
+      List.iter
+        (fun (i, tr) -> if i >= 0 && i < trials then by_index.(i) <- Some tr)
+        (read_checkpoint path spec ~root_seed ~trials)
+  | _ -> ());
+  let missing =
+    Array.of_list
+      (List.filter (fun i -> by_index.(i) = None) (List.init trials Fun.id))
+  in
+  let n_missing = Array.length missing in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+        let fresh = not (resume && Sys.file_exists path) in
+        let oc =
+          open_out_gen
+            (if fresh then [ Open_wronly; Open_creat; Open_trunc ]
+             else [ Open_wronly; Open_append ])
+            0o644 path
+        in
+        if fresh then begin
+          output_string oc (header_line spec ~root_seed ~trials);
+          output_char oc '\n';
+          flush oc
+        end;
+        Some (Mutex.create (), oc)
+  in
+  let record i tr =
+    match journal with
+    | None -> ()
+    | Some (mu, oc) ->
+        Mutex.lock mu;
+        output_string oc (trial_line i tr);
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock mu
+  in
+  let domains = max 1 (min domains (max 1 n_missing)) in
+  (* shard d owns the missing positions { k | k mod domains = d }; trials
+     share nothing, so the only cross-domain traffic is the join *)
+  let worker d () =
+    let acc = ref [] in
+    let k = ref d in
+    while !k < n_missing do
+      let i = missing.(!k) in
+      let tr = run_trial spec ~root:root_seed ~index:i in
+      record i tr;
+      acc := (i, tr) :: !acc;
+      k := !k + domains
+    done;
+    !acc
+  in
+  let rescued = ref 0 in
+  let shards =
+    if domains = 1 then [ worker 0 () ]
+    else
+      (* a shard whose domain dies (spawn failure or an escaped
+         exception — run_trial contains per-trial faults, so this is a
+         last line of defence) is re-run on the joining domain: trials
+         are pure functions of their index, so the re-run is
+         bit-identical to what the lost domain would have produced *)
+      let spawned =
+        Array.init domains (fun d ->
+            match Domain.spawn (worker d) with
+            | h -> Some h
+            | exception _ -> None)
+      in
+      Array.to_list
+        (Array.mapi
+           (fun d h ->
+             match h with
+             | None ->
+                 incr rescued;
+                 worker d ()
+             | Some h -> (
+                 match Domain.join h with
+                 | shard -> shard
+                 | exception _ ->
+                     incr rescued;
+                     worker d ()))
+           spawned)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (match journal with Some (_, oc) -> close_out oc | None -> ());
+  List.iter (List.iter (fun (i, tr) -> by_index.(i) <- Some tr)) shards;
+  let ordered =
+    List.init trials (fun i ->
+        match by_index.(i) with
+        | Some tr -> tr
+        | None -> invalid_arg "Torture.run: shard lost a trial")
+  in
+  (* merge in trial-index order: every aggregate below is a fold over
+     [ordered], so the report is independent of shard layout — and of
+     which trials were preloaded from a checkpoint *)
+  let linearized = ref 0
+  and not_linearized = ref 0
+  and incomplete = ref 0
+  and budget_exhausted = ref 0
+  and engine_faults = ref 0 in
+  let crashes_injected = ref 0 in
+  let rec_returned = ref 0 and rec_failed = ref 0 in
+  let hist = Hashtbl.create 32 in
+  List.iter
+    (fun tr ->
+      (match tr.t_verdict with
+      | V_ok -> incr linearized
+      | V_violation _ -> incr not_linearized
+      | V_incomplete -> incr incomplete
+      | V_budget -> incr budget_exhausted
+      | V_engine_fault _ -> incr engine_faults);
+      crashes_injected := !crashes_injected + tr.t_crashes;
+      rec_returned := !rec_returned + tr.t_rec_returned;
+      rec_failed := !rec_failed + tr.t_rec_failed;
+      List.iter
+        (fun s ->
+          let b = s / crash_bucket * crash_bucket in
+          Hashtbl.replace hist b
+            (1 + try Hashtbl.find hist b with Not_found -> 0))
+        tr.t_crash_steps)
+    ordered;
+  let crash_hist =
+    Hashtbl.fold (fun b n acc -> (b, n) :: acc) hist [] |> List.sort compare
+  in
+  let find_first pred =
+    let rec go i = function
+      | [] -> None
+      | tr :: rest -> (
+          match pred tr with
+          | Some x -> Some (i, tr, x)
+          | None -> go (i + 1) rest)
+    in
+    go 0 ordered
+  in
+  let first_failure =
+    match
+      find_first (function
+        | { t_verdict = V_violation msg; _ } -> Some msg
+        | _ -> None)
+    with
+    | None -> None
+    | Some (i, tr, msg) ->
+        let minimised, shrink_attempts =
+          if not shrink then (None, 0)
+          else
+            (* replay the failing trial's exact fault stream: crash k of
+               a candidate replays wipe stream k of the original run *)
+            let wipe =
+              match spec.fault with
+              | Nvm.Fault_model.Atomic -> Nvm.Fault_model.keep_all
+              | f -> Nvm.Fault_model.Seeded (f, tr.t_fault_seed)
+            in
+            (* tolerant replay of an exception-raising trial can re-raise
+               inside the minimiser; losing the minimisation then is fine,
+               the raw schedule is still reported *)
+            match
+              try
+                Modelcheck.Shrink.minimise ~mk:spec.mk
+                  ~workloads:(spec.workloads_of_seed tr.t_seed)
+                  ~policy:spec.policy ~wipe ~max_steps:spec.max_steps
+                  ~engine:`Undo tr.t_trace
+              with _ -> None
+            with
+            | Some r ->
+                (Some r.Modelcheck.Shrink.decisions, r.Modelcheck.Shrink.attempts)
+            | None -> (None, 0)
+        in
+        Some
+          {
+            trial = i;
+            seed = tr.t_seed;
+            msg;
+            schedule = tr.t_trace;
+            minimised;
+            shrink_attempts;
+          }
+  in
+  let first_engine_fault =
+    match
+      find_first (function
+        | { t_verdict = V_engine_fault msg; _ } -> Some msg
+        | _ -> None)
+    with
+    | None -> None
+    | Some (i, tr, msg) -> Some { ef_trial = i; ef_seed = tr.t_seed; ef_msg = msg }
+  in
+  {
+    label = spec.label;
+    root_seed;
+    trials;
+    policy = spec.policy;
+    crash_prob = spec.crash_prob;
+    max_crashes = spec.max_crashes;
+    max_steps = spec.max_steps;
+    fault = spec.fault;
+    watchdog = spec.watchdog;
+    linearized = !linearized;
+    not_linearized = !not_linearized;
+    incomplete = !incomplete;
+    budget_exhausted = !budget_exhausted;
+    engine_faults = !engine_faults;
+    crashes_injected = !crashes_injected;
+    crash_hist;
+    rec_returned = !rec_returned;
+    rec_failed = !rec_failed;
+    steps = dist_of (List.map (fun tr -> tr.t_steps) ordered);
+    max_shared_bits = dist_of (List.map (fun tr -> tr.t_bits) ordered);
+    first_failure;
+    first_engine_fault;
+    elapsed_s;
+    trials_per_sec = float_of_int trials /. Float.max elapsed_s 1e-9;
+    domains_used = domains;
+    shards_rescued = !rescued;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
 let to_json ?(timing = true) r =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"detectable-torture/v1\",\n";
+  add "  \"schema\": \"detectable-torture/v2\",\n";
   add "  \"object\": \"%s\",\n" (escape r.label);
   add "  \"root_seed\": %d,\n" r.root_seed;
   add "  \"trials\": %d,\n" r.trials;
   add
     "  \"config\": { \"policy\": %S, \"crash_prob\": %.4f, \"max_crashes\": \
-     %d, \"max_steps\": %d },\n"
-    (policy_string r.policy) r.crash_prob r.max_crashes r.max_steps;
+     %d, \"max_steps\": %d, \"fault\": %S, \"watchdog\": %d },\n"
+    (policy_string r.policy) r.crash_prob r.max_crashes r.max_steps
+    (Nvm.Fault_model.to_string r.fault)
+    r.watchdog;
   add
     "  \"verdicts\": { \"linearized\": %d, \"not_linearized\": %d, \
-     \"incomplete\": %d },\n"
-    r.linearized r.not_linearized r.incomplete;
+     \"incomplete\": %d, \"budget_exhausted\": %d, \"engine_faults\": %d },\n"
+    r.linearized r.not_linearized r.incomplete r.budget_exhausted
+    r.engine_faults;
   add "  \"recoveries\": { \"returned\": %d, \"fail_verdicts\": %d },\n"
     r.rec_returned r.rec_failed;
   add
@@ -391,21 +676,33 @@ let to_json ?(timing = true) r =
       | Some ds -> add "    \"minimised\": %s,\n" (schedule_json ds));
       add "    \"shrink_attempts\": %d\n" f.shrink_attempts;
       add "  }");
+  (match r.first_engine_fault with
+  | None -> add ",\n  \"first_engine_fault\": null"
+  | Some ef ->
+      add
+        ",\n  \"first_engine_fault\": { \"trial\": %d, \"seed\": %d, \"msg\": \
+         \"%s\" }"
+        ef.ef_trial ef.ef_seed (escape ef.ef_msg));
   if timing then
     add
       ",\n  \"timing\": { \"elapsed_s\": %.6f, \"trials_per_sec\": %.1f, \
-       \"domains\": %d }\n"
-      r.elapsed_s r.trials_per_sec r.domains_used
+       \"domains\": %d, \"shards_rescued\": %d }\n"
+      r.elapsed_s r.trials_per_sec r.domains_used r.shards_rescued
   else add "\n";
   add "}\n";
   Buffer.contents b
 
 let pp fmt r =
-  Format.fprintf fmt "torture: %s — %d trials, root seed %d, policy %s, %d domain(s)@."
-    r.label r.trials r.root_seed (policy_string r.policy) r.domains_used;
   Format.fprintf fmt
-    "verdicts:   %d linearized, %d not-linearized, %d incomplete@." r.linearized
-    r.not_linearized r.incomplete;
+    "torture: %s — %d trials, root seed %d, policy %s, fault %s, %d domain(s)@."
+    r.label r.trials r.root_seed (policy_string r.policy)
+    (Nvm.Fault_model.to_string r.fault)
+    r.domains_used;
+  Format.fprintf fmt
+    "verdicts:   %d linearized, %d not-linearized, %d incomplete, %d \
+     budget-exhausted, %d engine faults@."
+    r.linearized r.not_linearized r.incomplete r.budget_exhausted
+    r.engine_faults;
   Format.fprintf fmt
     "crashes:    %d injected; recoveries: %d returned, %d fail verdicts@."
     r.crashes_injected r.rec_returned r.rec_failed;
@@ -413,8 +710,11 @@ let pp fmt r =
     r.steps.d_min r.steps.d_mean r.steps.d_max r.steps.d_total;
   Format.fprintf fmt "space:      max_shared_bits min %d, mean %.1f, max %d@."
     r.max_shared_bits.d_min r.max_shared_bits.d_mean r.max_shared_bits.d_max;
-  Format.fprintf fmt "throughput: %.1f trials/sec (%.3fs elapsed)@."
-    r.trials_per_sec r.elapsed_s;
+  Format.fprintf fmt "throughput: %.1f trials/sec (%.3fs elapsed%s)@."
+    r.trials_per_sec r.elapsed_s
+    (if r.shards_rescued > 0 then
+       Printf.sprintf ", %d shard(s) rescued" r.shards_rescued
+     else "");
   (match r.crash_hist with
   | [] -> ()
   | hist ->
@@ -427,6 +727,11 @@ let pp fmt r =
           Format.fprintf fmt "  [%5d,%5d) %s %d@." b0 (b0 + crash_bucket)
             (String.make bar '#') n)
         hist);
+  (match r.first_engine_fault with
+  | None -> ()
+  | Some ef ->
+      Format.fprintf fmt "first engine fault: trial %d (seed %d): %s@."
+        ef.ef_trial ef.ef_seed ef.ef_msg);
   match r.first_failure with
   | None -> ()
   | Some f ->

@@ -1,31 +1,56 @@
 open History
 open Sched
 
-(** The sharded, deterministic crash-torture engine.
+(** The sharded, deterministic, fault-model-aware crash-torture engine.
 
     A torture {e campaign} runs [trials] independent seeded executions of
-    one object under random schedules and random crash injection, checks
-    every history for durable linearizability + detectability, and merges
-    everything into one structured {!report}: verdict counts, a
-    crash-point histogram, recovery-verdict counts, step and
-    [max_shared_bits] distributions, throughput, and — when a trial
-    fails — the first failing trial's schedule, minimised with
-    {!Modelcheck.Shrink}.
+    one object under random schedules and random crash injection — with
+    the crash's NVM write-back behaviour drawn from a configurable
+    {!Nvm.Fault_model.t} — checks every history for durable
+    linearizability + detectability, and merges everything into one
+    structured {!report}: verdict counts, a crash-point histogram,
+    recovery-verdict counts, step and [max_shared_bits] distributions,
+    throughput, and — when a trial fails — the first failing trial's
+    schedule, minimised with {!Modelcheck.Shrink} under the trial's
+    exact fault stream.
 
     {2 Determinism contract}
 
     Trial [i] of a campaign with root seed [r] {e always} runs on the
     child generator [Dtc_util.Prng.stream r ~index:i], computed in O(1)
-    from [(r, i)] alone.  Shards own disjoint trial-index sets and every
+    from [(r, i)] alone; the trial's fault stream is seeded from that
+    same generator, and each crash's write-back keys on the crash index
+    within the trial.  Shards own disjoint trial-index sets and every
     trial builds its own machine, so no state crosses trials; the merge
     folds per-trial records in trial-index order.  Hence the merged
     report — every field except the [timing] block — is a pure function
     of [(spec, root_seed, trials)]: bit-identical for any [domains],
-    including 1.  {!to_json} with [~timing:false] renders exactly the
-    deterministic fields, which is what the determinism regression test
-    and the bench baseline comparison rely on.
+    including 1, and for any interruption/resume split.  {!to_json} with
+    [~timing:false] renders exactly the deterministic fields, which is
+    what the determinism regression tests and the bench baseline
+    comparison rely on.
 
-    The full JSON schema is documented field-by-field in
+    {2 Containment}
+
+    The engine survives the object under test: a raise out of object
+    code becomes that trial's [engine_fault] verdict (message +
+    backtrace, campaign continues), a spinning operation or recovery is
+    cut by the [watchdog] step budget into a [budget_exhausted] verdict,
+    and a shard whose domain dies has its trial range re-run on the
+    joining domain from the same seed stream (reported as
+    [shards_rescued] in the timing block).
+
+    {2 Checkpointing}
+
+    With [~checkpoint:path] the campaign journals one JSONL line per
+    completed trial (schema [detectable-torture-checkpoint/v1]: a header
+    echoing the campaign parameters, then per-trial records).  With
+    [~resume:true] an existing journal's completed trials are loaded and
+    only the missing indices run; the merged report is byte-identical to
+    an uninterrupted campaign's.  The journal validates the header
+    against the current parameters and rejects mismatches.
+
+    The full JSON schemas are documented field-by-field in
     [docs/TORTURE.md]. *)
 
 type spec = {
@@ -41,6 +66,14 @@ type spec = {
   lin_engine : Lin_check.engine;
       (** checker engine for per-trial verdicts; both engines agree on
           every verdict, so the report is identical either way *)
+  fault : Nvm.Fault_model.t;
+      (** what a crash does to dirty cache lines (shared-cache model);
+          [Atomic] reproduces the historical engine draw-for-draw *)
+  watchdog : int;
+      (** per-operation step budget ({!Sched.Driver.run}'s [watchdog]):
+          a single operation/recovery exceeding it turns the trial into
+          a [budget_exhausted] verdict instead of spinning to
+          [max_steps] *)
 }
 
 val default_spec_of :
@@ -49,13 +82,16 @@ val default_spec_of :
   ?max_crashes:int ->
   ?max_steps:int ->
   ?lin_engine:Lin_check.engine ->
+  ?fault:Nvm.Fault_model.t ->
+  ?watchdog:int ->
   label:string ->
   mk:(unit -> Runtime.Machine.t * Obj_inst.t) ->
   workloads_of_seed:(int -> Spec.op list array) ->
   unit ->
   spec
 (** Spec with the E6 torture defaults: [Retry], crash probability 0.05,
-    at most 2 crashes, 50_000 steps, incremental checker. *)
+    at most 2 crashes, 50_000 steps, incremental checker, [Atomic]
+    fault model, watchdog 10_000. *)
 
 type dist = {
   d_min : int;
@@ -73,10 +109,17 @@ type failure = {
   schedule : Modelcheck.Explore.decision list;
       (** the full decision trace of the failing trial, oldest first *)
   minimised : Modelcheck.Explore.decision list option;
-      (** 1-minimal prefix from {!Modelcheck.Shrink.minimise} ([None] if
-          the failure does not reproduce under tolerant replay, or
-          shrinking was disabled) *)
+      (** 1-minimal prefix from {!Modelcheck.Shrink.minimise}, replayed
+          under the trial's exact fault stream ([None] if the failure
+          does not reproduce under tolerant replay, or shrinking was
+          disabled) *)
   shrink_attempts : int;  (** replays the minimiser performed *)
+}
+
+type engine_fault = {
+  ef_trial : int;  (** lowest engine-faulting trial index *)
+  ef_seed : int;  (** that trial's derived workload seed *)
+  ef_msg : string;  (** exception text, plus backtrace when recorded *)
 }
 
 type report = {
@@ -87,9 +130,18 @@ type report = {
   crash_prob : float;
   max_crashes : int;
   max_steps : int;
+  fault : Nvm.Fault_model.t;
+  watchdog : int;
   linearized : int;  (** trials whose history checked OK *)
   not_linearized : int;  (** trials with a checker violation or anomaly *)
   incomplete : int;  (** trials cut by the step budget (verdict OK) *)
+  budget_exhausted : int;
+      (** trials cut by the per-operation watchdog — a runaway
+          operation/recovery, distinct from a merely short [max_steps] *)
+  engine_faults : int;
+      (** trials whose object code raised an exception other than the
+          [Invalid_argument]/[Failure] correctness convention; contained
+          per-trial, the campaign completes *)
   crashes_injected : int;  (** total crash events across all trials *)
   crash_hist : (int * int) list;
       (** crash-point histogram: [(bucket_lo, count)], ascending, bucket
@@ -104,23 +156,40 @@ type report = {
   max_shared_bits : dist;
       (** per-trial shared-NVM high-water marks ({!Nvm.Mem.max_shared_bits}) *)
   first_failure : failure option;
+  first_engine_fault : engine_fault option;
   elapsed_s : float;  (** wall-clock of the trial phase (shrinking excluded) *)
   trials_per_sec : float;
   domains_used : int;
+  shards_rescued : int;
+      (** shard domains that died and had their range re-run on the
+          joining domain (0 in a healthy campaign) *)
 }
 
 val crash_bucket : int
 (** Width of the crash-point histogram buckets (16 steps). *)
 
 val run :
-  ?domains:int -> ?root_seed:int -> ?trials:int -> ?shrink:bool -> spec -> report
+  ?domains:int ->
+  ?root_seed:int ->
+  ?trials:int ->
+  ?shrink:bool ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  spec ->
+  report
 (** Run a campaign.  [domains] (default 1) shards the trial indices
     round-robin over that many OCaml domains; [shrink] (default [true])
     minimises the first failing trial's schedule after the merge.
+    [checkpoint] journals completed trials to that path as they finish;
+    [resume] (default [false], requires [checkpoint]) first loads the
+    journal's completed trials and runs only the missing indices —
+    producing a report byte-identical ({!to_json} [~timing:false]) to an
+    uninterrupted campaign.  Raises [Invalid_argument] if the journal
+    was written by a campaign with different parameters.
     Defaults: [root_seed = 1], [trials = 200]. *)
 
 val to_json : ?timing:bool -> report -> string
-(** Render the report as the [detectable-torture/v1] JSON document.
+(** Render the report as the [detectable-torture/v2] JSON document.
     [~timing:false] (default [true]) omits the [timing] block, leaving
     exactly the fields the determinism contract covers. *)
 

@@ -178,6 +178,151 @@ let test_cache_dirty_tracking () =
   Cache.persist c a;
   Alcotest.(check int) "one dirty" 1 (List.length (Cache.dirty_locs c))
 
+(* the dirty-set checkpoint token must not depend on hash-table
+   iteration order: two caches holding the same dirty state — built by
+   writing in different orders — produce structurally equal [entries],
+   in allocation-id order (a Hashtbl.fold here once made the undo
+   engine's snapshots order-nondeterministic) *)
+let test_cache_entries_deterministic () =
+  let m = Mem.create () in
+  let locs =
+    Array.init 8 (fun k ->
+        Mem.alloc m ~name:(Printf.sprintf "e%d" k) ~kind:Loc.Shared (i 0))
+  in
+  let c1 = Cache.create m and c2 = Cache.create m in
+  Array.iteri (fun k loc -> Cache.write c1 loc (i (100 + k))) locs;
+  List.iter
+    (fun k -> Cache.write c2 locs.(k) (i (100 + k)))
+    [ 5; 2; 7; 0; 3; 6; 1; 4 ];
+  let ids entries = List.map (fun ((l : Loc.t), _) -> l.Loc.id) entries in
+  Alcotest.(check (list int))
+    "same dirty state, same entries" (ids (Cache.entries c1))
+    (ids (Cache.entries c2));
+  Alcotest.(check bool) "values agree too" true
+    (List.for_all2
+       (fun (_, a) (_, b) -> Value.equal a b)
+       (Cache.entries c1) (Cache.entries c2));
+  Alcotest.(check (list int))
+    "ascending allocation ids"
+    (List.sort compare (ids (Cache.entries c1)))
+    (ids (Cache.entries c1))
+
+(* --- fault-model crashes --- *)
+
+let test_crash_faulted_atomic_keeps_all () =
+  let m = Mem.create () in
+  let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+  let b = Mem.alloc m ~name:"b" ~kind:Loc.Shared (i 1) in
+  let c = Cache.create m in
+  Cache.write c a (i 2);
+  Cache.write c b (i 3);
+  let p1 = Dtc_util.Prng.create 77 and p2 = Dtc_util.Prng.create 77 in
+  Cache.crash_faulted c ~fault:Fault_model.Atomic ~prng:p1;
+  Alcotest.check v "a persisted" (i 2) (Mem.read m a);
+  Alcotest.check v "b persisted" (i 3) (Mem.read m b);
+  (* atomic must consume no randomness: the prng is still in step with
+     an untouched twin *)
+  Alcotest.(check int64) "no draws consumed"
+    (Dtc_util.Prng.next_int64 p2) (Dtc_util.Prng.next_int64 p1)
+
+let test_crash_faulted_drop_extremes () =
+  let mk () =
+    let m = Mem.create () in
+    let a = Mem.alloc m ~name:"a" ~kind:Loc.Shared (i 1) in
+    let b = Mem.alloc m ~name:"b" ~kind:Loc.Shared (i 1) in
+    let c = Cache.create m in
+    Cache.write c a (i 2);
+    Cache.write c b (i 3);
+    (m, a, b, c)
+  in
+  let m, a, b, c = mk () in
+  Cache.crash_faulted c
+    ~fault:(Fault_model.Drop { keep_prob = 0.0 })
+    ~prng:(Dtc_util.Prng.create 1);
+  Alcotest.check v "keep=0 drops a" (i 1) (Mem.read m a);
+  Alcotest.check v "keep=0 drops b" (i 1) (Mem.read m b);
+  let m, a, b, c = mk () in
+  Cache.crash_faulted c
+    ~fault:(Fault_model.Drop { keep_prob = 1.0 })
+    ~prng:(Dtc_util.Prng.create 1);
+  Alcotest.check v "keep=1 keeps a" (i 2) (Mem.read m a);
+  Alcotest.check v "keep=1 keeps b" (i 3) (Mem.read m b)
+
+let test_crash_faulted_deterministic () =
+  (* same dirty set + same prng seed => identical NVM image, for every
+     model; across seeds, each line ends up holding either its old or
+     its new value, never anything else *)
+  let image fault seed =
+    let m = Mem.create () in
+    let locs =
+      Array.init 6 (fun k ->
+          Mem.alloc m ~name:(Printf.sprintf "l%d" k) ~kind:Loc.Shared (i k))
+    in
+    let c = Cache.create m in
+    Array.iteri (fun k loc -> Cache.write c loc (i (100 + k))) locs;
+    Cache.crash_faulted c ~fault ~prng:(Dtc_util.Prng.create seed);
+    Array.to_list (Array.map (Mem.read m) locs)
+  in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun seed ->
+          Alcotest.(check bool)
+            "replayable" true
+            (image fault seed = image fault seed);
+          List.iteri
+            (fun k value ->
+              if
+                (not (Value.equal value (i k)))
+                && not (Value.equal value (i (100 + k)))
+              then Alcotest.failf "line %d holds neither old nor new value" k)
+            (image fault seed))
+        [ 1; 2; 3; 42 ])
+    [
+      Fault_model.Drop { keep_prob = 0.5 };
+      Fault_model.Reorder;
+      Fault_model.Torn { granularity = 1 };
+    ]
+
+let test_crash_faulted_torn_tears_tuples () =
+  (* with a dirty composite value, torn persistence can commit some
+     components of the new tuple and lose others; every component is
+     individually old-or-new, and some seed exhibits a genuine mix *)
+  let run seed =
+    let m = Mem.create () in
+    let a =
+      Mem.alloc m ~name:"t" ~kind:Loc.Shared
+        (Value.Tup [| i 0; i 0; i 0; i 0 |])
+    in
+    let c = Cache.create m in
+    Cache.write c a (Value.Tup [| i 1; i 1; i 1; i 1 |]);
+    Cache.crash_faulted c
+      ~fault:(Fault_model.Torn { granularity = 1 })
+      ~prng:(Dtc_util.Prng.create seed);
+    match Mem.read m a with
+    | Value.Tup parts ->
+        Array.iter
+          (fun p ->
+            if not (Value.equal p (i 0) || Value.equal p (i 1)) then
+              Alcotest.fail "torn component is neither old nor new")
+          parts;
+        let news =
+          Array.fold_left
+            (fun acc p -> if Value.equal p (i 1) then acc + 1 else acc)
+            0 parts
+        in
+        news
+    | _ -> Alcotest.fail "tuple shape lost"
+  in
+  let mixes =
+    List.filter
+      (fun seed ->
+        let n = run seed in
+        n > 0 && n < 4)
+      (List.init 32 (fun s -> s + 1))
+  in
+  Alcotest.(check bool) "some seed tears the tuple mid-way" true (mixes <> [])
+
 (* --- write journal (the undo engine's substrate) --- *)
 
 let test_mark_rewind_basic () =
@@ -321,5 +466,15 @@ let suites =
         Alcotest.test_case "crash write-back mask" `Quick test_cache_crash_drops;
         Alcotest.test_case "cas/faa in cache" `Quick test_cache_cas_faa;
         Alcotest.test_case "dirty tracking" `Quick test_cache_dirty_tracking;
+        Alcotest.test_case "entries deterministic (id-sorted)" `Quick
+          test_cache_entries_deterministic;
+        Alcotest.test_case "faulted crash: atomic keeps all, draw-free"
+          `Quick test_crash_faulted_atomic_keeps_all;
+        Alcotest.test_case "faulted crash: drop extremes" `Quick
+          test_crash_faulted_drop_extremes;
+        Alcotest.test_case "faulted crash: deterministic, old-or-new" `Quick
+          test_crash_faulted_deterministic;
+        Alcotest.test_case "faulted crash: torn tears tuples" `Quick
+          test_crash_faulted_torn_tears_tuples;
       ] );
   ]

@@ -200,6 +200,17 @@ let test_at_steps_fires_once () =
   done;
   Alcotest.(check int) "once" 1 !fired
 
+(* duplicate entries are distinct crash events: [at_steps [4; 4]] fires
+   on two consecutive consults (a sort_uniq here once silently dropped
+   the second crash) *)
+let test_at_steps_duplicates_fire_twice () =
+  let plan = Crash_plan.at_steps [ 4; 4 ] in
+  let fired = ref 0 in
+  for step = 0 to 10 do
+    if plan.Crash_plan.should_crash ~step then incr fired
+  done;
+  Alcotest.(check int) "both duplicates fire" 2 !fired
+
 let test_random_plan_capped () =
   let prng = Dtc_util.Prng.create 9 in
   let plan = Crash_plan.random ~max_crashes:2 ~prob:1.0 prng in
@@ -373,6 +384,8 @@ let suites =
     ( "sched.crash_plan",
       [
         Alcotest.test_case "at_steps once" `Quick test_at_steps_fires_once;
+        Alcotest.test_case "at_steps duplicates fire twice" `Quick
+          test_at_steps_duplicates_fire_twice;
         Alcotest.test_case "random capped" `Quick test_random_plan_capped;
         Alcotest.test_case "none" `Quick test_none_never_fires;
       ] );

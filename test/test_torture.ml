@@ -47,11 +47,14 @@ let test_rerun_deterministic () =
   Alcotest.(check bool) "different seed, different report" true
     (Torture.to_json ~timing:false a <> Torture.to_json ~timing:false c)
 
+let classified (r : Torture.report) =
+  r.Torture.linearized + r.Torture.not_linearized + r.Torture.incomplete
+  + r.Torture.budget_exhausted + r.Torture.engine_faults
+
 let test_aggregation_sane () =
   let spec = dcas_spec () in
   let r = Torture.run ~root_seed:1 ~trials:50 spec in
-  Alcotest.(check int) "every trial classified" 50
-    (r.Torture.linearized + r.Torture.not_linearized + r.Torture.incomplete);
+  Alcotest.(check int) "every trial classified" 50 (classified r);
   Alcotest.(check int) "correct object: no violations" 0 r.Torture.not_linearized;
   Alcotest.(check bool) "crashes happened at 5% over 50 trials" true
     (r.Torture.crashes_injected > 0);
@@ -123,9 +126,11 @@ let test_json_shape () =
       if not (contains j marker) then
         Alcotest.failf "marker %S missing from JSON" marker)
     [
-      {|"schema": "detectable-torture/v1"|}; {|"verdicts"|}; {|"recoveries"|};
+      {|"schema": "detectable-torture/v2"|}; {|"verdicts"|}; {|"recoveries"|};
       {|"crashes"|}; {|"histogram"|}; {|"steps"|}; {|"max_shared_bits"|};
-      {|"first_failure"|}; {|"timing"|};
+      {|"first_failure"|}; {|"first_engine_fault"|}; {|"timing"|};
+      {|"fault": "atomic"|}; {|"watchdog"|}; {|"budget_exhausted"|};
+      {|"engine_faults"|}; {|"shards_rescued"|};
     ];
   Alcotest.(check bool) "timing:false omits the timing block" false
     (contains (Torture.to_json ~timing:false r) {|"timing"|})
@@ -151,6 +156,231 @@ let test_give_up_policy_runs () =
   let r = Torture.run ~root_seed:5 ~trials:30 (dcas_spec ~policy:Session.Give_up ()) in
   Alcotest.(check int) "give-up dcas stays correct" 0 r.Torture.not_linearized
 
+(* --- fault models --- *)
+
+let fault_choices =
+  [
+    Nvm.Fault_model.Atomic;
+    Nvm.Fault_model.Drop { keep_prob = 0.7 };
+    Nvm.Fault_model.Torn { granularity = 1 };
+    Nvm.Fault_model.Reorder;
+  ]
+
+(* dcas on the shared-cache machine with persist instrumentation — the
+   setup where non-atomic fault models actually lose state *)
+let faulted_dcas_spec fault =
+  Torture.default_spec_of
+    ~label:("dcas+" ^ Nvm.Fault_model.to_string fault)
+    ~fault
+    ~mk:
+      (Test_support.mk_dcas ~persist:true ~model:Runtime.Machine.Shared_cache
+         ~n:3)
+    ~workloads_of_seed:(fun s ->
+      Workload.cas (Dtc_util.Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:2)
+    ()
+
+(* the acceptance criterion extended to every fault model: for random
+   (seed, trials, fault), the merged report is bit-identical whether the
+   trials ran on 1 domain or 4 *)
+let prop_fault_models_domain_deterministic =
+  QCheck.Test.make
+    ~name:"fault models: domains 1 = domains 4 (bit-identical)" ~count:8
+    QCheck.(
+      triple (int_range 1 1_000_000) (int_range 5 20) (int_range 0 3))
+    (fun (seed, trials, fi) ->
+      let spec = faulted_dcas_spec (List.nth fault_choices fi) in
+      let r1 = Torture.run ~domains:1 ~root_seed:seed ~trials spec in
+      let r4 = Torture.run ~domains:4 ~root_seed:seed ~trials spec in
+      Torture.to_json ~timing:false r1 = Torture.to_json ~timing:false r4)
+
+(* Drop loses unpersisted lines an instrumented algorithm never depends
+   on, so the paper's detectable CAS survives it by design *)
+let test_dcas_survives_drop () =
+  let r =
+    Torture.run ~root_seed:2 ~trials:100
+      (faulted_dcas_spec (Nvm.Fault_model.Drop { keep_prob = 0.5 }))
+  in
+  Alcotest.(check int) "dcas survives drop" 0 r.Torture.not_linearized;
+  Alcotest.(check int) "all classified" 100 (classified r)
+
+(* torn persistence breaks the per-word atomicity the paper's model
+   assumes, so it flags even correct composite-word algorithms given
+   enough trials — here the ablated CAS, whose recovery guesses from a
+   word that can now tear *)
+let test_faulted_broken_flagged () =
+  let spec =
+    Torture.default_spec_of ~label:"broken-dcas-no-vec+torn" ~crash_prob:0.15
+      ~max_crashes:3
+      ~fault:(Nvm.Fault_model.Torn { granularity = 1 })
+      ~mk:(fun () ->
+        let m = Runtime.Machine.create ~model:Runtime.Machine.Shared_cache () in
+        (m, Baselines.Broken.dcas_no_vec ~persist:true m ~n:3 ~init:(Nvm.Value.Int 0)))
+      ~workloads_of_seed:(fun s ->
+        Workload.cas (Dtc_util.Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:2)
+      ()
+  in
+  let r = Torture.run ~root_seed:1 ~trials:150 spec in
+  Alcotest.(check bool) "ablation flagged under torn" true
+    (r.Torture.not_linearized > 0);
+  Alcotest.(check int) "all classified" 150 (classified r);
+  match r.Torture.first_failure with
+  | None -> Alcotest.fail "no first_failure despite violations"
+  | Some f ->
+      Alcotest.(check bool) "schedule captured" true (f.Torture.schedule <> [])
+
+(* --- containment --- *)
+
+(* a third-party exception out of object code (anything but the
+   Invalid_argument/Failure correctness convention) becomes that trial's
+   engine_fault verdict; sibling trials keep running and the campaign
+   completes *)
+let raising_spec () =
+  Torture.default_spec_of ~label:"raising-dcas"
+    ~mk:(fun () ->
+      let m, inst = Test_support.mk_dcas ~n:3 () in
+      let invoke ~pid (op : History.Spec.op) =
+        if
+          op.History.Spec.name = "cas"
+          && Nvm.Value.equal op.History.Spec.args.(0) (Nvm.Value.Int 1)
+          && Nvm.Value.equal op.History.Spec.args.(1) (Nvm.Value.Int 1)
+        then raise Not_found
+        else inst.Obj_inst.invoke ~pid op
+      in
+      (m, { inst with Obj_inst.invoke }))
+    ~workloads_of_seed:(fun s ->
+      Workload.cas (Dtc_util.Prng.create s) ~procs:3 ~ops_per_proc:3 ~values:2)
+    ()
+
+let test_engine_fault_contained () =
+  let r = Torture.run ~root_seed:9 ~trials:40 (raising_spec ()) in
+  Alcotest.(check bool) "some trials fault" true (r.Torture.engine_faults > 0);
+  Alcotest.(check bool) "sibling trials still complete" true
+    (r.Torture.linearized > 0);
+  Alcotest.(check int) "campaign completes: all classified" 40 (classified r);
+  (match r.Torture.first_engine_fault with
+  | None -> Alcotest.fail "no first_engine_fault despite faults"
+  | Some ef ->
+      Alcotest.(check bool) "fault message names the exception" true
+        (String.length ef.Torture.ef_msg > 0));
+  (* deterministic like every other verdict *)
+  let r' = Torture.run ~root_seed:9 ~trials:40 (raising_spec ()) in
+  Alcotest.(check string) "faulting campaigns replay identically"
+    (Torture.to_json ~timing:false r)
+    (Torture.to_json ~timing:false r')
+
+(* an operation that spins forever is cut by the per-operation watchdog
+   into a budget_exhausted verdict instead of hanging the campaign *)
+let spinning_spec () =
+  Torture.default_spec_of ~label:"spinning" ~watchdog:200
+    ~mk:(fun () ->
+      let m, inst = Test_support.mk_dcas ~n:3 () in
+      let sl = Runtime.Machine.alloc_shared m "SPIN" (Nvm.Value.Int 0) in
+      let invoke ~pid:_ _op =
+        let rec spin () =
+          ignore (Runtime.Fiber.read sl);
+          spin ()
+        in
+        spin ()
+      in
+      (m, { inst with Obj_inst.invoke }))
+    ~workloads_of_seed:(fun s ->
+      Workload.cas (Dtc_util.Prng.create s) ~procs:3 ~ops_per_proc:1 ~values:2)
+    ()
+
+let test_watchdog_cuts_spinning_object () =
+  let r = Torture.run ~root_seed:3 ~trials:4 (spinning_spec ()) in
+  Alcotest.(check int) "every trial budget_exhausted" 4
+    r.Torture.budget_exhausted;
+  Alcotest.(check int) "all classified" 4 (classified r)
+
+(* --- checkpoint / resume --- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "torture-test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let write_lines path lines =
+  let oc = open_out_bin path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+(* interrupt a campaign (simulated by truncating its journal), resume,
+   and require the merged report byte-identical to an uninterrupted
+   campaign — on a clean object and on a violating one (covering the
+   escape round-trip of recorded failure messages) *)
+let test_checkpoint_resume_identity () =
+  List.iter
+    (fun mkspec ->
+      let spec = mkspec () in
+      let uninterrupted = Torture.run ~root_seed:21 ~trials:30 spec in
+      with_temp_journal (fun path ->
+          let journaled =
+            Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path spec
+          in
+          Alcotest.(check string) "journaling does not perturb the report"
+            (Torture.to_json ~timing:false uninterrupted)
+            (Torture.to_json ~timing:false journaled);
+          (* keep the header + the first 11 trial lines: a mid-campaign kill *)
+          let lines = read_lines path in
+          Alcotest.(check int) "header + one line per trial" 31
+            (List.length lines);
+          write_lines path (List.filteri (fun i _ -> i < 12) lines);
+          let resumed =
+            Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true
+              spec
+          in
+          Alcotest.(check string) "resumed = uninterrupted (byte-identical)"
+            (Torture.to_json ~timing:false uninterrupted)
+            (Torture.to_json ~timing:false resumed);
+          (* resuming a complete journal re-runs nothing and still agrees *)
+          let noop =
+            Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true
+              spec
+          in
+          Alcotest.(check string) "no-op resume agrees"
+            (Torture.to_json ~timing:false uninterrupted)
+            (Torture.to_json ~timing:false noop)))
+    [ (fun () -> dcas_spec ()); broken_spec ]
+
+(* a journal written under different campaign parameters must be
+   rejected, field by field *)
+let test_checkpoint_header_validated () =
+  with_temp_journal (fun path ->
+      ignore (Torture.run ~root_seed:21 ~trials:20 ~checkpoint:path (dcas_spec ()));
+      let expect_reject what run =
+        match run () with
+        | (_ : Torture.report) ->
+            Alcotest.failf "journal accepted despite %s mismatch" what
+        | exception Invalid_argument _ -> ()
+      in
+      expect_reject "root_seed" (fun () ->
+          Torture.run ~root_seed:22 ~trials:20 ~checkpoint:path ~resume:true
+            (dcas_spec ()));
+      expect_reject "trials" (fun () ->
+          Torture.run ~root_seed:21 ~trials:25 ~checkpoint:path ~resume:true
+            (dcas_spec ()));
+      expect_reject "crash_prob" (fun () ->
+          Torture.run ~root_seed:21 ~trials:20 ~checkpoint:path ~resume:true
+            (broken_spec ()));
+      expect_reject "fault" (fun () ->
+          Torture.run ~root_seed:21 ~trials:20 ~checkpoint:path ~resume:true
+            (faulted_dcas_spec Nvm.Fault_model.Reorder)))
+
 let suites =
   [
     ( "torture.engine",
@@ -167,5 +397,26 @@ let suites =
         Alcotest.test_case "give-up policy" `Quick test_give_up_policy_runs;
         Alcotest.test_case "lin engine parity (clean + violating)" `Quick
           test_lin_engine_parity;
+      ] );
+    ( "torture.faults",
+      [
+        QCheck_alcotest.to_alcotest prop_fault_models_domain_deterministic;
+        Alcotest.test_case "dcas survives drop" `Quick test_dcas_survives_drop;
+        Alcotest.test_case "torn flags the no-vec ablation" `Quick
+          test_faulted_broken_flagged;
+      ] );
+    ( "torture.containment",
+      [
+        Alcotest.test_case "raising object contained as engine fault" `Quick
+          test_engine_fault_contained;
+        Alcotest.test_case "watchdog cuts spinning object" `Quick
+          test_watchdog_cuts_spinning_object;
+      ] );
+    ( "torture.checkpoint",
+      [
+        Alcotest.test_case "interrupt + resume byte-identical" `Quick
+          test_checkpoint_resume_identity;
+        Alcotest.test_case "mismatched journal header rejected" `Quick
+          test_checkpoint_header_validated;
       ] );
   ]
