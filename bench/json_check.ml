@@ -28,7 +28,13 @@
      baseline (`bench/main.exe --baseline`, the committed
      BENCH_lincheck.json): per case the engine-independent counters plus
      one record per checker engine and the measured incremental/batch
-     speedup.
+     speedup;
+   - "detectable-bench/lowerbound-v1" — the Theorem 1 lower-bound
+     baseline (`bench/main.exe --lowerbound`, the committed
+     BENCH_lowerbound.json): per process count N one reduced and one
+     unreduced exploration under a shared node budget, with the
+     distinct-configuration counts checked against the 2^(N-1) bound
+     (this validator re-checks the arithmetic, not just the keys).
 
    Keeping every producer behind this one validator is what lets future
    PRs treat the JSON artefacts as a stable machine-readable surface. *)
@@ -167,6 +173,71 @@ let check_modelcheck_baseline j =
                 engines)
         cases
 
+(* The lower-bound validator checks the arithmetic, not just the keys:
+   every case's "bound" must be 2^(n-1), every run's "meets_bound" must
+   agree with its configs-vs-bound comparison, the reduced run must meet
+   the bound for every n >= 4 (the Theorem 1 acceptance gate), and —
+   when the sweep reaches n >= 5 (the committed baseline does; smoke
+   runs may stop earlier) — at least one case must show the unreduced
+   search missing the bound under the shared node budget, the committed
+   artifact's whole claim. *)
+let check_lowerbound_baseline j =
+  require_keys "lowerbound baseline" j
+    [ "object"; "workload"; "crash_budget"; "cases" ];
+  let get_bool what v =
+    match v with
+    | Bool b -> b
+    | _ -> fail "json_check: %s is not a bool" what
+  in
+  let unreduced_miss = ref false in
+  let max_n = ref 0 in
+  (match get_list (member "cases" j) with
+  | [] -> fail "json_check: \"cases\" must be a non-empty array"
+  | cases ->
+      List.iter
+        (fun c ->
+          require_keys "lowerbound case" c
+            [ "n"; "switch_budget"; "node_budget"; "bound"; "runs" ];
+          let n = get_int (member "n" c) in
+          let bound = get_int (member "bound" c) in
+          if n < 2 then fail "json_check: lowerbound case has n=%d < 2" n;
+          max_n := max !max_n n;
+          if bound <> 1 lsl (n - 1) then
+            fail "json_check: lowerbound N=%d records bound %d, not 2^(N-1)=%d"
+              n bound
+              (1 lsl (n - 1));
+          match get_list (member "runs" c) with
+          | [] -> fail "json_check: case \"runs\" must be a non-empty array"
+          | runs ->
+              List.iter
+                (fun r ->
+                  require_keys "lowerbound run" r
+                    [
+                      "reduction"; "configs"; "nodes"; "executions";
+                      "sleep_skips"; "capped"; "meets_bound"; "elapsed_s";
+                      "nodes_per_sec";
+                    ];
+                  let red = get_str (member "reduction" r) in
+                  let configs = get_int (member "configs" r) in
+                  let meets = get_bool "meets_bound" (member "meets_bound" r) in
+                  if meets <> (configs >= bound) then
+                    fail
+                      "json_check: lowerbound N=%d %s: meets_bound=%b but \
+                       configs=%d vs bound=%d"
+                      n red meets configs bound;
+                  if red <> "none" && n >= 4 && not meets then
+                    fail
+                      "json_check: lowerbound N=%d %s misses the Theorem 1 \
+                       bound (%d configs < %d)"
+                      n red configs bound;
+                  if red = "none" && not meets then unreduced_miss := true)
+                runs)
+        cases);
+  if !max_n >= 5 && not !unreduced_miss then
+    fail
+      "json_check: lowerbound baseline shows no case where the unreduced \
+       search misses the bound — the budget comparison lost its teeth"
+
 let check_lincheck_baseline j =
   match get_list (member "cases" j) with
   | [] -> fail "json_check: \"cases\" must be a non-empty array"
@@ -231,5 +302,8 @@ let () =
       | "detectable-lincheck/v1" ->
           check_lincheck_baseline j;
           print_endline "lincheck baseline: valid"
+      | "detectable-bench/lowerbound-v1" ->
+          check_lowerbound_baseline j;
+          print_endline "lowerbound baseline: valid"
       | s -> fail "json_check: unknown schema %S" s
       | exception Error m -> fail "json_check: %s: %s" path m)

@@ -1301,6 +1301,237 @@ let lincheck_compare ~j ~file ~tolerance =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Theorem 1 lower-bound experiment (BENCH_lowerbound.json, schema
+   detectable-bench/lowerbound-v1; the full story is docs/LOWERBOUND.md).
+
+   The paper's Theorem 1: a detectable CAS object for N processes
+   reaches at least 2^(N-1) pairwise non-memory-equivalent
+   configurations.  The experiment certifies the bound mechanically:
+   the DPOR-reduced explorer enumerates distinct shared-memory
+   configurations of Algorithm 2 (`Dcas`) over a graded CAS-chain
+   workload — process p runs cas(0,1); …; cas(p, p+1), so for any
+   subset S of processes there is a schedule in which exactly the
+   members of S each perform one successful CAS, and the flip-vector
+   configuration C_S is visited as an intermediate state.  Distinct
+   subsets give distinct configurations, so the visited-configuration
+   count is a certified lower bound (every counted configuration was
+   physically reached; reduction never adds states).
+
+   Subsets of size k cost k-1 preemptions, so a switch budget s already
+   exhibits every C_S with |S| <= s+1 — sum_{k<=s+1} C(N,k)
+   configurations, which crosses 2^(N-1) at s ~ N/2 and keeps the tree
+   a fraction of the full budget-(N-1) search.  Each case runs the
+   reduced ([`Dpor]) and unreduced ([`None]) searches under the SAME
+   physical-node budget: the reduced search completes and certifies the
+   bound, while from N=5 on the unreduced search exhausts the budget
+   below the bound — the regression-gated evidence that the reduction
+   is load-bearing, not an optimisation flourish. *)
+
+let lb_workload n =
+  Array.init n (fun p -> List.init (p + 1) (fun k -> Spec.cas_op (i k) (i (k + 1))))
+
+(* (n, switch budget, shared node budget); budgets are ~20% above the
+   measured reduced-search need so the reduced run completes while the
+   unreduced run caps out (from N=5).  2..4 are smoke-sized. *)
+let lb_cases = [
+    (2, 1, 10_000);
+    (3, 1, 10_000);
+    (4, 1, 100_000);
+    (5, 2, 1_000_000);
+    (6, 2, 5_000_000);
+  ]
+
+let lb_run ~n ~switches ~node_budget reduction =
+  let mk () =
+    let m = Machine.create () in
+    (m, Detectable.Dcas.instance (Detectable.Dcas.create m ~n ~init:(i 0)))
+  in
+  let cfg =
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = 0;
+      max_steps = 50_000;
+      node_budget;
+      reduction;
+    }
+  in
+  Modelcheck.Explore.explore ~mk ~workloads:(lb_workload n) cfg
+
+type lb_counters = {
+  lb_configs : int;
+  lb_nodes : int;
+  lb_execs : int;
+  lb_capped : bool;
+}
+
+let lb_counters (o : Modelcheck.Explore.outcome) =
+  {
+    lb_configs = o.Modelcheck.Explore.distinct_shared_configs;
+    lb_nodes = o.Modelcheck.Explore.nodes;
+    lb_execs = o.Modelcheck.Explore.executions;
+    lb_capped = o.Modelcheck.Explore.capped;
+  }
+
+let lb_run_json ~bound (o : Modelcheck.Explore.outcome) =
+  let m = o.Modelcheck.Explore.metrics in
+  let c = lb_counters o in
+  Printf.sprintf
+    {|        { "reduction": %S, "configs": %d, "nodes": %d,
+          "executions": %d, "sleep_skips": %d, "capped": %b,
+          "meets_bound": %b,
+          "elapsed_s": %.6f, "nodes_per_sec": %.1f }|}
+    m.Modelcheck.Explore.reduction c.lb_configs c.lb_nodes c.lb_execs
+    m.Modelcheck.Explore.sleep_skips c.lb_capped
+    (c.lb_configs >= bound)
+    m.Modelcheck.Explore.elapsed_s m.Modelcheck.Explore.nodes_per_sec
+
+let lowerbound_baseline ~out ~max_n =
+  let cases =
+    List.filter_map
+      (fun (n, switches, node_budget) ->
+        if n > max_n then None
+        else begin
+          let bound = 1 lsl (n - 1) in
+          let reduced = lb_run ~n ~switches ~node_budget `Dpor in
+          let unreduced = lb_run ~n ~switches ~node_budget `None in
+          let rc = lb_counters reduced and uc = lb_counters unreduced in
+          Printf.printf
+            "lowerbound N=%d sw=%d budget=%d: bound %d, dpor %d configs \
+             (%d nodes%s), none %d configs (%d nodes%s)\n%!"
+            n switches node_budget bound rc.lb_configs rc.lb_nodes
+            (if rc.lb_capped then ", CAPPED" else "")
+            uc.lb_configs uc.lb_nodes
+            (if uc.lb_capped then ", CAPPED" else "");
+          Some
+            (Printf.sprintf
+               "    { \"n\": %d, \"switch_budget\": %d, \"node_budget\": %d,\n\
+               \      \"bound\": %d,\n\
+               \      \"runs\": [\n%s,\n%s\n      ] }"
+               n switches node_budget bound
+               (lb_run_json ~bound reduced)
+               (lb_run_json ~bound unreduced))
+        end)
+      lb_cases
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"detectable-bench/lowerbound-v1\",\n\
+      \  \"object\": \"dcas\",\n\
+      \  \"workload\": \"graded_cas_chains\",\n\
+      \  \"crash_budget\": 0,\n\
+      \  \"cases\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" cases)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "lowerbound baseline (%d cases) written to %s\n"
+    (List.length cases) out
+
+let lowerbound_compare ~j ~file ~tolerance =
+  let open Tiny_json in
+  let get_bool what v =
+    match v with
+    | Bool b -> b
+    | _ -> failwith (Printf.sprintf "lowerbound compare: %s is not a bool" what)
+  in
+  let fail_cnt = ref 0 in
+  (try
+     List.iter
+       (fun case ->
+         let n = get_int (member "n" case) in
+         let switches = get_int (member "switch_budget" case) in
+         let node_budget = get_int (member "node_budget" case) in
+         let bound = get_int (member "bound" case) in
+         if bound <> 1 lsl (n - 1) then begin
+           incr fail_cnt;
+           Printf.printf "lowerbound N=%d: recorded bound %d is not 2^(N-1)\n"
+             n bound
+         end;
+         List.iter
+           (fun run ->
+             let red =
+               match get_str (member "reduction" run) with
+               | "none" -> `None
+               | "dpor" -> `Dpor
+               | "dpor+sym" -> `Dpor_sym
+               | s -> failwith ("unknown reduction in baseline: " ^ s)
+             in
+             let label =
+               Printf.sprintf "lowerbound N=%d %s" n
+                 (Modelcheck.Explore.reduction_name red)
+             in
+             let fresh = lb_run ~n ~switches ~node_budget red in
+             let c = lb_counters fresh in
+             let mismatches =
+               List.filter_map
+                 (fun (name, want, got) ->
+                   if want = got then None
+                   else
+                     Some
+                       (Printf.sprintf "%s: baseline %d, fresh %d" name want
+                          got))
+                 [
+                   ("configs", get_int (member "configs" run), c.lb_configs);
+                   ("nodes", get_int (member "nodes" run), c.lb_nodes);
+                   ("executions", get_int (member "executions" run), c.lb_execs);
+                 ]
+               @ (let want = get_bool "capped" (member "capped" run) in
+                  if want = c.lb_capped then []
+                  else
+                    [
+                      Printf.sprintf "capped: baseline %b, fresh %b" want
+                        c.lb_capped;
+                    ])
+             in
+             let base_nps = get_num (member "nodes_per_sec" run) in
+             let fresh_nps =
+               fresh.Modelcheck.Explore.metrics
+                 .Modelcheck.Explore.nodes_per_sec
+             in
+             let ratio = fresh_nps /. Float.max base_nps 1e-9 in
+             if mismatches <> [] then begin
+               incr fail_cnt;
+               Printf.printf "%-26s DETERMINISM MISMATCH\n" label;
+               List.iter (Printf.printf "  %s\n") mismatches;
+               Printf.printf
+                 "  (behavioral change: regenerate the baseline with \
+                  --baseline and explain it in the PR)\n"
+             end
+             else if red <> `None && n >= 4 && c.lb_configs < bound then begin
+               (* the acceptance gate: the reduced search must certify the
+                  Theorem 1 bound at every N >= 4 in the table *)
+               incr fail_cnt;
+               Printf.printf "%-26s BOUND VIOLATION: %d configs < 2^(N-1) = %d\n"
+                 label c.lb_configs bound
+             end
+             else if ratio < 1.0 /. tolerance then begin
+               incr fail_cnt;
+               Printf.printf
+                 "%-26s PERF REGRESSION: %.0f nodes/sec vs baseline %.0f \
+                  (%.2fx, tolerance %.0fx)\n"
+                 label fresh_nps base_nps ratio tolerance
+             end
+             else
+               Printf.printf
+                 "%-26s ok: counters exact, %d configs (bound %d), %.0f \
+                  nodes/sec vs baseline %.0f (%.2fx)\n"
+                 label c.lb_configs bound fresh_nps base_nps ratio)
+           (get_list (member "runs" case)))
+       (get_list (member "cases" j))
+   with Tiny_json.Error m | Failure m ->
+     Printf.eprintf "bench --compare: %s: %s\n" file m;
+     exit 1);
+  if !fail_cnt = 0 then print_endline "lowerbound baseline comparison: ok"
+  else begin
+    Printf.printf "lowerbound baseline comparison: %d case(s) failed\n"
+      !fail_cnt;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* entry point: ad-hoc flag scan (no cmdliner dependency here)
 
    --json [--budget N] [--smoke]   checker-throughput JSON to stdout
@@ -1310,11 +1541,18 @@ let lincheck_compare ~j ~file ~tolerance =
               [--fault-out FILE] [--fault-trials N]
               [--mc-out FILE] [--mc-budget N]
               [--lin-out FILE] [--lin-budget N] [--lin-trials N]
+              [--lb-out FILE] [--lb-max-n N]
                                    writes the torture baseline (--out),
                                    the fault-model matrix baseline
                                    (--fault-out), the modelcheck engine
-                                   baseline (--mc-out) and the lincheck
-                                   engine baseline (--lin-out)
+                                   baseline (--mc-out), the lincheck
+                                   engine baseline (--lin-out) and the
+                                   Theorem 1 lower-bound baseline
+                                   (--lb-out; --lb-max-n caps the
+                                   process-count sweep, e.g. 4 for a
+                                   smoke run)
+   --lowerbound [--lb-out FILE] [--lb-max-n N]
+                                   writes only the lower-bound baseline
    --compare FILE [--tolerance X] [--domains D]
                                    dispatches on the file's "schema"
                                    (torture-v1, fault-v1, modelcheck/v1
@@ -1371,8 +1609,17 @@ let () =
     lincheck_baseline
       ~out:(Option.value (flag_value "--lin-out") ~default:"BENCH_lincheck.json")
       ~budget:(int_flag "--lin-budget" 4)
-      ~trials:(int_flag "--lin-trials" 30)
+      ~trials:(int_flag "--lin-trials" 30);
+    lowerbound_baseline
+      ~out:
+        (Option.value (flag_value "--lb-out") ~default:"BENCH_lowerbound.json")
+      ~max_n:(int_flag "--lb-max-n" 6)
   end
+  else if Array.exists (( = ) "--lowerbound") Sys.argv then
+    lowerbound_baseline
+      ~out:
+        (Option.value (flag_value "--lb-out") ~default:"BENCH_lowerbound.json")
+      ~max_n:(int_flag "--lb-max-n" 6)
   else if Array.exists (( = ) "--compare") Sys.argv then
     let file =
       match flag_value "--compare" with
@@ -1399,6 +1646,7 @@ let () =
         fault_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
     | "detectable-modelcheck/v1" -> modelcheck_compare ~j ~file ~tolerance
     | "detectable-lincheck/v1" -> lincheck_compare ~j ~file ~tolerance
+    | "detectable-bench/lowerbound-v1" -> lowerbound_compare ~j ~file ~tolerance
     | s ->
         Printf.eprintf "bench --compare: unexpected schema %S\n" s;
         exit 1

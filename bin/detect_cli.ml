@@ -458,8 +458,38 @@ let modelcheck_cmd =
              engine).  Both visit the same nodes and report identical \
              counters.")
   in
+  let reduction =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", (`None : Modelcheck.Explore.reduction));
+               ("dpor", `Dpor);
+               ("dpor+sym", `Dpor_sym);
+             ])
+          `None
+      & info [ "reduction" ] ~docv:"RED"
+          ~doc:
+            "Search-space reduction: $(b,none) explores the full \
+             delay-bounded family; $(b,dpor) prunes commuting \
+             interleavings of independent steps with sleep sets; \
+             $(b,dpor+sym) additionally prunes process symmetry on \
+             objects that declare an id-symmetric layout.  Reduced \
+             counters are certified lower bounds over what was actually \
+             visited; see docs/LOWERBOUND.md.")
+  in
+  let node_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "node-budget" ] ~docv:"B"
+          ~doc:
+            "Stop after physically visiting B DFS nodes (0 = unlimited). \
+             A capped run reports partial counters — valid lower bounds \
+             over what was visited.")
+  in
   let run kind procs ops switches crashes domains no_prune exact_configs engine
-      lin_engine policy seed =
+      lin_engine reduction node_budget policy seed =
     let workloads = workloads_of_kind kind ~seed ~procs ~ops in
     let cfg =
       {
@@ -472,6 +502,8 @@ let modelcheck_cmd =
         exact_configs;
         engine;
         lin_engine;
+        reduction;
+        node_budget;
       }
     in
     let out =
@@ -501,6 +533,16 @@ let modelcheck_cmd =
       "throughput: %.0f nodes/sec over %.2fs on %d domain(s), %s engine\n"
       m.Modelcheck.Explore.nodes_per_sec m.Modelcheck.Explore.elapsed_s
       m.Modelcheck.Explore.domains_used m.Modelcheck.Explore.engine;
+    if m.Modelcheck.Explore.reduction <> "none" then
+      Printf.printf "reduction: %s, %d sleep-set skips, %d symmetry skips%s\n"
+        m.Modelcheck.Explore.reduction m.Modelcheck.Explore.sleep_skips
+        m.Modelcheck.Explore.sym_skips
+        (if out.Modelcheck.Explore.capped then
+           " (node budget reached: counters are partial lower bounds)"
+         else "")
+    else if out.Modelcheck.Explore.capped then
+      print_endline
+        "node budget reached: counters are partial lower bounds";
     if m.Modelcheck.Explore.engine = "undo" then (
       let hits = m.Modelcheck.Explore.intern_hits
       and misses = m.Modelcheck.Explore.intern_misses in
@@ -555,7 +597,7 @@ let modelcheck_cmd =
         match
           Modelcheck.Shrink.minimise
             ~mk:(mk_of_kind kind ~n:procs)
-            ~workloads ~policy ~engine ~lin_engine v.decisions
+            ~workloads ~policy ~engine ~lin_engine ~reduction v.decisions
         with
         | Some r ->
             Printf.printf
@@ -583,7 +625,7 @@ let modelcheck_cmd =
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ switches $ crashes
        $ domains $ no_prune $ exact_configs $ engine $ lin_engine_arg
-       $ policy_arg $ seed_arg))
+       $ reduction $ node_budget $ policy_arg $ seed_arg))
 
 (* witness *)
 

@@ -36,6 +36,7 @@ let rw_no_aux ?persist machine ~n ~init ~reexec =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = false;
+    id_symmetric = false;
   }
 
 let rw_no_aux_refail ?persist machine ~n ~init =
@@ -107,6 +108,7 @@ let drw_no_toggle ?persist machine ~n ~init =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = true;
+    id_symmetric = false;
   }
 
 (* Algorithm 2 without the flip vector: C holds the bare value and
@@ -169,4 +171,5 @@ let dcas_no_vec ?persist machine ~n ~init =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = true;
+    id_symmetric = true;
   }

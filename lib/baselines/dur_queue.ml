@@ -95,6 +95,7 @@ let instance t =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = false;
+    id_symmetric = false;
   }
 
 let shared_locs t =

@@ -15,6 +15,7 @@ let no_recovery_inst ~descr ~spec ~invoke =
     clear = (fun ~pid:_ -> ());
     pending = (fun ~pid:_ -> None);
     strict_recovery = false;
+    id_symmetric = false;
   }
 
 let register machine ~init =

@@ -133,6 +133,7 @@ let instance t =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = true;
+    id_symmetric = false;
   }
 
 let shared_locs t = t.c :: Array.to_list t.rem

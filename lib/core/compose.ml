@@ -117,4 +117,9 @@ let combine components =
           None components);
     strict_recovery =
       List.for_all (fun (_, i) -> i.Obj_inst.strict_recovery) components;
+    (* a composition is layout-symmetric iff every component is: the
+       components' cells are interleaved but each keeps its own
+       contract *)
+    id_symmetric =
+      List.for_all (fun (_, i) -> i.Obj_inst.id_symmetric) components;
   }

@@ -47,6 +47,7 @@ let instance t =
     clear = (fun ~pid -> Base.std_clear t.ctx ~pid);
     pending = (fun ~pid -> Base.std_pending t.ctx ~pid);
     strict_recovery = false;
+    id_symmetric = false;
   }
 
 let shared_locs t = Array.to_list t.mr

@@ -116,6 +116,7 @@ let instance t =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = true;
+    id_symmetric = false;
   }
 
 let shared_locs t =

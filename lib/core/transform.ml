@@ -104,6 +104,7 @@ let instance t =
     clear = (fun ~pid -> Base.std_clear t.ctx ~pid);
     pending = (fun ~pid -> Base.std_pending t.ctx ~pid);
     strict_recovery = true;
+    id_symmetric = false;
   }
 
 let shared_locs t = [ Dcas.core_loc t.core ]

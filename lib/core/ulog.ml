@@ -135,6 +135,7 @@ let instance t =
     clear = (fun ~pid -> Base.std_clear ctx ~pid);
     pending = (fun ~pid -> Base.std_pending ctx ~pid);
     strict_recovery = (match t.mode with `Durable -> false | `Detectable -> true);
+    id_symmetric = false;
   }
 
 let log_length machine t =

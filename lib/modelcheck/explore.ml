@@ -10,6 +10,13 @@ let pp_decision fmt = function
 
 type engine = [ `Replay | `Undo ]
 
+type reduction = [ `None | `Dpor | `Dpor_sym ]
+
+let reduction_name = function
+  | `None -> "none"
+  | `Dpor -> "dpor"
+  | `Dpor_sym -> "dpor+sym"
+
 type config = {
   switch_budget : int;
   crash_budget : int;
@@ -23,6 +30,8 @@ type config = {
   exact_configs : bool;
   engine : engine;
   lin_engine : Lin_check.engine;
+  reduction : reduction;
+  node_budget : int;
 }
 
 (* the wipe actually applied at a Crash decision: an explicit fault
@@ -44,9 +53,59 @@ let default_config =
     exact_configs = false;
     engine = `Undo;
     lin_engine = `Incremental;
+    reduction = `None;
+    node_budget = 0;
   }
 
 let engine_name = function `Replay -> "replay" | `Undo -> "undo"
+
+(* ---- dynamic partial-order reduction --------------------------------
+
+   Sleep sets over the per-cell dependency relation: after exploring a
+   step [t] at a node, [t] is slept for the later sibling subtrees; in
+   a child reached by [u], only the slept entries independent of [u]
+   survive.  Two candidate steps are dependent iff they may touch the
+   same cell with at least one writer; a crash is dependent with
+   everything (it is never slept and flushes the sleep set of its
+   child).  A step is only slept if executing it emitted no history
+   events, so commuting it with independent steps permutes neither
+   memory effects nor the event order the linearizability checker sees.
+
+   Under the delay-bounded budgets the commuted representative of a
+   pruned execution can cost a different number of context switches, so
+   reduction is NOT exactly verdict-preserving in general (the parity
+   tests pin it empirically on the ablations and random workloads);
+   what always holds is that every visited configuration is reachable,
+   so reduced distinct-config counts are certified lower bounds — which
+   is exactly what the Theorem 1 experiment needs. *)
+
+exception Node_cap
+(* raised when [node_budget] physical nodes have been visited; the
+   partial counters remain valid lower bounds (nothing is ever counted
+   that was not actually explored) *)
+
+let req_writes = function
+  | Runtime.Prim.Read _ -> false
+  | Runtime.Prim.Write _ | Runtime.Prim.Cas _ | Runtime.Prim.Faa _
+  | Runtime.Prim.Persist _ | Runtime.Prim.Fence ->
+      true
+  | Runtime.Prim.Yield -> false
+
+let independent r1 r2 =
+  match (r1, r2) with
+  | Runtime.Prim.Yield, _ | _, Runtime.Prim.Yield -> true
+  | Runtime.Prim.Fence, _ | _, Runtime.Prim.Fence -> false
+  | _ -> (
+      match (Runtime.Prim.touches r1, Runtime.Prim.touches r2) with
+      | Some l1, Some l2 ->
+          l1.Loc.id <> l2.Loc.id || not (req_writes r1 || req_writes r2)
+      | _ -> false)
+
+(* Fence conflicts with everything, so sleeping it can never prune *)
+let sleepable = function Runtime.Prim.Fence -> false | _ -> true
+
+let sleep_mask sleep =
+  List.fold_left (fun m (pid, _) -> m lor (1 lsl pid)) 0 sleep
 
 type violation = {
   decisions : decision list;
@@ -78,6 +137,9 @@ type metrics = {
   lin_events_total : int;
   lin_reuse_rate : float;
   frontier_hist : (int * int) list;
+  reduction : string;
+  sleep_skips : int;
+  sym_skips : int;
 }
 
 type outcome = {
@@ -87,6 +149,7 @@ type outcome = {
   violations : violation list;
   total_violations : int;
   distinct_shared_configs : int;
+  capped : bool;
   metrics : metrics;
 }
 
@@ -108,8 +171,15 @@ type subtree = {
    futures), the session's state digest, and the scheduler state the
    delay-bounded DFS branches on (running process, spent budgets).  Two
    nodes with equal keys have identical subtrees — see the soundness
-   note on {!Session.state_digest} and DESIGN.md. *)
-type key = int * int * int * int * int * int
+   note on {!Session.state_digest} and DESIGN.md.
+
+   Under reduction two more components join the key, both constant 0
+   when the reduction is off (so default-path memo behavior — and every
+   committed counter — is unchanged): the sleep-set pid mask (a slept
+   subtree summary must not be replayed at a sleep-free revisit), and,
+   under symmetry, the ever-stepped pid mask (interchangeability of two
+   processes depends on neither having stepped on the path). *)
+type key = int * int * int * int * int * int * int * int
 
 type state = {
   cfg : config;
@@ -140,9 +210,17 @@ type state = {
   mutable rewound : int;  (* undo engine: cells restored by rewinds *)
   mutable intern_hits : int;
   mutable intern_misses : int;
+  mutable sleep_skips : int;  (* children pruned by the sleep set *)
+  mutable sym_skips : int;  (* children pruned by symmetry *)
+  mutable capped : bool;  (* node budget exhausted; counters are partial *)
+  n_procs : int;
+  wl_class : int array;
+      (* wl_class.(p) = least q with workloads.(q) = workloads.(p):
+         symmetry candidates must run statically identical programs *)
 }
 
 let mk_state cfg mk workloads =
+  let n_procs = Array.length workloads in
   {
     cfg;
     mk;
@@ -170,6 +248,16 @@ let mk_state cfg mk workloads =
     rewound = 0;
     intern_hits = 0;
     intern_misses = 0;
+    sleep_skips = 0;
+    sym_skips = 0;
+    capped = false;
+    n_procs;
+    wl_class =
+      Array.init n_procs (fun p ->
+          let rec first q =
+            if workloads.(q) = workloads.(p) then q else first (q + 1)
+          in
+          first 0);
   }
 
 let bump tbl k =
@@ -276,23 +364,39 @@ let record_execution st ~decisions ~inst ~session ~truncated =
 (* DFS over decision sequences: [cur] is the running process (switching
    away from it costs budget; after a crash any process is free),
    [switches]/[crashes] are budget spent so far, [depth] the length of
-   [decisions]. *)
+   [decisions].  [sleep] is the DPOR sleep set ((pid, pending request)
+   pairs; always [] when the reduction is off) and [stepped] the mask of
+   pids that have taken a step anywhere on the path (only consulted by
+   the symmetry reduction).  Returns the node's entry event count so the
+   parent can tell whether the decision that reached it was silent. *)
 (* [hlen] is the parent node's history length: what the incremental
    checker session has already been fed when this node is entered. *)
-let rec dfs st decisions ~depth ~hlen cur switches crashes =
+let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
+  if st.cfg.node_budget > 0 && st.nodes >= st.cfg.node_budget then
+    raise Node_cap;
   st.nodes <- st.nodes + 1;
   bump st.depth_hist depth;
   let machine, inst, session = replay st decisions in
   ignore (Config_set.add_live st.configs (Runtime.Machine.mem machine) : bool);
+  let here = Session.event_count session in
+  let red = st.cfg.reduction in
+  let sym_active =
+    match red with
+    | `Dpor_sym -> inst.Obj_inst.id_symmetric
+    | `None | `Dpor -> false
+  in
   let key =
     if st.cfg.prune then begin
       let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
       let c = match cur with None -> -1 | Some pid -> pid in
-      Some ((fa, fb, Session.state_digest session, c, switches, crashes) : key)
+      Some
+        ((fa, fb, Session.state_digest session, c, switches, crashes,
+          sleep_mask sleep, if sym_active then stepped else 0)
+          : key)
     end
     else None
   in
-  match key with
+  (match key with
   | Some k when Hashtbl.mem st.visited k ->
       let d = Hashtbl.find st.visited k in
       st.dedup_hits <- st.dedup_hits + 1;
@@ -306,7 +410,6 @@ let rec dfs st decisions ~depth ~hlen cur switches crashes =
       and execs0 = st.executions
       and trunc0 = st.truncated
       and viols0 = st.n_violations in
-      let here = Session.event_count session in
       let lm = lin_enter st ~inst ~session ~hlen in
       let runnable = Session.runnable session in
       if runnable = [] then
@@ -316,11 +419,16 @@ let rec dfs st decisions ~depth ~hlen cur switches crashes =
         record_execution st ~decisions:(List.rev decisions) ~inst ~session
           ~truncated:true
       else begin
-        (* crash move *)
+        (* crash move: dependent with everything, so it is never slept
+           and its child starts with an empty sleep set *)
         if crashes < st.cfg.crash_budget then
-          dfs st (Crash :: decisions) ~depth:(depth + 1) ~hlen:here None
-            switches (crashes + 1);
+          ignore
+            (dfs st (Crash :: decisions) ~depth:(depth + 1) ~hlen:here
+               ~sleep:[] ~stepped None switches (crashes + 1)
+              : int);
         (* step moves *)
+        let sleep = ref sleep in
+        let explored = ref [] in
         List.iter
           (fun pid ->
             (* only a preemption costs budget: switching away from a process
@@ -330,9 +438,45 @@ let rec dfs st decisions ~depth ~hlen cur switches crashes =
               | None -> 0
               | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
             in
-            if switches + cost <= st.cfg.switch_budget then
-              dfs st (Step pid :: decisions) ~depth:(depth + 1) ~hlen:here
-                (Some pid) (switches + cost) crashes)
+            if switches + cost <= st.cfg.switch_budget then begin
+              if red <> `None && List.mem_assoc pid !sleep then
+                st.sleep_skips <- st.sleep_skips + 1
+              else if
+                sym_active
+                && stepped land (1 lsl pid) = 0
+                && List.exists
+                     (fun q ->
+                       q < pid
+                       && stepped land (1 lsl q) = 0
+                       && st.wl_class.(q) = st.wl_class.(pid)
+                       && List.mem q !explored
+                       && Sym.swap_invariant ~n:st.n_procs
+                            (Runtime.Machine.mem machine) pid q)
+                     runnable
+              then st.sym_skips <- st.sym_skips + 1
+              else begin
+                let req =
+                  if red <> `None then Session.pending_request session pid
+                  else None
+                in
+                let child_sleep =
+                  match req with
+                  | Some r -> List.filter (fun (_, r') -> independent r r') !sleep
+                  | None -> []
+                in
+                let child_here =
+                  dfs st (Step pid :: decisions) ~depth:(depth + 1) ~hlen:here
+                    ~sleep:child_sleep
+                    ~stepped:(stepped lor (1 lsl pid))
+                    (Some pid) (switches + cost) crashes
+                in
+                explored := pid :: !explored;
+                match req with
+                | Some r when child_here = here && sleepable r ->
+                    sleep := (pid, r) :: !sleep
+                | _ -> ()
+              end
+            end)
           runnable
       end;
       lin_leave st lm;
@@ -345,7 +489,8 @@ let rec dfs st decisions ~depth ~hlen cur switches crashes =
               d_trunc = st.truncated - trunc0;
               d_viols = st.n_violations - viols0;
             }
-      | None -> ())
+      | None -> ()));
+  here
 
 (* ---- undo engine ----------------------------------------------------
 
@@ -358,17 +503,28 @@ let rec dfs st decisions ~depth ~hlen cur switches crashes =
    to what a fresh replay would produce, every counter, digest, memo
    key and violation sample comes out identical to the replay engine's. *)
 
-let rec dfs_undo st session machine inst decisions ~depth ~hlen cur switches
-    crashes =
+let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
+    cur switches crashes =
+  if st.cfg.node_budget > 0 && st.nodes >= st.cfg.node_budget then
+    raise Node_cap;
   st.nodes <- st.nodes + 1;
   bump st.depth_hist depth;
   bump st.journal_hist (log2_bucket (Mem.journal_depth (Runtime.Machine.mem machine)));
   ignore (Config_set.add_live st.configs (Runtime.Machine.mem machine) : bool);
+  let red = st.cfg.reduction in
+  let sym_active =
+    match red with
+    | `Dpor_sym -> inst.Obj_inst.id_symmetric
+    | `None | `Dpor -> false
+  in
   let key =
     if st.cfg.prune then begin
       let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
       let c = match cur with None -> -1 | Some pid -> pid in
-      Some ((fa, fb, Session.state_digest session, c, switches, crashes) : key)
+      Some
+        ((fa, fb, Session.state_digest session, c, switches, crashes,
+          sleep_mask sleep, if sym_active then stepped else 0)
+          : key)
     end
     else None
   in
@@ -396,15 +552,19 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen cur switches
         record_execution st ~decisions:(List.rev decisions) ~inst ~session
           ~truncated:true
       else begin
-        (* crash move *)
+        (* crash move: dependent with everything, so it is never slept
+           and its child starts with an empty sleep set *)
         if crashes < st.cfg.crash_budget then begin
           let m = Session.mark session in
           Session.crash_wipe session (config_wipe st.cfg);
           dfs_undo st session machine inst (Crash :: decisions)
-            ~depth:(depth + 1) ~hlen:here None switches (crashes + 1);
+            ~depth:(depth + 1) ~hlen:here ~sleep:[] ~stepped None switches
+            (crashes + 1);
           Session.rewind session m
         end;
         (* step moves *)
+        let sleep = ref sleep in
+        let explored = ref [] in
         List.iter
           (fun pid ->
             (* only a preemption costs budget: switching away from a process
@@ -415,12 +575,45 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen cur switches
               | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
             in
             if switches + cost <= st.cfg.switch_budget then begin
-              let m = Session.mark session in
-              Session.step session pid;
-              dfs_undo st session machine inst (Step pid :: decisions)
-                ~depth:(depth + 1) ~hlen:here (Some pid) (switches + cost)
-                crashes;
-              Session.rewind session m
+              if red <> `None && List.mem_assoc pid !sleep then
+                st.sleep_skips <- st.sleep_skips + 1
+              else if
+                sym_active
+                && stepped land (1 lsl pid) = 0
+                && List.exists
+                     (fun q ->
+                       q < pid
+                       && stepped land (1 lsl q) = 0
+                       && st.wl_class.(q) = st.wl_class.(pid)
+                       && List.mem q !explored
+                       && Sym.swap_invariant ~n:st.n_procs
+                            (Runtime.Machine.mem machine) pid q)
+                     runnable
+              then st.sym_skips <- st.sym_skips + 1
+              else begin
+                let req =
+                  if red <> `None then Session.pending_request session pid
+                  else None
+                in
+                let child_sleep =
+                  match req with
+                  | Some r -> List.filter (fun (_, r') -> independent r r') !sleep
+                  | None -> []
+                in
+                let m = Session.mark session in
+                Session.step session pid;
+                let silent = Session.event_count session = here in
+                dfs_undo st session machine inst (Step pid :: decisions)
+                  ~depth:(depth + 1) ~hlen:here ~sleep:child_sleep
+                  ~stepped:(stepped lor (1 lsl pid))
+                  (Some pid) (switches + cost) crashes;
+                Session.rewind session m;
+                explored := pid :: !explored;
+                match req with
+                | Some r when silent && sleepable r ->
+                    sleep := (pid, r) :: !sleep
+                | _ -> ()
+              end
             end)
           runnable
       end;
@@ -478,6 +671,7 @@ let finish ~t0 ~domains_used sts =
     violations;
     total_violations = sum (fun st -> st.n_violations);
     distinct_shared_configs = Config_set.cardinal base.configs;
+    capped = List.exists (fun st -> st.capped) sts;
     metrics =
       {
         engine = engine_name base.cfg.engine;
@@ -509,6 +703,9 @@ let finish ~t0 ~domains_used sts =
           (if lin_total = 0 then 0.
            else 1. -. (float_of_int lin_pushed /. float_of_int lin_total));
         frontier_hist = sorted_hist base.frontier_hist;
+        reduction = reduction_name base.cfg.reduction;
+        sleep_skips = sum (fun st -> st.sleep_skips);
+        sym_skips = sum (fun st -> st.sym_skips);
       };
   }
 
@@ -524,7 +721,9 @@ let with_intern_stats st f =
 
 let explore_sequential ~t0 ~mk ~workloads cfg =
   let st = mk_state cfg mk workloads in
-  with_intern_stats st (fun () -> dfs st [] ~depth:0 ~hlen:0 None 0 0);
+  with_intern_stats st (fun () ->
+      try ignore (dfs st [] ~depth:0 ~hlen:0 ~sleep:[] ~stepped:0 None 0 0 : int)
+      with Node_cap -> st.capped <- true);
   finish ~t0 ~domains_used:1 [ st ]
 
 let explore_undo_sequential ~t0 ~mk ~workloads cfg =
@@ -534,7 +733,10 @@ let explore_undo_sequential ~t0 ~mk ~workloads cfg =
       let session =
         Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
       in
-      dfs_undo st session machine inst [] ~depth:0 ~hlen:0 None 0 0;
+      (try
+         dfs_undo st session machine inst [] ~depth:0 ~hlen:0 ~sleep:[]
+           ~stepped:0 None 0 0
+       with Node_cap -> st.capped <- true);
       st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine));
   finish ~t0 ~domains_used:1 [ st ]
 
@@ -575,10 +777,20 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
       tasks;
     let worker idx () =
       let st = mk_state cfg mk workloads in
-      List.iter
-        (fun (d, cur, switches, crashes) ->
-          dfs st [ d ] ~depth:1 ~hlen:0 cur switches crashes)
-        (List.rev chunks.(idx));
+      (* reduction note: root-level sibling sleeping and symmetry are
+         not propagated across workers — each worker starts its share
+         with an empty sleep set (pure loss of pruning, never of
+         soundness).  The node budget is likewise per worker. *)
+      (try
+         List.iter
+           (fun (d, cur, switches, crashes) ->
+             let stepped = match d with Step pid -> 1 lsl pid | Crash -> 0 in
+             ignore
+               (dfs st [ d ] ~depth:1 ~hlen:0 ~sleep:[] ~stepped cur switches
+                  crashes
+                 : int))
+           (List.rev chunks.(idx))
+       with Node_cap -> st.capped <- true);
       st
     in
     let handles = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
@@ -632,15 +844,20 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
         Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
       in
       let root_mark = Session.mark session in
-      List.iter
-        (fun (d, cur, switches, crashes) ->
-          (match d with
-          | Step pid -> Session.step session pid
-          | Crash -> Session.crash_wipe session (config_wipe cfg));
-          dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0 cur switches
-            crashes;
-          Session.rewind session root_mark)
-        (List.rev chunks.(idx));
+      (* same reduction caveats as the replay workers: per-worker sleep
+         sets and node budget *)
+      (try
+         List.iter
+           (fun (d, cur, switches, crashes) ->
+             (match d with
+             | Step pid -> Session.step session pid
+             | Crash -> Session.crash_wipe session (config_wipe cfg));
+             let stepped = match d with Step pid -> 1 lsl pid | Crash -> 0 in
+             dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0 ~sleep:[]
+               ~stepped cur switches crashes;
+             Session.rewind session root_mark)
+           (List.rev chunks.(idx))
+       with Node_cap -> st.capped <- true);
       st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine);
       (* worker domains are fresh, so absolute counters = this worker's *)
       let h, m = Value.intern_stats () in
@@ -653,8 +870,12 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
     finish ~t0 ~domains_used:n_workers (root :: sts)
   end
 
-let explore ~mk ~workloads cfg =
+let explore ~mk ~workloads (cfg : config) =
   let t0 = Unix.gettimeofday () in
+  (* the pid masks in the memo key are single-word bitsets *)
+  let cfg =
+    if Array.length workloads > 62 then { cfg with reduction = `None } else cfg
+  in
   let domains = max 1 cfg.domains in
   match cfg.engine with
   | `Replay ->
@@ -689,6 +910,9 @@ let no_metrics ~elapsed_s ~nodes =
     lin_events_total = 0;
     lin_reuse_rate = 0.;
     frontier_hist = [];
+    reduction = "none";
+    sleep_skips = 0;
+    sym_skips = 0;
   }
 
 let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)
@@ -758,5 +982,6 @@ let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)
     violations = List.rev !violations;
     total_violations = List.length !violations;
     distinct_shared_configs = Config_set.cardinal configs;
+    capped = false;
     metrics = no_metrics ~elapsed_s:(Unix.gettimeofday () -. t0) ~nodes;
   }

@@ -62,6 +62,47 @@ type engine = [ `Replay | `Undo ]
     [distinct_shared_configs] and the violation samples are identical;
     only speed (and the engine-specific metrics) differ. *)
 
+type reduction = [ `None | `Dpor | `Dpor_sym ]
+(** Search-space reduction applied during child generation (default
+    [`None] — the committed baselines and every parity contract above
+    are stated for the unreduced search).
+
+    [`Dpor]: dynamic partial-order reduction with sleep sets over the
+    per-cell dependency relation.  After a step [t] is explored at a
+    node, [t] is {e slept} for the later sibling subtrees and stays
+    slept through independent steps (two steps are dependent iff they
+    may touch the same cell with at least one writer; crashes are
+    dependent with everything), so commuting interleavings of
+    independent steps are pruned {e before} being replayed rather than
+    merely deduplicated afterwards.  A step is only slept when
+    executing it emitted no history events, which keeps the
+    linearizability checker's event order out of the commutation.
+
+    [`Dpor_sym]: additionally prunes process symmetry.  A runnable
+    process [p] that has never stepped is skipped when some
+    already-explored runnable [q < p] has also never stepped, runs a
+    statically identical workload, and the configuration is invariant
+    under transposing [p] and [q] ({!Sym.swap_invariant}) — subtrees
+    then identical up to renaming.  Requires the instance to declare
+    {!Sched.Obj_inst.id_symmetric}; otherwise behaves exactly like
+    [`Dpor].
+
+    Soundness contract: every node the reduced search visits is a node
+    the unreduced search visits, so [distinct_shared_configs] is always
+    a certified {e lower bound} on the reachable count (what Theorem 1's
+    experiment needs; note [`Dpor_sym] visits only one representative
+    per symmetry orbit, so configuration {e counts} should be read from
+    [`Dpor]).  Because the delay-bounded switch accounting is not
+    permutation-invariant, a pruned execution's representative can cost
+    a different number of switches, so reduction is NOT guaranteed to
+    preserve verdicts or counts exactly at tight budgets; the reduction
+    parity tests pin verdict agreement empirically on the ablations and
+    random workloads. *)
+
+val reduction_name : reduction -> string
+(** ["none"] / ["dpor"] / ["dpor+sym"] — the label used in metrics and
+    JSON. *)
+
 type config = {
   switch_budget : int;  (** max context switches per execution *)
   crash_budget : int;  (** max crashes per execution *)
@@ -91,12 +132,21 @@ type config = {
           committed lincheck benchmark compare against.  Verdicts (and
           so all outcome counters and violation messages) are identical
           under both. *)
+  reduction : reduction;  (** see {!reduction}; default [`None] *)
+  node_budget : int;
+      (** stop after physically visiting this many DFS nodes (0 = no
+          bound, the default).  A capped run sets [outcome.capped]; its
+          counters are partial but remain valid lower bounds.  With
+          [domains > 1] the budget applies per worker domain.  The cap
+          is on {e physical} nodes, which is what makes reduced and
+          unreduced searches comparable under the same budget. *)
 }
 
 val default_config : config
 (** switch budget 3, crash budget 1, 2_000 steps, [Retry], keep-all,
     collect up to 3 violations; pruning on, 1 domain, fingerprint-mode
-    configuration counting, undo engine, incremental checker. *)
+    configuration counting, undo engine, incremental checker, no
+    reduction, no node budget. *)
 
 val engine_name : engine -> string
 (** ["replay"] / ["undo"] — the label used in metrics and JSON. *)
@@ -152,6 +202,9 @@ type metrics = {
       (** incremental checker: (log2 bucket of frontier size, nodes
           sampled at that size), ascending; same bucket convention as
           [journal_depth_hist] *)
+  reduction : string;  (** {!reduction_name} of the reduction that ran *)
+  sleep_skips : int;  (** children pruned by the DPOR sleep set *)
+  sym_skips : int;  (** children pruned by symmetry canonicalisation *)
 }
 
 type outcome = {
@@ -163,6 +216,9 @@ type outcome = {
   distinct_shared_configs : int;
       (** pairwise non-memory-equivalent shared-memory configurations
           seen anywhere in the exploration *)
+  capped : bool;
+      (** the [node_budget] stopped the search; all counters are partial
+          (valid lower bounds over what was actually visited) *)
   metrics : metrics;
 }
 

@@ -225,7 +225,14 @@ let minimise_undo ~mk ~workloads ~policy ~wipe ~max_steps ~lin_engine decisions
 let minimise ~mk ~workloads ?(policy = Session.Retry)
     ?(keep = fun (_ : Nvm.Loc.t) -> true) ?wipe ?(max_steps = 5_000)
     ?(engine = (`Undo : Explore.engine))
-    ?(lin_engine = (`Incremental : Lin_check.engine)) decisions =
+    ?(lin_engine = (`Incremental : Lin_check.engine))
+    ?(reduction = (`None : Explore.reduction)) decisions =
+  (* [reduction] records which search produced the witness; candidate
+     replays are single concrete schedules, so no pruning can apply and
+     the minimised result is invariant in it (the reduction tests pin
+     this).  Accepting it here keeps call sites honest about the
+     contract instead of silently dropping the search configuration. *)
+  ignore (Explore.reduction_name reduction);
   let wipe =
     match wipe with Some w -> w | None -> Nvm.Fault_model.Keep keep
   in

@@ -66,8 +66,17 @@ val minimise :
   ?max_steps:int ->
   ?engine:Explore.engine ->
   ?lin_engine:Lin_check.engine ->
+  ?reduction:Explore.reduction ->
   Explore.decision list ->
   result option
 (** [None] if the input sequence does not reproduce a violation under
     tolerant replay (shrinking needs a reproducible starting point).
-    [wipe] as in {!reproduces}. *)
+    [wipe] as in {!reproduces}.
+
+    [reduction] names the search that found the witness (default
+    [`None]).  Shrinking replays single concrete schedules, so no
+    sleep-set or symmetry pruning can apply to a candidate and the
+    minimised result is {e invariant} in this argument — the same
+    1-minimal witness comes back whichever reduction found the
+    violation.  The parameter exists to keep that contract explicit at
+    call sites (and under test) rather than silently discarded. *)

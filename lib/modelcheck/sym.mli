@@ -1,0 +1,57 @@
+open Nvm
+
+(** Process-symmetry canonicalisation of memory configurations.
+
+    The core objects' layout contract ({!Sched.Obj_inst.id_symmetric})
+    says process-id-dependent data lives only in per-process private
+    cells (allocated in the same slot order for every process) and in
+    the pid-indexed entries of shared length-N {!Value.Tup} vectors.
+    Under that contract a permutation π of process ids acts on a
+    configuration by permuting each process's private-cell block and
+    each length-N vector's entries; two configurations in the same
+    orbit are reachable from each other by renaming processes, so an
+    explorer needs to visit only one representative per orbit.
+
+    This module provides the two memory-side ingredients:
+
+    - {!swap_invariant} decides whether transposing two given pids
+      leaves the configuration bytewise unchanged — the cheap runtime
+      check the explorer's [`Dpor_sym] reduction performs before
+      pruning a never-stepped process in favour of an interchangeable
+      representative;
+    - {!canonical_fingerprint} digests a configuration {e modulo all
+      of S_N} (a true quotient up to 63-bit hash collisions): π-related
+      configurations always collide, and the quotient tests use it to
+      certify that the canonicalisation respects exactly the orbit
+      relation.
+
+    Nested vectors are handled recursively.  A tuple is classified as
+    a pid-indexed vector when it has length N {e and} all its entries
+    share one structural skeleton (constructor shape, ignoring scalar
+    values) — so a flip vector [(true, false)] is a vector at N = 2
+    while Algorithm 2's heterogeneous pair [(value, flip-vector)] is
+    not.  The classification is invariant under the permutation action
+    (permuting equal-skeleton entries preserves every skeleton), which
+    is what makes the fingerprints commute with it.  A genuine
+    homogeneous N-tuple that is not pid-indexed is still
+    over-approximated as one; that only makes {!swap_invariant} more
+    conservative (fewer prunes — still sound) and
+    {!canonical_fingerprint} coarser, which is why the explorer
+    additionally requires the instance's [id_symmetric] declaration
+    before acting on either. *)
+
+val swap_invariant : n:int -> Mem.t -> int -> int -> bool
+(** [swap_invariant ~n mem p q] — is the current configuration invariant
+    under transposing process ids [p] and [q]?  True iff every shared
+    length-[n] vector (recursively) holds equal values at indices [p]
+    and [q], and the private-cell blocks of [p] and [q] have the same
+    length and equal values slot by slot.  [p = q] is rejected with
+    [Invalid_argument]. *)
+
+val canonical_fingerprint : n:int -> Mem.t -> int * int
+(** Two-word digest of the full configuration modulo process-id
+    permutation: the per-process views (private block + pid-indexed
+    vector entries, position-tagged) are hashed individually and folded
+    as a sorted multiset, the pid-independent remainder positionally.
+    π-related configurations get equal fingerprints for every π ∈ S_N;
+    distinct orbits collide only with 63-bit-hash probability. *)

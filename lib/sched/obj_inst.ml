@@ -10,6 +10,7 @@ type t = {
   clear : pid:int -> unit;
   pending : pid:int -> Spec.op option;
   strict_recovery : bool;
+  id_symmetric : bool;
 }
 
 let fail = Value.Str "__detectable_fail__"

@@ -39,6 +39,23 @@ type t = {
           recoveries (e.g. the max register of Algorithm 3), where
           recovering a completed read-like operation may legitimately
           re-execute and observe a newer state. *)
+  id_symmetric : bool;
+      (** Declares that the implementation's {e memory layout} is
+          invariant under any permutation of process ids: every process
+          runs statically identical code, process-id-dependent data
+          lives only in per-process {e private} cells (allocated in the
+          same order for every process) or in the entries of shared
+          length-N {!Nvm.Value.Tup} vectors indexed by pid, and no raw
+          process id is ever stored anywhere else in memory.  The
+          explorer's [`Dpor_sym] reduction trusts this declaration to
+          prune never-stepped processes that are interchangeable with an
+          already-explored one (see {!Modelcheck.Sym}); an instance that
+          declares [false] is explored without symmetry pruning.
+          Declare [true] only when the layout contract above genuinely
+          holds — e.g. Algorithm 2's [C = (value, N-bit vector)] plus
+          per-process announcements qualifies, while Algorithm 1's
+          shared [(value, writer id, toggle)] register and Algorithm 3's
+          pid-indexed array of {e shared} cells do not. *)
 }
 
 val fail : Value.t

@@ -434,6 +434,23 @@ let step s pid =
             invalid_arg "Session.step: process is not runnable")
     | None -> invalid_arg "Session.step: process is not runnable"
 
+let pending_request s pid =
+  if pid < 0 || pid >= Array.length s.procs then
+    invalid_arg "Session.pending_request: no such process";
+  let ps = s.procs.(pid) in
+  if s.undo && not ps.l_runnable then None
+  else begin
+    (* in undo mode a rewound fiber may be stale: rebuild it first, just
+       as [step] would, so the peek agrees with what stepping would do *)
+    if s.undo && ps.stale then rebuild s ps;
+    match ps.fiber with
+    | Some f -> (
+        match Fiber.status f with
+        | Fiber.Pending req -> Some req
+        | Fiber.Done _ | Fiber.Killed -> None)
+    | None -> None
+  end
+
 let crash_wipe s wipe =
   (* The crash index is the pre-increment counter: crash k of the run
      uses fault stream k, and since rewind restores [s.crashes], a

@@ -43,6 +43,15 @@ val step : t -> int -> unit
 (** [step s pid] executes [pid]'s pending primitive step.  Raises
     [Invalid_argument] if [pid] is not runnable. *)
 
+val pending_request : t -> int -> Runtime.Prim.request option
+(** [pending_request s pid] peeks at the primitive request [pid]'s fiber
+    is suspended on — the step that [step s pid] would execute — without
+    executing anything.  [None] if the process is not runnable.  In undo
+    mode this may rebuild a stale fiber (ghost replay), which is a
+    session-side cache effect only: memory, histories and digests are
+    untouched.  The model checker's DPOR uses the request's cell
+    footprint to decide independence between candidate steps. *)
+
 val crash : t -> keep:(Loc.t -> bool) -> unit
 (** System-wide crash: kill all fibers (volatile state lost), apply the
     memory model's write-back semantics with [keep], then restart every

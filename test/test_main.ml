@@ -22,6 +22,7 @@ let () =
          Test_baselines.suites;
          Test_broken.suites;
          Test_modelcheck.suites;
+         Test_reduction.suites;
          Test_perturb.suites;
          Test_shared_cache.suites;
          Test_extras.suites;

@@ -1,0 +1,346 @@
+(* Tests for the explorer's search-space reductions (sleep-set DPOR and
+   process-symmetry canonicalisation) and their soundness contracts:
+
+   - verdict parity: [`None], [`Dpor] and [`Dpor_sym] agree on whether a
+     workload violates, on the broken ablations and on random workloads
+     (reduction prunes redundant interleavings, never the bug);
+   - witness invariance: Shrink returns the identical 1-minimal witness
+     whichever reduction found the violation (candidate replays are
+     single concrete schedules — nothing to prune);
+   - the symmetry quotient: canonical fingerprints are invariant under
+     process-id permutation where raw fingerprints are not, and
+     [`Dpor_sym] degrades to exactly [`Dpor] on objects that do not
+     declare an id-symmetric layout;
+   - lower bounds: reduced searches visit a subset of the unreduced
+     search's work but certify the same Theorem 1 configuration counts
+     (the committed bench/BENCH_lowerbound.json is the full-size version
+     of the growth check here). *)
+
+open Nvm
+open History
+open Sched
+
+let i n = Value.Int n
+
+let mk_no_vec () =
+  let m = Runtime.Machine.create () in
+  (m, Baselines.Broken.dcas_no_vec m ~n:2 ~init:(i 0))
+
+let no_vec_workload =
+  [| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |]
+
+let mk_reexec () =
+  let m = Runtime.Machine.create () in
+  (m, Baselines.Broken.rw_no_aux_reexec m ~n:2 ~init:(i 0))
+
+let fig2_workload =
+  [|
+    [ Spec.write_op (i 1) ]; [ Spec.read_op; Spec.write_op (i 0); Spec.read_op ];
+  |]
+
+let reductions : Modelcheck.Explore.reduction list = [ `None; `Dpor; `Dpor_sym ]
+
+let explore_with ?(switches = 2) ?(crashes = 1) ~mk ~workloads red =
+  Modelcheck.Explore.explore ~mk ~workloads
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      reduction = red;
+    }
+
+(* --- verdict parity on the ablations ------------------------------- *)
+
+let check_verdict_parity ~name ~mk ~workloads () =
+  let outs = List.map (explore_with ~mk ~workloads) reductions in
+  let violates (o : Modelcheck.Explore.outcome) =
+    o.Modelcheck.Explore.total_violations > 0
+  in
+  let base = violates (List.hd outs) in
+  List.iter2
+    (fun red out ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s verdict" name
+           (Modelcheck.Explore.reduction_name red))
+        base (violates out))
+    reductions outs;
+  (* a reduced search never does more work than the unreduced one *)
+  let unreduced = List.hd outs in
+  List.iter
+    (fun (out : Modelcheck.Explore.outcome) ->
+      Alcotest.(check bool)
+        (name ^ ": reduced executions <= unreduced")
+        true
+        (out.Modelcheck.Explore.executions
+        <= unreduced.Modelcheck.Explore.executions);
+      Alcotest.(check bool)
+        (name ^ ": reduced configs <= unreduced")
+        true
+        (out.Modelcheck.Explore.distinct_shared_configs
+        <= unreduced.Modelcheck.Explore.distinct_shared_configs))
+    (List.tl outs)
+
+let test_parity_no_vec () =
+  check_verdict_parity ~name:"dcas_no_vec" ~mk:mk_no_vec
+    ~workloads:no_vec_workload ()
+
+let test_parity_reexec () =
+  check_verdict_parity ~name:"rw_no_aux_reexec" ~mk:mk_reexec
+    ~workloads:fig2_workload ()
+
+let test_parity_healthy_dcas () =
+  (* a correct object stays violation-free under every reduction *)
+  List.iter
+    (fun red ->
+      let out =
+        explore_with
+          ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+          ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 2) ] |]
+          red
+      in
+      Alcotest.(check int)
+        (Modelcheck.Explore.reduction_name red ^ " violations")
+        0 out.Modelcheck.Explore.total_violations)
+    reductions
+
+let prop_parity_random_workloads =
+  (* verdict parity over randomly generated cas workloads on the ablated
+     (violating) object — each seed is a fresh property case *)
+  QCheck.Test.make ~name:"reduction verdict parity on random workloads"
+    ~count:12 QCheck.small_nat (fun seed ->
+      let workloads =
+        Workload.cas
+          (Dtc_util.Prng.create (seed + 1))
+          ~procs:2 ~ops_per_proc:2 ~values:2
+      in
+      let outs =
+        List.map (explore_with ~mk:mk_no_vec ~workloads) reductions
+      in
+      let violates (o : Modelcheck.Explore.outcome) =
+        o.Modelcheck.Explore.total_violations > 0
+      in
+      let base = violates (List.hd outs) in
+      List.for_all (fun o -> violates o = base) (List.tl outs)
+      && List.for_all
+           (fun (o : Modelcheck.Explore.outcome) ->
+             o.Modelcheck.Explore.executions
+             <= (List.hd outs).Modelcheck.Explore.executions)
+           (List.tl outs))
+
+(* --- witness invariance through Shrink ----------------------------- *)
+
+let test_shrink_witness_invariant () =
+  (* one violation, minimised under every reduction argument: identical
+     decisions, message and attempt count (candidate replays are single
+     concrete schedules, so the reduction has nothing to prune) *)
+  let out = explore_with ~mk:mk_no_vec ~workloads:no_vec_workload `Dpor in
+  match out.Modelcheck.Explore.violations with
+  | [] -> Alcotest.fail "expected the ablation to violate under dpor"
+  | v :: _ -> (
+      let minimise red =
+        Modelcheck.Shrink.minimise ~mk:mk_no_vec ~workloads:no_vec_workload
+          ~reduction:red v.Modelcheck.Explore.decisions
+      in
+      match List.map minimise reductions with
+      | [ Some a; Some b; Some c ] ->
+          let sig_of (r : Modelcheck.Shrink.result) =
+            ( List.map
+                (Format.asprintf "%a" Modelcheck.Explore.pp_decision)
+                r.Modelcheck.Shrink.decisions,
+              r.Modelcheck.Shrink.msg,
+              r.Modelcheck.Shrink.attempts )
+          in
+          Alcotest.(check bool) "none = dpor" true (sig_of a = sig_of b);
+          Alcotest.(check bool) "dpor = dpor+sym" true (sig_of b = sig_of c)
+      | _ -> Alcotest.fail "witness did not reproduce under some reduction")
+
+(* --- the symmetry quotient ----------------------------------------- *)
+
+let run_to_completion session =
+  let rec go () =
+    match Session.runnable session with
+    | [] -> ()
+    | pid :: _ ->
+        Session.step session pid;
+        go ()
+  in
+  go ()
+
+let mem_after ~n workloads =
+  let m = Runtime.Machine.create () in
+  let inst =
+    Detectable.Dcas.instance (Detectable.Dcas.create m ~n ~init:(i 0))
+  in
+  let session = Session.create m inst ~workloads in
+  run_to_completion session;
+  Runtime.Machine.mem m
+
+let test_canonical_fingerprint_quotient () =
+  (* the same solo CAS run by p0 vs by p1: raw fingerprints differ (the
+     private blocks and the flip vector are pid-indexed), canonical
+     fingerprints agree (the configurations are one transposition apart) *)
+  let a = mem_after ~n:2 [| [ Spec.cas_op (i 0) (i 1) ]; [] |] in
+  let b = mem_after ~n:2 [| []; [ Spec.cas_op (i 0) (i 1) ] |] in
+  Alcotest.(check bool)
+    "raw fingerprints differ" true
+    (Mem.live_fingerprint_full a <> Mem.live_fingerprint_full b);
+  Alcotest.(check bool)
+    "canonical fingerprints agree" true
+    (Modelcheck.Sym.canonical_fingerprint ~n:2 a
+    = Modelcheck.Sym.canonical_fingerprint ~n:2 b);
+  (* distinct orbits must stay distinct: p0's CAS vs no CAS at all *)
+  let c = mem_after ~n:2 [| []; [] |] in
+  Alcotest.(check bool)
+    "distinct orbits distinguished" true
+    (Modelcheck.Sym.canonical_fingerprint ~n:2 a
+    <> Modelcheck.Sym.canonical_fingerprint ~n:2 c)
+
+let test_swap_invariant () =
+  (* freshly created: all processes interchangeable; after p0 runs a CAS
+     the transposition (0 1) no longer fixes the configuration *)
+  let fresh = mem_after ~n:2 [| []; [] |] in
+  Alcotest.(check bool)
+    "initial config is swap-invariant" true
+    (Modelcheck.Sym.swap_invariant ~n:2 fresh 0 1);
+  let after = mem_after ~n:2 [| [ Spec.cas_op (i 0) (i 1) ]; [] |] in
+  Alcotest.(check bool)
+    "post-CAS config is not swap-invariant" false
+    (Modelcheck.Sym.swap_invariant ~n:2 after 0 1)
+
+let test_sym_prunes_symmetric_workloads () =
+  (* three processes running the identical workload on an id-symmetric
+     object: the symmetry reduction fires and verdicts are unchanged *)
+  let workloads = Array.make 3 [ Spec.cas_op (i 0) (i 1) ] in
+  let mk () = Test_support.mk_dcas ~n:3 () in
+  let dpor = explore_with ~mk ~workloads ~crashes:0 `Dpor in
+  let sym = explore_with ~mk ~workloads ~crashes:0 `Dpor_sym in
+  Alcotest.(check bool)
+    "symmetry skips happened" true
+    (sym.Modelcheck.Explore.metrics.Modelcheck.Explore.sym_skips > 0);
+  Alcotest.(check int) "verdicts agree"
+    dpor.Modelcheck.Explore.total_violations
+    sym.Modelcheck.Explore.total_violations;
+  Alcotest.(check bool)
+    "symmetry explores no more nodes" true
+    (sym.Modelcheck.Explore.nodes <= dpor.Modelcheck.Explore.nodes)
+
+let test_sym_inert_on_asymmetric_object () =
+  (* Algorithm 1 stores the writer pid in shared cells, so it does not
+     declare id_symmetric — [`Dpor_sym] must behave exactly like [`Dpor] *)
+  let mk () = Test_support.mk_drw ~n:2 () in
+  let workloads = Array.make 2 [ Spec.write_op (i 1); Spec.read_op ] in
+  let dpor = explore_with ~mk ~workloads `Dpor in
+  let sym = explore_with ~mk ~workloads `Dpor_sym in
+  Alcotest.(check int) "sym_skips = 0" 0
+    sym.Modelcheck.Explore.metrics.Modelcheck.Explore.sym_skips;
+  Alcotest.(check int) "executions equal" dpor.Modelcheck.Explore.executions
+    sym.Modelcheck.Explore.executions;
+  Alcotest.(check int) "nodes equal" dpor.Modelcheck.Explore.nodes
+    sym.Modelcheck.Explore.nodes;
+  Alcotest.(check int) "configs equal"
+    dpor.Modelcheck.Explore.distinct_shared_configs
+    sym.Modelcheck.Explore.distinct_shared_configs;
+  Alcotest.(check int) "violations equal"
+    dpor.Modelcheck.Explore.total_violations
+    sym.Modelcheck.Explore.total_violations
+
+(* --- sleep sets and the node budget -------------------------------- *)
+
+let test_sleep_skips_fire () =
+  let out =
+    explore_with
+      ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 2) ] |]
+      `Dpor
+  in
+  Alcotest.(check bool)
+    "sleep-set pruning happened" true
+    (out.Modelcheck.Explore.metrics.Modelcheck.Explore.sleep_skips > 0);
+  Alcotest.(check string) "metrics label" "dpor"
+    out.Modelcheck.Explore.metrics.Modelcheck.Explore.reduction
+
+let test_node_budget_caps () =
+  let run budget =
+    Modelcheck.Explore.explore
+      ~mk:(fun () -> Test_support.mk_dcas ~n:2 ())
+      ~workloads:[| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 2) ] |]
+      {
+        Modelcheck.Explore.default_config with
+        switch_budget = 2;
+        crash_budget = 1;
+        node_budget = budget;
+      }
+  in
+  let capped = run 50 and free = run 0 in
+  Alcotest.(check bool) "capped flag set" true capped.Modelcheck.Explore.capped;
+  Alcotest.(check int) "stopped at the budget" 50
+    capped.Modelcheck.Explore.nodes;
+  Alcotest.(check bool) "no cap without budget" false
+    free.Modelcheck.Explore.capped;
+  Alcotest.(check bool)
+    "capped counters are lower bounds" true
+    (capped.Modelcheck.Explore.distinct_shared_configs
+    <= free.Modelcheck.Explore.distinct_shared_configs)
+
+(* --- the Theorem 1 growth check, smoke-sized ----------------------- *)
+
+let test_lowerbound_growth_small () =
+  (* graded CAS chains (process p runs cas(0,1)..cas(p,p+1)): the
+     reduced explorer's distinct-configuration count must clear 2^(N-1)
+     — the full N<=6 sweep is the committed bench/BENCH_lowerbound.json *)
+  List.iter
+    (fun n ->
+      let workloads =
+        Array.init n (fun p ->
+            List.init (p + 1) (fun k -> Spec.cas_op (i k) (i (k + 1))))
+      in
+      let out =
+        Modelcheck.Explore.explore
+          ~mk:(fun () -> Test_support.mk_dcas ~n ())
+          ~workloads
+          {
+            Modelcheck.Explore.default_config with
+            switch_budget = 1;
+            crash_budget = 0;
+            reduction = `Dpor;
+          }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d: configs >= 2^(N-1)" n)
+        true
+        (out.Modelcheck.Explore.distinct_shared_configs >= 1 lsl (n - 1));
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d: not capped" n)
+        false out.Modelcheck.Explore.capped)
+    [ 2; 3; 4 ]
+
+let suites =
+  [
+    ( "reduction",
+      [
+        Alcotest.test_case "verdict parity (dcas_no_vec)" `Quick
+          test_parity_no_vec;
+        Alcotest.test_case "verdict parity (rw_no_aux_reexec)" `Quick
+          test_parity_reexec;
+        Alcotest.test_case "healthy object stays clean" `Quick
+          test_parity_healthy_dcas;
+        QCheck_alcotest.to_alcotest prop_parity_random_workloads;
+        Alcotest.test_case "shrink witness invariance" `Quick
+          test_shrink_witness_invariant;
+        Alcotest.test_case "sleep skips fire" `Quick test_sleep_skips_fire;
+        Alcotest.test_case "node budget caps" `Quick test_node_budget_caps;
+        Alcotest.test_case "lower-bound growth (small N)" `Quick
+          test_lowerbound_growth_small;
+      ] );
+    ( "symmetry",
+      [
+        Alcotest.test_case "canonical fingerprint is a quotient" `Quick
+          test_canonical_fingerprint_quotient;
+        Alcotest.test_case "swap invariance tracks the run" `Quick
+          test_swap_invariant;
+        Alcotest.test_case "prunes symmetric workloads" `Quick
+          test_sym_prunes_symmetric_workloads;
+        Alcotest.test_case "inert on id-asymmetric objects" `Quick
+          test_sym_inert_on_asymmetric_object;
+      ] );
+  ]

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the documentation.
+#
+# Scans README.md and docs/*.md for markdown links `[text](target)`,
+# skips absolute URLs (scheme://...) and pure in-page anchors (#...),
+# strips any trailing anchor from relative targets, resolves the rest
+# against the linking file's directory, and exits non-zero listing
+# every target that does not exist in the repository.
+#
+# Usage: tools/check_doc_links.sh   (from the repository root)
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+fail=0
+checked=0
+
+for f in README.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir="$(dirname "$f")"
+  # one link target per line: everything between `](` and the closing `)`
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+    *://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    case "$path" in
+    /*) resolved=".$path" ;;
+    *) resolved="$dir/$path" ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "DEAD LINK: $f -> $target (resolved: $resolved)"
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check: FAILED"
+  exit 1
+fi
+echo "docs link check: ok ($checked relative links resolved)"
