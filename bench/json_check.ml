@@ -8,22 +8,32 @@
    - "detectable-torture/v1"        — one torture run report from the
      pre-fault-model engine (still validated so archived reports keep
      checking);
-   - "detectable-torture/v2"        — one torture run report, as written
-     by `detect_cli torture --json/--report`: v1 plus the fault-model
-     and watchdog config, the budget_exhausted / engine_faults verdict
-     counters and the first_engine_fault record;
+   - "detectable-torture/v2"        — one torture run report: v1 plus
+     the fault-model and watchdog config, the budget_exhausted /
+     engine_faults verdict counters and the first_engine_fault record;
+   - "detectable-torture/v3"        — one torture run report, as written
+     by `detect_cli torture --json/--report`: v2 plus the per-campaign
+     allocation profile ("timing.alloc": minor/promoted words, minor
+     collections, bytes_per_trial);
    - "detectable-bench/torture-v1"  — a torture bench baseline
-     (`bench/main.exe --baseline`, the committed BENCH_torture.json),
-     i.e. header + one embedded torture report per campaign (either
-     report version, detected per report);
+     (`bench/main.exe --baseline`), i.e. header + one embedded torture
+     report per campaign (any report version, detected per report);
+   - "detectable-bench/torture-v2"  — v1 plus, per campaign, the "perf"
+     allocation block and the ISSUE 8 gates ("min_trials_per_sec"
+     throughput floor, "max_bytes_per_trial" allocation ceiling) — the
+     committed BENCH_torture.json;
    - "detectable-bench/fault-v1"    — the fault-model matrix baseline
      (`bench/main.exe --baseline`, the committed BENCH_fault.json):
      one cell per (object, fault model) with the five verdict counters
      and throughput;
    - "detectable-modelcheck/v1"     — a modelcheck engine baseline
-     (`bench/main.exe --baseline`, the committed BENCH_modelcheck.json):
+     (`bench/main.exe --baseline`):
      per case the engine-independent counters plus one throughput record
      per execution substrate and the measured undo/replay speedup;
+   - "detectable-modelcheck/v2"     — v1 plus, per substrate record, an
+     "alloc" block (bytes_per_node), and per case the ISSUE 8 gates
+     ("min_nodes_per_sec" undo floor, "max_bytes_per_node" allocation
+     ceiling) — the committed BENCH_modelcheck.json;
    - "detectable-lincheck/v1"       — a linearizability-checker engine
      baseline (`bench/main.exe --baseline`, the committed
      BENCH_lincheck.json): per case the engine-independent counters plus
@@ -67,9 +77,14 @@ let check_dist what d =
 
 (* one torture report; [v] selects the report version (2 adds the
    fault-model config, the extra verdict counters and
-   first_engine_fault); [top] says whether the "schema" and "timing"
-   markers are required (they are omitted for reports embedded in a
-   baseline file, whose timing lives in "perf") *)
+   first_engine_fault; 3 adds the timing.alloc block); [top] says
+   whether the "schema" and "timing" markers are required (they are
+   omitted for reports embedded in a baseline file, whose timing lives
+   in "perf") *)
+let check_alloc what a =
+  require_keys what a
+    [ "minor_words"; "promoted_words"; "minor_collections" ]
+
 let check_torture_report ?(top = true) ~v j =
   require_keys "torture report" j
     ([
@@ -102,16 +117,24 @@ let check_torture_report ?(top = true) ~v j =
      match member "first_engine_fault" j with
      | Null -> ()
      | f -> require_keys "first_engine_fault" f [ "trial"; "seed"; "msg" ]);
-  if top then
-    require_keys "torture timing" (member "timing" j)
+  if top then begin
+    let timing = member "timing" j in
+    require_keys "torture timing" timing
       ([ "elapsed_s"; "trials_per_sec"; "domains" ]
-      @ if v >= 2 then [ "shards_rescued" ] else [])
+      @ (if v >= 2 then [ "shards_rescued" ] else [])
+      @ if v >= 3 then [ "alloc" ] else []);
+    if v >= 3 then begin
+      let a = member "alloc" timing in
+      check_alloc "torture timing alloc" a;
+      require_keys "torture timing alloc" a [ "bytes_per_trial" ]
+    end
+  end
 
 (* embedded baseline reports carry no "schema" key; sniff the version
    from the config block *)
 let torture_report_version j = if mem "fault" (member "config" j) then 2 else 1
 
-let check_torture_baseline j =
+let check_torture_baseline ~v j =
   require_keys "torture baseline" j [ "root_seed"; "trials"; "campaigns" ];
   match get_list (member "campaigns" j) with
   | [] -> fail "json_check: \"campaigns\" must be a non-empty array"
@@ -121,8 +144,18 @@ let check_torture_baseline j =
           require_keys "campaign" c [ "report"; "perf" ];
           let r = member "report" c in
           check_torture_report ~top:false ~v:(torture_report_version r) r;
-          require_keys "campaign perf" (member "perf" c)
-            [ "elapsed_s"; "trials_per_sec"; "domains" ])
+          let perf = member "perf" c in
+          require_keys "campaign perf" perf
+            ([ "elapsed_s"; "trials_per_sec"; "domains" ]
+            @
+            if v >= 2 then
+              [ "alloc"; "min_trials_per_sec"; "max_bytes_per_trial" ]
+            else []);
+          if v >= 2 then begin
+            let a = member "alloc" perf in
+            check_alloc "campaign perf alloc" a;
+            require_keys "campaign perf alloc" a [ "bytes_per_trial" ]
+          end)
         campaigns
 
 let check_fault_baseline j =
@@ -144,17 +177,20 @@ let check_fault_baseline j =
             [ "elapsed_s"; "trials_per_sec"; "domains" ])
         cells
 
-let check_modelcheck_baseline j =
+let check_modelcheck_baseline ~v j =
   match get_list (member "cases" j) with
   | [] -> fail "json_check: \"cases\" must be a non-empty array"
   | cases ->
       List.iter
         (fun c ->
           require_keys "modelcheck case" c
-            [
-              "object"; "switch_budget"; "crash_budget"; "domains"; "counters";
-              "engines"; "undo_speedup"; "min_speedup";
-            ];
+            ([
+               "object"; "switch_budget"; "crash_budget"; "domains";
+               "counters"; "engines"; "undo_speedup"; "min_speedup";
+             ]
+            @
+            if v >= 2 then [ "min_nodes_per_sec"; "max_bytes_per_node" ]
+            else []);
           require_keys "modelcheck counters" (member "counters" c)
             [
               "executions"; "truncated"; "nodes"; "total_violations";
@@ -169,7 +205,12 @@ let check_modelcheck_baseline j =
                     [
                       "engine"; "elapsed_s"; "nodes_per_sec"; "rewound_cells";
                       "rewound_cells_per_sec"; "intern_hit_rate";
-                    ])
+                    ];
+                  if v >= 2 then begin
+                    let a = member "alloc" e in
+                    check_alloc "substrate alloc" a;
+                    require_keys "substrate alloc" a [ "bytes_per_node" ]
+                  end)
                 engines)
         cases
 
@@ -290,14 +331,23 @@ let () =
       | "detectable-torture/v2" ->
           check_torture_report ~v:2 j;
           print_endline "torture report: valid"
+      | "detectable-torture/v3" ->
+          check_torture_report ~v:3 j;
+          print_endline "torture report: valid"
       | "detectable-bench/torture-v1" ->
-          check_torture_baseline j;
+          check_torture_baseline ~v:1 j;
+          print_endline "torture baseline: valid"
+      | "detectable-bench/torture-v2" ->
+          check_torture_baseline ~v:2 j;
           print_endline "torture baseline: valid"
       | "detectable-bench/fault-v1" ->
           check_fault_baseline j;
           print_endline "fault baseline: valid"
       | "detectable-modelcheck/v1" ->
-          check_modelcheck_baseline j;
+          check_modelcheck_baseline ~v:1 j;
+          print_endline "modelcheck baseline: valid"
+      | "detectable-modelcheck/v2" ->
+          check_modelcheck_baseline ~v:2 j;
           print_endline "modelcheck baseline: valid"
       | "detectable-lincheck/v1" ->
           check_lincheck_baseline j;

@@ -145,6 +145,26 @@ let policy_arg =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"What the caller does after a fail verdict: retry or giveup.")
 
+let gc_conv =
+  let parse s =
+    match Dtc_util.Gc_tune.parse s with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf t = Format.pp_print_string ppf (Dtc_util.Gc_tune.to_string t) in
+  Arg.conv ~docv:"GC" (parse, print)
+
+let gc_arg =
+  Arg.(
+    value
+    & opt gc_conv Dtc_util.Gc_tune.none
+    & info [ "gc" ] ~docv:"SPEC"
+        ~doc:
+          "Per-domain GC tuning for the hot loops, e.g. \
+           $(b,minor-heap=8M,space-overhead=200) (sizes in words, k/M \
+           suffixes).  Applied inside each worker domain (and restored \
+           after sequential runs); defaults leave the runtime untouched.")
+
 let lin_engine_arg =
   let choices =
     [
@@ -287,7 +307,7 @@ let torture_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Print the merged run report as a detectable-torture/v2 JSON \
+            "Print the merged run report as a detectable-torture/v3 JSON \
              document instead of the text summary.")
   in
   let report_file =
@@ -305,7 +325,7 @@ let torture_cmd =
           ~doc:"Skip minimising the first failing trial's schedule.")
   in
   let run kind procs ops trials crash_prob max_crashes policy lin_engine seed
-      domains fault watchdog checkpoint resume json report_file no_shrink =
+      domains fault watchdog checkpoint resume json report_file no_shrink gc =
     if resume && checkpoint = None then
       `Error (false, "--resume requires --checkpoint FILE")
     else begin
@@ -324,7 +344,7 @@ let torture_cmd =
       in
       let report =
         Torture.run ~domains ~root_seed:seed ~trials ~shrink:(not no_shrink)
-          ?checkpoint ~resume spec
+          ?checkpoint ~resume ~gc spec
       in
       if json then print_string (Torture.to_json report)
       else Format.printf "%a" Torture.pp report;
@@ -359,7 +379,7 @@ let torture_cmd =
         (const run $ obj_arg $ procs_arg $ ops_arg $ trials $ crash_prob
        $ max_crashes $ policy_arg $ lin_engine_arg $ seed_arg $ domains
        $ fault $ watchdog $ checkpoint $ resume $ json $ report_file
-       $ no_shrink))
+       $ no_shrink $ gc_arg))
 
 (* trace *)
 
@@ -489,7 +509,7 @@ let modelcheck_cmd =
              over what was visited.")
   in
   let run kind procs ops switches crashes domains no_prune exact_configs engine
-      lin_engine reduction node_budget policy seed =
+      lin_engine reduction node_budget policy seed gc =
     let workloads = workloads_of_kind kind ~seed ~procs ~ops in
     let cfg =
       {
@@ -504,6 +524,7 @@ let modelcheck_cmd =
         lin_engine;
         reduction;
         node_budget;
+        gc;
       }
     in
     let out =
@@ -533,6 +554,12 @@ let modelcheck_cmd =
       "throughput: %.0f nodes/sec over %.2fs on %d domain(s), %s engine\n"
       m.Modelcheck.Explore.nodes_per_sec m.Modelcheck.Explore.elapsed_s
       m.Modelcheck.Explore.domains_used m.Modelcheck.Explore.engine;
+    Printf.printf
+      "allocation: %.0f bytes/node (%.0f minor words, %.0f promoted, %d \
+       minor GCs)\n"
+      m.Modelcheck.Explore.bytes_per_node m.Modelcheck.Explore.minor_words
+      m.Modelcheck.Explore.promoted_words
+      m.Modelcheck.Explore.minor_collections;
     if m.Modelcheck.Explore.reduction <> "none" then
       Printf.printf "reduction: %s, %d sleep-set skips, %d symmetry skips%s\n"
         m.Modelcheck.Explore.reduction m.Modelcheck.Explore.sleep_skips
@@ -625,7 +652,7 @@ let modelcheck_cmd =
       ret
         (const run $ obj_arg $ procs_arg $ ops_arg $ switches $ crashes
        $ domains $ no_prune $ exact_configs $ engine $ lin_engine_arg
-       $ reduction $ node_budget $ policy_arg $ seed_arg))
+       $ reduction $ node_budget $ policy_arg $ seed_arg $ gc_arg))
 
 (* witness *)
 

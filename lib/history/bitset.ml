@@ -40,22 +40,76 @@ let set t i =
       a.(wi) <- a.(wi) lor (1 lsl (i mod word_bits));
       Big a
 
+(* Every binary operation below dispatches on [Small, Small] first: both
+   operands in one word means pure integer arithmetic — no array, no
+   closure.  [union]/[inter] additionally return a physical operand
+   whenever the result equals it (the common case for the checker's
+   monotone lin-sets), so the fast path allocates nothing at all; only a
+   genuinely new [Small] word pays its 2-word constructor block. *)
+
 let union a b =
   match (a, b) with
-  | Small x, Small y -> Small (x lor y)
+  | Small x, Small y ->
+      if x lor y = x then a else if x lor y = y then b else Small (x lor y)
   | _ ->
       let n = max (nwords a) (nwords b) in
       Big (Array.init n (fun i -> word a i lor word b i))
 
+let inter a b =
+  match (a, b) with
+  | Small x, Small y ->
+      if x land y = x then a else if x land y = y then b else Small (x land y)
+  | _ ->
+      (* intersection never needs more words than the narrower side, but
+         keeping [nwords a] words stays length-blind like [union] *)
+      let n = max (nwords a) (nwords b) in
+      Big (Array.init n (fun i -> word a i land word b i))
+
 let subset a b =
-  let n = max (nwords a) (nwords b) in
-  let rec go i = i >= n || (word a i land lnot (word b i) = 0 && go (i + 1)) in
-  go 0
+  match (a, b) with
+  | Small x, Small y -> x land lnot y = 0
+  | _ ->
+      let n = max (nwords a) (nwords b) in
+      let rec go i =
+        i >= n || (word a i land lnot (word b i) = 0 && go (i + 1))
+      in
+      go 0
 
 let equal a b =
-  let n = max (nwords a) (nwords b) in
-  let rec go i = i >= n || (word a i = word b i && go (i + 1)) in
-  go 0
+  match (a, b) with
+  | Small x, Small y -> x = y
+  | _ ->
+      let n = max (nwords a) (nwords b) in
+      let rec go i = i >= n || (word a i = word b i && go (i + 1)) in
+      go 0
+
+(* [fold f t acc] visits member indices in ascending order.  The Small
+   path is a single-word bit scan: no array access, no allocation beyond
+   whatever [f] itself does.  [fold_word] and [ilog2] are top-level and
+   take [f] as a parameter precisely so that path builds no closure and
+   no ref cells (a local [let fold_word = ...] capturing [f] costs a
+   heap block per call without flambda). *)
+let rec ilog2 i b = if b = 1 then i else ilog2 (i + 1) (b lsr 1)
+
+let rec fold_word f base w acc =
+  if w = 0 then acc
+  else
+    let bit = w land -w in
+    fold_word f base (w land (w - 1)) (f (base + ilog2 0 bit) acc)
+
+let fold f t acc =
+  match t with
+  | Small w -> fold_word f 0 w acc
+  | Big a ->
+      let n = Array.length a in
+      let rec go k acc =
+        if k >= n then acc
+        else
+          let w = a.(k) in
+          go (k + 1)
+            (if w = 0 then acc else fold_word f (k * word_bits) w acc)
+      in
+      go 0 acc
 
 (* Representation-independent: trailing zero words contribute nothing, a
    nonzero word contributes (index, word), so [Small w] and any

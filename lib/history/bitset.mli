@@ -29,11 +29,27 @@ val set : t -> int -> t
 (** [set t i] is [t] with index [i] added (functional; [t] unchanged). *)
 
 val union : t -> t -> t
+(** Allocation-free when both operands are [Small] and one already
+    contains the other (the physical operand is returned); otherwise a
+    [Small]/[Small] union stays [Small]. *)
+
+val inter : t -> t -> t
+(** Set intersection, with the same [Small]-in/[Small]-out guarantee and
+    operand-reuse fast path as {!union}. *)
 
 val subset : t -> t -> bool
-(** [subset a b] iff every index of [a] is in [b]. *)
+(** [subset a b] iff every index of [a] is in [b].  [Small]/[Small] is a
+    single word test. *)
 
 val equal : t -> t -> bool
+(** [Small]/[Small] is one integer compare (the representation invariant
+    — a [Big] is never demoted and [Small]/[Big] compare through
+    zero-padding — keeps this sound). *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t acc] folds [f] over the member indices in ascending order.
+    The [Small] path is a single-word bit scan that allocates nothing
+    itself. *)
 
 val hash : t -> int
 (** Mixes every nonzero word with its position ({!Nvm.Value.mix}), so

@@ -2,70 +2,136 @@ open Nvm
 
 type mode = Fingerprint | Exact
 
+(* Open-addressed set of fingerprint pairs over two flat int arrays.
+   [add_live] runs at every DFS node of the explorer, and a Hashtbl
+   keyed on [(int * int)] paid a pair allocation plus a polymorphic
+   hash traversal per probe; here membership is two array reads per
+   probe step and insertion allocates nothing.  The probe index mixes
+   both halves, the slot stores both, so equality stays the full
+   126-bit pair — no weakening of the collision guarantee. *)
+module Pair_set = struct
+  type t = {
+    mutable ka : int array;  (* first halves; [empty] marks a free slot *)
+    mutable kb : int array;
+    mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+    mutable count : int;
+  }
+
+  (* Fingerprint halves range over all of [int], so one value must be
+     sacrificed as the free-slot marker: a first half equal to [empty]
+     is nudged up by one in [sanitize].  This merges pairs that differ
+     only in that one bit of one half — a 2^-126 artefact, far below
+     the scheme's own collision odds. *)
+  let empty = min_int
+
+  let sanitize fa = if fa = empty then empty + 1 else fa
+
+  let create cap =
+    {
+      ka = Array.make cap empty;
+      kb = Array.make cap 0;
+      mask = cap - 1;
+      count = 0;
+    }
+
+  (* slot holding [(fa, fb)], or the free slot where it would go *)
+  let rec probe s fa fb i =
+    let a = s.ka.(i) in
+    if a = empty || (a = fa && s.kb.(i) = fb) then i
+    else probe s fa fb ((i + 1) land s.mask)
+
+  let grow s =
+    let old_ka = s.ka and old_kb = s.kb in
+    let cap = 2 * (s.mask + 1) in
+    s.ka <- Array.make cap empty;
+    s.kb <- Array.make cap 0;
+    s.mask <- cap - 1;
+    Array.iteri
+      (fun i a ->
+        if a <> empty then begin
+          let b = old_kb.(i) in
+          let j = probe s a b (Value.mix a b land s.mask) in
+          s.ka.(j) <- a;
+          s.kb.(j) <- b
+        end)
+      old_ka
+
+  (* true iff the pair was new *)
+  let add s fa fb =
+    let fa = sanitize fa in
+    if 2 * (s.count + 1) > s.mask + 1 then grow s;
+    let i = probe s fa fb (Value.mix fa fb land s.mask) in
+    if s.ka.(i) = empty then begin
+      s.ka.(i) <- fa;
+      s.kb.(i) <- fb;
+      s.count <- s.count + 1;
+      true
+    end
+    else false
+
+  let iter f s =
+    Array.iteri (fun i a -> if a <> empty then f a s.kb.(i)) s.ka
+end
+
 type t = {
   mode : mode;
-  fps : (int * int, unit) Hashtbl.t;
+  fps : Pair_set.t;
   (* Exact mode only: full snapshots bucketed by fingerprint, so a
      fingerprint collision between non-memory-equivalent configurations
      is caught and counted instead of silently merging them. *)
   exact : (int * int, Mem.snapshot list) Hashtbl.t;
-  mutable count : int;
   mutable collisions : int;
 }
 
 let create ?(mode = Fingerprint) () =
   {
     mode;
-    fps = Hashtbl.create 1024;
+    fps = Pair_set.create 1024;
     exact = Hashtbl.create (match mode with Exact -> 1024 | Fingerprint -> 1);
-    count = 0;
     collisions = 0;
   }
 
 let mode set = set.mode
 
-let insert_fp set fp =
-  if Hashtbl.mem set.fps fp then false
-  else begin
-    Hashtbl.replace set.fps fp ();
-    set.count <- set.count + 1;
-    true
-  end
+let insert_fp set fa fb = Pair_set.add set.fps fa fb
 
-let insert_exact set fp snap =
+let insert_exact set ((fa, fb) as fp) snap =
   let bucket = try Hashtbl.find set.exact fp with Not_found -> [] in
   if List.exists (Mem.equal_shared snap) bucket then false
   else begin
     if bucket <> [] then set.collisions <- set.collisions + 1;
     Hashtbl.replace set.exact fp (snap :: bucket);
-    Hashtbl.replace set.fps fp ();
-    set.count <- set.count + 1;
+    ignore (insert_fp set fa fb : bool);
     true
   end
 
 let insert set snap =
-  let fp = Mem.fingerprint_shared snap in
+  let fa, fb = Mem.fingerprint_shared snap in
   match set.mode with
-  | Fingerprint -> insert_fp set fp
-  | Exact -> insert_exact set fp snap
+  | Fingerprint -> insert_fp set fa fb
+  | Exact -> insert_exact set (fa, fb) snap
 
 let add set snap = ignore (insert set snap : bool)
 
 let add_live set mem =
   match set.mode with
-  | Fingerprint -> insert_fp set (Mem.live_fingerprint_shared mem)
+  | Fingerprint ->
+      insert_fp set (Mem.live_shared_a mem) (Mem.live_shared_b mem)
   | Exact ->
       let snap = Mem.snapshot mem in
       insert_exact set (Mem.fingerprint_shared snap) snap
 
-let cardinal set = set.count
+(* In exact mode collisions make the snapshot count authoritative: a
+   colliding pair occupies ONE pair-set slot but counts as two distinct
+   configurations. *)
+let cardinal set = set.fps.Pair_set.count + set.collisions
 
 let collisions set = set.collisions
 
 let merge_into ~dst ~src =
   match (dst.mode, src.mode) with
   | Fingerprint, _ ->
-      Hashtbl.iter (fun fp () -> ignore (insert_fp dst fp : bool)) src.fps
+      Pair_set.iter (fun fa fb -> ignore (insert_fp dst fa fb : bool)) src.fps
   | Exact, Exact ->
       Hashtbl.iter
         (fun fp bucket ->

@@ -32,6 +32,7 @@ type config = {
   lin_engine : Lin_check.engine;
   reduction : reduction;
   node_budget : int;
+  gc : Dtc_util.Gc_tune.t;
 }
 
 (* the wipe actually applied at a Crash decision: an explicit fault
@@ -55,6 +56,7 @@ let default_config =
     lin_engine = `Incremental;
     reduction = `None;
     node_budget = 0;
+    gc = Dtc_util.Gc_tune.none;
   }
 
 let engine_name = function `Replay -> "replay" | `Undo -> "undo"
@@ -140,6 +142,10 @@ type metrics = {
   reduction : string;
   sleep_skips : int;
   sym_skips : int;
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  bytes_per_node : float;
 }
 
 type outcome = {
@@ -158,13 +164,78 @@ type outcome = {
    node's own replay, which every hit performs anyway to learn the
    state).  Adding a cached summary instead of re-exploring reproduces
    the unpruned counters exactly — pruning changes [nodes] (physical
-   replays) but never [executions]/[truncated]/[total_violations]. *)
-type subtree = {
-  d_nodes : int;  (* logical nodes strictly below (replayed + saved) *)
-  d_execs : int;
-  d_trunc : int;
-  d_viols : int;
-}
+   replays) but never [executions]/[truncated]/[total_violations].
+
+   The table is open-addressed over flat int arrays (keys plus 4-int
+   payload slots: logical nodes strictly below, executions, truncated,
+   violations) instead of a Hashtbl: the memo is probed at every node
+   and extended at every miss, and the Hashtbl's bucket conses +
+   per-entry summary records were the hot loop's largest remaining
+   allocation.  Keys are the sign-masked {!mk_key} words, so [-1] is
+   free to mark empty slots, and they are already uniformly mixed, so
+   [key land mask] indexes directly — no hash call on the probe. *)
+module Memo_tbl = struct
+  type t = {
+    mutable keys : int array;  (* [empty] marks a free slot *)
+    mutable vals : int array;  (* 4 ints per slot: nodes/execs/trunc/viols *)
+    mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+    mutable count : int;
+  }
+
+  let empty = -1
+
+  let create cap =
+    {
+      keys = Array.make cap empty;
+      vals = Array.make (4 * cap) 0;
+      mask = cap - 1;
+      count = 0;
+    }
+
+  let length t = t.count
+
+  (* slot holding [k], or the free slot where it would go *)
+  let rec probe keys mask k i =
+    let ki = keys.(i) in
+    if ki = k || ki = empty then i else probe keys mask k ((i + 1) land mask)
+
+  let find t k =
+    let i = probe t.keys t.mask k (k land t.mask) in
+    if t.keys.(i) = k then i else -1
+
+  let nodes_at t i = t.vals.(4 * i)
+  let execs_at t i = t.vals.((4 * i) + 1)
+  let trunc_at t i = t.vals.((4 * i) + 2)
+  let viols_at t i = t.vals.((4 * i) + 3)
+
+  let grow t =
+    let old_keys = t.keys and old_vals = t.vals in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap empty;
+    t.vals <- Array.make (4 * cap) 0;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k <> empty then begin
+          let j = probe t.keys t.mask k (k land t.mask) in
+          t.keys.(j) <- k;
+          Array.blit old_vals (4 * i) t.vals (4 * j) 4
+        end)
+      old_keys
+
+  let set t k ~nodes ~execs ~trunc ~viols =
+    if 2 * (t.count + 1) > t.mask + 1 then grow t;
+    let i = probe t.keys t.mask k (k land t.mask) in
+    if t.keys.(i) = empty then begin
+      t.keys.(i) <- k;
+      t.count <- t.count + 1
+    end;
+    let b = 4 * i in
+    t.vals.(b) <- nodes;
+    t.vals.(b + 1) <- execs;
+    t.vals.(b + 2) <- trunc;
+    t.vals.(b + 3) <- viols
+end
 
 (* Visited-set key: full-memory fingerprint (private NVM drives
    recovery, so shared cells alone would merge states with different
@@ -178,19 +249,38 @@ type subtree = {
    committed counter — is unchanged): the sleep-set pid mask (a slept
    subtree summary must not be replayed at a sleep-free revisit), and,
    under symmetry, the ever-stepped pid mask (interchangeability of two
-   processes depends on neither having stepped on the path). *)
-type key = int * int * int * int * int * int * int * int
+   processes depends on neither having stepped on the path).
+
+   The components are mixed into ONE 63-bit word rather than kept as a
+   tuple: hashing and chain-comparing an 8-field boxed tuple was the
+   single most expensive line of the hot loop (polymorphic hash
+   traverses the tuple on every probe), while an immediate-int key
+   probes in O(1) words.  The digest and memory fingerprints are
+   already 63-bit hashes, so the memo was always exact only up to hash
+   collisions; mixing adds nothing new in kind, and the bench --compare
+   gate pins the resulting counters against the committed baselines
+   exactly. *)
+(* [land max_int] drops the sign bit so [Memo_tbl.empty = -1] can never
+   be a real key; 62 bits of key keep the collision odds negligible. *)
+let mk_key ~fa ~fb ~dg ~c ~switches ~crashes ~smask ~stepped =
+  let m = Value.mix in
+  m (m (m (m (m (m (m fa fb) dg) c) switches) crashes) smask) stepped
+  land max_int
 
 type state = {
   cfg : config;
   mk : unit -> Runtime.Machine.t * Obj_inst.t;
   workloads : Spec.op list array;
   configs : Config_set.t;
-  visited : (key, subtree) Hashtbl.t;
-  depth_hist : (int, int) Hashtbl.t;
-  journal_hist : (int, int) Hashtbl.t;
+  visited : Memo_tbl.t;
+  (* Histograms are dense int arrays indexed by bucket — a Hashtbl
+     bump per node was measurable allocation in the hot loop.
+     [depth_hist] grows on demand; the log2-bucketed ones are bounded
+     by the word size. *)
+  mutable depth_hist : int array;
+  journal_hist : int array;
       (* undo engine: log2-bucketed journal depth sampled at each node *)
-  frontier_hist : (int, int) Hashtbl.t;
+  frontier_hist : int array;
       (* incremental checker: log2-bucketed frontier size per node *)
   mutable lin : Lin_check.Session.t option;
       (* the one incremental checker session, synced along the decision
@@ -213,6 +303,16 @@ type state = {
   mutable sleep_skips : int;  (* children pruned by the sleep set *)
   mutable sym_skips : int;  (* children pruned by symmetry *)
   mutable capped : bool;  (* node budget exhausted; counters are partial *)
+  mutable alloc : Dtc_util.Alloc_stats.delta;
+      (* GC-counter delta attributable to this state's worker *)
+  mutable rbufs : int array array;
+      (* per-depth runnable-pid buffers: slot [d] is reused by every
+         node at depth [d] (safe — recursion only visits deeper slots
+         while a node's buffer is live) *)
+  mutable mbufs : Session.mark_buf array;
+      (* per-depth pooled session marks for the undo engine, same
+         reuse discipline; distinct buffers in slots 0..mbufs_n-1 *)
+  mutable mbufs_n : int;
   n_procs : int;
   wl_class : int array;
       (* wl_class.(p) = least q with workloads.(q) = workloads.(p):
@@ -229,10 +329,10 @@ let mk_state cfg mk workloads =
       Config_set.create
         ~mode:(if cfg.exact_configs then Config_set.Exact else Config_set.Fingerprint)
         ();
-    visited = Hashtbl.create 4096;
-    depth_hist = Hashtbl.create 64;
-    journal_hist = Hashtbl.create 16;
-    frontier_hist = Hashtbl.create 16;
+    visited = Memo_tbl.create 65536;
+    depth_hist = Array.make 64 0;
+    journal_hist = Array.make 64 0;
+    frontier_hist = Array.make 64 0;
     lin = None;
     leaf_checks = 0;
     lin_pushed = 0;
@@ -251,6 +351,10 @@ let mk_state cfg mk workloads =
     sleep_skips = 0;
     sym_skips = 0;
     capped = false;
+    alloc = Dtc_util.Alloc_stats.zero;
+    rbufs = [||];
+    mbufs = [||];
+    mbufs_n = 0;
     n_procs;
     wl_class =
       Array.init n_procs (fun p ->
@@ -260,8 +364,53 @@ let mk_state cfg mk workloads =
           first 0);
   }
 
-let bump tbl k =
-  Hashtbl.replace tbl k (1 + try Hashtbl.find tbl k with Not_found -> 0)
+
+(* log2-bucketed histograms fit in 64 slots by construction *)
+let bump_fixed (h : int array) b = h.(b) <- h.(b) + 1
+
+let bump_depth st d =
+  let h = st.depth_hist in
+  if d < Array.length h then h.(d) <- h.(d) + 1
+  else begin
+    let b = Array.make (max (d + 1) (2 * Array.length h)) 0 in
+    Array.blit h 0 b 0 (Array.length h);
+    b.(d) <- 1;
+    st.depth_hist <- b
+  end
+
+let get_rbuf st depth =
+  if depth >= Array.length st.rbufs then begin
+    let b = Array.make (max (depth + 1) ((2 * Array.length st.rbufs) + 8)) [||] in
+    Array.blit st.rbufs 0 b 0 (Array.length st.rbufs);
+    st.rbufs <- b
+  end;
+  if Array.length st.rbufs.(depth) < st.n_procs then
+    st.rbufs.(depth) <- Array.make st.n_procs 0;
+  st.rbufs.(depth)
+
+let get_mbuf st session depth =
+  if depth >= Array.length st.mbufs then begin
+    let b =
+      Array.make
+        (max (depth + 1) ((2 * Array.length st.mbufs) + 8))
+        (Session.make_mark_buf session)
+    in
+    Array.blit st.mbufs 0 b 0 st.mbufs_n;
+    st.mbufs <- b
+  end;
+  (* slots past [mbufs_n] alias the growth filler: materialise distinct
+     buffers up to [depth] before handing one out *)
+  while st.mbufs_n <= depth do
+    st.mbufs.(st.mbufs_n) <- Session.make_mark_buf session;
+    st.mbufs_n <- st.mbufs_n + 1
+  done;
+  st.mbufs.(depth)
+
+(* ascending-index scan membership over the filled prefix of a runnable
+   buffer — the allocation-free [List.mem] of the hot loop *)
+let buf_mem buf n x =
+  let rec go i = i < n && (buf.(i) = x || go (i + 1)) in
+  go 0
 
 (* [decisions] is kept newest-first during the DFS; replay applies it
    oldest-first. *)
@@ -318,7 +467,8 @@ let lin_enter st ~inst ~session ~hlen =
         (take_rev (here - hlen) (Session.events_rev session));
       st.lin_pushed <- st.lin_pushed + (here - hlen);
       st.lin_elapsed <- st.lin_elapsed +. (Unix.gettimeofday () -. t0);
-      bump st.frontier_hist (log2_bucket (Lin_check.Session.frontier_size ls));
+      bump_fixed st.frontier_hist
+        (log2_bucket (Lin_check.Session.frontier_size ls));
       Some (ls, m)
 
 let lin_leave st = function
@@ -349,6 +499,9 @@ let leaf_verdict st ~inst ~session =
       st.lin_elapsed <- st.lin_elapsed +. (Unix.gettimeofday () -. t0);
       v
 
+(* [decisions] arrives newest-first (the DFS stack as-is); it is only
+   materialised oldest-first when a violation sample is actually kept,
+   so the common all-green leaf allocates no reversed copy. *)
 let record_execution st ~decisions ~inst ~session ~truncated =
   if truncated then st.truncated <- st.truncated + 1
   else st.executions <- st.executions + 1;
@@ -358,7 +511,9 @@ let record_execution st ~decisions ~inst ~session ~truncated =
       st.n_violations <- st.n_violations + 1;
       if List.length st.violations < st.cfg.max_violations then
         st.violations <-
-          { decisions; history = Session.history session; msg }
+          { decisions = List.rev decisions;
+            history = Session.history session;
+            msg }
           :: st.violations
 
 (* DFS over decision sequences: [cur] is the running process (switching
@@ -375,7 +530,7 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
   if st.cfg.node_budget > 0 && st.nodes >= st.cfg.node_budget then
     raise Node_cap;
   st.nodes <- st.nodes + 1;
-  bump st.depth_hist depth;
+  bump_depth st depth;
   let machine, inst, session = replay st decisions in
   ignore (Config_set.add_live st.configs (Runtime.Machine.mem machine) : bool);
   let here = Session.event_count session in
@@ -390,21 +545,24 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
       let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
       let c = match cur with None -> -1 | Some pid -> pid in
       Some
-        ((fa, fb, Session.state_digest session, c, switches, crashes,
-          sleep_mask sleep, if sym_active then stepped else 0)
-          : key)
+        (mk_key ~fa ~fb ~dg:(Session.state_digest session) ~c ~switches
+           ~crashes ~smask:(sleep_mask sleep)
+           ~stepped:(if sym_active then stepped else 0))
     end
     else None
   in
-  (match key with
-  | Some k when Hashtbl.mem st.visited k ->
-      let d = Hashtbl.find st.visited k in
-      st.dedup_hits <- st.dedup_hits + 1;
-      st.nodes_saved <- st.nodes_saved + d.d_nodes;
-      st.executions <- st.executions + d.d_execs;
-      st.truncated <- st.truncated + d.d_trunc;
-      st.n_violations <- st.n_violations + d.d_viols
-  | _ ->
+  let mslot =
+    match key with Some k -> Memo_tbl.find st.visited k | None -> -1
+  in
+  (if mslot >= 0 then begin
+     let v = st.visited in
+     st.dedup_hits <- st.dedup_hits + 1;
+     st.nodes_saved <- st.nodes_saved + Memo_tbl.nodes_at v mslot;
+     st.executions <- st.executions + Memo_tbl.execs_at v mslot;
+     st.truncated <- st.truncated + Memo_tbl.trunc_at v mslot;
+     st.n_violations <- st.n_violations + Memo_tbl.viols_at v mslot
+   end
+   else begin
       let nodes0 = st.nodes
       and saved0 = st.nodes_saved
       and execs0 = st.executions
@@ -413,11 +571,9 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
       let lm = lin_enter st ~inst ~session ~hlen in
       let runnable = Session.runnable session in
       if runnable = [] then
-        record_execution st ~decisions:(List.rev decisions) ~inst ~session
-          ~truncated:false
+        record_execution st ~decisions ~inst ~session ~truncated:false
       else if Session.steps session >= st.cfg.max_steps then
-        record_execution st ~decisions:(List.rev decisions) ~inst ~session
-          ~truncated:true
+        record_execution st ~decisions ~inst ~session ~truncated:true
       else begin
         (* crash move: dependent with everything, so it is never slept
            and its child starts with an empty sleep set *)
@@ -428,7 +584,7 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
               : int);
         (* step moves *)
         let sleep = ref sleep in
-        let explored = ref [] in
+        let explored = ref 0 (* pid mask; reduction is off past 62 procs *) in
         List.iter
           (fun pid ->
             (* only a preemption costs budget: switching away from a process
@@ -449,7 +605,7 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
                        q < pid
                        && stepped land (1 lsl q) = 0
                        && st.wl_class.(q) = st.wl_class.(pid)
-                       && List.mem q !explored
+                       && !explored land (1 lsl q) <> 0
                        && Sym.swap_invariant ~n:st.n_procs
                             (Runtime.Machine.mem machine) pid q)
                      runnable
@@ -470,7 +626,7 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
                     ~stepped:(stepped lor (1 lsl pid))
                     (Some pid) (switches + cost) crashes
                 in
-                explored := pid :: !explored;
+                explored := !explored lor (1 lsl pid);
                 match req with
                 | Some r when child_here = here && sleepable r ->
                     sleep := (pid, r) :: !sleep
@@ -480,16 +636,15 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
           runnable
       end;
       lin_leave st lm;
-      (match key with
+      match key with
       | Some k ->
-          Hashtbl.replace st.visited k
-            {
-              d_nodes = st.nodes - nodes0 + (st.nodes_saved - saved0);
-              d_execs = st.executions - execs0;
-              d_trunc = st.truncated - trunc0;
-              d_viols = st.n_violations - viols0;
-            }
-      | None -> ()));
+          Memo_tbl.set st.visited k
+            ~nodes:(st.nodes - nodes0 + (st.nodes_saved - saved0))
+            ~execs:(st.executions - execs0)
+            ~trunc:(st.truncated - trunc0)
+            ~viols:(st.n_violations - viols0)
+      | None -> ()
+   end);
   here
 
 (* ---- undo engine ----------------------------------------------------
@@ -508,8 +663,9 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
   if st.cfg.node_budget > 0 && st.nodes >= st.cfg.node_budget then
     raise Node_cap;
   st.nodes <- st.nodes + 1;
-  bump st.depth_hist depth;
-  bump st.journal_hist (log2_bucket (Mem.journal_depth (Runtime.Machine.mem machine)));
+  bump_depth st depth;
+  bump_fixed st.journal_hist
+    (log2_bucket (Mem.journal_depth (Runtime.Machine.mem machine)));
   ignore (Config_set.add_live st.configs (Runtime.Machine.mem machine) : bool);
   let red = st.cfg.reduction in
   let sym_active =
@@ -519,24 +675,28 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
   in
   let key =
     if st.cfg.prune then begin
-      let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
+      let m = Runtime.Machine.mem machine in
       let c = match cur with None -> -1 | Some pid -> pid in
       Some
-        ((fa, fb, Session.state_digest session, c, switches, crashes,
-          sleep_mask sleep, if sym_active then stepped else 0)
-          : key)
+        (mk_key ~fa:(Mem.live_full_a m) ~fb:(Mem.live_full_b m)
+           ~dg:(Session.state_digest session) ~c ~switches ~crashes
+           ~smask:(sleep_mask sleep)
+           ~stepped:(if sym_active then stepped else 0))
     end
     else None
   in
-  match key with
-  | Some k when Hashtbl.mem st.visited k ->
-      let d = Hashtbl.find st.visited k in
-      st.dedup_hits <- st.dedup_hits + 1;
-      st.nodes_saved <- st.nodes_saved + d.d_nodes;
-      st.executions <- st.executions + d.d_execs;
-      st.truncated <- st.truncated + d.d_trunc;
-      st.n_violations <- st.n_violations + d.d_viols
-  | _ ->
+  let mslot =
+    match key with Some k -> Memo_tbl.find st.visited k | None -> -1
+  in
+  if mslot >= 0 then begin
+    let v = st.visited in
+    st.dedup_hits <- st.dedup_hits + 1;
+    st.nodes_saved <- st.nodes_saved + Memo_tbl.nodes_at v mslot;
+    st.executions <- st.executions + Memo_tbl.execs_at v mslot;
+    st.truncated <- st.truncated + Memo_tbl.trunc_at v mslot;
+    st.n_violations <- st.n_violations + Memo_tbl.viols_at v mslot
+  end
+  else begin
       let nodes0 = st.nodes
       and saved0 = st.nodes_saved
       and execs0 = st.executions
@@ -544,107 +704,115 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
       and viols0 = st.n_violations in
       let here = Session.event_count session in
       let lm = lin_enter st ~inst ~session ~hlen in
-      let runnable = Session.runnable session in
-      if runnable = [] then
-        record_execution st ~decisions:(List.rev decisions) ~inst ~session
-          ~truncated:false
+      let rbuf = get_rbuf st depth in
+      let n_run = Session.runnable_into session rbuf in
+      if n_run = 0 then
+        record_execution st ~decisions ~inst ~session ~truncated:false
       else if Session.steps session >= st.cfg.max_steps then
-        record_execution st ~decisions:(List.rev decisions) ~inst ~session
-          ~truncated:true
+        record_execution st ~decisions ~inst ~session ~truncated:true
       else begin
         (* crash move: dependent with everything, so it is never slept
            and its child starts with an empty sleep set *)
         if crashes < st.cfg.crash_budget then begin
-          let m = Session.mark session in
+          let mb = get_mbuf st session depth in
+          Session.mark_into session mb;
           Session.crash_wipe session (config_wipe st.cfg);
           dfs_undo st session machine inst (Crash :: decisions)
             ~depth:(depth + 1) ~hlen:here ~sleep:[] ~stepped None switches
             (crashes + 1);
-          Session.rewind session m
+          Session.rewind_buf session mb
         end;
         (* step moves *)
         let sleep = ref sleep in
-        let explored = ref [] in
-        List.iter
-          (fun pid ->
-            (* only a preemption costs budget: switching away from a process
-               that finished (or crashed) is free *)
-            let cost =
-              match cur with
-              | None -> 0
-              | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
-            in
-            if switches + cost <= st.cfg.switch_budget then begin
-              if red <> `None && List.mem_assoc pid !sleep then
-                st.sleep_skips <- st.sleep_skips + 1
-              else if
-                sym_active
-                && stepped land (1 lsl pid) = 0
-                && List.exists
-                     (fun q ->
-                       q < pid
-                       && stepped land (1 lsl q) = 0
-                       && st.wl_class.(q) = st.wl_class.(pid)
-                       && List.mem q !explored
-                       && Sym.swap_invariant ~n:st.n_procs
-                            (Runtime.Machine.mem machine) pid q)
-                     runnable
-              then st.sym_skips <- st.sym_skips + 1
-              else begin
-                let req =
-                  if red <> `None then Session.pending_request session pid
-                  else None
-                in
-                let child_sleep =
-                  match req with
-                  | Some r -> List.filter (fun (_, r') -> independent r r') !sleep
-                  | None -> []
-                in
-                let m = Session.mark session in
-                Session.step session pid;
-                let silent = Session.event_count session = here in
-                dfs_undo st session machine inst (Step pid :: decisions)
-                  ~depth:(depth + 1) ~hlen:here ~sleep:child_sleep
-                  ~stepped:(stepped lor (1 lsl pid))
-                  (Some pid) (switches + cost) crashes;
-                Session.rewind session m;
-                explored := pid :: !explored;
+        let explored = ref 0 (* pid mask; reduction is off past 62 procs *) in
+        for ri = 0 to n_run - 1 do
+          let pid = rbuf.(ri) in
+          (* only a preemption costs budget: switching away from a process
+             that finished (or crashed) is free *)
+          let cost =
+            match cur with
+            | None -> 0
+            | Some c -> if c = pid || not (buf_mem rbuf n_run c) then 0 else 1
+          in
+          if switches + cost <= st.cfg.switch_budget then begin
+            if red <> `None && List.mem_assoc pid !sleep then
+              st.sleep_skips <- st.sleep_skips + 1
+            else if
+              sym_active
+              && stepped land (1 lsl pid) = 0
+              && (let rec any q =
+                    q < n_run
+                    && ((let j = rbuf.(q) in
+                         j < pid
+                         && stepped land (1 lsl j) = 0
+                         && st.wl_class.(j) = st.wl_class.(pid)
+                         && !explored land (1 lsl j) <> 0
+                         && Sym.swap_invariant ~n:st.n_procs
+                              (Runtime.Machine.mem machine) pid j)
+                       || any (q + 1))
+                  in
+                  any 0)
+            then st.sym_skips <- st.sym_skips + 1
+            else begin
+              let req =
+                if red <> `None then Session.pending_request session pid
+                else None
+              in
+              let child_sleep =
                 match req with
-                | Some r when silent && sleepable r ->
-                    sleep := (pid, r) :: !sleep
-                | _ -> ()
-              end
-            end)
-          runnable
+                | Some r -> List.filter (fun (_, r') -> independent r r') !sleep
+                | None -> []
+              in
+              let mb = get_mbuf st session depth in
+              Session.mark_into session mb;
+              Session.step session pid;
+              let silent = Session.event_count session = here in
+              dfs_undo st session machine inst (Step pid :: decisions)
+                ~depth:(depth + 1) ~hlen:here ~sleep:child_sleep
+                ~stepped:(stepped lor (1 lsl pid))
+                (Some pid) (switches + cost) crashes;
+              Session.rewind_buf session mb;
+              explored := !explored lor (1 lsl pid);
+              match req with
+              | Some r when silent && sleepable r ->
+                  sleep := (pid, r) :: !sleep
+              | _ -> ()
+            end
+          end
+        done
       end;
       lin_leave st lm;
-      (match key with
+      match key with
       | Some k ->
-          Hashtbl.replace st.visited k
-            {
-              d_nodes = st.nodes - nodes0 + (st.nodes_saved - saved0);
-              d_execs = st.executions - execs0;
-              d_trunc = st.truncated - trunc0;
-              d_viols = st.n_violations - viols0;
-            }
-      | None -> ())
+          Memo_tbl.set st.visited k
+            ~nodes:(st.nodes - nodes0 + (st.nodes_saved - saved0))
+            ~execs:(st.executions - execs0)
+            ~trunc:(st.truncated - trunc0)
+            ~viols:(st.n_violations - viols0)
+      | None -> ()
+  end
 
 (* Merge worker states (worker order, so results are deterministic for a
    fixed [domains]) into the final outcome. *)
 let finish ~t0 ~domains_used sts =
   let base = List.hd sts in
-  let merge_hist dst src =
-    Hashtbl.iter
-      (fun k n ->
-        Hashtbl.replace dst k (n + try Hashtbl.find dst k with Not_found -> 0))
-      src
+  let merge_fixed (dst : int array) (src : int array) =
+    for i = 0 to Array.length src - 1 do
+      dst.(i) <- dst.(i) + src.(i)
+    done
   in
   List.iter
     (fun st ->
       Config_set.merge_into ~dst:base.configs ~src:st.configs;
-      merge_hist base.depth_hist st.depth_hist;
-      merge_hist base.journal_hist st.journal_hist;
-      merge_hist base.frontier_hist st.frontier_hist)
+      (if Array.length st.depth_hist > Array.length base.depth_hist then begin
+         let b = Array.make (Array.length st.depth_hist) 0 in
+         Array.blit base.depth_hist 0 b 0 (Array.length base.depth_hist);
+         base.depth_hist <- b
+       end);
+      merge_fixed base.depth_hist st.depth_hist;
+      merge_fixed base.journal_hist st.journal_hist;
+      merge_fixed base.frontier_hist st.frontier_hist;
+      base.alloc <- Dtc_util.Alloc_stats.add base.alloc st.alloc)
     (List.tl sts);
   let sum f = List.fold_left (fun acc st -> acc + f st) 0 sts in
   let sumf f = List.fold_left (fun acc st -> acc +. f st) 0. sts in
@@ -661,9 +829,16 @@ let finish ~t0 ~domains_used sts =
     let all = List.concat_map (fun st -> List.rev st.violations) sts in
     List.filteri (fun i _ -> i < base.cfg.max_violations) all
   in
-  let sorted_hist tbl =
-    Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort compare
+  (* same (bucket, count) ascending assoc shape the Hashtbl version
+     produced: zero buckets are skipped *)
+  let sorted_hist (h : int array) =
+    let acc = ref [] in
+    for i = Array.length h - 1 downto 0 do
+      if h.(i) <> 0 then acc := (i, h.(i)) :: !acc
+    done;
+    !acc
   in
+  let alloc = base.alloc in
   {
     executions = sum (fun st -> st.executions);
     truncated = sum (fun st -> st.truncated);
@@ -677,7 +852,7 @@ let finish ~t0 ~domains_used sts =
         engine = engine_name base.cfg.engine;
         dedup_hits = sum (fun st -> st.dedup_hits);
         nodes_saved = sum (fun st -> st.nodes_saved);
-        peak_visited = sum (fun st -> Hashtbl.length st.visited);
+        peak_visited = sum (fun st -> Memo_tbl.length st.visited);
         fingerprint_collisions = Config_set.collisions base.configs;
         elapsed_s;
         nodes_per_sec = float_of_int nodes /. Float.max elapsed_s 1e-9;
@@ -706,6 +881,10 @@ let finish ~t0 ~domains_used sts =
         reduction = reduction_name base.cfg.reduction;
         sleep_skips = sum (fun st -> st.sleep_skips);
         sym_skips = sum (fun st -> st.sym_skips);
+        minor_words = alloc.Dtc_util.Alloc_stats.d_minor_words;
+        promoted_words = alloc.Dtc_util.Alloc_stats.d_promoted_words;
+        minor_collections = alloc.Dtc_util.Alloc_stats.d_minor_collections;
+        bytes_per_node = Dtc_util.Alloc_stats.bytes_per alloc nodes;
       };
   }
 
@@ -719,25 +898,39 @@ let with_intern_stats st f =
   st.intern_misses <- st.intern_misses + (m1 - m0);
   r
 
+(* Attribute the calling domain's allocation over [f ()] to [st]. *)
+let with_alloc_stats st f =
+  let r, d = Dtc_util.Alloc_stats.measure f in
+  st.alloc <- Dtc_util.Alloc_stats.add st.alloc d;
+  r
+
 let explore_sequential ~t0 ~mk ~workloads cfg =
   let st = mk_state cfg mk workloads in
-  with_intern_stats st (fun () ->
-      try ignore (dfs st [] ~depth:0 ~hlen:0 ~sleep:[] ~stepped:0 None 0 0 : int)
-      with Node_cap -> st.capped <- true);
+  Dtc_util.Gc_tune.with_applied cfg.gc (fun () ->
+      with_alloc_stats st (fun () ->
+          with_intern_stats st (fun () ->
+              try
+                ignore
+                  (dfs st [] ~depth:0 ~hlen:0 ~sleep:[] ~stepped:0 None 0 0
+                    : int)
+              with Node_cap -> st.capped <- true)));
   finish ~t0 ~domains_used:1 [ st ]
 
 let explore_undo_sequential ~t0 ~mk ~workloads cfg =
   let st = mk_state cfg mk workloads in
-  with_intern_stats st (fun () ->
-      let machine, inst = mk () in
-      let session =
-        Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
-      in
-      (try
-         dfs_undo st session machine inst [] ~depth:0 ~hlen:0 ~sleep:[]
-           ~stepped:0 None 0 0
-       with Node_cap -> st.capped <- true);
-      st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine));
+  Dtc_util.Gc_tune.with_applied cfg.gc (fun () ->
+      with_alloc_stats st (fun () ->
+          with_intern_stats st (fun () ->
+              let machine, inst = mk () in
+              let session =
+                Session.create ~policy:cfg.policy ~undo:true machine inst
+                  ~workloads
+              in
+              (try
+                 dfs_undo st session machine inst [] ~depth:0 ~hlen:0 ~sleep:[]
+                   ~stepped:0 None 0 0
+               with Node_cap -> st.capped <- true);
+              st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine))));
   finish ~t0 ~domains_used:1 [ st ]
 
 (* Parallel exploration: replay the root once to learn the top-level
@@ -751,7 +944,7 @@ let explore_undo_sequential ~t0 ~mk ~workloads cfg =
 let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
   let root = mk_state cfg mk workloads in
   root.nodes <- 1;
-  bump root.depth_hist 0;
+  bump_depth root 0;
   let machine, inst, session = replay root [] in
   ignore (Config_set.add_live root.configs (Runtime.Machine.mem machine) : bool);
   let runnable = Session.runnable session in
@@ -776,21 +969,25 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
       (fun i task -> chunks.(i mod n_workers) <- task :: chunks.(i mod n_workers))
       tasks;
     let worker idx () =
+      (* worker domains are fresh: GC tuning applies to this domain only
+         and dies with it *)
+      Dtc_util.Gc_tune.apply cfg.gc;
       let st = mk_state cfg mk workloads in
       (* reduction note: root-level sibling sleeping and symmetry are
          not propagated across workers — each worker starts its share
          with an empty sleep set (pure loss of pruning, never of
          soundness).  The node budget is likewise per worker. *)
-      (try
-         List.iter
-           (fun (d, cur, switches, crashes) ->
-             let stepped = match d with Step pid -> 1 lsl pid | Crash -> 0 in
-             ignore
-               (dfs st [ d ] ~depth:1 ~hlen:0 ~sleep:[] ~stepped cur switches
-                  crashes
-                 : int))
-           (List.rev chunks.(idx))
-       with Node_cap -> st.capped <- true);
+      with_alloc_stats st (fun () ->
+          try
+            List.iter
+              (fun (d, cur, switches, crashes) ->
+                let stepped = match d with Step pid -> 1 lsl pid | Crash -> 0 in
+                ignore
+                  (dfs st [ d ] ~depth:1 ~hlen:0 ~sleep:[] ~stepped cur
+                     switches crashes
+                    : int))
+              (List.rev chunks.(idx))
+          with Node_cap -> st.capped <- true);
       st
     in
     let handles = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
@@ -805,8 +1002,8 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
 let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
   let root = mk_state cfg mk workloads in
   root.nodes <- 1;
-  bump root.depth_hist 0;
-  bump root.journal_hist 0;
+  bump_depth root 0;
+  bump_fixed root.journal_hist 0;
   let machine, inst, session =
     with_intern_stats root (fun () ->
         let machine, inst = mk () in
@@ -838,27 +1035,34 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
       (fun i task -> chunks.(i mod n_workers) <- task :: chunks.(i mod n_workers))
       tasks;
     let worker idx () =
+      (* worker domains are fresh: GC tuning applies to this domain only
+         and dies with it *)
+      Dtc_util.Gc_tune.apply cfg.gc;
       let st = mk_state cfg mk workloads in
-      let machine, inst = mk () in
-      let session =
-        Session.create ~policy:cfg.policy ~undo:true machine inst ~workloads
-      in
-      let root_mark = Session.mark session in
-      (* same reduction caveats as the replay workers: per-worker sleep
-         sets and node budget *)
-      (try
-         List.iter
-           (fun (d, cur, switches, crashes) ->
-             (match d with
-             | Step pid -> Session.step session pid
-             | Crash -> Session.crash_wipe session (config_wipe cfg));
-             let stepped = match d with Step pid -> 1 lsl pid | Crash -> 0 in
-             dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0 ~sleep:[]
-               ~stepped cur switches crashes;
-             Session.rewind session root_mark)
-           (List.rev chunks.(idx))
-       with Node_cap -> st.capped <- true);
-      st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine);
+      with_alloc_stats st (fun () ->
+          let machine, inst = mk () in
+          let session =
+            Session.create ~policy:cfg.policy ~undo:true machine inst
+              ~workloads
+          in
+          let root_mark = Session.mark session in
+          (* same reduction caveats as the replay workers: per-worker sleep
+             sets and node budget *)
+          (try
+             List.iter
+               (fun (d, cur, switches, crashes) ->
+                 (match d with
+                 | Step pid -> Session.step session pid
+                 | Crash -> Session.crash_wipe session (config_wipe cfg));
+                 let stepped =
+                   match d with Step pid -> 1 lsl pid | Crash -> 0
+                 in
+                 dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0
+                   ~sleep:[] ~stepped cur switches crashes;
+                 Session.rewind session root_mark)
+               (List.rev chunks.(idx))
+           with Node_cap -> st.capped <- true);
+          st.rewound <- Mem.rewound_cells (Runtime.Machine.mem machine));
       (* worker domains are fresh, so absolute counters = this worker's *)
       let h, m = Value.intern_stats () in
       st.intern_hits <- h;
@@ -913,6 +1117,10 @@ let no_metrics ~elapsed_s ~nodes =
     reduction = "none";
     sleep_skips = 0;
     sym_skips = 0;
+    minor_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    bytes_per_node = 0.;
   }
 
 let crash_points ~mk ~workloads ~schedule ?(policy = Session.Retry)

@@ -140,6 +140,11 @@ type config = {
           [domains > 1] the budget applies per worker domain.  The cap
           is on {e physical} nodes, which is what makes reduced and
           unreduced searches comparable under the same budget. *)
+  gc : Dtc_util.Gc_tune.t;
+      (** per-domain GC tuning applied to every domain the exploration
+          runs on: inside each spawned worker when [domains > 1], and
+          around (with restore-after) the sequential search otherwise.
+          Default {!Dtc_util.Gc_tune.none} — GC parameters untouched. *)
 }
 
 val default_config : config
@@ -205,6 +210,15 @@ type metrics = {
   reduction : string;  (** {!reduction_name} of the reduction that ran *)
   sleep_skips : int;  (** children pruned by the DPOR sleep set *)
   sym_skips : int;  (** children pruned by symmetry canonicalisation *)
+  minor_words : float;
+      (** words allocated on the minor heap during the search, summed
+          over worker domains ({!Dtc_util.Alloc_stats}) *)
+  promoted_words : float;  (** minor-heap words promoted to the major heap *)
+  minor_collections : int;  (** minor GCs triggered by the search *)
+  bytes_per_node : float;
+      (** total allocated bytes (minor + major − promoted, in words ×
+          word size) divided by physically visited nodes — the
+          allocation-discipline figure the bench gates bound *)
 }
 
 type outcome = {

@@ -18,18 +18,34 @@ type t = {
   mutable j_bits : int array;
   mutable j_len : int;
   mutable rewound : int;  (** cumulative cells restored by [rewind] *)
+  (* Incrementally maintained fingerprint accumulators (see the
+     Fingerprints section below): XOR of per-cell terms over all cells
+     ([fpf_*]) and over the shared cells only ([fps_*]).  Every cell
+     mutation updates them in O(1), so the model checker's per-node
+     fingerprint reads cost two loads instead of an O(cells) scan. *)
+  mutable fpf_a : int;
+  mutable fpf_b : int;
+  mutable fps_a : int;
+  mutable fps_b : int;
 }
 
 let initial_capacity = 64
 let bot () = Value.intern Value.Bot
 
-let create () =
+(* Fingerprint half seeds; the per-cell terms below are already keyed on
+   the independent [da]/[db] digests cached at interning time, the seeds
+   just separate the empty-memory digests of the two halves. *)
+let seed_a = 0x2545F4914F6CDD1
+let seed_b = 0x6A09E667F3BCC90
+
+let create ?(capacity = initial_capacity) () =
+  let capacity = max 1 capacity in
   let b = bot () in
   {
-    cells = Array.make initial_capacity b;
-    inits = Array.make initial_capacity b;
-    locs = Array.make initial_capacity (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
-    max_bits = Array.make initial_capacity 0;
+    cells = Array.make capacity b;
+    inits = Array.make capacity b;
+    locs = Array.make capacity (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
+    max_bits = Array.make capacity 0;
     len = 0;
     journal_on = false;
     j_ids = [||];
@@ -37,6 +53,10 @@ let create () =
     j_bits = [||];
     j_len = 0;
     rewound = 0;
+    fpf_a = seed_a;
+    fpf_b = seed_b;
+    fps_a = seed_a;
+    fps_b = seed_b;
   }
 
 let grow mem =
@@ -53,6 +73,39 @@ let grow mem =
   mem.locs <- extend mem.locs (Loc.make ~id:(-1) ~name:"" ~kind:Loc.Shared);
   mem.max_bits <- extend mem.max_bits 0
 
+(* Per-cell fingerprint terms.  A configuration's digest is the XOR of
+   [term_* id cell] over its cells (a Zobrist scheme): XOR is invertible,
+   so a cell update adjusts the accumulators with the old and new terms
+   in O(1), and a rewind restores them exactly by construction. *)
+let term_a id (c : Value.hc) = Value.mix id c.Value.da
+let term_b id (c : Value.hc) = Value.mix id c.Value.db
+
+(* The one choke point through which every cell mutation goes: swaps the
+   old contents' fingerprint terms for the new ones.  Does NOT journal —
+   callers journal first when appropriate (rewind must not).
+
+   Maintenance is gated on [journal_on]: it is the undo engine's
+   signature, and that engine is exactly the caller whose hot loop
+   reads a fingerprint at every node, where an O(1) accumulator read
+   beats the O(cells) scan.  The replay engine re-executes whole
+   decision prefixes per node, so per-write maintenance would cost it
+   O(depth) where one scan per node is cheaper — with the gate off it
+   keeps the scan (see the [live_] readers below).  [set_journal]
+   recomputes the accumulators when journaling turns on. *)
+let fp_set mem id (c' : Value.hc) =
+  if mem.journal_on then begin
+    let c = mem.cells.(id) in
+    let da = term_a id c lxor term_a id c'
+    and db = term_b id c lxor term_b id c' in
+    mem.fpf_a <- mem.fpf_a lxor da;
+    mem.fpf_b <- mem.fpf_b lxor db;
+    if Loc.is_shared mem.locs.(id) then begin
+      mem.fps_a <- mem.fps_a lxor da;
+      mem.fps_b <- mem.fps_b lxor db
+    end
+  end;
+  mem.cells.(id) <- c'
+
 let alloc mem ~name ~kind init =
   if mem.len = Array.length mem.cells then grow mem;
   let id = mem.len in
@@ -61,8 +114,16 @@ let alloc mem ~name ~kind init =
   mem.cells.(id) <- init;
   mem.inits.(id) <- init;
   mem.locs.(id) <- loc;
-  mem.max_bits.(id) <- Value.bits init.Value.node;
+  mem.max_bits.(id) <- init.Value.bits;
   mem.len <- id + 1;
+  (* the new cell enters the fingerprint domain with its initial value *)
+  let ta = term_a id init and tb = term_b id init in
+  mem.fpf_a <- mem.fpf_a lxor ta;
+  mem.fpf_b <- mem.fpf_b lxor tb;
+  if Loc.is_shared loc then begin
+    mem.fps_a <- mem.fps_a lxor ta;
+    mem.fps_b <- mem.fps_b lxor tb
+  end;
   loc
 
 let check mem (loc : Loc.t) =
@@ -96,9 +157,39 @@ let journal mem id =
     mem.j_len <- mem.j_len + 1
   end
 
+(* Rebuild all four fingerprint accumulators from the current contents
+   (the maintained values are only current while [journal_on]). *)
+let recompute_fps mem =
+  let fa = ref seed_a
+  and fb = ref seed_b
+  and sa = ref seed_a
+  and sb = ref seed_b in
+  for i = 0 to mem.len - 1 do
+    let c = mem.cells.(i) in
+    let ta = term_a i c and tb = term_b i c in
+    fa := !fa lxor ta;
+    fb := !fb lxor tb;
+    if Loc.is_shared mem.locs.(i) then begin
+      sa := !sa lxor ta;
+      sb := !sb lxor tb
+    end
+  done;
+  mem.fpf_a <- !fa;
+  mem.fpf_b <- !fb;
+  mem.fps_a <- !sa;
+  mem.fps_b <- !sb
+
 let set_journal mem on =
+  let was_on = mem.journal_on in
   mem.journal_on <- on;
   if not on then mem.j_len <- 0
+  else begin
+    if not was_on then recompute_fps mem;
+    if Array.length mem.j_ids = 0 then
+      (* pre-size eagerly so the first writes of an undo exploration don't
+         pay the 0 -> 256 growth inside the hot loop *)
+      grow_journal mem
+  end
 
 let journaling mem = mem.journal_on
 let journal_depth mem = mem.j_len
@@ -110,55 +201,66 @@ let mark mem =
   if not mem.journal_on then invalid_arg "Mem.mark: journaling is off";
   { m_len = mem.len; m_j = mem.j_len }
 
-let rewind mem m =
+(* Raw-coordinate rewind: [mark] is just the pair (len, j_len), and the
+   explorer's pooled mark buffers store those two ints in mutable fields
+   instead of allocating a [mark] record per node.  Same checks, same
+   semantics. *)
+let rewind_to mem ~len ~j =
   if not mem.journal_on then invalid_arg "Mem.rewind: journaling is off";
-  if m.m_len <> mem.len then
-    invalid_arg "Mem.rewind: allocations since mark";
-  if m.m_j > mem.j_len then invalid_arg "Mem.rewind: stale mark";
-  for k = mem.j_len - 1 downto m.m_j do
+  if len <> mem.len then invalid_arg "Mem.rewind: allocations since mark";
+  if j > mem.j_len then invalid_arg "Mem.rewind: stale mark";
+  for k = mem.j_len - 1 downto j do
     let id = mem.j_ids.(k) in
-    mem.cells.(id) <- mem.j_cells.(k);
+    fp_set mem id mem.j_cells.(k);
     mem.max_bits.(id) <- mem.j_bits.(k)
   done;
-  mem.rewound <- mem.rewound + (mem.j_len - m.m_j);
-  mem.j_len <- m.m_j
+  mem.rewound <- mem.rewound + (mem.j_len - j);
+  mem.j_len <- j
+
+let rewind mem m = rewind_to mem ~len:m.m_len ~j:m.m_j
 
 (* ---- mutation ---- *)
 
-let note_bits mem id v =
-  let b = Value.bits v in
-  if b > mem.max_bits.(id) then mem.max_bits.(id) <- b
+(* Interned nodes carry their bit width ([Value.hc.bits]), so the
+   high-water update is a cached compare, not a value walk. *)
+let note_hc_bits mem id (c : Value.hc) =
+  if c.Value.bits > mem.max_bits.(id) then mem.max_bits.(id) <- c.Value.bits
 
 let write mem (loc : Loc.t) v =
   check mem loc;
   journal mem loc.Loc.id;
-  mem.cells.(loc.Loc.id) <- Value.intern v;
-  note_bits mem loc.Loc.id v
+  let c = Value.intern v in
+  fp_set mem loc.Loc.id c;
+  note_hc_bits mem loc.Loc.id c
 
 let cas mem (loc : Loc.t) expected desired =
   check mem loc;
   let cur = mem.cells.(loc.Loc.id) in
-  if Value.hc_equal cur (Value.intern expected) then (
+  (* structural compare against the live cell; interning [expected]
+     (whose only use is this one comparison) would pollute the table and
+     allocate on every failed cas *)
+  if Value.equal cur.Value.node expected then (
     journal mem loc.Loc.id;
-    mem.cells.(loc.Loc.id) <- Value.intern desired;
-    note_bits mem loc.Loc.id desired;
+    let c = Value.intern desired in
+    fp_set mem loc.Loc.id c;
+    note_hc_bits mem loc.Loc.id c;
     true)
   else false
 
 let faa mem (loc : Loc.t) delta =
   check mem loc;
   let old = Value.to_int mem.cells.(loc.Loc.id).Value.node in
-  let v = Value.Int (old + delta) in
+  let c = Value.intern (Value.Int (old + delta)) in
   journal mem loc.Loc.id;
-  mem.cells.(loc.Loc.id) <- Value.intern v;
-  note_bits mem loc.Loc.id v;
+  fp_set mem loc.Loc.id c;
+  note_hc_bits mem loc.Loc.id c;
   old
 
 let reset mem =
   for i = 0 to mem.len - 1 do
     journal mem i;
-    mem.cells.(i) <- mem.inits.(i);
-    mem.max_bits.(i) <- Value.bits mem.inits.(i).Value.node
+    fp_set mem i mem.inits.(i);
+    mem.max_bits.(i) <- mem.inits.(i).Value.bits
   done
 
 let n_locs mem = mem.len
@@ -195,12 +297,14 @@ let restore mem snap =
         || mem.max_bits.(i) <> snap.s_max_bits.(i)
       then begin
         journal mem i;
-        mem.cells.(i) <- snap.s_cells.(i);
+        fp_set mem i snap.s_cells.(i);
         mem.max_bits.(i) <- snap.s_max_bits.(i)
       end
     done
   else begin
-    Array.blit snap.s_cells 0 mem.cells 0 mem.len;
+    for i = 0 to mem.len - 1 do
+      fp_set mem i snap.s_cells.(i)
+    done;
     Array.blit snap.s_max_bits 0 mem.max_bits 0 mem.len
   end
 
@@ -224,14 +328,13 @@ let hash_shared a =
     a.s_locs;
   !h
 
-(* Two fingerprint halves chained from independent seeds.  The model
-   checker treats a pair collision as "same configuration", so the halves
-   must be wide and independent; Config_set's exact mode audits them.
-   Per-cell folding uses the digests cached at interning time
-   ([Value.hc.da]/[db]), so each cell costs O(1) regardless of value
-   size. *)
-let seed_a = 0x2545F4914F6CDD1
-let seed_b = 0x6A09E667F3BCC90
+(* The two fingerprint halves are Zobrist XORs of the [term_a]/[term_b]
+   per-cell terms (see above).  The model checker treats a pair
+   collision as "same configuration", so the halves must be wide and
+   independent; Config_set's exact mode audits them.  Terms use the
+   digests cached at interning time ([Value.hc.da]/[db]), so each cell
+   costs O(1) regardless of value size — and the [live_] variants just
+   read the accumulators the mutation path maintains. *)
 
 let fingerprint_shared snap =
   let a = ref seed_a and b = ref seed_b in
@@ -239,31 +342,74 @@ let fingerprint_shared snap =
     (fun i loc ->
       if Loc.is_shared loc then begin
         let c = snap.s_cells.(i) in
-        a := Value.mix (Value.mix !a i) c.Value.da;
-        b := Value.mix (Value.mix !b i) c.Value.db
+        a := !a lxor term_a i c;
+        b := !b lxor term_b i c
       end)
     snap.s_locs;
   (!a, !b)
 
-let live_fingerprint_shared mem =
-  let a = ref seed_a and b = ref seed_b in
+(* While journaling the accumulators are authoritative (maintained by
+   [fp_set]); otherwise fold the terms directly — same values either
+   way, one O(cells) scan per call. *)
+let scan_shared_a mem =
+  let a = ref seed_a in
   for i = 0 to mem.len - 1 do
-    if Loc.is_shared mem.locs.(i) then begin
-      let c = mem.cells.(i) in
-      a := Value.mix (Value.mix !a i) c.Value.da;
-      b := Value.mix (Value.mix !b i) c.Value.db
-    end
+    if Loc.is_shared mem.locs.(i) then a := !a lxor term_a i mem.cells.(i)
   done;
-  (!a, !b)
+  !a
+
+let scan_shared_b mem =
+  let b = ref seed_b in
+  for i = 0 to mem.len - 1 do
+    if Loc.is_shared mem.locs.(i) then b := !b lxor term_b i mem.cells.(i)
+  done;
+  !b
+
+let scan_full_a mem =
+  let a = ref seed_a in
+  for i = 0 to mem.len - 1 do
+    a := !a lxor term_a i mem.cells.(i)
+  done;
+  !a
+
+let scan_full_b mem =
+  let b = ref seed_b in
+  for i = 0 to mem.len - 1 do
+    b := !b lxor term_b i mem.cells.(i)
+  done;
+  !b
+
+(* Scalar accessors for the per-node hot paths, which would otherwise
+   allocate a pair per call just to deconstruct it. *)
+let live_shared_a mem = if mem.journal_on then mem.fps_a else scan_shared_a mem
+let live_shared_b mem = if mem.journal_on then mem.fps_b else scan_shared_b mem
+let live_full_a mem = if mem.journal_on then mem.fpf_a else scan_full_a mem
+let live_full_b mem = if mem.journal_on then mem.fpf_b else scan_full_b mem
+let live_fingerprint_shared mem =
+  if mem.journal_on then (mem.fps_a, mem.fps_b)
+  else begin
+    let a = ref seed_a and b = ref seed_b in
+    for i = 0 to mem.len - 1 do
+      if Loc.is_shared mem.locs.(i) then begin
+        let c = mem.cells.(i) in
+        a := !a lxor term_a i c;
+        b := !b lxor term_b i c
+      end
+    done;
+    (!a, !b)
+  end
 
 let live_fingerprint_full mem =
-  let a = ref seed_a and b = ref seed_b in
-  for i = 0 to mem.len - 1 do
-    let c = mem.cells.(i) in
-    a := Value.mix (Value.mix !a i) c.Value.da;
-    b := Value.mix (Value.mix !b i) c.Value.db
-  done;
-  (!a, !b)
+  if mem.journal_on then (mem.fpf_a, mem.fpf_b)
+  else begin
+    let a = ref seed_a and b = ref seed_b in
+    for i = 0 to mem.len - 1 do
+      let c = mem.cells.(i) in
+      a := !a lxor term_a i c;
+      b := !b lxor term_b i c
+    done;
+    (!a, !b)
+  end
 
 let equal_full a b =
   let n = Array.length a.s_cells in

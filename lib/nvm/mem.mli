@@ -11,7 +11,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [create ()] makes an empty store.  [capacity] pre-sizes the cell
+    arena (default 64, clamped to at least 1); the arena still grows by
+    doubling when allocation outruns it, so this is purely a hot-loop
+    pre-sizing knob. *)
 
 val alloc : t -> name:string -> kind:Loc.kind -> Value.t -> Loc.t
 (** [alloc mem ~name ~kind init] allocates a fresh cell holding [init].
@@ -70,6 +74,13 @@ val rewind : t -> mark -> unit
     journaling is off, if allocations happened since the mark, or if
     the mark is stale (deeper than the current log). *)
 
+val rewind_to : t -> len:int -> j:int -> unit
+(** Raw-coordinate {!rewind}: a mark is exactly the pair
+    [(n_locs, journal_depth)] captured while journaling, and callers
+    that pool their own mutable mark buffers (the undo explorer) rewind
+    through this without allocating a [mark].  Same checks and
+    semantics as {!rewind}. *)
+
 val journal_depth : t -> int
 (** Current number of live journal entries. *)
 
@@ -104,12 +115,16 @@ val equal_full : snapshot -> snapshot -> bool
 (** {1 Fingerprints}
 
     Compact (two-word) digests used by the model checker's visited set
-    and by {!Modelcheck.Config_set}'s fingerprint mode.  The two halves
-    are chained from independent seeds with {!Value.hash_seeded}, so a
-    pair collision between distinct configurations needs both 63-bit
-    streams to collide at once.  The [live_] variants read the store
-    directly and allocate nothing — they are the model checker's
-    per-node hot path. *)
+    and by {!Modelcheck.Config_set}'s fingerprint mode.  Each half is
+    the XOR of a per-cell term mixed from the cell index and the
+    value-digest cached at interning time (a Zobrist scheme); the two
+    halves use the independent [da]/[db] digest streams, so a pair
+    collision between distinct configurations needs both 63-bit streams
+    to collide at once.  XOR terms make the digest incrementally
+    maintainable: every mutation adjusts accumulators in O(1), and the
+    [live_] variants below just read them — two loads, no scan, no
+    allocation — which is what the model checker's per-node hot path
+    costs. *)
 
 val fingerprint_shared : snapshot -> int * int
 (** Digest of the shared cells only, consistent with {!equal_shared}:
@@ -123,6 +138,16 @@ val live_fingerprint_full : t -> int * int
 (** Digest over {e all} cells, shared and private — the memory half of
     the explorer's visited-set key (recovery reads private NVM, so
     pruning must distinguish private differences). *)
+
+val live_shared_a : t -> int
+val live_shared_b : t -> int
+
+val live_full_a : t -> int
+
+val live_full_b : t -> int
+(** The halves of {!live_fingerprint_shared} / {!live_fingerprint_full}
+    as scalars: the explorer reads them at every DFS node, and the pair
+    returns would allocate just to be deconstructed. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 

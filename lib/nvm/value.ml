@@ -147,43 +147,83 @@ let set_nth v i x =
    it first compares the cached hashes.  The interned seeds are fixed
    (below) so the cached digests agree across domains. *)
 
-type hc = { node : t; h : int; da : int; db : int }
+type hc = { node : t; h : int; da : int; db : int; bits : int }
 
 (* Distinct from Mem's chain seeds; only the per-value digests matter,
    the chain seeds stay in Mem. *)
 let digest_seed_a = 0x71C94A2F3E609D1
 let digest_seed_b = 0x2B992DDFA23249D
 
+let mk_hc v h =
+  {
+    node = v;
+    h;
+    da = hash_seeded digest_seed_a v;
+    db = hash_seeded digest_seed_b v;
+    bits = bits v;
+  }
+
+(* Tiny immediate values dominate cell traffic (counters, toggles,
+   process ids), so they get a table-free constant-time path: one
+   preallocated node each, shared by every [intern] call on the domain.
+   They are never entered in [tbl] and survive [intern_reset], which
+   keeps them canonical for the domain's whole lifetime. *)
+let small_int_cache_size = 256
+
 type intern_state = {
   tbl : (int, hc list) Hashtbl.t;
+  small_int : hc array;  (* [Int 0] .. [Int (small_int_cache_size - 1)] *)
+  c_unit : hc;
+  c_bot : hc;
+  c_true : hc;
+  c_false : hc;
   mutable hits : int;
   mutable misses : int;
 }
 
 let intern_key : intern_state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { tbl = Hashtbl.create 1024; hits = 0; misses = 0 })
+      let mk v = mk_hc v (hash v) in
+      {
+        tbl = Hashtbl.create 8192;
+        small_int =
+          Array.init small_int_cache_size (fun i -> mk (Int i));
+        c_unit = mk Unit;
+        c_bot = mk Bot;
+        c_true = mk (Bool true);
+        c_false = mk (Bool false);
+        hits = 0;
+        misses = 0;
+      })
 
 let intern v =
   let st = Domain.DLS.get intern_key in
-  let h = hash v in
-  let bucket = try Hashtbl.find st.tbl h with Not_found -> [] in
-  let rec find = function
-    | [] ->
-        st.misses <- st.misses + 1;
-        let c =
-          {
-            node = v;
-            h;
-            da = hash_seeded digest_seed_a v;
-            db = hash_seeded digest_seed_b v;
-          }
-        in
-        Hashtbl.replace st.tbl h (c :: bucket);
-        c
-    | c :: rest -> if equal c.node v then (st.hits <- st.hits + 1; c) else find rest
-  in
-  find bucket
+  match v with
+  | Int n when n >= 0 && n < small_int_cache_size ->
+      st.hits <- st.hits + 1;
+      st.small_int.(n)
+  | Unit ->
+      st.hits <- st.hits + 1;
+      st.c_unit
+  | Bot ->
+      st.hits <- st.hits + 1;
+      st.c_bot
+  | Bool b ->
+      st.hits <- st.hits + 1;
+      if b then st.c_true else st.c_false
+  | _ ->
+      let h = hash v in
+      let bucket = try Hashtbl.find st.tbl h with Not_found -> [] in
+      let rec find = function
+        | [] ->
+            st.misses <- st.misses + 1;
+            let c = mk_hc v h in
+            Hashtbl.replace st.tbl h (c :: bucket);
+            c
+        | c :: rest ->
+            if equal c.node v then (st.hits <- st.hits + 1; c) else find rest
+      in
+      find bucket
 
 let hc_equal a b = a == b || (a.h = b.h && equal a.node b.node)
 

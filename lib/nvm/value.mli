@@ -81,12 +81,15 @@ type hc = private {
   h : int;  (** [hash node], cached *)
   da : int;  (** fixed-seed fingerprint half-digest A *)
   db : int;  (** fixed-seed fingerprint half-digest B *)
+  bits : int;  (** [bits node], cached — space accounting without a walk *)
 }
 
 val intern : t -> hc
 (** Canonical interned node for [v] in the calling domain.  O(1)
     expected; a hit costs one hash + one (physical-equality-biased)
-    structural comparison. *)
+    structural comparison.  Small immediates ([Unit], [Bot], booleans,
+    [Int 0..255]) hit a preallocated table-free cache — no hashing, no
+    allocation — and count as intern hits in {!intern_stats}. *)
 
 val hc_equal : hc -> hc -> bool
 (** Structural equality on interned nodes.  Same-domain nodes compare

@@ -4,7 +4,27 @@ exception Crashed
 
 type _ Effect.t += Step : Prim.request -> Value.t Effect.t
 
-let step req = Effect.perform (Step req)
+(* Ghost-feed fast path: while a feed is installed on the current
+   domain, [step] consumes pre-recorded responses directly instead of
+   performing the effect — no suspension, no continuation traffic.  A
+   ghost replay (Session.rebuild) re-executes a whole logged prefix as
+   one straight-line run with a single final suspension, instead of two
+   stack switches per logged step.  The feed returns [None] when its
+   log is exhausted; the step then suspends normally. *)
+let feed_key : (Prim.request -> Value.t option) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let step req =
+  match !(Domain.DLS.get feed_key) with
+  | Some f -> (
+      match f req with Some v -> v | None -> Effect.perform (Step req))
+  | None -> Effect.perform (Step req)
+
+let with_ghost_feed f body =
+  let cell = Domain.DLS.get feed_key in
+  let saved = !cell in
+  cell := Some f;
+  Fun.protect ~finally:(fun () -> cell := saved) body
 
 let read l = step (Prim.Read l)
 let write l v = ignore (step (Prim.Write (l, v)))
@@ -52,6 +72,19 @@ let status t =
   | S_pending (req, _) -> Pending req
   | S_done v -> Done v
   | S_killed -> Killed
+
+(* Allocation-free status probes: [status] boxes a [Pending]/[Done]
+   per call, which the scheduler would otherwise pay on every
+   runnable-set scan of every step. *)
+
+let is_pending t = match t.state with S_pending _ -> true | _ -> false
+let is_done t = match t.state with S_done _ -> true | _ -> false
+
+let pending_request t =
+  match t.state with
+  | S_pending (req, _) -> req
+  | S_done _ | S_killed ->
+      invalid_arg "Fiber.pending_request: fiber is not pending"
 
 let resume t result =
   match t.state with

@@ -23,6 +23,15 @@ exception Crashed
 val step : Prim.request -> Value.t
 (** Perform one primitive step.  All the helpers below go through it. *)
 
+val with_ghost_feed : (Prim.request -> Value.t option) -> (unit -> 'a) -> 'a
+(** [with_ghost_feed f body] installs [f] as the current domain's ghost
+    feed for the duration of [body]: every {!step} performed by fibers
+    running inside [body] first asks [f] for the response, and only
+    suspends on the effect when [f] returns [None].  This lets a ghost
+    replay re-execute a logged prefix as one straight-line run (no
+    per-step suspension); see [Session.rebuild].  Feeds nest by
+    save/restore; the previous feed is restored even on exceptions. *)
+
 val read : Loc.t -> Value.t
 val write : Loc.t -> Value.t -> unit
 
@@ -53,6 +62,18 @@ type status =
 
 val start : (unit -> Value.t) -> t
 val status : t -> status
+
+val is_pending : t -> bool
+(** [is_pending f] iff [status f] is [Pending _], without allocating the
+    [status] box — the scheduler's runnable-set scan runs once per
+    simulated step. *)
+
+val is_done : t -> bool
+(** [is_done f] iff [status f] is [Done _], allocation-free. *)
+
+val pending_request : t -> Prim.request
+(** The pending request of a [Pending] fiber, without the [status] box.
+    Raises [Invalid_argument] if the fiber is not pending. *)
 
 val resume : t -> Value.t -> unit
 (** [resume f result] feeds [result] to the pending primitive step and

@@ -22,6 +22,13 @@ let alloc_shared t name init = Mem.alloc t.mem ~name ~kind:Loc.Shared init
 let alloc_private t ~pid name init =
   Mem.alloc t.mem ~name ~kind:(Loc.Private pid) init
 
+(* shared result constants: [apply] sits on the per-step hot path, and
+   boxing a fresh [Bool] for every cas would allocate per step *)
+let vtrue = Value.Bool true
+let vfalse = Value.Bool false
+
+let vbool b = if b then vtrue else vfalse
+
 let apply t (req : Prim.request) =
   t.steps <- t.steps + 1;
   match t.cache with
@@ -31,7 +38,7 @@ let apply t (req : Prim.request) =
       | Write (l, v) ->
           Mem.write t.mem l v;
           Value.Unit
-      | Cas (l, e, d) -> Value.Bool (Mem.cas t.mem l e d)
+      | Cas (l, e, d) -> vbool (Mem.cas t.mem l e d)
       | Faa (l, d) -> Value.Int (Mem.faa t.mem l d)
       | Persist _ | Fence | Yield -> Value.Unit)
   | Some c -> (
@@ -40,7 +47,7 @@ let apply t (req : Prim.request) =
       | Write (l, v) ->
           Cache.write c l v;
           Value.Unit
-      | Cas (l, e, d) -> Value.Bool (Cache.cas c l e d)
+      | Cas (l, e, d) -> vbool (Cache.cas c l e d)
       | Faa (l, d) -> Value.Int (Cache.faa c l d)
       | Persist l ->
           Cache.persist c l;
@@ -109,3 +116,20 @@ let rewind t m =
   match t.cache with
   | None -> ()
   | Some c -> Cache.restore_entries c m.k_dirty
+
+(* Raw mark coordinates, for callers that pool mutable mark buffers
+   (the undo explorer): a [mark] is exactly
+   (Mem.n_locs, Mem.journal_depth, steps, dirty entries). *)
+
+let journal_depth t = Mem.journal_depth t.mem
+let arena_len t = Mem.n_locs t.mem
+
+let dirty_entries t =
+  match t.cache with None -> [] | Some c -> Cache.entries c
+
+let rewind_raw t ~mem_len ~mem_j ~steps ~dirty =
+  Mem.rewind_to t.mem ~len:mem_len ~j:mem_j;
+  t.steps <- steps;
+  match t.cache with
+  | None -> ()
+  | Some c -> Cache.restore_entries c dirty

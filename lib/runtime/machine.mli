@@ -81,3 +81,30 @@ val mark : t -> mark
 
 val rewind : t -> mark -> unit
 (** Roll the store, step counter and cache back to [mark]. *)
+
+(** {2 Raw mark coordinates}
+
+    A {!mark} is exactly the tuple [(arena_len, journal_depth, steps,
+    dirty_entries)].  Callers that pool mutable mark buffers — the undo
+    explorer takes a mark per DFS node — read the coordinates below into
+    reusable fields and roll back through {!rewind_raw} instead of
+    allocating a [mark] per node.  Same LIFO discipline and checks. *)
+
+val arena_len : t -> int
+(** [Nvm.Mem.n_locs] of the store. *)
+
+val journal_depth : t -> int
+(** [Nvm.Mem.journal_depth] of the store. *)
+
+val dirty_entries : t -> (Loc.t * Value.t) list
+(** Shared-cache dirty set ([Cache.entries]); [[]] in the private-cache
+    model (where it allocates nothing). *)
+
+val rewind_raw :
+  t ->
+  mem_len:int ->
+  mem_j:int ->
+  steps:int ->
+  dirty:(Loc.t * Value.t) list ->
+  unit
+(** {!rewind} from raw coordinates previously read off this machine. *)

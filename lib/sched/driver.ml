@@ -26,8 +26,8 @@ type result = {
   budget_exhausted : bool;
 }
 
-let run ?watchdog machine inst ~workloads cfg =
-  let session = Session.create ~policy:cfg.policy machine inst ~workloads in
+let run ?watchdog ?scratch machine inst ~workloads cfg =
+  let session = Session.create ~policy:cfg.policy ?scratch machine inst ~workloads in
   let incomplete = ref false in
   let budget_exhausted = ref false in
   let continue = ref true in

@@ -42,6 +42,7 @@ type result = {
 
 val run :
   ?watchdog:int ->
+  ?scratch:Session.scratch ->
   Runtime.Machine.t ->
   Obj_inst.t ->
   workloads:Spec.op list array ->
@@ -52,7 +53,9 @@ val run :
     one the instance allocated its locations in.  [watchdog] bounds the
     steps any single operation/recovery may take
     ({!Session.max_cur_steps}); exceeding it stops the run with
-    [budget_exhausted] set instead of spinning until [max_steps]. *)
+    [budget_exhausted] set instead of spinning until [max_steps].
+    [scratch] lets a trial loop reuse one {!Session.scratch} across many
+    runs on the same domain (see {!Session.create}). *)
 
 val check :
   ?lin_engine:Lin_check.engine -> Obj_inst.t -> result -> Lin_check.verdict

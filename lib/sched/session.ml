@@ -145,10 +145,11 @@ let anomaly s fmt =
       | None -> s.anomalies <- msg :: s.anomalies)
     fmt
 
+(* exception-pattern lookup: [find_opt] would box a [Some] per step *)
 let note_max tbl key v =
-  match Hashtbl.find_opt tbl key with
-  | Some m when m >= v -> ()
-  | _ -> Hashtbl.replace tbl key v
+  match Hashtbl.find tbl key with
+  | m -> if v > m then Hashtbl.replace tbl key v
+  | exception Not_found -> Hashtbl.add tbl key v
 
 let pop ps = match ps.todo with [] -> () | _ :: rest -> ps.todo <- rest
 
@@ -259,20 +260,13 @@ let op_name ps =
 
 (* Mirror the physical fiber status into the logical flags that survive
    the fiber's disposal.  Called after every fiber transition — never
-   after [rewind], which restores the flags from the mark instead. *)
+   after [rewind], which restores the flags from the mark instead.
+   Uses the allocation-free status probes: this runs once per step. *)
 let sync_logical ps =
   match ps.fiber with
-  | Some f -> (
-      match Fiber.status f with
-      | Fiber.Pending _ ->
-          ps.l_runnable <- true;
-          ps.l_done <- false
-      | Fiber.Done _ ->
-          ps.l_runnable <- false;
-          ps.l_done <- true
-      | Fiber.Killed ->
-          ps.l_runnable <- false;
-          ps.l_done <- false)
+  | Some f ->
+      ps.l_runnable <- Fiber.is_pending f;
+      ps.l_done <- Fiber.is_done f
   | None ->
       ps.l_runnable <- false;
       ps.l_done <- false
@@ -289,8 +283,28 @@ let push_incarnation ps ~restart =
     }
     :: ps.incs
 
-let create ?(policy = Retry) ?(undo = false) machine inst ~workloads =
+(* Reusable per-domain scratch: the reporting tables are the only
+   session-owned hash tables, and a torture campaign creates one session
+   per trial — resetting two pre-sized tables beats allocating fresh
+   ones millions of times. *)
+type scratch = {
+  sc_op_steps : (string, int) Hashtbl.t;
+  sc_rec_steps : (string, int) Hashtbl.t;
+}
+
+let make_scratch () =
+  { sc_op_steps = Hashtbl.create 64; sc_rec_steps = Hashtbl.create 64 }
+
+let create ?(policy = Retry) ?(undo = false) ?scratch machine inst ~workloads =
   if undo then Machine.set_journal machine true;
+  let op_steps_tbl, rec_steps_tbl =
+    match scratch with
+    | None -> (Hashtbl.create 8, Hashtbl.create 8)
+    | Some sc ->
+        Hashtbl.reset sc.sc_op_steps;
+        Hashtbl.reset sc.sc_rec_steps;
+        (sc.sc_op_steps, sc.sc_rec_steps)
+  in
   let s =
     {
       machine;
@@ -320,8 +334,8 @@ let create ?(policy = Retry) ?(undo = false) machine inst ~workloads =
       uid = 0;
       steps = 0;
       crashes = 0;
-      op_steps_tbl = Hashtbl.create 8;
-      rec_steps_tbl = Hashtbl.create 8;
+      op_steps_tbl;
+      rec_steps_tbl;
       anomalies = [];
       hist_sig = 0;
       ghost = None;
@@ -335,21 +349,42 @@ let create ?(policy = Retry) ?(undo = false) machine inst ~workloads =
     s.procs;
   s
 
-let runnable s =
-  if s.undo then
-    Array.to_list s.procs
-    |> List.filter_map (fun ps -> if ps.l_runnable then Some ps.pid else None)
-  else
-    Array.to_list s.procs
-    |> List.filter_map (fun ps ->
-           match ps.fiber with
-           | Some f -> (
-               match Fiber.status f with
-               | Fiber.Pending _ -> Some ps.pid
-               | Fiber.Done _ | Fiber.Killed -> None)
-           | None -> None)
+(* One predicate, three consumers ([runnable], [runnable_into],
+   [finished]): allocation-free per probe. *)
+let pid_runnable s ps =
+  if s.undo then ps.l_runnable
+  else match ps.fiber with Some f -> Fiber.is_pending f | None -> false
 
-let finished s = runnable s = []
+let runnable s =
+  (* single descending pass: exactly one cons per runnable pid, no
+     intermediate Array.to_list / filter_map spines *)
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let ps = s.procs.(i) in
+      go (i - 1) (if pid_runnable s ps then ps.pid :: acc else acc)
+  in
+  go (Array.length s.procs - 1) []
+
+let runnable_into s buf =
+  let n = Array.length s.procs in
+  if Array.length buf < n then
+    invalid_arg "Session.runnable_into: buffer too small";
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if pid_runnable s s.procs.(i) then begin
+      buf.(!k) <- s.procs.(i).pid;
+      incr k
+    end
+  done;
+  !k
+
+let finished s =
+  let n = Array.length s.procs in
+  let rec go i = i >= n || ((not (pid_runnable s s.procs.(i))) && go (i + 1)) in
+  go 0
+
+let n_procs s = Array.length s.procs
 
 (* Rebuild a stale fiber at its authoritative position: re-run the
    current incarnation's program, feeding it the logged inputs, with
@@ -373,17 +408,24 @@ let rebuild s ps =
   Fun.protect
     ~finally:(fun () -> s.ghost <- None)
     (fun () ->
+      (* the whole logged prefix runs as ONE straight-line execution:
+         step responses come from the fiber's ghost feed (no per-step
+         suspension) and uid/pending draws from [s.ghost], both off the
+         same stream, so entry order is enforced exactly as when the
+         prefix originally ran *)
       let f =
-        Fiber.start ((if inc.restart then restart_prog else client_prog) s ps)
+        Fiber.with_ghost_feed
+          (fun _req ->
+            if g.g_pos >= g.g_end then None
+            else
+              match ghost_next g "resume" with
+              | E_resp v -> Some v
+              | E_uid _ | E_pending _ -> desync "entry order")
+          (fun () ->
+            Fiber.start
+              ((if inc.restart then restart_prog else client_prog) s ps))
       in
-      while g.g_pos < g.g_end do
-        match ghost_next g "resume" with
-        | E_resp v -> (
-            match Fiber.status f with
-            | Fiber.Pending _ -> Fiber.resume f v
-            | Fiber.Done _ | Fiber.Killed -> desync "resume")
-        | E_uid _ | E_pending _ -> desync "entry order"
-      done;
+      if g.g_pos < g.g_end then desync "resume";
       ps.fiber <- Some f);
   ps.stale <- false;
   ps.todo <- save_todo;
@@ -418,21 +460,13 @@ let step s pid =
     if not ps.l_runnable then invalid_arg "Session.step: process is not runnable";
     if ps.stale then rebuild s ps;
     match ps.fiber with
-    | Some f -> (
-        match Fiber.status f with
-        | Fiber.Pending req -> do_step s ps f req
-        | Fiber.Done _ | Fiber.Killed ->
-            invalid_arg "Session.step: process is not runnable")
-    | None -> invalid_arg "Session.step: process is not runnable"
+    | Some f when Fiber.is_pending f -> do_step s ps f (Fiber.pending_request f)
+    | Some _ | None -> invalid_arg "Session.step: process is not runnable"
   end
   else
     match ps.fiber with
-    | Some f -> (
-        match Fiber.status f with
-        | Fiber.Pending req -> do_step s ps f req
-        | Fiber.Done _ | Fiber.Killed ->
-            invalid_arg "Session.step: process is not runnable")
-    | None -> invalid_arg "Session.step: process is not runnable"
+    | Some f when Fiber.is_pending f -> do_step s ps f (Fiber.pending_request f)
+    | Some _ | None -> invalid_arg "Session.step: process is not runnable"
 
 let pending_request s pid =
   if pid < 0 || pid >= Array.length s.procs then
@@ -444,11 +478,8 @@ let pending_request s pid =
        as [step] would, so the peek agrees with what stepping would do *)
     if s.undo && ps.stale then rebuild s ps;
     match ps.fiber with
-    | Some f -> (
-        match Fiber.status f with
-        | Fiber.Pending req -> Some req
-        | Fiber.Done _ | Fiber.Killed -> None)
-    | None -> None
+    | Some f when Fiber.is_pending f -> Some (Fiber.pending_request f)
+    | Some _ | None -> None
   end
 
 let crash_wipe s wipe =
@@ -617,6 +648,148 @@ let rewind s m =
       end)
     m.mk_procs
 
+(* ------------------------------------------------------------------ *)
+(* Pooled mark buffers.
+
+   [mark] allocates ~10 words per process per call, and the undo
+   explorer takes one mark per DFS node.  A [mark_buf] is the mutable
+   mirror of [mark]: the caller allocates one per recursion depth and
+   [mark_into]/[rewind_buf] reuse it for every node at that depth.  The
+   semantics (including the LIFO discipline and the fiber-survival
+   check) are identical to [mark]/[rewind] — the machine side goes
+   through [Machine.rewind_raw] on the same raw coordinates a
+   [Machine.mark] would have captured. *)
+
+type pmark_buf = {
+  mutable pb_todo : Spec.op list;
+  mutable pb_status : op_status;
+  mutable pb_cur_steps : int;
+  mutable pb_in_recovery : bool;
+  mutable pb_rec_started : bool;
+  mutable pb_step_sig : int;
+  mutable pb_runnable : bool;
+  mutable pb_done : bool;
+  mutable pb_incs : incarnation list;
+  mutable pb_log_len : int;
+}
+
+type mark_buf = {
+  mutable mb_mem_len : int;
+  mutable mb_mem_j : int;
+  mutable mb_msteps : int;
+  mutable mb_dirty : (Loc.t * Value.t) list;
+  mutable mb_events : Event.t list;
+  mutable mb_n_events : int;
+  mutable mb_anoms : string list;
+  mutable mb_hist_sig : int;
+  mutable mb_uid : int;
+  mutable mb_steps : int;
+  mutable mb_crashes : int;
+  mb_procs : pmark_buf array;
+}
+
+let make_mark_buf s =
+  {
+    mb_mem_len = 0;
+    mb_mem_j = 0;
+    mb_msteps = 0;
+    mb_dirty = [];
+    mb_events = [];
+    mb_n_events = 0;
+    mb_anoms = [];
+    mb_hist_sig = 0;
+    mb_uid = 0;
+    mb_steps = 0;
+    mb_crashes = 0;
+    mb_procs =
+      Array.map
+        (fun _ ->
+          {
+            pb_todo = [];
+            pb_status = Idle;
+            pb_cur_steps = 0;
+            pb_in_recovery = false;
+            pb_rec_started = false;
+            pb_step_sig = 0;
+            pb_runnable = false;
+            pb_done = false;
+            pb_incs = [];
+            pb_log_len = 0;
+          })
+        s.procs;
+  }
+
+let mark_into s mb =
+  if not s.undo then invalid_arg "Session.mark: session is not in undo mode";
+  if Array.length mb.mb_procs <> Array.length s.procs then
+    invalid_arg "Session.mark_into: buffer from a different session shape";
+  mb.mb_mem_len <- Machine.arena_len s.machine;
+  mb.mb_mem_j <- Machine.journal_depth s.machine;
+  mb.mb_msteps <- Machine.steps s.machine;
+  mb.mb_dirty <- Machine.dirty_entries s.machine;
+  mb.mb_events <- s.events;
+  mb.mb_n_events <- s.n_events;
+  mb.mb_anoms <- s.anomalies;
+  mb.mb_hist_sig <- s.hist_sig;
+  mb.mb_uid <- s.uid;
+  mb.mb_steps <- s.steps;
+  mb.mb_crashes <- s.crashes;
+  Array.iteri
+    (fun i ps ->
+      let pb = mb.mb_procs.(i) in
+      pb.pb_todo <- ps.todo;
+      pb.pb_status <- ps.status;
+      pb.pb_cur_steps <- ps.cur_steps;
+      pb.pb_in_recovery <- ps.in_recovery;
+      pb.pb_rec_started <- ps.rec_started;
+      pb.pb_step_sig <- ps.step_sig;
+      pb.pb_runnable <- ps.l_runnable;
+      pb.pb_done <- ps.l_done;
+      pb.pb_incs <- ps.incs;
+      pb.pb_log_len <-
+        (match ps.incs with inc :: _ -> inc.log_len | [] -> 0))
+    s.procs
+
+let rewind_buf s mb =
+  if not s.undo then invalid_arg "Session.rewind: session is not in undo mode";
+  Machine.rewind_raw s.machine ~mem_len:mb.mb_mem_len ~mem_j:mb.mb_mem_j
+    ~steps:mb.mb_msteps ~dirty:mb.mb_dirty;
+  s.events <- mb.mb_events;
+  s.n_events <- mb.mb_n_events;
+  s.anomalies <- mb.mb_anoms;
+  s.hist_sig <- mb.mb_hist_sig;
+  s.uid <- mb.mb_uid;
+  s.steps <- mb.mb_steps;
+  s.crashes <- mb.mb_crashes;
+  Array.iteri
+    (fun i pb ->
+      let ps = s.procs.(i) in
+      let same_pos =
+        ps.incs == pb.pb_incs
+        &&
+        match ps.incs with
+        | inc :: _ -> inc.log_len = pb.pb_log_len
+        | [] -> true
+      in
+      ps.todo <- pb.pb_todo;
+      ps.status <- pb.pb_status;
+      ps.cur_steps <- pb.pb_cur_steps;
+      ps.in_recovery <- pb.pb_in_recovery;
+      ps.rec_started <- pb.pb_rec_started;
+      ps.step_sig <- pb.pb_step_sig;
+      ps.l_runnable <- pb.pb_runnable;
+      ps.l_done <- pb.pb_done;
+      if not same_pos then begin
+        (match ps.fiber with Some f -> Fiber.kill f | None -> ());
+        ps.fiber <- None;
+        ps.stale <- true;
+        ps.incs <- pb.pb_incs;
+        match ps.incs with
+        | inc :: _ -> inc.log_len <- pb.pb_log_len
+        | [] -> ()
+      end)
+    mb.mb_procs
+
 (* Cheap exact digest of the session's future-relevant state.
 
    Process programs are deterministic: a fiber's continuation is a pure
@@ -647,11 +820,10 @@ let state_digest s =
         (if ps.in_recovery then 1 else 0)
         lor (if ps.rec_started then 2 else 0)
         lor (match ps.fiber with
-            | Some f -> (
-                match Fiber.status f with
-                | Fiber.Pending _ -> 4
-                | Fiber.Done _ -> 8
-                | Fiber.Killed -> 12)
+            | Some f ->
+                if Fiber.is_pending f then 4
+                else if Fiber.is_done f then 8
+                else 12
             | None ->
                 (* a stale undo-mode fiber is logically alive: digest the
                    status it will have once rebuilt, so replay- and

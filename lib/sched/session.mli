@@ -14,9 +14,19 @@ type policy = Retry | Give_up
 
 type t
 
+type scratch
+(** Reusable per-domain session scratch: the two reporting hash tables
+    ([op_steps]/[rec_steps]), pre-sized once and [Hashtbl.reset] between
+    trials.  A torture worker makes one per domain and threads it
+    through every trial's session, so per-trial table allocation
+    disappears.  A scratch must not be shared by two live sessions. *)
+
+val make_scratch : unit -> scratch
+
 val create :
   ?policy:policy ->
   ?undo:bool ->
+  ?scratch:scratch ->
   Runtime.Machine.t ->
   Obj_inst.t ->
   workloads:Spec.op list array ->
@@ -37,7 +47,17 @@ val runnable : t -> int list
 (** Pids with a pending primitive step, ascending.  Empty iff the run is
     over. *)
 
+val runnable_into : t -> int array -> int
+(** [runnable_into s buf] writes the runnable pids (ascending, same set
+    as {!runnable}) into [buf] and returns how many there are —
+    allocation-free, for callers that scan the runnable set once per
+    node/step.  Raises [Invalid_argument] if [buf] is shorter than the
+    process count. *)
+
 val finished : t -> bool
+
+val n_procs : t -> int
+(** Number of processes in the session (the workload array length). *)
 
 val step : t -> int -> unit
 (** [step s pid] executes [pid]'s pending primitive step.  Raises
@@ -125,6 +145,27 @@ val mark : t -> mark
 val rewind : t -> mark -> unit
 (** Roll the configuration back to [mark].  Raises [Invalid_argument]
     outside undo mode; marks must be used in LIFO order. *)
+
+type mark_buf
+(** A caller-owned mutable {!mark}: {!mark_into} overwrites it in place
+    and {!rewind_buf} restores from it, so a DFS that pools one buffer
+    per recursion depth checkpoints every node allocation-free (the
+    shared-cache dirty-set list is the one exception — it is [[]] in
+    the private-cache model).  Same LIFO discipline as {!mark}: a
+    buffer's contents are invalidated by rewinding to any earlier
+    point, and each fill must be rewound before the buffer is refilled
+    at the same or a shallower position. *)
+
+val make_mark_buf : t -> mark_buf
+(** A fresh buffer shaped for [t]'s process count. *)
+
+val mark_into : t -> mark_buf -> unit
+(** Overwrite [buf] with the current configuration.  Raises
+    [Invalid_argument] outside undo mode or on a buffer of the wrong
+    shape. *)
+
+val rewind_buf : t -> mark_buf -> unit
+(** {!rewind} from the buffer's contents. *)
 
 val state_digest : t -> int
 (** O(N) rolling digest of everything about the session that can affect

@@ -72,6 +72,10 @@ type report = {
   trials_per_sec : float;
   domains_used : int;
   shards_rescued : int;
+  alloc_minor_words : float;
+  alloc_promoted_words : float;
+  alloc_minor_collections : int;
+  bytes_per_trial : float;
 }
 
 let crash_bucket = 16
@@ -154,7 +158,7 @@ type trial = {
    a pure function of (spec, root, index) no matter which domain runs
    it.  For [fault = Atomic] the draws are identical to the historical
    engine, so atomic campaigns reproduce pre-fault-model reports. *)
-let run_trial spec ~root ~index =
+let run_trial spec ~scratch ~root ~index =
   let prng = Dtc_util.Prng.stream root ~index in
   let wseed =
     Int64.to_int (Int64.shift_right_logical (Dtc_util.Prng.next_int64 prng) 2)
@@ -223,7 +227,9 @@ let run_trial spec ~root ~index =
          !trace)
   in
   match
-    let res = Driver.run ~watchdog:spec.watchdog machine inst ~workloads cfg in
+    let res =
+      Driver.run ~watchdog:spec.watchdog ~scratch machine inst ~workloads cfg
+    in
     let rec_returned, rec_failed =
       List.fold_left
         (fun (r, f) -> function
@@ -406,7 +412,7 @@ let dist_of xs =
       }
 
 let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
-    ?checkpoint ?(resume = false) spec =
+    ?checkpoint ?(resume = false) ?(gc = Dtc_util.Gc_tune.none) spec =
   if trials < 0 then invalid_arg "Torture.run: trials must be non-negative";
   if resume && checkpoint = None then
     invalid_arg "Torture.run: resume requires a checkpoint path";
@@ -453,18 +459,32 @@ let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
   in
   let domains = max 1 (min domains (max 1 n_missing)) in
   (* shard d owns the missing positions { k | k mod domains = d }; trials
-     share nothing, so the only cross-domain traffic is the join *)
+     share nothing, so the only cross-domain traffic is the join.  Each
+     worker builds one {!Session.scratch} and reuses it across its whole
+     trial range, applies the (opt-in) GC tuning on its own domain —
+     [Gc.control] is per-domain in OCaml 5, so tuning must happen inside
+     the worker, and [with_applied] restores the caller's settings on the
+     domains = 1 / rescue paths that run on the joining domain — and
+     meters its own allocation: [Gc.quick_stat] counters are per-domain
+     too, so the snapshots bracket the loop inside the worker and the
+     shard deltas are summed after the join. *)
   let worker d () =
+    Dtc_util.Gc_tune.with_applied gc @@ fun () ->
+    let scratch = Session.make_scratch () in
+    let a0 = Dtc_util.Alloc_stats.snap () in
     let acc = ref [] in
     let k = ref d in
     while !k < n_missing do
       let i = missing.(!k) in
-      let tr = run_trial spec ~root:root_seed ~index:i in
+      let tr = run_trial spec ~scratch ~root:root_seed ~index:i in
       record i tr;
       acc := (i, tr) :: !acc;
       k := !k + domains
     done;
-    !acc
+    let alloc =
+      Dtc_util.Alloc_stats.delta ~before:a0 ~after:(Dtc_util.Alloc_stats.snap ())
+    in
+    (!acc, alloc)
   in
   let rescued = ref 0 in
   let shards =
@@ -498,7 +518,14 @@ let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   (match journal with Some (_, oc) -> close_out oc | None -> ());
-  List.iter (List.iter (fun (i, tr) -> by_index.(i) <- Some tr)) shards;
+  let alloc =
+    List.fold_left
+      (fun acc (_, d) -> Dtc_util.Alloc_stats.add acc d)
+      Dtc_util.Alloc_stats.zero shards
+  in
+  List.iter
+    (fun (shard, _) -> List.iter (fun (i, tr) -> by_index.(i) <- Some tr) shard)
+    shards;
   let ordered =
     List.init trials (fun i ->
         match by_index.(i) with
@@ -626,6 +653,12 @@ let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
     trials_per_sec = float_of_int trials /. Float.max elapsed_s 1e-9;
     domains_used = domains;
     shards_rescued = !rescued;
+    alloc_minor_words = alloc.Dtc_util.Alloc_stats.d_minor_words;
+    alloc_promoted_words = alloc.Dtc_util.Alloc_stats.d_promoted_words;
+    alloc_minor_collections = alloc.Dtc_util.Alloc_stats.d_minor_collections;
+    (* per trial actually executed this run: preloaded checkpoint trials
+       allocate nothing, so dividing by [trials] would flatter resumes *)
+    bytes_per_trial = Dtc_util.Alloc_stats.bytes_per alloc n_missing;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -635,7 +668,7 @@ let to_json ?(timing = true) r =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"detectable-torture/v2\",\n";
+  add "  \"schema\": \"detectable-torture/v3\",\n";
   add "  \"object\": \"%s\",\n" (escape r.label);
   add "  \"root_seed\": %d,\n" r.root_seed;
   add "  \"trials\": %d,\n" r.trials;
@@ -686,8 +719,12 @@ let to_json ?(timing = true) r =
   if timing then
     add
       ",\n  \"timing\": { \"elapsed_s\": %.6f, \"trials_per_sec\": %.1f, \
-       \"domains\": %d, \"shards_rescued\": %d }\n"
+       \"domains\": %d, \"shards_rescued\": %d, \"alloc\": { \"minor_words\": \
+       %.0f, \"promoted_words\": %.0f, \"minor_collections\": %d, \
+       \"bytes_per_trial\": %.1f } }\n"
       r.elapsed_s r.trials_per_sec r.domains_used r.shards_rescued
+      r.alloc_minor_words r.alloc_promoted_words r.alloc_minor_collections
+      r.bytes_per_trial
   else add "\n";
   add "}\n";
   Buffer.contents b
@@ -715,6 +752,11 @@ let pp fmt r =
     (if r.shards_rescued > 0 then
        Printf.sprintf ", %d shard(s) rescued" r.shards_rescued
      else "");
+  Format.fprintf fmt
+    "alloc:      %.0f bytes/trial (%.0f minor words, %.0f promoted, %d minor \
+     GCs)@."
+    r.bytes_per_trial r.alloc_minor_words r.alloc_promoted_words
+    r.alloc_minor_collections;
   (match r.crash_hist with
   | [] -> ()
   | hist ->

@@ -163,6 +163,18 @@ type report = {
   shards_rescued : int;
       (** shard domains that died and had their range re-run on the
           joining domain (0 in a healthy campaign) *)
+  alloc_minor_words : float;
+      (** words allocated on the minor heaps of the trial loops, summed
+          over worker domains ({!Dtc_util.Alloc_stats}); measured around
+          each worker's whole trial range, so the per-trial machine and
+          session construction is included, the merge/shrink phases are
+          not *)
+  alloc_promoted_words : float;
+  alloc_minor_collections : int;
+  bytes_per_trial : float;
+      (** [Alloc_stats.allocated_bytes / trials executed] — trials
+          preloaded from a resumed checkpoint are excluded from the
+          denominator since they never ran *)
 }
 
 val crash_bucket : int
@@ -175,6 +187,7 @@ val run :
   ?shrink:bool ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?gc:Dtc_util.Gc_tune.t ->
   spec ->
   report
 (** Run a campaign.  [domains] (default 1) shards the trial indices
@@ -186,12 +199,20 @@ val run :
     producing a report byte-identical ({!to_json} [~timing:false]) to an
     uninterrupted campaign.  Raises [Invalid_argument] if the journal
     was written by a campaign with different parameters.
+    [gc] (default {!Dtc_util.Gc_tune.none}: parameters untouched) is
+    applied inside every worker domain for the duration of its trial
+    loop — GC tuning can only change timing, never a verdict, so the
+    determinism contract is unaffected.
+    Each worker reuses one {!Sched.Session.scratch} across its whole
+    trial range and meters its own allocation; the report's
+    [alloc_*]/[bytes_per_trial] fields are the per-domain sums.
     Defaults: [root_seed = 1], [trials = 200]. *)
 
 val to_json : ?timing:bool -> report -> string
-(** Render the report as the [detectable-torture/v2] JSON document.
-    [~timing:false] (default [true]) omits the [timing] block, leaving
-    exactly the fields the determinism contract covers. *)
+(** Render the report as the [detectable-torture/v3] JSON document (v2
+    plus the [timing.alloc] block).  [~timing:false] (default [true])
+    omits the [timing] block, leaving exactly the fields the determinism
+    contract covers. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable multi-line summary. *)

@@ -1,0 +1,43 @@
+(** Per-domain allocation accounting via [Gc.quick_stat] deltas.
+
+    Used by the torture and model-checking hot loops to make their
+    allocation behaviour observable ([bytes_per_trial] /
+    [bytes_per_node] in reports, CLI output and bench JSON) without
+    perturbing it: [snap] never forces a collection.
+
+    Counters are per-domain: take snapshots on the domain that runs the
+    loop (inside the worker, not around [Domain.join]).  Deltas from
+    different domains can be summed with [add]. *)
+
+type snap
+(** The current domain's GC counters at one instant. *)
+
+val snap : unit -> snap
+
+type delta = {
+  d_minor_words : float;
+  d_promoted_words : float;
+  d_major_words : float;
+  d_minor_collections : int;
+}
+(** Counter differences over a region of one domain's execution. *)
+
+val zero : delta
+val delta : before:snap -> after:snap -> delta
+val add : delta -> delta -> delta
+
+val allocated_words : delta -> float
+(** [minor + major - promoted]: total words allocated, counting each
+    word once regardless of promotion. *)
+
+val word_bytes : int
+(** Bytes per OCaml word on this platform (8 on 64-bit). *)
+
+val allocated_bytes : delta -> float
+
+val bytes_per : delta -> int -> float
+(** [bytes_per d n] is [allocated_bytes d / n], or [0.] if [n <= 0]. *)
+
+val measure : (unit -> 'a) -> 'a * delta
+(** [measure f] runs [f ()] on the current domain and returns its result
+    with the allocation delta of the call. *)

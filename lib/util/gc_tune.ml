@@ -1,0 +1,97 @@
+(* Opt-in per-domain GC tuning.
+
+   The defaults are never changed: a [t] is only built from an explicit
+   [--gc] flag and only applied inside the worker domains of a run (or,
+   for single-domain runs, applied-and-restored around the loop).  Both
+   knobs map directly onto [Gc.control] fields:
+
+     minor-heap=N       minor_heap_size, in words (suffixes k/M accepted,
+                        meaning multiples of 2^10 / 2^20 words)
+     space-overhead=N   space_overhead, a percentage
+
+   Keeping the surface this small is deliberate: these are the two
+   parameters that matter for allocation-heavy loops (minor heap sizing
+   amortises minor collections; space overhead trades major-heap
+   footprint for marking work). *)
+
+type t = { minor_heap : int option; space_overhead : int option }
+
+let none = { minor_heap = None; space_overhead = None }
+let is_none t = t.minor_heap = None && t.space_overhead = None
+
+let parse_size s =
+  let fail () = invalid_arg (Printf.sprintf "Gc_tune: bad size %S" s) in
+  let n = String.length s in
+  if n = 0 then fail ();
+  let mult, digits =
+    match s.[n - 1] with
+    | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+    | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+    | _ -> (1, s)
+  in
+  match int_of_string_opt digits with
+  | Some v when v > 0 -> v * mult
+  | _ -> fail ()
+
+(* "minor-heap=8M,space-overhead=200" *)
+let parse s =
+  let fields = String.split_on_char ',' (String.trim s) in
+  List.fold_left
+    (fun acc field ->
+      let field = String.trim field in
+      if field = "" then acc
+      else
+        match String.index_opt field '=' with
+        | None -> invalid_arg (Printf.sprintf "Gc_tune: bad field %S" field)
+        | Some i ->
+            let key = String.sub field 0 i in
+            let v = String.sub field (i + 1) (String.length field - i - 1) in
+            (match key with
+            | "minor-heap" -> { acc with minor_heap = Some (parse_size v) }
+            | "space-overhead" -> (
+                match int_of_string_opt v with
+                | Some n when n > 0 -> { acc with space_overhead = Some n }
+                | _ ->
+                    invalid_arg
+                      (Printf.sprintf "Gc_tune: bad space-overhead %S" v))
+            | _ -> invalid_arg (Printf.sprintf "Gc_tune: unknown key %S" key)))
+    none fields
+
+let to_string t =
+  let fields =
+    (match t.minor_heap with
+    | Some n -> [ Printf.sprintf "minor-heap=%d" n ]
+    | None -> [])
+    @
+    match t.space_overhead with
+    | Some n -> [ Printf.sprintf "space-overhead=%d" n ]
+    | None -> []
+  in
+  String.concat "," fields
+
+(* Applies on the *calling* domain: callers must invoke this inside the
+   worker domain they want tuned. *)
+let apply t =
+  if not (is_none t) then begin
+    let g = Gc.get () in
+    Gc.set
+      {
+        g with
+        Gc.minor_heap_size =
+          (match t.minor_heap with
+          | Some n -> n
+          | None -> g.Gc.minor_heap_size);
+        space_overhead =
+          (match t.space_overhead with
+          | Some n -> n
+          | None -> g.Gc.space_overhead);
+      }
+  end
+
+let with_applied t f =
+  if is_none t then f ()
+  else begin
+    let saved = Gc.get () in
+    apply t;
+    Fun.protect ~finally:(fun () -> Gc.set saved) f
+  end

@@ -1,0 +1,30 @@
+(** Opt-in per-domain GC tuning for worker loops.
+
+    Defaults are untouched unless the user passes [--gc] (detect_cli) or
+    a spec explicitly carries a [t].  GC parameters are per-domain in
+    OCaml 5, so [apply] must run *inside* the domain whose loop is being
+    tuned — the torture and explorer engines call it at the top of each
+    spawned worker. *)
+
+type t = { minor_heap : int option; space_overhead : int option }
+
+val none : t
+val is_none : t -> bool
+
+val parse : string -> t
+(** Parses ["minor-heap=8M,space-overhead=200"]-style specs.
+    [minor-heap] is in words with optional [k]/[M] suffixes;
+    [space-overhead] is the percentage from [Gc.control].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse} (sizes are printed in words). *)
+
+val apply : t -> unit
+(** Sets the requested fields of the calling domain's [Gc.control],
+    leaving the others as they are.  No-op for {!none}. *)
+
+val with_applied : t -> (unit -> 'a) -> 'a
+(** [with_applied t f] applies [t], runs [f], and restores the previous
+    control record (even on exceptions).  Used on the caller's own
+    domain for single-domain runs. *)

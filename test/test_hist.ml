@@ -91,6 +91,90 @@ let prop_stats_consistent =
       s.Hist.invocations
       = s.Hist.completed + s.Hist.recovered + s.Hist.failed + s.Hist.pending)
 
+(* --- Bitset Small-path representation stability (ISSUE 8) ---------
+
+   The checker's hot sets stay [Small] whenever the operands are: a
+   [Small]/[Small] union or intersection must never promote to [Big],
+   and when one operand already contains the other, the contained
+   result must be the physical operand — no constructor at all. *)
+
+let is_small = function Bitset.Small _ -> true | Bitset.Big _ -> false
+
+let test_bitset_small_in_small_out () =
+  let a = Bitset.set (Bitset.set Bitset.empty 3) 40 in
+  let b = Bitset.set (Bitset.set Bitset.empty 3) 7 in
+  Alcotest.(check bool) "operands are Small" true (is_small a && is_small b);
+  let u = Bitset.union a b in
+  Alcotest.(check bool) "Small/Small union stays Small" true (is_small u);
+  Alcotest.(check bool) "Small/Small inter stays Small" true
+    (is_small (Bitset.inter a b));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Printf.sprintf "union has %d" k) true
+        (Bitset.mem u k))
+    [ 3; 7; 40 ];
+  Alcotest.(check int) "union cardinal" 3 (Bitset.cardinal u);
+  (* physical operand reuse when one side contains the other *)
+  Alcotest.(check bool) "union t t == t" true (Bitset.union a a == a);
+  Alcotest.(check bool) "union u a == u" true (Bitset.union u a == u);
+  Alcotest.(check bool) "union a u == u" true (Bitset.union a u == u);
+  Alcotest.(check bool) "inter u a == a" true (Bitset.inter u a == a);
+  Alcotest.(check bool) "inter a u == a" true (Bitset.inter a u == a);
+  (* boundary: index word_bits - 1 is the last Small index *)
+  let top = Bitset.set Bitset.empty (Bitset.word_bits - 1) in
+  Alcotest.(check bool) "last Small index stays Small" true (is_small top);
+  Alcotest.(check bool) "index word_bits promotes to Big" false
+    (is_small (Bitset.set Bitset.empty Bitset.word_bits));
+  Alcotest.(check bool) "subset" true
+    (Bitset.subset a u && Bitset.subset b u && not (Bitset.subset u a));
+  Alcotest.(check bool) "equal reflexive" true
+    (Bitset.equal u (Bitset.union a b))
+
+(* the Small fast paths must not allocate: run each operation in a tight
+   loop under Alloc_stats and require the total to stay far below one
+   word per iteration.  A genuine per-iteration allocation costs at
+   least 2 words/iter (a boxed block); the harness itself (snapshots,
+   GC-sampling granularity) contributes a few hundred words total, so
+   half a word per iteration separates the two regimes decisively. *)
+let test_bitset_small_paths_allocation_free () =
+  let a = Bitset.set (Bitset.set Bitset.empty 3) 40 in
+  let b = Bitset.set Bitset.empty 3 in
+  let u = Bitset.union a b in
+  let iters = 10_000 in
+  let budget = float_of_int iters /. 2.0 in
+  let check_no_alloc what f =
+    let (), d = Dtc_util.Alloc_stats.measure f in
+    let words = Dtc_util.Alloc_stats.allocated_words d in
+    if words > budget then
+      Alcotest.failf "%s allocated %.0f words over %d iterations" what words
+        iters
+  in
+  let sink_b = ref true and sink_i = ref 0 in
+  check_no_alloc "union (operand reuse)" (fun () ->
+      for _ = 1 to iters do
+        sink_b := Bitset.union u a == u
+      done);
+  check_no_alloc "inter (operand reuse)" (fun () ->
+      for _ = 1 to iters do
+        sink_b := Bitset.inter u a == a
+      done);
+  check_no_alloc "subset" (fun () ->
+      for _ = 1 to iters do
+        sink_b := Bitset.subset b u
+      done);
+  check_no_alloc "equal" (fun () ->
+      for _ = 1 to iters do
+        sink_b := Bitset.equal a u
+      done);
+  let fold_step k acc = k + acc in
+  check_no_alloc "fold" (fun () ->
+      for _ = 1 to iters do
+        sink_i := Bitset.fold fold_step u 0
+      done);
+  ignore (!sink_b : bool);
+  Alcotest.(check int) "fold sums the members" (3 + 7 + 40)
+    (Bitset.fold fold_step (Bitset.set u 7) 0)
+
 let suites =
   [
     ( "history.hist",
@@ -102,5 +186,12 @@ let suites =
         Alcotest.test_case "project" `Quick test_project;
         Alcotest.test_case "well_formed" `Quick test_well_formed;
         QCheck_alcotest.to_alcotest prop_stats_consistent;
+      ] );
+    ( "history.bitset",
+      [
+        Alcotest.test_case "Small-in/Small-out" `Quick
+          test_bitset_small_in_small_out;
+        Alcotest.test_case "Small fast paths allocation-free" `Quick
+          test_bitset_small_paths_allocation_free;
       ] );
   ]

@@ -433,6 +433,93 @@ let prop_snapshot_roundtrip =
       let back1 = Mem.equal_full (Mem.snapshot m) snap1 in
       back0 && back1)
 
+(* --- arena/journal growth discipline (ISSUE 8) ------------------- *)
+
+(* the cell arena grows by doubling from any starting capacity; growth
+   must be invisible to reads, initial values and space accounting *)
+let test_arena_growth_from_one () =
+  let m = Mem.create ~capacity:1 () in
+  let locs =
+    List.init 150 (fun k ->
+        Mem.alloc m ~name:(Printf.sprintf "g%d" k) ~kind:Loc.Shared (i k))
+  in
+  Alcotest.(check int) "n_locs" 150 (Mem.n_locs m);
+  List.iteri
+    (fun k loc ->
+      Alcotest.check v "kept value" (i k) (Mem.read m loc);
+      Alcotest.(check bool) "loc_by_id inverse" true (Mem.loc_by_id m k == loc))
+    locs;
+  Mem.reset m;
+  List.iteri
+    (fun k loc -> Alcotest.check v "reset to init" (i k) (Mem.read m loc))
+    locs
+
+(* mark/rewind round-trips byte-identically across the journal's
+   capacity-doubling boundaries: values, high-water marks and the live
+   fingerprint accumulators must all come back *)
+let prop_journal_growth_roundtrip =
+  QCheck.Test.make
+    ~name:"mark/rewind roundtrip across journal growth boundaries"
+    ~count:Test_support.qcheck_count
+    QCheck.(pair (int_bound 300) (int_bound 300))
+    (fun (n_before, n_after) ->
+      (* capacity:1 forces the cell arena to double during allocation;
+         the journal arrays start empty and double under the writes *)
+      let m = Mem.create ~capacity:1 () in
+      let locs =
+        Array.init 7 (fun k ->
+            Mem.alloc m ~name:(Printf.sprintf "l%d" k) ~kind:Loc.Shared (i 0))
+      in
+      let prng = Dtc_util.Prng.create 99 in
+      let mutate step =
+        let k = Dtc_util.Prng.int prng 7 in
+        let x = Dtc_util.Prng.int prng 1024 in
+        match step mod 3 with
+        | 0 -> Mem.write m locs.(k) (i x)
+        | 1 ->
+            let cur = Mem.read m locs.(k) in
+            ignore (Mem.cas m locs.(k) cur (i x) : bool)
+        | _ -> ignore (Mem.faa m locs.(k) (x - 512) : int)
+      in
+      Mem.set_journal m true;
+      for s = 1 to n_before do mutate s done;
+      let reference = Mem.snapshot m in
+      let bits_ref = Mem.max_shared_bits m in
+      let fa_ref, fb_ref = Mem.live_fingerprint_full m in
+      let mk = Mem.mark m in
+      for s = 1 to n_after do mutate s done;
+      Mem.rewind m mk;
+      Mem.equal_full (Mem.snapshot m) reference
+      && Mem.max_shared_bits m = bits_ref
+      && Mem.live_fingerprint_full m = (fa_ref, fb_ref))
+
+(* the incremental (journal-on) fingerprint accumulators must agree with
+   the journal-off full scan, and with the snapshot digest, at any point
+   in any mutation history *)
+let prop_live_fingerprint_consistent =
+  QCheck.Test.make
+    ~name:"live fingerprints: accumulators = scan = snapshot digest"
+    ~count:Test_support.qcheck_count
+    QCheck.(list (pair (int_bound 9) small_signed_int))
+    (fun writes ->
+      let m = Mem.create ~capacity:2 () in
+      let locs =
+        Array.init 10 (fun k ->
+            let kind = if k mod 3 = 2 then Loc.Private 0 else Loc.Shared in
+            Mem.alloc m ~name:(Printf.sprintf "l%d" k) ~kind (i 0))
+      in
+      Mem.set_journal m true;
+      List.iter (fun (k, x) -> Mem.write m locs.(k) (i x)) writes;
+      let live_shared = Mem.live_fingerprint_shared m in
+      let live_full = (Mem.live_full_a m, Mem.live_full_b m) in
+      let snap_shared = Mem.fingerprint_shared (Mem.snapshot m) in
+      (* dropping the journal switches the live reads to the scan path
+         without touching contents *)
+      Mem.set_journal m false;
+      Mem.live_fingerprint_shared m = live_shared
+      && Mem.live_fingerprint_full m = live_full
+      && live_shared = snap_shared)
+
 let suites =
   [
     ( "nvm.mem",
@@ -457,6 +544,10 @@ let suites =
           test_journal_discipline;
         QCheck_alcotest.to_alcotest prop_mark_rewind_roundtrip;
         QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+        Alcotest.test_case "arena growth from capacity 1" `Quick
+          test_arena_growth_from_one;
+        QCheck_alcotest.to_alcotest prop_journal_growth_roundtrip;
+        QCheck_alcotest.to_alcotest prop_live_fingerprint_consistent;
       ] );
     ( "nvm.cache",
       [

@@ -47,6 +47,28 @@ let test_rerun_deterministic () =
   Alcotest.(check bool) "different seed, different report" true
     (Torture.to_json ~timing:false a <> Torture.to_json ~timing:false c)
 
+(* Scratch-reuse regression (ISSUE 8): each worker domain now creates
+   one [Session.make_scratch] and recycles it across every trial of its
+   shard.  At [domains = trials] each scratch serves exactly one trial
+   (effectively the old fresh-tables-per-trial behaviour); at
+   [domains = 1] a single scratch is reused for all of them.  Byte-equal
+   reports prove the recycled hash tables leak no state between trials —
+   on a clean object and on a violating one (where failure capture and
+   shrinking also run through the scratch). *)
+let test_scratch_reuse_deterministic () =
+  List.iter
+    (fun mkspec ->
+      let spec = mkspec () in
+      let fresh = Torture.run ~domains:24 ~root_seed:13 ~trials:24 spec in
+      let reused = Torture.run ~domains:1 ~root_seed:13 ~trials:24 spec in
+      Alcotest.(check string)
+        "one scratch per trial vs one scratch for all: identical reports"
+        (Torture.to_json ~timing:false fresh)
+        (Torture.to_json ~timing:false reused);
+      Alcotest.(check bool) "allocation metered" true
+        (reused.Torture.bytes_per_trial > 0.0))
+    [ (fun () -> dcas_spec ()); broken_spec ]
+
 let classified (r : Torture.report) =
   r.Torture.linearized + r.Torture.not_linearized + r.Torture.incomplete
   + r.Torture.budget_exhausted + r.Torture.engine_faults
@@ -126,11 +148,12 @@ let test_json_shape () =
       if not (contains j marker) then
         Alcotest.failf "marker %S missing from JSON" marker)
     [
-      {|"schema": "detectable-torture/v2"|}; {|"verdicts"|}; {|"recoveries"|};
+      {|"schema": "detectable-torture/v3"|}; {|"verdicts"|}; {|"recoveries"|};
       {|"crashes"|}; {|"histogram"|}; {|"steps"|}; {|"max_shared_bits"|};
       {|"first_failure"|}; {|"first_engine_fault"|}; {|"timing"|};
       {|"fault": "atomic"|}; {|"watchdog"|}; {|"budget_exhausted"|};
-      {|"engine_faults"|}; {|"shards_rescued"|};
+      {|"engine_faults"|}; {|"shards_rescued"|}; {|"alloc"|};
+      {|"bytes_per_trial"|};
     ];
   Alcotest.(check bool) "timing:false omits the timing block" false
     (contains (Torture.to_json ~timing:false r) {|"timing"|})
@@ -389,6 +412,8 @@ let suites =
           test_domains_deterministic;
         Alcotest.test_case "rerun deterministic, seed-sensitive" `Quick
           test_rerun_deterministic;
+        Alcotest.test_case "scratch reuse leaks no state across trials" `Quick
+          test_scratch_reuse_deterministic;
         Alcotest.test_case "aggregation sane" `Quick test_aggregation_sane;
         Alcotest.test_case "broken object fails and shrinks" `Quick
           test_broken_object_fails_and_shrinks;
