@@ -33,18 +33,30 @@
    - "detectable-modelcheck/v2"     — v1 plus, per substrate record, an
      "alloc" block (bytes_per_node), and per case the ISSUE 8 gates
      ("min_nodes_per_sec" undo floor, "max_bytes_per_node" allocation
-     ceiling) — the committed BENCH_modelcheck.json;
+     ceiling);
+   - "detectable-modelcheck/v3"     — v2 plus a top-level
+     "reduction_cases" array: per config and engine one run under every
+     reduction mode (none / dpor / dpor+sym / dpor+sym-memo) with exact
+     node and violation counters and the "min_node_reduction" gate —
+     the committed BENCH_modelcheck.json;
    - "detectable-lincheck/v1"       — a linearizability-checker engine
      baseline (`bench/main.exe --baseline`, the committed
      BENCH_lincheck.json): per case the engine-independent counters plus
      one record per checker engine and the measured incremental/batch
      speedup;
    - "detectable-bench/lowerbound-v1" — the Theorem 1 lower-bound
-     baseline (`bench/main.exe --lowerbound`, the committed
-     BENCH_lowerbound.json): per process count N one reduced and one
-     unreduced exploration under a shared node budget, with the
-     distinct-configuration counts checked against the 2^(N-1) bound
-     (this validator re-checks the arithmetic, not just the keys).
+     baseline (`bench/main.exe --lowerbound`): per process count N one
+     reduced and one unreduced exploration under a shared node budget,
+     with the distinct-configuration counts checked against the 2^(N-1)
+     bound (this validator re-checks the arithmetic, not just the keys);
+   - "detectable-bench/lowerbound-v2" — v1 plus per-case "workload" and
+     "recheck" markers and per-run symmetry counters
+     (sym_skips / source_skips / canonical_orbits); cases may now run
+     any reduction-mode pair, and only the certifying modes (dpor,
+     dpor+sym-memo) are held to the bound — dpor+sym rows are the
+     committed evidence that plain symmetry reduction under-counts, so
+     at least one of them must miss — the committed
+     BENCH_lowerbound.json.
 
    Keeping every producer behind this one validator is what lets future
    PRs treat the JSON artefacts as a stable machine-readable surface. *)
@@ -61,10 +73,10 @@ let require_keys what j keys =
 let check_engine e =
   require_keys "engine record" e
     [
-      "engine"; "switch_budget"; "crash_budget"; "domains"; "executions";
-      "nodes"; "total_violations"; "distinct_shared_configs"; "dedup_hit_rate";
-      "nodes_per_sec"; "elapsed_s"; "lin_engine"; "leaf_checks";
-      "lin_elapsed_s"; "lin_checks_per_sec"; "lin_reuse_rate";
+      "engine"; "switch_budget"; "crash_budget"; "domains"; "reduction";
+      "executions"; "nodes"; "total_violations"; "distinct_shared_configs";
+      "dedup_hit_rate"; "nodes_per_sec"; "elapsed_s"; "lin_engine";
+      "leaf_checks"; "lin_elapsed_s"; "lin_checks_per_sec"; "lin_reuse_rate";
     ]
 
 let check_checker j =
@@ -214,23 +226,101 @@ let check_modelcheck_baseline ~v j =
                 engines)
         cases
 
+(* v3 reduction-ratio section: every engine entry must carry one run per
+   reduction mode, the verdicts must agree across the modes of an entry
+   (a reduced search keeps one representative per equivalence class, so
+   the raw count of violating executions may shrink, but whether a
+   violation exists may not — reduction soundness is visible in the
+   committed artefact itself), and the recorded node_reduction must
+   clear its own gate *)
+let check_modelcheck_reductions j =
+  match get_list (member "reduction_cases" j) with
+  | [] -> fail "json_check: \"reduction_cases\" must be a non-empty array"
+  | cases ->
+      List.iter
+        (fun c ->
+          require_keys "reduction case" c
+            [ "object"; "switch_budget"; "crash_budget"; "engines" ];
+          let label = get_str (member "object" c) in
+          match get_list (member "engines" c) with
+          | [] ->
+              fail "json_check: reduction case \"engines\" must be non-empty"
+          | engines ->
+              List.iter
+                (fun e ->
+                  require_keys "reduction engine entry" e
+                    [
+                      "engine"; "runs"; "node_reduction"; "min_node_reduction";
+                    ];
+                  let engine = get_str (member "engine" e) in
+                  let runs = get_list (member "runs" e) in
+                  if List.length runs < 2 then
+                    fail
+                      "json_check: reduction case %s/%s needs at least an \
+                       unreduced and a reduced run"
+                      label engine;
+                  let viols = ref [] in
+                  List.iter
+                    (fun r ->
+                      require_keys "reduction run" r
+                        [
+                          "reduction"; "nodes"; "executions";
+                          "total_violations"; "distinct_shared_configs";
+                        ];
+                      viols :=
+                        ( get_str (member "reduction" r),
+                          get_int (member "total_violations" r) )
+                        :: !viols)
+                    runs;
+                  (match !viols with
+                  | [] -> ()
+                  | (_, v0) :: _ ->
+                      List.iter
+                        (fun (red, v) ->
+                          if v > 0 <> (v0 > 0) then
+                            fail
+                              "json_check: reduction case %s/%s: %s records \
+                               %d violations where another mode records %d \
+                               — verdict parity broken in the committed \
+                               artefact"
+                              label engine red v v0)
+                        !viols);
+                  let ratio = get_num (member "node_reduction" e) in
+                  let gate = get_num (member "min_node_reduction" e) in
+                  if ratio < gate then
+                    fail
+                      "json_check: reduction case %s/%s records \
+                       node_reduction %.2f under its own gate %.2f"
+                      label engine ratio gate)
+                engines)
+        cases
+
 (* The lower-bound validator checks the arithmetic, not just the keys:
    every case's "bound" must be 2^(n-1), every run's "meets_bound" must
-   agree with its configs-vs-bound comparison, the reduced run must meet
-   the bound for every n >= 4 (the Theorem 1 acceptance gate), and —
-   when the sweep reaches n >= 5 (the committed baseline does; smoke
-   runs may stop earlier) — at least one case must show the unreduced
-   search missing the bound under the shared node budget, the committed
-   artifact's whole claim. *)
-let check_lowerbound_baseline j =
+   agree with its configs-vs-bound comparison, and every certifying run
+   — "dpor" and "dpor+sym-memo", the modes whose config counters are
+   sound lower bounds on the reachable set — must meet the bound for
+   n >= 4 (the Theorem 1 acceptance gate).  Two evidence obligations on
+   full sweeps (smoke runs may stop earlier): when the sweep reaches
+   n >= 5, at least one case must show the unreduced search missing the
+   bound under the shared node budget; and when any "dpor+sym" rows are
+   present (v2), at least one must miss it — otherwise the committed
+   artefact no longer demonstrates why the canonical-memo counters are
+   needed. *)
+let check_lowerbound_baseline ~v j =
   require_keys "lowerbound baseline" j
-    [ "object"; "workload"; "crash_budget"; "cases" ];
-  let get_bool what v =
-    match v with
+    ([ "object"; "crash_budget"; "cases" ]
+    @ if v >= 2 then [] else [ "workload" ]);
+  let get_bool what x =
+    match x with
     | Bool b -> b
     | _ -> fail "json_check: %s is not a bool" what
   in
+  let certifying = function "dpor" | "dpor+sym-memo" -> true | _ -> false in
+  let unreduced_rows = ref 0 in
   let unreduced_miss = ref false in
+  let sym_rows = ref 0 in
+  let sym_misses = ref 0 in
   let max_n = ref 0 in
   (match get_list (member "cases" j) with
   | [] -> fail "json_check: \"cases\" must be a non-empty array"
@@ -238,7 +328,8 @@ let check_lowerbound_baseline j =
       List.iter
         (fun c ->
           require_keys "lowerbound case" c
-            [ "n"; "switch_budget"; "node_budget"; "bound"; "runs" ];
+            ([ "n"; "switch_budget"; "node_budget"; "bound"; "runs" ]
+            @ if v >= 2 then [ "workload"; "recheck" ] else []);
           let n = get_int (member "n" c) in
           let bound = get_int (member "bound" c) in
           if n < 2 then fail "json_check: lowerbound case has n=%d < 2" n;
@@ -253,11 +344,15 @@ let check_lowerbound_baseline j =
               List.iter
                 (fun r ->
                   require_keys "lowerbound run" r
-                    [
-                      "reduction"; "configs"; "nodes"; "executions";
-                      "sleep_skips"; "capped"; "meets_bound"; "elapsed_s";
-                      "nodes_per_sec";
-                    ];
+                    ([
+                       "reduction"; "configs"; "nodes"; "executions";
+                       "sleep_skips"; "capped"; "meets_bound"; "elapsed_s";
+                       "nodes_per_sec";
+                     ]
+                    @
+                    if v >= 2 then
+                      [ "sym_skips"; "source_skips"; "canonical_orbits" ]
+                    else []);
                   let red = get_str (member "reduction" r) in
                   let configs = get_int (member "configs" r) in
                   let meets = get_bool "meets_bound" (member "meets_bound" r) in
@@ -266,18 +361,49 @@ let check_lowerbound_baseline j =
                       "json_check: lowerbound N=%d %s: meets_bound=%b but \
                        configs=%d vs bound=%d"
                       n red meets configs bound;
-                  if red <> "none" && n >= 4 && not meets then
+                  (* v1 predates the non-certifying dpor+sym contrast
+                     rows, so there every reduced run is held to the
+                     bound; v2 also exempts capped certifying runs —
+                     their counters are partial (CI smokes run the N=7
+                     case under a tiny node cap), so a miss is absence
+                     of evidence, not evidence of absence *)
+                  let capped =
+                    v >= 2 && get_bool "capped" (member "capped" r)
+                  in
+                  let must_certify =
+                    if v >= 2 then certifying red && not capped
+                    else red <> "none"
+                  in
+                  if must_certify && n >= 4 && not meets then
                     fail
                       "json_check: lowerbound N=%d %s misses the Theorem 1 \
                        bound (%d configs < %d)"
                       n red configs bound;
-                  if red = "none" && not meets then unreduced_miss := true)
+                  if red = "none" then begin
+                    incr unreduced_rows;
+                    if not meets then unreduced_miss := true
+                  end;
+                  if red = "dpor+sym" then begin
+                    incr sym_rows;
+                    if not meets then incr sym_misses
+                  end)
                 runs)
         cases);
-  if !max_n >= 5 && not !unreduced_miss then
+  (* the v2 sweep may legitimately contain no unreduced rows at all
+     (the N>=7 uniform cases and the CI smoke run reduced pairs only);
+     the obligation applies as soon as any are present *)
+  if
+    !max_n >= 5
+    && not !unreduced_miss
+    && (v < 2 || !unreduced_rows > 0)
+  then
     fail
       "json_check: lowerbound baseline shows no case where the unreduced \
-       search misses the bound — the budget comparison lost its teeth"
+       search misses the bound — the budget comparison lost its teeth";
+  if v >= 2 && !sym_rows > 0 && !sym_misses = 0 then
+    fail
+      "json_check: lowerbound baseline has dpor+sym rows but none misses \
+       the bound — the canonical-memo contrast evidence is gone"
 
 let check_lincheck_baseline j =
   match get_list (member "cases" j) with
@@ -349,11 +475,18 @@ let () =
       | "detectable-modelcheck/v2" ->
           check_modelcheck_baseline ~v:2 j;
           print_endline "modelcheck baseline: valid"
+      | "detectable-modelcheck/v3" ->
+          check_modelcheck_baseline ~v:3 j;
+          check_modelcheck_reductions j;
+          print_endline "modelcheck baseline: valid"
       | "detectable-lincheck/v1" ->
           check_lincheck_baseline j;
           print_endline "lincheck baseline: valid"
       | "detectable-bench/lowerbound-v1" ->
-          check_lowerbound_baseline j;
+          check_lowerbound_baseline ~v:1 j;
+          print_endline "lowerbound baseline: valid"
+      | "detectable-bench/lowerbound-v2" ->
+          check_lowerbound_baseline ~v:2 j;
           print_endline "lowerbound baseline: valid"
       | s -> fail "json_check: unknown schema %S" s
       | exception Error m -> fail "json_check: %s: %s" path m)

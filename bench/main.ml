@@ -282,7 +282,7 @@ let engine_json ~engine ~workload (cfg : Modelcheck.Explore.config)
   Printf.sprintf
     {|    { "engine": %S, "workload": %S, "substrate": %S,
       "switch_budget": %d, "crash_budget": %d,
-      "domains": %d, "prune": %b,
+      "domains": %d, "prune": %b, "reduction": %S,
       "executions": %d, "truncated": %d, "nodes": %d,
       "total_violations": %d, "distinct_shared_configs": %d,
       "dedup_hits": %d, "dedup_hit_rate": %.4f, "nodes_saved": %d,
@@ -294,7 +294,8 @@ let engine_json ~engine ~workload (cfg : Modelcheck.Explore.config)
     engine workload m.Modelcheck.Explore.engine
     cfg.Modelcheck.Explore.switch_budget
     cfg.Modelcheck.Explore.crash_budget m.Modelcheck.Explore.domains_used
-    cfg.Modelcheck.Explore.prune out.Modelcheck.Explore.executions
+    cfg.Modelcheck.Explore.prune m.Modelcheck.Explore.reduction
+    out.Modelcheck.Explore.executions
     out.Modelcheck.Explore.truncated out.Modelcheck.Explore.nodes
     out.Modelcheck.Explore.total_violations
     out.Modelcheck.Explore.distinct_shared_configs
@@ -821,7 +822,7 @@ let fault_compare ~j ~file ~tolerance ~domains =
 
 (* ------------------------------------------------------------------ *)
 (* Modelcheck engine baselines (BENCH_modelcheck.json, schema
-   detectable-modelcheck/v2).
+   detectable-modelcheck/v3).
 
    `--baseline` also runs each modelcheck case under BOTH execution
    substrates (`Replay and `Undo) at the same budgets, asserts the
@@ -838,7 +839,12 @@ let fault_compare ~j ~file ~tolerance ~domains =
    "min_speedup" gate (set below the measured speedup so slower CI
    machines don't flake; the committed baseline records the real
    measured number), and the fresh undo bytes/node under the ceiling
-   exactly (allocation counts are machine-independent). *)
+   exactly (allocation counts are machine-independent).
+
+   v3 adds the "reduction_cases" section defined further down: the same
+   config explored under every reduction mode on each engine, with
+   exact violation parity and a minimum none/dpor+sym-memo node-count
+   ratio as recorded gates. *)
 
 let mc_speedup_gate = 3.0
 
@@ -935,6 +941,143 @@ let mc_speedup (replay : Modelcheck.Explore.outcome)
   /. Float.max replay.Modelcheck.Explore.metrics.Modelcheck.Explore.nodes_per_sec
        1e-9
 
+(* --- reduction-ratio cases (schema v3) ------------------------------
+
+   One config explored under every reduction mode on each engine: the
+   committed rows pin the node counts of [`None]/[`Dpor]/[`Dpor_sym]/
+   [`Dpor_sym_memo] on the same search, the violation counters must
+   agree exactly across all modes (reduction prunes interleavings,
+   never the bug), and "min_node_reduction" gates how much smaller the
+   strongest mode's tree must stay relative to the unreduced one.  Two
+   configs: a healthy uniform dcas (the canonical-memo mode fully
+   active, violation parity at zero) and the no-vec ablation (parity on
+   a real violation count). *)
+
+let mc_reductions : Modelcheck.Explore.reduction list =
+  [ `None; `Dpor; `Dpor_sym; `Dpor_sym_memo ]
+
+let mk_dcas_no_vec_n2 () =
+  let m = Machine.create () in
+  (m, Baselines.Broken.dcas_no_vec m ~n:2 ~init:(i 0))
+
+let mc_red_factory = function
+  | "dcas_n3_uniform_cas" ->
+      Some
+        ( mk_dcas_n3,
+          Array.make 3 [ Spec.cas_op (i 0) (i 1); Spec.cas_op (i 1) (i 2) ] )
+  | "dcas_no_vec_n2_cas_race" ->
+      Some
+        ( mk_dcas_no_vec_n2,
+          [| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 0) ] |] )
+  | _ -> None
+
+(* (label, switch budget, crash budget) *)
+let mc_red_cases =
+  [ ("dcas_n3_uniform_cas", 2, 0); ("dcas_no_vec_n2_cas_race", 2, 1) ]
+
+let mc_red_run ~label ~switches ~crashes ~engine red =
+  let mk, workloads =
+    match mc_red_factory label with
+    | Some mw -> mw
+    | None -> failwith ("unknown reduction bench case " ^ label)
+  in
+  Modelcheck.Explore.explore ~mk ~workloads
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      engine;
+      reduction = red;
+    }
+
+(* all four modes on one engine; enforces verdict parity in-process so
+   a parity break can never even be recorded as a baseline.  Parity is
+   on the verdict (does a violation exist), not on the raw count of
+   violating executions: a reduced search keeps one representative per
+   equivalence class, so it legitimately reaches fewer of the
+   equivalent violating interleavings (the recorded per-mode counts are
+   still pinned exactly by --compare).  A reduced mode must also never
+   do more work than the unreduced one. *)
+let mc_red_engine ~label ~switches ~crashes ~engine =
+  let outs =
+    List.map (fun red -> mc_red_run ~label ~switches ~crashes ~engine red)
+      mc_reductions
+  in
+  let engine_name = match engine with `Undo -> "undo" | `Replay -> "replay" in
+  let violates (o : Modelcheck.Explore.outcome) =
+    o.Modelcheck.Explore.total_violations > 0
+  in
+  let unreduced = List.hd outs in
+  let base = violates unreduced in
+  List.iter2
+    (fun red o ->
+      if violates o <> base then
+        failwith
+          (Printf.sprintf
+             "REDUCTION PARITY DIVERGENCE on %s (%s, %s): %d violations vs \
+              %d under none"
+             label engine_name
+             (Modelcheck.Explore.reduction_name red)
+             o.Modelcheck.Explore.total_violations
+             unreduced.Modelcheck.Explore.total_violations);
+      if o.Modelcheck.Explore.executions
+         > unreduced.Modelcheck.Explore.executions
+      then
+        failwith
+          (Printf.sprintf
+             "REDUCTION BLOWUP on %s (%s, %s): %d executions vs %d under none"
+             label engine_name
+             (Modelcheck.Explore.reduction_name red)
+             o.Modelcheck.Explore.executions
+             unreduced.Modelcheck.Explore.executions))
+    mc_reductions outs;
+  outs
+
+let mc_red_nodes (o : Modelcheck.Explore.outcome) = o.Modelcheck.Explore.nodes
+
+let mc_red_ratio outs =
+  let nodes = List.map mc_red_nodes outs in
+  float_of_int (List.hd nodes)
+  /. Float.max (float_of_int (List.nth nodes (List.length nodes - 1))) 1.0
+
+let mc_red_run_json red (o : Modelcheck.Explore.outcome) =
+  Printf.sprintf
+    {|          { "reduction": %S, "nodes": %d, "executions": %d,
+            "total_violations": %d, "distinct_shared_configs": %d }|}
+    (Modelcheck.Explore.reduction_name red)
+    o.Modelcheck.Explore.nodes o.Modelcheck.Explore.executions
+    o.Modelcheck.Explore.total_violations
+    o.Modelcheck.Explore.distinct_shared_configs
+
+let mc_red_engine_json ~label ~switches ~crashes ~engine =
+  let outs = mc_red_engine ~label ~switches ~crashes ~engine in
+  let ratio = mc_red_ratio outs in
+  let engine_name = match engine with `Undo -> "undo" | `Replay -> "replay" in
+  Printf.printf
+    "%-24s %s: %s nodes, %.1fx node reduction (none -> dpor+sym-memo)\n%!"
+    label engine_name
+    (String.concat "/" (List.map (fun o -> string_of_int (mc_red_nodes o)) outs))
+    ratio;
+  Printf.sprintf
+    "        { \"engine\": %S,\n\
+     \          \"runs\": [\n%s\n          ],\n\
+     \          \"node_reduction\": %.2f, \"min_node_reduction\": %.2f }"
+    engine_name
+    (String.concat ",\n" (List.map2 mc_red_run_json mc_reductions outs))
+    ratio
+    (* the gate is deterministic (node counts are machine-independent)
+       but left slack so future reduction work only trips it by
+       genuinely regressing, not by re-shaping the tree *)
+    (Float.max 1.0 (ratio *. 0.7))
+
+let mc_red_case_json (label, switches, crashes) =
+  Printf.sprintf
+    "    { \"object\": %S, \"switch_budget\": %d, \"crash_budget\": %d,\n\
+     \      \"engines\": [\n%s,\n%s\n      ] }"
+    label switches crashes
+    (mc_red_engine_json ~label ~switches ~crashes ~engine:`Replay)
+    (mc_red_engine_json ~label ~switches ~crashes ~engine:`Undo)
+
 let modelcheck_baseline ~out ~budget =
   let cases =
     List.map
@@ -966,18 +1109,23 @@ let modelcheck_baseline ~out ~budget =
           (Float.max 64.0 (undo_bpn *. alloc_ceiling_factor)))
       (mc_cases ~budget)
   in
+  let red_cases = List.map mc_red_case_json mc_red_cases in
   let doc =
     Printf.sprintf
       "{\n\
-      \  \"schema\": \"detectable-modelcheck/v2\",\n\
-      \  \"cases\": [\n%s\n  ]\n}\n"
+      \  \"schema\": \"detectable-modelcheck/v3\",\n\
+      \  \"cases\": [\n%s\n  ],\n\
+      \  \"reduction_cases\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" cases)
+      (String.concat ",\n" red_cases)
   in
   let oc = open_out out in
   output_string oc doc;
   close_out oc;
-  Printf.printf "modelcheck baseline (%d cases, both engines) written to %s\n"
-    (List.length cases) out
+  Printf.printf
+    "modelcheck baseline (%d cases + %d reduction cases, both engines) \
+     written to %s\n"
+    (List.length cases) (List.length red_cases) out
 
 let modelcheck_compare ~j ~file ~tolerance =
   let open Tiny_json in
@@ -1098,7 +1246,103 @@ let modelcheck_compare ~j ~file ~tolerance =
                  (match bpn_ceiling with
                  | Some c -> Printf.sprintf " (ceiling %.0f)" c
                  | None -> ""))
-       (get_list (member "cases" j))
+       (get_list (member "cases" j));
+     (* v3: reduction-ratio cases.  Node counts are machine-independent,
+        so every recorded counter must reproduce exactly, and the fresh
+        none/dpor+sym-memo node ratio must clear the recorded gate.
+        Absent from v2-era baselines, then not enforced. *)
+     if mem "reduction_cases" j then
+       List.iter
+         (fun case ->
+           let label = get_str (member "object" case) in
+           let switches = get_int (member "switch_budget" case) in
+           let crashes = get_int (member "crash_budget" case) in
+           if mc_red_factory label = None then begin
+             incr fail_cnt;
+             Printf.printf
+               "%-24s UNKNOWN reduction case (renamed/removed?) — \
+                regenerate the baseline with --baseline\n"
+               label
+           end
+           else
+             List.iter
+               (fun eng ->
+                 let engine_name = get_str (member "engine" eng) in
+                 let engine =
+                   match engine_name with
+                   | "replay" -> `Replay
+                   | "undo" -> `Undo
+                   | other ->
+                       raise
+                         (Tiny_json.Error ("unknown engine \"" ^ other ^ "\""))
+                 in
+                 match
+                   mc_red_engine ~label ~switches ~crashes ~engine
+                 with
+                 | exception Failure msg ->
+                     (* in-process parity check tripped on the re-run *)
+                     incr fail_cnt;
+                     Printf.printf "%-24s %s\n" label msg
+                 | outs ->
+                     let runs = get_list (member "runs" eng) in
+                     if List.length runs <> List.length outs then
+                       raise
+                         (Tiny_json.Error
+                            (Printf.sprintf
+                               "%s/%s: %d recorded runs, expected %d \
+                                reduction modes"
+                               label engine_name (List.length runs)
+                               (List.length outs)));
+                     let mismatches = ref [] in
+                     List.iter2
+                       (fun run o ->
+                         let red = get_str (member "reduction" run) in
+                         List.iter
+                           (fun (name, want, got) ->
+                             if want <> got then
+                               mismatches :=
+                                 Printf.sprintf
+                                   "%s/%s %s: baseline %d, fresh %d"
+                                   engine_name red name want got
+                                 :: !mismatches)
+                           [
+                             ("nodes", get_int (member "nodes" run),
+                              mc_red_nodes o);
+                             ("executions",
+                              get_int (member "executions" run),
+                              o.Modelcheck.Explore.executions);
+                             ("total_violations",
+                              get_int (member "total_violations" run),
+                              o.Modelcheck.Explore.total_violations);
+                             ("distinct_shared_configs",
+                              get_int
+                                (member "distinct_shared_configs" run),
+                              o.Modelcheck.Explore.distinct_shared_configs);
+                           ])
+                       runs outs;
+                     let ratio = mc_red_ratio outs in
+                     let gate = get_num (member "min_node_reduction" eng) in
+                     if !mismatches <> [] then begin
+                       incr fail_cnt;
+                       Printf.printf "%-24s REDUCTION DETERMINISM MISMATCH\n"
+                         label;
+                       List.iter (Printf.printf "  %s\n")
+                         (List.rev !mismatches)
+                     end
+                     else if ratio < gate then begin
+                       incr fail_cnt;
+                       Printf.printf
+                         "%-24s REDUCTION REGRESSION (%s): %.2fx node \
+                          reduction under the recorded gate %.2fx\n"
+                         label engine_name ratio gate
+                     end
+                     else
+                       Printf.printf
+                         "%-24s %s reduction ok: counters exact, %.2fx \
+                          node reduction (gate %.2fx)\n"
+                         label engine_name ratio gate)
+               (get_list (member "engines" case)))
+         (get_list (member "reduction_cases" j))
    with Tiny_json.Error m ->
      Printf.eprintf "bench --compare: %s: %s\n" file m;
      exit 1);
@@ -1471,46 +1715,84 @@ let lincheck_compare ~j ~file ~tolerance =
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 1 lower-bound experiment (BENCH_lowerbound.json, schema
-   detectable-bench/lowerbound-v1; the full story is docs/LOWERBOUND.md).
+   detectable-bench/lowerbound-v2; the full story is docs/LOWERBOUND.md).
 
    The paper's Theorem 1: a detectable CAS object for N processes
    reaches at least 2^(N-1) pairwise non-memory-equivalent
    configurations.  The experiment certifies the bound mechanically:
-   the DPOR-reduced explorer enumerates distinct shared-memory
-   configurations of Algorithm 2 (`Dcas`) over a graded CAS-chain
-   workload — process p runs cas(0,1); …; cas(p, p+1), so for any
-   subset S of processes there is a schedule in which exactly the
-   members of S each perform one successful CAS, and the flip-vector
-   configuration C_S is visited as an intermediate state.  Distinct
-   subsets give distinct configurations, so the visited-configuration
-   count is a certified lower bound (every counted configuration was
-   physically reached; reduction never adds states).
+   the reduced explorer enumerates distinct shared-memory
+   configurations of Algorithm 2 (`Dcas`), and every counted
+   configuration is a certified lower bound (every configuration was
+   either physically reached, or — under the canonical-counting mode —
+   is the permutation image of one that was; reduction never adds
+   states).
 
-   Subsets of size k cost k-1 preemptions, so a switch budget s already
-   exhibits every C_S with |S| <= s+1 — sum_{k<=s+1} C(N,k)
-   configurations, which crosses 2^(N-1) at s ~ N/2 and keeps the tree
-   a fraction of the full budget-(N-1) search.  Each case runs the
-   reduced ([`Dpor]) and unreduced ([`None]) searches under the SAME
-   physical-node budget: the reduced search completes and certifies the
-   bound, while from N=5 on the unreduced search exhausts the budget
-   below the bound — the regression-gated evidence that the reduction
-   is load-bearing, not an optimisation flourish. *)
+   Two workload shapes, recorded per case:
 
-let lb_workload n =
-  Array.init n (fun p -> List.init (p + 1) (fun k -> Spec.cas_op (i k) (i (k + 1))))
+   - "graded_cas_chains" (N <= 6): process p runs cas(0,1); …;
+     cas(p, p+1), so for any subset S of processes there is a schedule
+     in which exactly the members of S each perform one successful CAS
+     and the configuration C_S is visited.  Subsets of size k cost k-1
+     preemptions, so switch budget s exhibits every C_S with
+     |S| <= s+1.  Each case runs [`Dpor] and [`None] under the SAME
+     node budget: the reduced search completes and certifies the bound
+     while from N=5 the unreduced search caps out below it.
 
-(* (n, switch budget, shared node budget); budgets are ~20% above the
-   measured reduced-search need so the reduced run completes while the
-   unreduced run caps out (from N=5).  2..4 are smoke-sized. *)
-let lb_cases = [
-    (2, 1, 10_000);
-    (3, 1, 10_000);
-    (4, 1, 100_000);
-    (5, 2, 1_000_000);
-    (6, 2, 5_000_000);
+   - "uniform_cas_chain" (N >= 7): every process runs the identical
+     chain cas(0,1); …; cas(N-1,N) — the uniformity that activates
+     [`Dpor_sym_memo]'s orbit-size-weighted canonical counting, whose
+     weighted total equals the cardinality of the (permutation-closed)
+     budget-limited reachable set.  Each case runs [`Dpor_sym_memo]
+     and [`Dpor_sym] under the SAME node budget, chosen between the
+     two searches' measured needs: the canonical-memo search completes
+     and certifies 2^(N-1), while plain [`Dpor_sym] exhausts the
+     budget — and, counting only unweighted orbit representatives,
+     stays far below the bound regardless.  That pair of rows is the
+     committed evidence that canonical memoisation, not just symmetry
+     skipping, is what scales the certificate past N=6.
+
+   N=7/8 cases carry "recheck": false — a full re-run takes minutes,
+   so --compare validates their recorded arithmetic (bound value,
+   which rows certify, the memo-vs-sym contrast) without re-running;
+   regenerate with --baseline to refresh the measurements. *)
+
+let lb_workload ~shape n =
+  match shape with
+  | `Graded ->
+      Array.init n (fun p ->
+          List.init (p + 1) (fun k -> Spec.cas_op (i k) (i (k + 1))))
+  | `Uniform ->
+      Array.init n (fun _ ->
+          List.init n (fun k -> Spec.cas_op (i k) (i (k + 1))))
+
+let lb_shape_name = function
+  | `Graded -> "graded_cas_chains"
+  | `Uniform -> "uniform_cas_chain"
+
+let lb_shape_of_name = function
+  | "graded_cas_chains" -> `Graded
+  | "uniform_cas_chain" -> `Uniform
+  | s -> failwith ("unknown lowerbound workload in baseline: " ^ s)
+
+(* (n, switch budget, shared node budget, workload shape, reductions,
+   recheck under --compare); graded budgets are ~20% above the measured
+   reduced-search need so the reduced run completes while the unreduced
+   run caps out (from N=5); uniform budgets sit BETWEEN the measured
+   dpor+sym-memo and dpor+sym needs (6.61M vs 7.21M nodes at N=7,
+   17.93M vs 19.48M at N=8) so the memo search completes while
+   dpor+sym gets capped.  2..4 are smoke-sized. *)
+let lb_cases =
+  [
+    (2, 1, 10_000, `Graded, [ `Dpor; `None ], true);
+    (3, 1, 10_000, `Graded, [ `Dpor; `None ], true);
+    (4, 1, 100_000, `Graded, [ `Dpor; `None ], true);
+    (5, 2, 1_000_000, `Graded, [ `Dpor; `None ], true);
+    (6, 2, 5_000_000, `Graded, [ `Dpor; `None ], true);
+    (7, 2, 7_000_000, `Uniform, [ `Dpor_sym_memo; `Dpor_sym ], false);
+    (8, 2, 19_000_000, `Uniform, [ `Dpor_sym_memo; `Dpor_sym ], false);
   ]
 
-let lb_run ~n ~switches ~node_budget reduction =
+let lb_run ~n ~switches ~node_budget ~shape reduction =
   let mk () =
     let m = Machine.create () in
     (m, Detectable.Dcas.instance (Detectable.Dcas.create m ~n ~init:(i 0)))
@@ -1525,7 +1807,7 @@ let lb_run ~n ~switches ~node_budget reduction =
       reduction;
     }
   in
-  Modelcheck.Explore.explore ~mk ~workloads:(lb_workload n) cfg
+  Modelcheck.Explore.explore ~mk ~workloads:(lb_workload ~shape n) cfg
 
 type lb_counters = {
   lb_configs : int;
@@ -1547,48 +1829,63 @@ let lb_run_json ~bound (o : Modelcheck.Explore.outcome) =
   let c = lb_counters o in
   Printf.sprintf
     {|        { "reduction": %S, "configs": %d, "nodes": %d,
-          "executions": %d, "sleep_skips": %d, "capped": %b,
+          "executions": %d, "sleep_skips": %d, "sym_skips": %d,
+          "source_skips": %d, "canonical_orbits": %d, "capped": %b,
           "meets_bound": %b,
           "elapsed_s": %.6f, "nodes_per_sec": %.1f }|}
     m.Modelcheck.Explore.reduction c.lb_configs c.lb_nodes c.lb_execs
-    m.Modelcheck.Explore.sleep_skips c.lb_capped
+    m.Modelcheck.Explore.sleep_skips m.Modelcheck.Explore.sym_skips
+    m.Modelcheck.Explore.source_skips m.Modelcheck.Explore.canonical_orbits
+    c.lb_capped
     (c.lb_configs >= bound)
     m.Modelcheck.Explore.elapsed_s m.Modelcheck.Explore.nodes_per_sec
 
-let lowerbound_baseline ~out ~max_n =
+(* [min_n]/[node_cap] exist for the CI smoke: `--lb-min-n 7 --lb-max-n 7
+   --lb-node-cap 200000` runs just the N=7 uniform case with its budget
+   overridden to something a CI runner finishes in seconds — both runs
+   cap out, their counters are partial lower bounds, and json_check
+   still validates the file (capped certifying runs are exempt from the
+   bound gate; a capped dpor+sym row still counts as miss evidence). *)
+let lowerbound_baseline ~out ?(min_n = 2) ?(node_cap = 0) ~max_n () =
   let cases =
     List.filter_map
-      (fun (n, switches, node_budget) ->
-        if n > max_n then None
+      (fun (n, switches, node_budget, shape, reds, recheck) ->
+        if n > max_n || n < min_n then None
         else begin
+          let node_budget =
+            if node_cap > 0 then min node_budget node_cap else node_budget
+          in
           let bound = 1 lsl (n - 1) in
-          let reduced = lb_run ~n ~switches ~node_budget `Dpor in
-          let unreduced = lb_run ~n ~switches ~node_budget `None in
-          let rc = lb_counters reduced and uc = lb_counters unreduced in
-          Printf.printf
-            "lowerbound N=%d sw=%d budget=%d: bound %d, dpor %d configs \
-             (%d nodes%s), none %d configs (%d nodes%s)\n%!"
-            n switches node_budget bound rc.lb_configs rc.lb_nodes
-            (if rc.lb_capped then ", CAPPED" else "")
-            uc.lb_configs uc.lb_nodes
-            (if uc.lb_capped then ", CAPPED" else "");
+          let outs =
+            List.map (fun red -> lb_run ~n ~switches ~node_budget ~shape red) reds
+          in
+          List.iter2
+            (fun red (o : Modelcheck.Explore.outcome) ->
+              let c = lb_counters o in
+              Printf.printf
+                "lowerbound N=%d sw=%d budget=%d %s: bound %d, %-13s %d \
+                 configs (%d nodes%s)\n%!"
+                n switches node_budget (lb_shape_name shape) bound
+                (Modelcheck.Explore.reduction_name red)
+                c.lb_configs c.lb_nodes
+                (if c.lb_capped then ", CAPPED" else ""))
+            reds outs;
           Some
             (Printf.sprintf
                "    { \"n\": %d, \"switch_budget\": %d, \"node_budget\": %d,\n\
+               \      \"workload\": %S, \"recheck\": %b,\n\
                \      \"bound\": %d,\n\
-               \      \"runs\": [\n%s,\n%s\n      ] }"
-               n switches node_budget bound
-               (lb_run_json ~bound reduced)
-               (lb_run_json ~bound unreduced))
+               \      \"runs\": [\n%s\n      ] }"
+               n switches node_budget (lb_shape_name shape) recheck bound
+               (String.concat ",\n" (List.map (lb_run_json ~bound) outs)))
         end)
       lb_cases
   in
   let doc =
     Printf.sprintf
       "{\n\
-      \  \"schema\": \"detectable-bench/lowerbound-v1\",\n\
+      \  \"schema\": \"detectable-bench/lowerbound-v2\",\n\
       \  \"object\": \"dcas\",\n\
-      \  \"workload\": \"graded_cas_chains\",\n\
       \  \"crash_budget\": 0,\n\
       \  \"cases\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" cases)
@@ -1599,6 +1896,14 @@ let lowerbound_baseline ~out ~max_n =
   Printf.printf "lowerbound baseline (%d cases) written to %s\n"
     (List.length cases) out
 
+(* Which reductions carry the certification obligation: [`Dpor] on the
+   graded cases and [`Dpor_sym_memo] on the uniform ones must clear
+   2^(N-1) at every N >= 4; [`None] and plain [`Dpor_sym] are committed
+   precisely as the rows that fail to. *)
+let lb_must_certify = function
+  | `Dpor | `Dpor_sym_memo -> true
+  | `None | `Dpor_sym -> false
+
 let lowerbound_compare ~j ~file ~tolerance =
   let open Tiny_json in
   let get_bool what v =
@@ -1607,6 +1912,10 @@ let lowerbound_compare ~j ~file ~tolerance =
     | _ -> failwith (Printf.sprintf "lowerbound compare: %s is not a bool" what)
   in
   let fail_cnt = ref 0 in
+  (* the committed memo-vs-sym contrast: once any plain dpor+sym row is
+     present, at least one must miss the bound its sibling memo row
+     certifies — losing that row silently would gut the evidence *)
+  let sym_rows = ref 0 and sym_misses = ref 0 in
   (try
      List.iter
        (fun case ->
@@ -1614,6 +1923,16 @@ let lowerbound_compare ~j ~file ~tolerance =
          let switches = get_int (member "switch_budget" case) in
          let node_budget = get_int (member "node_budget" case) in
          let bound = get_int (member "bound" case) in
+         (* v1 has a file-wide graded workload and no recheck marker *)
+         let shape =
+           if mem "workload" case then
+             lb_shape_of_name (get_str (member "workload" case))
+           else `Graded
+         in
+         let recheck =
+           if mem "recheck" case then get_bool "recheck" (member "recheck" case)
+           else true
+         in
          if bound <> 1 lsl (n - 1) then begin
            incr fail_cnt;
            Printf.printf "lowerbound N=%d: recorded bound %d is not 2^(N-1)\n"
@@ -1626,70 +1945,113 @@ let lowerbound_compare ~j ~file ~tolerance =
                | "none" -> `None
                | "dpor" -> `Dpor
                | "dpor+sym" -> `Dpor_sym
+               | "dpor+sym-memo" -> `Dpor_sym_memo
                | s -> failwith ("unknown reduction in baseline: " ^ s)
              in
              let label =
                Printf.sprintf "lowerbound N=%d %s" n
                  (Modelcheck.Explore.reduction_name red)
              in
-             let fresh = lb_run ~n ~switches ~node_budget red in
-             let c = lb_counters fresh in
-             let mismatches =
-               List.filter_map
-                 (fun (name, want, got) ->
-                   if want = got then None
-                   else
-                     Some
-                       (Printf.sprintf "%s: baseline %d, fresh %d" name want
-                          got))
-                 [
-                   ("configs", get_int (member "configs" run), c.lb_configs);
-                   ("nodes", get_int (member "nodes" run), c.lb_nodes);
-                   ("executions", get_int (member "executions" run), c.lb_execs);
-                 ]
-               @ (let want = get_bool "capped" (member "capped" run) in
-                  if want = c.lb_capped then []
-                  else
-                    [
-                      Printf.sprintf "capped: baseline %b, fresh %b" want
-                        c.lb_capped;
-                    ])
-             in
-             let base_nps = get_num (member "nodes_per_sec" run) in
-             let fresh_nps =
-               fresh.Modelcheck.Explore.metrics
-                 .Modelcheck.Explore.nodes_per_sec
-             in
-             let ratio = fresh_nps /. Float.max base_nps 1e-9 in
-             if mismatches <> [] then begin
-               incr fail_cnt;
-               Printf.printf "%-26s DETERMINISM MISMATCH\n" label;
-               List.iter (Printf.printf "  %s\n") mismatches;
-               Printf.printf
-                 "  (behavioral change: regenerate the baseline with \
-                  --baseline and explain it in the PR)\n"
-             end
-             else if red <> `None && n >= 4 && c.lb_configs < bound then begin
-               (* the acceptance gate: the reduced search must certify the
-                  Theorem 1 bound at every N >= 4 in the table *)
-               incr fail_cnt;
-               Printf.printf "%-26s BOUND VIOLATION: %d configs < 2^(N-1) = %d\n"
-                 label c.lb_configs bound
-             end
-             else if ratio < 1.0 /. tolerance then begin
+             let rec_configs = get_int (member "configs" run) in
+             let rec_capped = get_bool "capped" (member "capped" run) in
+             let rec_meets = get_bool "meets_bound" (member "meets_bound" run) in
+             if red = `Dpor_sym then begin
+               incr sym_rows;
+               if rec_configs < bound then incr sym_misses
+             end;
+             if rec_meets <> (rec_configs >= bound) then begin
                incr fail_cnt;
                Printf.printf
-                 "%-26s PERF REGRESSION: %.0f nodes/sec vs baseline %.0f \
-                  (%.2fx, tolerance %.0fx)\n"
-                 label fresh_nps base_nps ratio tolerance
+                 "%-30s RECORD INCONSISTENT: meets_bound %b but %d configs \
+                  vs bound %d\n"
+                 label rec_meets rec_configs bound
              end
-             else
-               Printf.printf
-                 "%-26s ok: counters exact, %d configs (bound %d), %.0f \
-                  nodes/sec vs baseline %.0f (%.2fx)\n"
-                 label c.lb_configs bound fresh_nps base_nps ratio)
+             else if not recheck then begin
+               (* frozen certificate rows (N >= 7 take minutes to re-run):
+                  the arithmetic above plus the certification gate run on
+                  the recorded values; --baseline refreshes them *)
+               if lb_must_certify red && n >= 4 && rec_configs < bound then begin
+                 incr fail_cnt;
+                 Printf.printf
+                   "%-30s BOUND VIOLATION (recorded): %d configs < 2^(N-1) = \
+                    %d\n"
+                   label rec_configs bound
+               end
+               else
+                 Printf.printf
+                   "%-30s recorded: %d configs (bound %d%s)%s — not re-run\n"
+                   label rec_configs bound
+                   (if rec_meets then ", certified" else ", missed")
+                   (if rec_capped then ", capped" else "")
+             end
+             else begin
+               let fresh = lb_run ~n ~switches ~node_budget ~shape red in
+               let c = lb_counters fresh in
+               let mismatches =
+                 List.filter_map
+                   (fun (name, want, got) ->
+                     if want = got then None
+                     else
+                       Some
+                         (Printf.sprintf "%s: baseline %d, fresh %d" name want
+                            got))
+                   [
+                     ("configs", rec_configs, c.lb_configs);
+                     ("nodes", get_int (member "nodes" run), c.lb_nodes);
+                     ("executions", get_int (member "executions" run), c.lb_execs);
+                   ]
+                 @ (if rec_capped = c.lb_capped then []
+                    else
+                      [
+                        Printf.sprintf "capped: baseline %b, fresh %b"
+                          rec_capped c.lb_capped;
+                      ])
+               in
+               let base_nps = get_num (member "nodes_per_sec" run) in
+               let fresh_nps =
+                 fresh.Modelcheck.Explore.metrics
+                   .Modelcheck.Explore.nodes_per_sec
+               in
+               let ratio = fresh_nps /. Float.max base_nps 1e-9 in
+               if mismatches <> [] then begin
+                 incr fail_cnt;
+                 Printf.printf "%-30s DETERMINISM MISMATCH\n" label;
+                 List.iter (Printf.printf "  %s\n") mismatches;
+                 Printf.printf
+                   "  (behavioral change: regenerate the baseline with \
+                    --baseline and explain it in the PR)\n"
+               end
+               else if lb_must_certify red && n >= 4 && c.lb_configs < bound
+               then begin
+                 (* the acceptance gate: the certifying reduction must clear
+                    the Theorem 1 bound at every N >= 4 in the table *)
+                 incr fail_cnt;
+                 Printf.printf
+                   "%-30s BOUND VIOLATION: %d configs < 2^(N-1) = %d\n" label
+                   c.lb_configs bound
+               end
+               else if ratio < 1.0 /. tolerance then begin
+                 incr fail_cnt;
+                 Printf.printf
+                   "%-30s PERF REGRESSION: %.0f nodes/sec vs baseline %.0f \
+                    (%.2fx, tolerance %.0fx)\n"
+                   label fresh_nps base_nps ratio tolerance
+               end
+               else
+                 Printf.printf
+                   "%-30s ok: counters exact, %d configs (bound %d), %.0f \
+                    nodes/sec vs baseline %.0f (%.2fx)\n"
+                   label c.lb_configs bound fresh_nps base_nps ratio
+             end)
            (get_list (member "runs" case)))
-       (get_list (member "cases" j))
+       (get_list (member "cases" j));
+     if !sym_rows > 0 && !sym_misses = 0 then begin
+       incr fail_cnt;
+       print_endline
+         "lowerbound EVIDENCE MISSING: no committed dpor+sym row misses the \
+          bound — the memo-vs-sym contrast is gone; regenerate with \
+          --baseline and pick budgets per the lb_cases comment"
+     end
    with Tiny_json.Error m | Failure m ->
      Printf.eprintf "bench --compare: %s: %s\n" file m;
      exit 1);
@@ -1783,13 +2145,17 @@ let () =
     lowerbound_baseline
       ~out:
         (Option.value (flag_value "--lb-out") ~default:"BENCH_lowerbound.json")
-      ~max_n:(int_flag "--lb-max-n" 6)
+      ~min_n:(int_flag "--lb-min-n" 2)
+      ~node_cap:(int_flag "--lb-node-cap" 0)
+      ~max_n:(int_flag "--lb-max-n" 6) ()
   end
   else if Array.exists (( = ) "--lowerbound") Sys.argv then
     lowerbound_baseline
       ~out:
         (Option.value (flag_value "--lb-out") ~default:"BENCH_lowerbound.json")
-      ~max_n:(int_flag "--lb-max-n" 6)
+      ~min_n:(int_flag "--lb-min-n" 2)
+      ~node_cap:(int_flag "--lb-node-cap" 0)
+      ~max_n:(int_flag "--lb-max-n" 6) ()
   else if Array.exists (( = ) "--compare") Sys.argv then
     let file =
       match flag_value "--compare" with
@@ -1814,10 +2180,12 @@ let () =
         torture_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
     | "detectable-bench/fault-v1" ->
         fault_compare ~j ~file ~tolerance ~domains:(int_flag "--domains" 1)
-    | "detectable-modelcheck/v1" | "detectable-modelcheck/v2" ->
+    | "detectable-modelcheck/v1" | "detectable-modelcheck/v2"
+    | "detectable-modelcheck/v3" ->
         modelcheck_compare ~j ~file ~tolerance
     | "detectable-lincheck/v1" -> lincheck_compare ~j ~file ~tolerance
-    | "detectable-bench/lowerbound-v1" -> lowerbound_compare ~j ~file ~tolerance
+    | "detectable-bench/lowerbound-v1" | "detectable-bench/lowerbound-v2" ->
+        lowerbound_compare ~j ~file ~tolerance
     | s ->
         Printf.eprintf "bench --compare: unexpected schema %S\n" s;
         exit 1

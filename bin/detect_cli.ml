@@ -487,15 +487,20 @@ let modelcheck_cmd =
                ("none", (`None : Modelcheck.Explore.reduction));
                ("dpor", `Dpor);
                ("dpor+sym", `Dpor_sym);
+               ("dpor+sym-memo", `Dpor_sym_memo);
              ])
           `None
       & info [ "reduction" ] ~docv:"RED"
           ~doc:
             "Search-space reduction: $(b,none) explores the full \
              delay-bounded family; $(b,dpor) prunes commuting \
-             interleavings of independent steps with sleep sets; \
-             $(b,dpor+sym) additionally prunes process symmetry on \
-             objects that declare an id-symmetric layout.  Reduced \
+             interleavings of independent steps with sleep sets and \
+             source sets; $(b,dpor+sym) additionally prunes process \
+             symmetry on objects that declare an id-symmetric layout; \
+             $(b,dpor+sym-memo) additionally memoises subtrees on \
+             symmetry-canonical keys and counts configurations with \
+             exact orbit weights (id-symmetric objects under uniform \
+             workloads; degrades to dpor+sym otherwise).  Reduced \
              counters are certified lower bounds over what was actually \
              visited; see docs/LOWERBOUND.md.")
   in
@@ -561,9 +566,15 @@ let modelcheck_cmd =
       m.Modelcheck.Explore.promoted_words
       m.Modelcheck.Explore.minor_collections;
     if m.Modelcheck.Explore.reduction <> "none" then
-      Printf.printf "reduction: %s, %d sleep-set skips, %d symmetry skips%s\n"
+      Printf.printf
+        "reduction: %s, %d sleep-set skips, %d symmetry skips, %d source-set \
+         skips%s%s\n"
         m.Modelcheck.Explore.reduction m.Modelcheck.Explore.sleep_skips
-        m.Modelcheck.Explore.sym_skips
+        m.Modelcheck.Explore.sym_skips m.Modelcheck.Explore.source_skips
+        (if m.Modelcheck.Explore.canonical_orbits > 0 then
+           Printf.sprintf " (%d canonical orbits)"
+             m.Modelcheck.Explore.canonical_orbits
+         else "")
         (if out.Modelcheck.Explore.capped then
            " (node budget reached: counters are partial lower bounds)"
          else "")

@@ -8,11 +8,15 @@ type mode = Fingerprint | Exact
    hash traversal per probe; here membership is two array reads per
    probe step and insertion allocates nothing.  The probe index mixes
    both halves, the slot stores both, so equality stays the full
-   126-bit pair — no weakening of the collision guarantee. *)
+   126-bit pair — no weakening of the collision guarantee.  Each slot
+   also carries an int payload ([wv]): canonical sets store the orbit
+   weight there (1 for plain sets), so the parallel join can transfer
+   weights without re-deriving them from snapshots it no longer has. *)
 module Pair_set = struct
   type t = {
     mutable ka : int array;  (* first halves; [empty] marks a free slot *)
     mutable kb : int array;
+    mutable wv : int array;  (* per-slot weight payload *)
     mutable mask : int;  (* capacity - 1; capacity is a power of two *)
     mutable count : int;
   }
@@ -30,6 +34,7 @@ module Pair_set = struct
     {
       ka = Array.make cap empty;
       kb = Array.make cap 0;
+      wv = Array.make cap 0;
       mask = cap - 1;
       count = 0;
     }
@@ -41,10 +46,11 @@ module Pair_set = struct
     else probe s fa fb ((i + 1) land s.mask)
 
   let grow s =
-    let old_ka = s.ka and old_kb = s.kb in
+    let old_ka = s.ka and old_kb = s.kb and old_wv = s.wv in
     let cap = 2 * (s.mask + 1) in
     s.ka <- Array.make cap empty;
     s.kb <- Array.make cap 0;
+    s.wv <- Array.make cap 0;
     s.mask <- cap - 1;
     Array.iteri
       (fun i a ->
@@ -52,90 +58,171 @@ module Pair_set = struct
           let b = old_kb.(i) in
           let j = probe s a b (Value.mix a b land s.mask) in
           s.ka.(j) <- a;
-          s.kb.(j) <- b
+          s.kb.(j) <- b;
+          s.wv.(j) <- old_wv.(i)
         end)
       old_ka
 
   (* true iff the pair was new *)
-  let add s fa fb =
+  let add_w s fa fb w =
     let fa = sanitize fa in
     if 2 * (s.count + 1) > s.mask + 1 then grow s;
     let i = probe s fa fb (Value.mix fa fb land s.mask) in
     if s.ka.(i) = empty then begin
       s.ka.(i) <- fa;
       s.kb.(i) <- fb;
+      s.wv.(i) <- w;
       s.count <- s.count + 1;
       true
     end
     else false
 
-  let iter f s =
-    Array.iteri (fun i a -> if a <> empty then f a s.kb.(i)) s.ka
+  let iter_w f s =
+    Array.iteri (fun i a -> if a <> empty then f a s.kb.(i) s.wv.(i)) s.ka
 end
 
 type t = {
   mode : mode;
+  canonical : int option;
+      (* Some n: keys are full-S_N canonical fingerprints of the shared
+         configuration and [cardinal] is orbit-size-weighted *)
   fps : Pair_set.t;
   (* Exact mode only: full snapshots bucketed by fingerprint, so a
-     fingerprint collision between non-memory-equivalent configurations
-     is caught and counted instead of silently merging them. *)
+     fingerprint collision between non-equivalent configurations is
+     caught and counted instead of silently merging them.  Under a
+     canonical set the bucket equality is orbit membership
+     ({!Sym.related_shared}), so the audit checks exactly the quotient
+     property: equal canonical fingerprints imply π-relatedness. *)
   exact : (int * int, Mem.snapshot list) Hashtbl.t;
   mutable collisions : int;
+  mutable weighted : int;  (* canonical: running sum of orbit sizes *)
+  (* canonical live-insertion guard: raw (per-pid) fingerprints already
+     seen.  Canonicalising a configuration walks every cell once per
+     process and computing its orbit weight is O(N^2) cell scans — far
+     too hot for a per-DFS-node call — but the explorer revisits the
+     same few raw configurations millions of times.  A raw repeat can
+     neither open a new orbit nor change any weight, so [add_live] pays
+     the canonical work only when the raw fingerprint is fresh: at most
+     once per distinct raw configuration, of which there are orders of
+     magnitude fewer than nodes. *)
+  seen_raw : Pair_set.t;
 }
 
-let create ?(mode = Fingerprint) () =
+let create ?(mode = Fingerprint) ?canonical () =
+  (match canonical with
+  | Some n when n < 1 || n > 20 ->
+      invalid_arg "Config_set.create: canonical N out of range"
+  | _ -> ());
   {
     mode;
+    canonical;
     fps = Pair_set.create 1024;
     exact = Hashtbl.create (match mode with Exact -> 1024 | Fingerprint -> 1);
     collisions = 0;
+    weighted = 0;
+    seen_raw =
+      Pair_set.create (match canonical with Some _ -> 1024 | None -> 2);
   }
 
 let mode set = set.mode
+let canonical set = set.canonical
 
-let insert_fp set fa fb = Pair_set.add set.fps fa fb
+let insert_fp_w set fa fb w =
+  let fresh = Pair_set.add_w set.fps fa fb w in
+  if fresh then set.weighted <- set.weighted + w;
+  fresh
 
-let insert_exact set ((fa, fb) as fp) snap =
+(* snapshot-bucket equality: plain sets use memory-equivalence,
+   canonical sets orbit membership *)
+let snap_equiv set a b =
+  match set.canonical with
+  | None -> Mem.equal_shared a b
+  | Some n ->
+      Sym.related_shared ~n (Mem.snapshot_cells a) (Mem.snapshot_cells b)
+
+let insert_exact set ((fa, fb) as fp) ~weight snap =
   let bucket = try Hashtbl.find set.exact fp with Not_found -> [] in
-  if List.exists (Mem.equal_shared snap) bucket then false
+  if List.exists (snap_equiv set snap) bucket then false
   else begin
     if bucket <> [] then set.collisions <- set.collisions + 1;
     Hashtbl.replace set.exact fp (snap :: bucket);
-    ignore (insert_fp set fa fb : bool);
+    (* a colliding configuration occupies no fresh pair-set slot, but
+       its weight still counts toward the (audited) total *)
+    ignore (Pair_set.add_w set.fps fa fb weight : bool);
+    set.weighted <- set.weighted + weight;
     true
   end
 
 let insert set snap =
-  let fa, fb = Mem.fingerprint_shared snap in
-  match set.mode with
-  | Fingerprint -> insert_fp set fa fb
-  | Exact -> insert_exact set (fa, fb) snap
+  match set.canonical with
+  | None -> (
+      let fa, fb = Mem.fingerprint_shared snap in
+      match set.mode with
+      | Fingerprint -> insert_fp_w set fa fb 1
+      | Exact -> insert_exact set (fa, fb) ~weight:1 snap)
+  | Some n -> (
+      let cells = Mem.snapshot_cells snap in
+      let fp = Sym.cells_fingerprint_shared ~n cells in
+      let weight = Sym.cells_orbit_size_shared ~n cells in
+      match set.mode with
+      | Fingerprint -> insert_fp_w set (fst fp) (snd fp) weight
+      | Exact -> insert_exact set fp ~weight snap)
 
 let add set snap = ignore (insert set snap : bool)
 
 let add_live set mem =
-  match set.mode with
-  | Fingerprint ->
-      insert_fp set (Mem.live_shared_a mem) (Mem.live_shared_b mem)
-  | Exact ->
-      let snap = Mem.snapshot mem in
-      insert_exact set (Mem.fingerprint_shared snap) snap
+  match (set.canonical, set.mode) with
+  | None, Fingerprint ->
+      insert_fp_w set (Mem.live_shared_a mem) (Mem.live_shared_b mem) 1
+  | Some n, Fingerprint ->
+      if
+        Pair_set.add_w set.seen_raw (Mem.live_shared_a mem)
+          (Mem.live_shared_b mem) 0
+      then begin
+        let fa, fb = Sym.canonical_fingerprint_shared ~n mem in
+        insert_fp_w set fa fb (Sym.orbit_size_shared ~n mem)
+      end
+      else false
+  | _, Exact -> insert set (Mem.snapshot mem)
 
 (* In exact mode collisions make the snapshot count authoritative: a
    colliding pair occupies ONE pair-set slot but counts as two distinct
-   configurations. *)
-let cardinal set = set.fps.Pair_set.count + set.collisions
+   configurations (two distinct orbits, under a canonical set). *)
+let cardinal set =
+  match set.canonical with
+  | None -> set.fps.Pair_set.count + set.collisions
+  | Some _ -> set.weighted
+
+let orbits set = set.fps.Pair_set.count + set.collisions
 
 let collisions set = set.collisions
 
 let merge_into ~dst ~src =
+  if dst.canonical <> src.canonical then
+    invalid_arg "Config_set.merge_into: canonical modes differ";
   match (dst.mode, src.mode) with
   | Fingerprint, _ ->
-      Pair_set.iter (fun fa fb -> ignore (insert_fp dst fa fb : bool)) src.fps
+      Pair_set.iter_w
+        (fun fa fb w -> ignore (insert_fp_w dst fa fb w : bool))
+        src.fps;
+      (* keep the canonical live-insertion guard exact across the join *)
+      Pair_set.iter_w
+        (fun fa fb _ -> ignore (Pair_set.add_w dst.seen_raw fa fb 0 : bool))
+        src.seen_raw
   | Exact, Exact ->
       Hashtbl.iter
         (fun fp bucket ->
-          List.iter (fun snap -> ignore (insert_exact dst fp snap : bool)) bucket)
+          List.iter
+            (fun snap ->
+              let weight =
+                match dst.canonical with
+                | None -> 1
+                | Some n ->
+                    Sym.cells_orbit_size_shared ~n (Mem.snapshot_cells snap)
+              in
+              ignore (insert_exact dst fp ~weight snap : bool))
+            bucket)
         src.exact
   | Exact, Fingerprint ->
-      invalid_arg "Config_set.merge_into: cannot merge fingerprints into an exact set"
+      invalid_arg
+        "Config_set.merge_into: cannot merge fingerprints into an exact set"

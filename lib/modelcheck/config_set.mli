@@ -21,10 +21,29 @@ type mode =
 
 type t
 
-val create : ?mode:mode -> unit -> t
-(** Default mode: [Fingerprint]. *)
+val create : ?mode:mode -> ?canonical:int -> unit -> t
+(** Default mode: [Fingerprint].
+
+    [~canonical:n] makes the set count configurations {e modulo} the
+    S_N process-permutation action instead of one by one: members are
+    keyed on {!Sym.canonical_fingerprint_shared} (one key per orbit)
+    and each new orbit contributes its exact {!Sym.orbit_size_shared}
+    to {!cardinal}.  Under an id-symmetric layout every π-image of a
+    reachable configuration is itself reachable, so the weighted total
+    remains a certified lower bound on the reachable
+    pairwise-non-memory-equivalent count — this is what lets the
+    [`Dpor_sym_memo] explorer report Theorem 1 counts while visiting
+    only one representative per orbit.  A canonicalisation collision
+    (distinct orbits, equal fingerprint) merges in [Fingerprint] mode
+    and can only {e under}-count; [Exact] mode audits exactly that
+    event, with orbit membership ({!Sym.related_shared}) as the bucket
+    equality.  Raises [Invalid_argument] if [n] is outside [1..20]
+    ([N!] weights would overflow). *)
 
 val mode : t -> mode
+
+val canonical : t -> int option
+(** [Some n] iff the set counts orbit-weighted canonical keys. *)
 
 val add : t -> Mem.snapshot -> unit
 (** No-op if a memory-equivalent snapshot is already present. *)
@@ -39,7 +58,14 @@ val add_live : t -> Mem.t -> bool
 val cardinal : t -> int
 (** Number of distinct configurations.  O(1): a running count is
     maintained so per-step callers (e.g. {!Explore.crash_points}) never
-    pay a table fold. *)
+    pay a table fold.  Canonical sets return the orbit-size-weighted
+    total (see {!create}); plain sets count members. *)
+
+val orbits : t -> int
+(** Distinct keys actually stored ([Exact] mode: plus audited
+    collisions).  Equals {!cardinal} for plain sets; for canonical sets
+    it is the number of distinct orbits, of which {!cardinal} is the
+    weighted expansion. *)
 
 val collisions : t -> int
 (** [Exact] mode: how many inserted configurations shared a fingerprint
@@ -48,6 +74,8 @@ val collisions : t -> int
     Always 0 in [Fingerprint] mode (collisions are invisible there). *)
 
 val merge_into : dst:t -> src:t -> unit
-(** Union [src] into [dst] (the parallel explorer's join).  Merging a
-    [Fingerprint] source into an [Exact] destination is rejected with
-    [Invalid_argument] — the snapshots needed for auditing are gone. *)
+(** Union [src] into [dst] (the parallel explorer's join); orbit
+    weights transfer with their keys.  Merging a [Fingerprint] source
+    into an [Exact] destination is rejected with [Invalid_argument] —
+    the snapshots needed for auditing are gone — as is merging across
+    different [canonical] settings (the key spaces differ). *)

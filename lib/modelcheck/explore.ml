@@ -10,12 +10,13 @@ let pp_decision fmt = function
 
 type engine = [ `Replay | `Undo ]
 
-type reduction = [ `None | `Dpor | `Dpor_sym ]
+type reduction = [ `None | `Dpor | `Dpor_sym | `Dpor_sym_memo ]
 
 let reduction_name = function
   | `None -> "none"
   | `Dpor -> "dpor"
   | `Dpor_sym -> "dpor+sym"
+  | `Dpor_sym_memo -> "dpor+sym-memo"
 
 type config = {
   switch_budget : int;
@@ -109,6 +110,62 @@ let sleepable = function Runtime.Prim.Fence -> false | _ -> true
 let sleep_mask sleep =
   List.fold_left (fun m (pid, _) -> m lor (1 lsl pid)) 0 sleep
 
+(* ---- source sets ----------------------------------------------------
+
+   The persistent-set side of the reduction: when the running process's
+   pending step touches only state no other process can ever conflict
+   with — its own private cell, or nothing (Yield) — then {that step}
+   is a persistent (source) set at the node, and after exploring it the
+   remaining siblings need not be explored at all.  Soundness: the step
+   stays pending and enabled while others run (nothing blocks in this
+   model), every maximal execution from the node eventually takes it,
+   and commuting it to the front crosses only steps it is independent
+   of, so each sibling subtree's executions are covered by the explored
+   child.  Three path conditions keep the commutation honest:
+
+   - the step must be event-silent (checked after executing it, like
+     sleep sets), so the linearizability checker sees the same event
+     orders;
+   - it must belong to the {e current} process: moving a zero-cost step
+     to the front of a schedule merges the segments around its old
+     position and can only lower the preemption count, so every covered
+     execution still fits the switch budget — this is the
+     permutation-safe half of the delay-bounded accounting;
+   - no crash budget may remain on the path (a write cannot be commuted
+     across a crash that might drop it).
+
+   Unlike sleep sets — which prune one already-explored step from
+   sibling subtrees — a fired source set prunes the {e entire} rest of
+   the sibling frontier, which is where the bulk of the node reduction
+   on private-step-rich workloads comes from.  Even the Theorem 1 CAS
+   chains are such workloads — every operation brackets its shared CAS
+   with private announcement/response writes, on which the rule fires
+   constantly (it roughly halves the dpor node counts of the committed
+   N=5/6 lower-bound rows).  Certified configuration counts are
+   untouched: only covered executions are cut, never states. *)
+
+let req_local pid = function
+  | Runtime.Prim.Yield -> true
+  | Runtime.Prim.Fence -> false
+  | r -> (
+      match Runtime.Prim.touches r with
+      | Some l -> ( match l.Loc.kind with Loc.Private p -> p = pid | Loc.Shared -> false)
+      | None -> false)
+
+(* does the source-set fast path apply to [cur]'s pending step at a
+   node with no crash budget left?  (Silence is checked by the caller
+   after the step executes.) *)
+let source_eligible ~reduction ~crash_budget ~cur ~crashes session =
+  reduction <> `None
+  && crashes >= crash_budget
+  &&
+  match cur with
+  | None -> false
+  | Some c -> (
+      match Session.pending_request session c with
+      | Some r -> req_local c r && sleepable r
+      | None -> false)
+
 type violation = {
   decisions : decision list;
   history : Event.t list;
@@ -142,6 +199,8 @@ type metrics = {
   reduction : string;
   sleep_skips : int;
   sym_skips : int;
+  source_skips : int;
+  canonical_orbits : int;
   minor_words : float;
   promoted_words : float;
   minor_collections : int;
@@ -302,6 +361,7 @@ type state = {
   mutable intern_misses : int;
   mutable sleep_skips : int;  (* children pruned by the sleep set *)
   mutable sym_skips : int;  (* children pruned by symmetry *)
+  mutable source_skips : int;  (* sibling frontiers cut by source sets *)
   mutable capped : bool;  (* node budget exhausted; counters are partial *)
   mutable alloc : Dtc_util.Alloc_stats.delta;
       (* GC-counter delta attributable to this state's worker *)
@@ -317,10 +377,44 @@ type state = {
   wl_class : int array;
       (* wl_class.(p) = least q with workloads.(q) = workloads.(p):
          symmetry candidates must run statically identical programs *)
+  sym_memo : bool;
+      (* canonical memo keys + orbit-weighted config counting active:
+         reduction is [`Dpor_sym_memo], the instance declared
+         [id_symmetric], the workloads are uniform and non-empty (so
+         ranks and creation uids relabel cleanly), pruning is on, and
+         N <= 20 (orbit weights must not overflow).  When any gate
+         fails the mode degrades to exactly [`Dpor_sym]. *)
+  (* per-node scratch for the canonical process order (sym_memo only;
+     [||] otherwise).  All length n_procs: *)
+  c_evr : int array;  (* first-occurrence event rank, max_int if none *)
+  c_flags : int array;  (* (stepped << 1) lor slept *)
+  c_key : int array;  (* pi-invariant per-process signature *)
+  c_ord : int array;  (* sort scratch: canonical position -> pid *)
+  c_inv : int array;  (* rank -> pid (the chosen permutation) *)
+  c_rank : int array;  (* pid -> rank *)
+  c_pacc : int array;  (* per-process private-cell digest accumulator *)
+  c_slot : int array;  (* per-process private-slot counter *)
+  (* per-process digest caches keyed on {!Session.mut_stamp}: a process
+     whose stamp is unchanged since the cached entry has an identical
+     logged state (stamps are restored exactly by rewinds and drawn
+     from a never-rewound counter), so its [proc_sym_sig] walk can be
+     skipped.  Stamps are only meaningful within one session, so the
+     caches are flushed whenever the session identity changes — the
+     undo engines keep one session for the whole search and hit almost
+     always; the replay engine makes a session per node and never hits.
+     [-1] marks an empty slot (real stamps are >= 0). *)
+  mutable c_sess : Session.t option;
+  c_self_stamp : int array;
+  c_self_val : int array;  (* self-relabeled signature, for [canon_order] *)
+  c_perm_stamp : int array;
+  c_perm_sig : int array;  (* hash of the permutation the entry was cut for *)
+  c_perm_val : int array;  (* rank-relabeled digest, for [canon_key] *)
 }
 
-let mk_state cfg mk workloads =
+let mk_state ?(sym_memo = false) cfg mk workloads =
   let n_procs = Array.length workloads in
+  let scr () = if sym_memo then Array.make n_procs 0 else [||] in
+  let scr_empty () = if sym_memo then Array.make n_procs (-1) else [||] in
   {
     cfg;
     mk;
@@ -328,6 +422,7 @@ let mk_state cfg mk workloads =
     configs =
       Config_set.create
         ~mode:(if cfg.exact_configs then Config_set.Exact else Config_set.Fingerprint)
+        ?canonical:(if sym_memo then Some n_procs else None)
         ();
     visited = Memo_tbl.create 65536;
     depth_hist = Array.make 64 0;
@@ -350,6 +445,7 @@ let mk_state cfg mk workloads =
     intern_misses = 0;
     sleep_skips = 0;
     sym_skips = 0;
+    source_skips = 0;
     capped = false;
     alloc = Dtc_util.Alloc_stats.zero;
     rbufs = [||];
@@ -362,6 +458,21 @@ let mk_state cfg mk workloads =
             if workloads.(q) = workloads.(p) then q else first (q + 1)
           in
           first 0);
+    sym_memo;
+    c_evr = scr ();
+    c_flags = scr ();
+    c_key = scr ();
+    c_ord = scr ();
+    c_inv = scr ();
+    c_rank = scr ();
+    c_pacc = scr ();
+    c_slot = scr ();
+    c_sess = None;
+    c_self_stamp = scr_empty ();
+    c_self_val = scr ();
+    c_perm_stamp = scr_empty ();
+    c_perm_sig = scr ();
+    c_perm_val = scr ();
   }
 
 
@@ -412,11 +523,188 @@ let buf_mem buf n x =
   let rec go i = i < n && (buf.(i) = x || go (i + 1)) in
   go 0
 
+(* ---- symmetry-canonical memo keys -----------------------------------
+
+   Under [sym_memo] a node whose path spent no crash budget is keyed on
+   a digest constant on its whole S_N orbit, so π-images of an explored
+   subtree hit the memo instead of being re-explored.  The digest is
+   built by choosing ONE canonical process order per node and
+   relabeling everything through it:
+
+   1. rank processes by (post-creation first-occurrence event rank,
+      stepped-on-path bit, slept bit, π-invariant per-process
+      signature, pid).  Every component except the final pid tiebreak
+      is assigned identically by two π-related executions, so related
+      nodes choose matching orders; a tie broken by pid either involves
+      genuinely interchangeable processes (any order digests equally)
+      or hash-collided ones (the digests then differ — a missed dedup,
+      never a false merge).
+   2. fold, in rank order, each process's full logged interaction
+      signature ({!Session.proc_sym_sig}) and private-cell block, with
+      pid-indexed vectors and creation uids relabeled through the rank
+      ({!Sym.hash_perm}); shared cells fold positionally; the event
+      stream folds via the session's incrementally-maintained
+      {!Session.sym_events_sig}.
+   3. fold the scheduler state — rank of the running process, budgets,
+      rank-relabeled sleep and stepped masks.  The delay-bounded switch
+      accounting is itself permutation-equivariant (a step's cost
+      depends only on whether its process IS the running one and
+      whether the running one is still runnable — never on pid values),
+      and every budget-relevant quantity is in the key, which is what
+      makes transferring a memo summary across the orbit structurally
+      sound rather than empirically pinned.
+
+   Nodes on crashed paths fall back to the raw key (recovery event
+   batches would break the positional correspondence), and the two key
+   families are tag-separated so they can share the memo table. *)
+
+let canon_order st session ~smask ~stepped =
+  let n = st.n_procs in
+  let evr = st.c_evr
+  and fl = st.c_flags
+  and ky = st.c_key
+  and ord = st.c_ord
+  and inv = st.c_inv
+  and rank = st.c_rank in
+  (* stamps only identify states within one session: flush the digest
+     caches if this state object last served a different session *)
+  (match st.c_sess with
+  | Some s when s == session -> ()
+  | _ ->
+      st.c_sess <- Some session;
+      Array.fill st.c_self_stamp 0 n (-1);
+      Array.fill st.c_perm_stamp 0 n (-1));
+  for p = 0 to n - 1 do
+    let r = Session.sym_rank session p in
+    evr.(p) <- (if r < 0 then max_int else r);
+    fl.(p) <-
+      (if stepped land (1 lsl p) <> 0 then 2 else 0)
+      lor (if smask land (1 lsl p) <> 0 then 1 else 0);
+    (let stamp = Session.mut_stamp session p in
+     if st.c_self_stamp.(p) = stamp then ky.(p) <- st.c_self_val.(p)
+     else begin
+       let v =
+         Session.proc_sym_sig session p
+           ~hash_value:(fun v -> Sym.self_key ~n ~pid:p ~seed:5 v)
+           ~hash_uid:(fun u -> if u < n then -1 else u)
+       in
+       st.c_self_stamp.(p) <- stamp;
+       st.c_self_val.(p) <- v;
+       ky.(p) <- v
+     end);
+    ord.(p) <- p
+  done;
+  (* lexicographic (evr, flags, key, pid) insertion sort — n is tiny *)
+  let lt p q =
+    evr.(p) < evr.(q)
+    || (evr.(p) = evr.(q)
+       && (fl.(p) < fl.(q)
+          || (fl.(p) = fl.(q)
+             && (ky.(p) < ky.(q) || (ky.(p) = ky.(q) && p < q)))))
+  in
+  for i = 1 to n - 1 do
+    let x = ord.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && lt x ord.(!j) do
+      ord.(!j + 1) <- ord.(!j);
+      decr j
+    done;
+    ord.(!j + 1) <- x
+  done;
+  for r = 0 to n - 1 do
+    inv.(r) <- ord.(r);
+    rank.(ord.(r)) <- r
+  done
+
+let canon_mem_digest st mem =
+  let n = st.n_procs in
+  let inv = st.c_inv in
+  let pacc = st.c_pacc and slot = st.c_slot in
+  Array.fill pacc 0 n 0x9e37;
+  Array.fill slot 0 n 0;
+  let glob = ref 0x51f0 in
+  let shared_ix = ref 0 in
+  for i = 0 to Mem.n_locs mem - 1 do
+    let loc = Mem.loc_by_id mem i in
+    let v = Mem.read mem loc in
+    match loc.Loc.kind with
+    | Loc.Shared ->
+        glob :=
+          Value.mix !glob
+            (Value.mix !shared_ix (Sym.hash_perm ~n ~inv ~seed:3 v));
+        incr shared_ix
+    | Loc.Private p when p < n ->
+        let s = slot.(p) in
+        slot.(p) <- s + 1;
+        pacc.(p) <-
+          Value.mix pacc.(p) (Value.mix s (Sym.hash_perm ~n ~inv ~seed:3 v))
+    | Loc.Private _ -> ()
+  done;
+  let acc = ref !glob in
+  for r = 0 to n - 1 do
+    acc := Value.mix !acc pacc.(inv.(r))
+  done;
+  !acc
+
+let canon_key st session machine ~cur ~switches ~crashes ~sleep ~stepped =
+  let n = st.n_procs in
+  canon_order st session ~smask:(sleep_mask sleep) ~stepped;
+  let inv = st.c_inv and rank = st.c_rank in
+  let hv v = Sym.hash_perm ~n ~inv ~seed:7 v in
+  let hu u = if u < n then rank.(u) else u in
+  let acc = ref 0x5ca90 in
+  acc := Value.mix !acc (Session.sym_events_sig session);
+  acc := Value.mix !acc (Session.uids session);
+  acc := Value.mix !acc (Session.steps session);
+  (* the rank-relabeled digest of a process depends on its own log AND
+     on the whole permutation (relabeling runs through [inv]/[rank]),
+     so cache entries are keyed on (stamp, permutation hash).  A hash
+     collision here merely reuses a digest cut for another permutation
+     — the same 63-bit collision class the memo key already lives in. *)
+  let psig = ref 0x7fb5 in
+  for r = 0 to n - 1 do
+    psig := Value.mix !psig inv.(r)
+  done;
+  let psig = !psig in
+  for r = 0 to n - 1 do
+    let pid = inv.(r) in
+    let stamp = Session.mut_stamp session pid in
+    let d =
+      if st.c_perm_stamp.(pid) = stamp && st.c_perm_sig.(pid) = psig then
+        st.c_perm_val.(pid)
+      else begin
+        let d = Session.proc_sym_sig session pid ~hash_value:hv ~hash_uid:hu in
+        st.c_perm_stamp.(pid) <- stamp;
+        st.c_perm_sig.(pid) <- psig;
+        st.c_perm_val.(pid) <- d;
+        d
+      end
+    in
+    acc := Value.mix !acc d
+  done;
+  acc := Value.mix !acc (canon_mem_digest st (Runtime.Machine.mem machine));
+  let c = match cur with None -> -1 | Some pid -> rank.(pid) in
+  let rsleep =
+    List.fold_left (fun m (pid, _) -> m lor (1 lsl rank.(pid))) 0 sleep
+  in
+  let rstepped = ref 0 in
+  for p = 0 to n - 1 do
+    if stepped land (1 lsl p) <> 0 then rstepped := !rstepped lor (1 lsl rank.(p))
+  done;
+  let m = Value.mix in
+  m (m (m (m (m !acc c) switches) crashes) rsleep) !rstepped land max_int
+
 (* [decisions] is kept newest-first during the DFS; replay applies it
    oldest-first. *)
 let replay st decisions =
   let machine, inst = st.mk () in
-  let session = Session.create ~policy:st.cfg.policy machine inst ~workloads:st.workloads in
+  (* sym-memo keys read the per-process interaction logs, which only
+     undo-mode sessions keep; the replay engine's behavior is otherwise
+     untouched by the journaling *)
+  let session =
+    Session.create ~policy:st.cfg.policy ~undo:st.sym_memo machine inst
+      ~workloads:st.workloads
+  in
   List.iter
     (function
       | Step pid -> Session.step session pid
@@ -537,18 +825,23 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
   let red = st.cfg.reduction in
   let sym_active =
     match red with
-    | `Dpor_sym -> inst.Obj_inst.id_symmetric
+    | `Dpor_sym | `Dpor_sym_memo -> inst.Obj_inst.id_symmetric
     | `None | `Dpor -> false
   in
   let key =
-    if st.cfg.prune then begin
-      let fa, fb = Mem.live_fingerprint_full (Runtime.Machine.mem machine) in
-      let c = match cur with None -> -1 | Some pid -> pid in
+    if st.cfg.prune then
       Some
-        (mk_key ~fa ~fb ~dg:(Session.state_digest session) ~c ~switches
-           ~crashes ~smask:(sleep_mask sleep)
-           ~stepped:(if sym_active then stepped else 0))
-    end
+        (if st.sym_memo && crashes = 0 then
+           canon_key st session machine ~cur ~switches ~crashes ~sleep ~stepped
+         else begin
+           let fa, fb =
+             Mem.live_fingerprint_full (Runtime.Machine.mem machine)
+           in
+           let c = match cur with None -> -1 | Some pid -> pid in
+           mk_key ~fa ~fb ~dg:(Session.state_digest session) ~c ~switches
+             ~crashes ~smask:(sleep_mask sleep)
+             ~stepped:(if sym_active then stepped else 0)
+         end)
     else None
   in
   let mslot =
@@ -585,6 +878,11 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
         (* step moves *)
         let sleep = ref sleep in
         let explored = ref 0 (* pid mask; reduction is off past 62 procs *) in
+        let source_ok =
+          source_eligible ~reduction:red ~crash_budget:st.cfg.crash_budget ~cur
+            ~crashes session
+        in
+        let source_stop = ref false in
         List.iter
           (fun pid ->
             (* only a preemption costs budget: switching away from a process
@@ -594,7 +892,11 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
               | None -> 0
               | Some c -> if c = pid || not (List.mem c runnable) then 0 else 1
             in
-            if switches + cost <= st.cfg.switch_budget then begin
+            if !source_stop then begin
+              if switches + cost <= st.cfg.switch_budget then
+                st.source_skips <- st.source_skips + 1
+            end
+            else if switches + cost <= st.cfg.switch_budget then begin
               if red <> `None && List.mem_assoc pid !sleep then
                 st.sleep_skips <- st.sleep_skips + 1
               else if
@@ -627,10 +929,15 @@ let rec dfs st decisions ~depth ~hlen ~sleep ~stepped cur switches crashes =
                     (Some pid) (switches + cost) crashes
                 in
                 explored := !explored lor (1 lsl pid);
-                match req with
+                (* source set: the running process's local silent step is a
+                   sufficient singleton — siblings are covered by the child
+                   subtree (see the source-set comment above) *)
+                if source_ok && cur = Some pid && child_here = here then
+                  source_stop := true;
+                (match req with
                 | Some r when child_here = here && sleepable r ->
                     sleep := (pid, r) :: !sleep
-                | _ -> ()
+                | _ -> ())
               end
             end)
           runnable
@@ -670,19 +977,22 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
   let red = st.cfg.reduction in
   let sym_active =
     match red with
-    | `Dpor_sym -> inst.Obj_inst.id_symmetric
+    | `Dpor_sym | `Dpor_sym_memo -> inst.Obj_inst.id_symmetric
     | `None | `Dpor -> false
   in
   let key =
-    if st.cfg.prune then begin
-      let m = Runtime.Machine.mem machine in
-      let c = match cur with None -> -1 | Some pid -> pid in
+    if st.cfg.prune then
       Some
-        (mk_key ~fa:(Mem.live_full_a m) ~fb:(Mem.live_full_b m)
-           ~dg:(Session.state_digest session) ~c ~switches ~crashes
-           ~smask:(sleep_mask sleep)
-           ~stepped:(if sym_active then stepped else 0))
-    end
+        (if st.sym_memo && crashes = 0 then
+           canon_key st session machine ~cur ~switches ~crashes ~sleep ~stepped
+         else begin
+           let m = Runtime.Machine.mem machine in
+           let c = match cur with None -> -1 | Some pid -> pid in
+           mk_key ~fa:(Mem.live_full_a m) ~fb:(Mem.live_full_b m)
+             ~dg:(Session.state_digest session) ~c ~switches ~crashes
+             ~smask:(sleep_mask sleep)
+             ~stepped:(if sym_active then stepped else 0)
+         end)
     else None
   in
   let mslot =
@@ -725,6 +1035,11 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
         (* step moves *)
         let sleep = ref sleep in
         let explored = ref 0 (* pid mask; reduction is off past 62 procs *) in
+        let source_ok =
+          source_eligible ~reduction:red ~crash_budget:st.cfg.crash_budget ~cur
+            ~crashes session
+        in
+        let source_stop = ref false in
         for ri = 0 to n_run - 1 do
           let pid = rbuf.(ri) in
           (* only a preemption costs budget: switching away from a process
@@ -734,7 +1049,11 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
             | None -> 0
             | Some c -> if c = pid || not (buf_mem rbuf n_run c) then 0 else 1
           in
-          if switches + cost <= st.cfg.switch_budget then begin
+          if !source_stop then begin
+            if switches + cost <= st.cfg.switch_budget then
+              st.source_skips <- st.source_skips + 1
+          end
+          else if switches + cost <= st.cfg.switch_budget then begin
             if red <> `None && List.mem_assoc pid !sleep then
               st.sleep_skips <- st.sleep_skips + 1
             else if
@@ -773,10 +1092,14 @@ let rec dfs_undo st session machine inst decisions ~depth ~hlen ~sleep ~stepped
                 (Some pid) (switches + cost) crashes;
               Session.rewind_buf session mb;
               explored := !explored lor (1 lsl pid);
-              match req with
+              (* source set: the running process's local silent step is a
+                 sufficient singleton — siblings are covered by the child
+                 subtree (see the source-set comment above) *)
+              if source_ok && cur = Some pid && silent then source_stop := true;
+              (match req with
               | Some r when silent && sleepable r ->
                   sleep := (pid, r) :: !sleep
-              | _ -> ()
+              | _ -> ())
             end
           end
         done
@@ -881,6 +1204,11 @@ let finish ~t0 ~domains_used sts =
         reduction = reduction_name base.cfg.reduction;
         sleep_skips = sum (fun st -> st.sleep_skips);
         sym_skips = sum (fun st -> st.sym_skips);
+        source_skips = sum (fun st -> st.source_skips);
+        canonical_orbits =
+          (match Config_set.canonical base.configs with
+          | Some _ -> Config_set.orbits base.configs
+          | None -> 0);
         minor_words = alloc.Dtc_util.Alloc_stats.d_minor_words;
         promoted_words = alloc.Dtc_util.Alloc_stats.d_promoted_words;
         minor_collections = alloc.Dtc_util.Alloc_stats.d_minor_collections;
@@ -904,8 +1232,8 @@ let with_alloc_stats st f =
   st.alloc <- Dtc_util.Alloc_stats.add st.alloc d;
   r
 
-let explore_sequential ~t0 ~mk ~workloads cfg =
-  let st = mk_state cfg mk workloads in
+let explore_sequential ~t0 ~mk ~workloads ~sym_memo cfg =
+  let st = mk_state ~sym_memo cfg mk workloads in
   Dtc_util.Gc_tune.with_applied cfg.gc (fun () ->
       with_alloc_stats st (fun () ->
           with_intern_stats st (fun () ->
@@ -916,8 +1244,8 @@ let explore_sequential ~t0 ~mk ~workloads cfg =
               with Node_cap -> st.capped <- true)));
   finish ~t0 ~domains_used:1 [ st ]
 
-let explore_undo_sequential ~t0 ~mk ~workloads cfg =
-  let st = mk_state cfg mk workloads in
+let explore_undo_sequential ~t0 ~mk ~workloads ~sym_memo cfg =
+  let st = mk_state ~sym_memo cfg mk workloads in
   Dtc_util.Gc_tune.with_applied cfg.gc (fun () ->
       with_alloc_stats st (fun () ->
           with_intern_stats st (fun () ->
@@ -941,8 +1269,62 @@ let explore_undo_sequential ~t0 ~mk ~workloads cfg =
    final merge.  Memo tables are per-worker; because cached summaries
    are exact, missing cross-worker dedup costs only replays, never
    accuracy. *)
-let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
-  let root = mk_state cfg mk workloads in
+(* Root-level reduction for the parallel explorers: mirror [dfs]'s own
+   sibling walk when generating the top-level task list.  Symmetric
+   never-stepped siblings are skipped outright (counted in the root
+   state's [sym_skips]), and each step task carries the sibling sleep
+   set an in-line DFS would have handed its child.  Sleeping needs each
+   earlier sibling's silence, which an in-line DFS only learns after
+   taking the step — here [probe_silent] answers it at dispatch time
+   (one extra machine step per root child; the probes are not counted
+   as explored nodes).  [explored]/[sleep] accumulate left-to-right
+   exactly as in [dfs], so the reduction decisions match the
+   sequential engines' root node decision for decision. *)
+let root_step_tasks root (cfg : config) inst mem session runnable ~probe_silent
+    =
+  let red = cfg.reduction in
+  let sym_active =
+    match red with
+    | `Dpor_sym | `Dpor_sym_memo -> inst.Obj_inst.id_symmetric
+    | `None | `Dpor -> false
+  in
+  let sleep = ref [] in
+  let explored = ref 0 in
+  List.filter_map
+    (fun pid ->
+      if
+        sym_active
+        && List.exists
+             (fun q ->
+               q < pid
+               && root.wl_class.(q) = root.wl_class.(pid)
+               && !explored land (1 lsl q) <> 0
+               && Sym.swap_invariant ~n:root.n_procs mem pid q)
+             runnable
+      then begin
+        root.sym_skips <- root.sym_skips + 1;
+        None
+      end
+      else begin
+        let req =
+          if red <> `None then Session.pending_request session pid else None
+        in
+        let task_sleep =
+          match req with
+          | Some r -> List.filter (fun (_, r') -> independent r r') !sleep
+          | None -> []
+        in
+        explored := !explored lor (1 lsl pid);
+        (match req with
+        | Some r when sleepable r && probe_silent pid ->
+            sleep := (pid, r) :: !sleep
+        | _ -> ());
+        Some (Step pid, Some pid, 0, 0, task_sleep)
+      end)
+    runnable
+
+let explore_parallel ~t0 ~mk ~workloads ~sym_memo cfg ~domains =
+  let root = mk_state ~sym_memo cfg mk workloads in
   root.nodes <- 1;
   bump_depth root 0;
   let machine, inst, session = replay root [] in
@@ -959,9 +1341,16 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
   else begin
     (* mirror [dfs]'s child generation at the root: cur = None, so every
        step child is free and a crash child spends one crash budget *)
+    let here0 = Session.event_count session in
+    let probe_silent pid =
+      let _, _, s' = replay root [ Step pid ] in
+      Session.event_count s' = here0
+    in
     let tasks =
-      (if cfg.crash_budget > 0 then [ (Crash, None, 0, 1) ] else [])
-      @ List.map (fun pid -> (Step pid, Some pid, 0, 0)) runnable
+      (if cfg.crash_budget > 0 then [ (Crash, None, 0, 1, []) ] else [])
+      @ root_step_tasks root cfg inst
+          (Runtime.Machine.mem machine)
+          session runnable ~probe_silent
     in
     let n_workers = min domains (List.length tasks) in
     let chunks = Array.make n_workers [] in
@@ -972,19 +1361,17 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
       (* worker domains are fresh: GC tuning applies to this domain only
          and dies with it *)
       Dtc_util.Gc_tune.apply cfg.gc;
-      let st = mk_state cfg mk workloads in
-      (* reduction note: root-level sibling sleeping and symmetry are
-         not propagated across workers — each worker starts its share
-         with an empty sleep set (pure loss of pruning, never of
-         soundness).  The node budget is likewise per worker. *)
+      let st = mk_state ~sym_memo cfg mk workloads in
+      (* root-level sleeping and symmetry ride in on the task list (see
+         [root_step_tasks]); the node budget stays per worker *)
       with_alloc_stats st (fun () ->
           try
             List.iter
-              (fun (d, cur, switches, crashes) ->
+              (fun (d, cur, switches, crashes, sleep) ->
                 let stepped = match d with Step pid -> 1 lsl pid | Crash -> 0 in
                 ignore
-                  (dfs st [ d ] ~depth:1 ~hlen:0 ~sleep:[] ~stepped cur
-                     switches crashes
+                  (dfs st [ d ] ~depth:1 ~hlen:0 ~sleep ~stepped cur switches
+                     crashes
                     : int))
               (List.rev chunks.(idx))
           with Node_cap -> st.capped <- true);
@@ -999,8 +1386,8 @@ let explore_parallel ~t0 ~mk ~workloads cfg ~domains =
    but each worker owns ONE undo session — it marks the root
    configuration once and explores its whole share of the frontier by
    apply/recurse/rewind, never replaying. *)
-let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
-  let root = mk_state cfg mk workloads in
+let explore_undo_parallel ~t0 ~mk ~workloads ~sym_memo cfg ~domains =
+  let root = mk_state ~sym_memo cfg mk workloads in
   root.nodes <- 1;
   bump_depth root 0;
   bump_fixed root.journal_hist 0;
@@ -1025,9 +1412,19 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
   else begin
     (* mirror [dfs]'s child generation at the root: cur = None, so every
        step child is free and a crash child spends one crash budget *)
+    let here0 = Session.event_count session in
+    let root_mark0 = Session.mark session in
+    let probe_silent pid =
+      Session.step session pid;
+      let silent = Session.event_count session = here0 in
+      Session.rewind session root_mark0;
+      silent
+    in
     let tasks =
-      (if cfg.crash_budget > 0 then [ (Crash, None, 0, 1) ] else [])
-      @ List.map (fun pid -> (Step pid, Some pid, 0, 0)) runnable
+      (if cfg.crash_budget > 0 then [ (Crash, None, 0, 1, []) ] else [])
+      @ root_step_tasks root cfg inst
+          (Runtime.Machine.mem machine)
+          session runnable ~probe_silent
     in
     let n_workers = min domains (List.length tasks) in
     let chunks = Array.make n_workers [] in
@@ -1038,7 +1435,7 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
       (* worker domains are fresh: GC tuning applies to this domain only
          and dies with it *)
       Dtc_util.Gc_tune.apply cfg.gc;
-      let st = mk_state cfg mk workloads in
+      let st = mk_state ~sym_memo cfg mk workloads in
       with_alloc_stats st (fun () ->
           let machine, inst = mk () in
           let session =
@@ -1046,19 +1443,19 @@ let explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains =
               ~workloads
           in
           let root_mark = Session.mark session in
-          (* same reduction caveats as the replay workers: per-worker sleep
-             sets and node budget *)
+          (* root-level sleeping and symmetry ride in on the task list
+             (see [root_step_tasks]); the node budget stays per worker *)
           (try
              List.iter
-               (fun (d, cur, switches, crashes) ->
+               (fun (d, cur, switches, crashes, sleep) ->
                  (match d with
                  | Step pid -> Session.step session pid
                  | Crash -> Session.crash_wipe session (config_wipe cfg));
                  let stepped =
                    match d with Step pid -> 1 lsl pid | Crash -> 0
                  in
-                 dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0
-                   ~sleep:[] ~stepped cur switches crashes;
+                 dfs_undo st session machine inst [ d ] ~depth:1 ~hlen:0 ~sleep
+                   ~stepped cur switches crashes;
                  Session.rewind session root_mark)
                (List.rev chunks.(idx))
            with Node_cap -> st.capped <- true);
@@ -1080,14 +1477,35 @@ let explore ~mk ~workloads (cfg : config) =
   let cfg =
     if Array.length workloads > 62 then { cfg with reduction = `None } else cfg
   in
+  (* sym-memo eligibility: all the gates the canonical key's soundness
+     argument needs.  id-symmetric layout (π-images of reachable states
+     are reachable), uniform non-empty workloads (π-images run the same
+     program, and process ranks are well-defined), N ≤ 20 (orbit
+     weights are exact in 63-bit ints), and pruning on (the canonical
+     key IS the memo key).  When any gate fails the mode degrades to
+     exactly [`Dpor_sym] semantics: symmetric-sibling skipping still
+     runs, keys stay raw. *)
+  let sym_memo =
+    match cfg.reduction with
+    | `Dpor_sym_memo ->
+        let n = Array.length workloads in
+        cfg.prune && n > 0 && n <= 20
+        && workloads.(0) <> []
+        && Array.for_all (fun w -> w = workloads.(0)) workloads
+        &&
+        let _, inst = mk () in
+        inst.Obj_inst.id_symmetric
+    | `None | `Dpor | `Dpor_sym -> false
+  in
   let domains = max 1 cfg.domains in
   match cfg.engine with
   | `Replay ->
-      if domains = 1 then explore_sequential ~t0 ~mk ~workloads cfg
-      else explore_parallel ~t0 ~mk ~workloads cfg ~domains
+      if domains = 1 then explore_sequential ~t0 ~mk ~workloads ~sym_memo cfg
+      else explore_parallel ~t0 ~mk ~workloads ~sym_memo cfg ~domains
   | `Undo ->
-      if domains = 1 then explore_undo_sequential ~t0 ~mk ~workloads cfg
-      else explore_undo_parallel ~t0 ~mk ~workloads cfg ~domains
+      if domains = 1 then
+        explore_undo_sequential ~t0 ~mk ~workloads ~sym_memo cfg
+      else explore_undo_parallel ~t0 ~mk ~workloads ~sym_memo cfg ~domains
 
 let no_metrics ~elapsed_s ~nodes =
   {
@@ -1117,6 +1535,8 @@ let no_metrics ~elapsed_s ~nodes =
     reduction = "none";
     sleep_skips = 0;
     sym_skips = 0;
+    source_skips = 0;
+    canonical_orbits = 0;
     minor_words = 0.;
     promoted_words = 0.;
     minor_collections = 0;

@@ -62,21 +62,31 @@ type engine = [ `Replay | `Undo ]
     [distinct_shared_configs] and the violation samples are identical;
     only speed (and the engine-specific metrics) differ. *)
 
-type reduction = [ `None | `Dpor | `Dpor_sym ]
+type reduction = [ `None | `Dpor | `Dpor_sym | `Dpor_sym_memo ]
 (** Search-space reduction applied during child generation (default
     [`None] — the committed baselines and every parity contract above
     are stated for the unreduced search).
 
     [`Dpor]: dynamic partial-order reduction with sleep sets over the
-    per-cell dependency relation.  After a step [t] is explored at a
-    node, [t] is {e slept} for the later sibling subtrees and stays
-    slept through independent steps (two steps are dependent iff they
-    may touch the same cell with at least one writer; crashes are
-    dependent with everything), so commuting interleavings of
-    independent steps are pruned {e before} being replayed rather than
-    merely deduplicated afterwards.  A step is only slept when
-    executing it emitted no history events, which keeps the
-    linearizability checker's event order out of the commutation.
+    per-cell dependency relation, strengthened by a {e source-set}
+    rule.  After a step [t] is explored at a node, [t] is {e slept} for
+    the later sibling subtrees and stays slept through independent
+    steps (two steps are dependent iff they may touch the same cell
+    with at least one writer; crashes are dependent with everything),
+    so commuting interleavings of independent steps are pruned
+    {e before} being replayed rather than merely deduplicated
+    afterwards.  A step is only slept when executing it emitted no
+    history events, which keeps the linearizability checker's event
+    order out of the commutation.  The source-set rule goes further
+    when the {e running} process's pending step touches at most its own
+    private cell, is sleepable, proves event-silent, and the path has
+    no crash budget left: that single child is then a sufficient
+    {e source set} — every maximal execution from the node must
+    eventually take the step, commuting it to the front crosses only
+    steps it is independent of, costs no switch (the process is already
+    running) and can only {e lower} later siblings' preemption counts,
+    so the entire remaining sibling frontier is skipped (counted in
+    [source_skips]).
 
     [`Dpor_sym]: additionally prunes process symmetry.  A runnable
     process [p] that has never stepped is skipped when some
@@ -87,21 +97,45 @@ type reduction = [ `None | `Dpor | `Dpor_sym ]
     {!Sched.Obj_inst.id_symmetric}; otherwise behaves exactly like
     [`Dpor].
 
+    [`Dpor_sym_memo]: additionally keys the subtree memo table and the
+    configuration set on {e symmetry-canonical} digests, so a node that
+    is a π-image (π ∈ S_N) of an already-explored node hits the memo
+    instead of being re-explored, and [distinct_shared_configs] counts
+    whole orbits at once via exact orbit-size weighting
+    ({!Config_set.create}'s [~canonical] mode) while physically
+    visiting one representative per orbit.  Canonical keys demand more
+    than [`Dpor_sym]'s pairwise pruning: the instance must declare
+    [id_symmetric], all workloads must be equal and non-empty, N ≤ 20,
+    pruning must be on, and a node's path must have spent no crash
+    budget (crashed paths fall back to raw keys — still sound, just
+    unmerged).  When any gate fails the mode degrades to exactly
+    [`Dpor_sym].  The delay-bounded switch accounting is
+    permutation-equivariant (a step's cost depends only on whether its
+    process {e is} the running process, never on pid values) and every
+    budget component is part of the canonical key, so transferring a
+    memoised subtree summary across an orbit is structurally sound —
+    with one caveat: which nodes get memoised depends on exploration
+    order, so reduced-vs-unreduced {e node} counts differ by
+    construction while executions/violations/configs transfer exactly
+    per key.  A hash collision between non-π-related nodes would merge
+    them ([Config_set]'s Exact mode audits exactly this event for the
+    configuration set; the quotient property tests drive it).
+
     Soundness contract: every node the reduced search visits is a node
     the unreduced search visits, so [distinct_shared_configs] is always
     a certified {e lower bound} on the reachable count (what Theorem 1's
     experiment needs; note [`Dpor_sym] visits only one representative
-    per symmetry orbit, so configuration {e counts} should be read from
-    [`Dpor]).  Because the delay-bounded switch accounting is not
-    permutation-invariant, a pruned execution's representative can cost
-    a different number of switches, so reduction is NOT guaranteed to
-    preserve verdicts or counts exactly at tight budgets; the reduction
-    parity tests pin verdict agreement empirically on the ablations and
-    random workloads. *)
+    per symmetry orbit without weighting, so configuration {e counts}
+    should be read from [`Dpor] or [`Dpor_sym_memo]).  Because a pruned
+    execution's representative can cost a different number of switches
+    under [`Dpor_sym]'s unweighted pairwise rule, reduction is NOT
+    guaranteed to preserve verdicts or counts exactly at tight budgets;
+    the reduction parity tests pin verdict agreement empirically on the
+    ablations and random workloads. *)
 
 val reduction_name : reduction -> string
-(** ["none"] / ["dpor"] / ["dpor+sym"] — the label used in metrics and
-    JSON. *)
+(** ["none"] / ["dpor"] / ["dpor+sym"] / ["dpor+sym-memo"] — the label
+    used in metrics and JSON. *)
 
 type config = {
   switch_budget : int;  (** max context switches per execution *)
@@ -210,6 +244,15 @@ type metrics = {
   reduction : string;  (** {!reduction_name} of the reduction that ran *)
   sleep_skips : int;  (** children pruned by the DPOR sleep set *)
   sym_skips : int;  (** children pruned by symmetry canonicalisation *)
+  source_skips : int;
+      (** siblings pruned by the source-set rule (the running process's
+          local silent step was a sufficient singleton source set) *)
+  canonical_orbits : int;
+      (** [`Dpor_sym_memo] with the canonical gates satisfied: distinct
+          S_N orbits of shared configurations actually stored, of which
+          [distinct_shared_configs] is the orbit-size-weighted
+          expansion.  0 under every other mode (the configuration set
+          is then unweighted). *)
   minor_words : float;
       (** words allocated on the minor heap during the search, summed
           over worker domains ({!Dtc_util.Alloc_stats}) *)

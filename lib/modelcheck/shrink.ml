@@ -230,8 +230,11 @@ let minimise ~mk ~workloads ?(policy = Session.Retry)
   (* [reduction] records which search produced the witness; candidate
      replays are single concrete schedules, so no pruning can apply and
      the minimised result is invariant in it (the reduction tests pin
-     this).  Accepting it here keeps call sites honest about the
-     contract instead of silently dropping the search configuration. *)
+     this) — that covers every mode, including the source-set rule and
+     the canonical memo keys of [`Dpor_sym_memo], which only ever cut
+     branches of a search tree and never alter a concrete replay.
+     Accepting it here keeps call sites honest about the contract
+     instead of silently dropping the search configuration. *)
   ignore (Explore.reduction_name reduction);
   let wipe =
     match wipe with Some w -> w | None -> Nvm.Fault_model.Keep keep

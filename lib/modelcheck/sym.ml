@@ -92,8 +92,38 @@ and slice ~n ~pid ~seed v =
            (0, Value.mix seed 0x7ab1e) a)
   | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Bot -> 0
 
-(* one fingerprint half from one seed *)
-let half ~n ~seed mem =
+(* One process's view of a value: the pid-independent shape plus that
+   process's slice.  Equivariant under the action —
+   [self_key ~pid:(π p) (π v) = self_key ~pid:p v] — so it can rank
+   processes π-consistently before any permutation is known. *)
+let self_key ~n ~pid ~seed v =
+  Value.mix (shape ~n ~seed v) (slice ~n ~pid ~seed v)
+
+(* Digest of a value under an explicit relabeling: pid-indexed vectors
+   contribute their entries in canonical rank order — entry [inv.(r)]
+   at position [r] — instead of pid order, so two values that are
+   images of each other under the permutation digest equally when
+   [inv] carries the matching canonical orders.  Everything else is
+   hashed as [Value.hash_seeded] does. *)
+let rec hash_perm ~n ~inv ~seed v =
+  match (v : Value.t) with
+  | Value.Tup a when is_vec ~n a ->
+      let h = ref (Value.mix seed 0x9ec70) in
+      for r = 0 to n - 1 do
+        h := Value.mix !h (hash_perm ~n ~inv ~seed a.(inv.(r)))
+      done;
+      !h
+  | Value.Tup a ->
+      snd
+        (Array.fold_left
+           (fun (i, h) x ->
+             (i + 1, Value.mix h (hash_perm ~n ~inv ~seed:(seed + i) x)))
+           (0, Value.mix seed 0x7ab1e) a)
+  | v -> Value.hash_seeded seed v
+
+(* one fingerprint half from one seed; [shared_only] restricts to the
+   shared cells (the paper's memory-equivalence ignores private NVM) *)
+let half ?(shared_only = false) ~n ~seed mem =
   let views = Array.make n (seed lxor 0x1e3779b97f4a7c15) in
   let priv_slot = Array.make n 0 in
   let global = ref seed in
@@ -110,7 +140,7 @@ let half ~n ~seed mem =
           views.(p) <-
             Value.mix views.(p) (Value.mix tag (slice ~n ~pid:p ~seed v))
         done
-    | Loc.Private p when p < n ->
+    | Loc.Private p when p < n && not shared_only ->
         (* slot-positional: the contract says every process allocates
            its private cells in the same order *)
         let slot = priv_slot.(p) in
@@ -126,3 +156,150 @@ let half ~n ~seed mem =
   Array.fold_left Value.mix !global views
 
 let canonical_fingerprint ~n mem = (half ~n ~seed:1 mem, half ~n ~seed:2 mem)
+
+let canonical_fingerprint_shared ~n mem =
+  (half ~shared_only:true ~n ~seed:1 mem, half ~shared_only:true ~n ~seed:2 mem)
+
+(* ------------------------------------------------------------------ *)
+(* Orbit sizes.
+
+   The stabiliser of a shared configuration under the S_N action is
+   exactly the Young subgroup of the partition of pids into classes
+   with pairwise-equal "columns" (the tuple of p-th entries over every
+   shared vector, recursively): a permutation fixes every vector iff it
+   permutes pids only within such classes.  Column equality of p and q
+   is precisely [swap_ok] over all shared cells, and it is transitive,
+   so |orbit| = N! / prod(class sizes!), computed exactly. *)
+
+let rec fact k = if k <= 1 then 1 else k * fact (k - 1)
+
+let orbit_size_classes ~n same =
+  if n > 20 then invalid_arg "Sym.orbit_size: N! overflows past N = 20";
+  let rep = Array.make n (-1) in
+  let sizes = Array.make n 0 in
+  for p = 0 to n - 1 do
+    let c = ref (-1) in
+    (try
+       for q = 0 to p - 1 do
+         if rep.(q) = q && same p q then begin
+           c := q;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !c < 0 then begin
+      rep.(p) <- p;
+      sizes.(p) <- 1
+    end
+    else begin
+      rep.(p) <- !c;
+      sizes.(!c) <- sizes.(!c) + 1
+    end
+  done;
+  let denom = ref 1 in
+  for p = 0 to n - 1 do
+    if rep.(p) = p then denom := !denom * fact sizes.(p)
+  done;
+  fact n / !denom
+
+let orbit_size_shared ~n mem =
+  orbit_size_classes ~n (fun p q ->
+      let ok = ref true in
+      (try
+         for i = 0 to Mem.n_locs mem - 1 do
+           let loc = Mem.loc_by_id mem i in
+           if Loc.is_shared loc && not (swap_ok ~n ~p ~q (Mem.read mem loc))
+           then begin
+             ok := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-side variants, for Config_set's canonical Exact audit mode:
+   same digests/weights as the live versions, computed from
+   [Mem.snapshot_cells] arrays instead of a live store. *)
+
+let cells_half ~shared_only ~n ~seed cells =
+  let views = Array.make n (seed lxor 0x1e3779b97f4a7c15) in
+  let priv_slot = Array.make n 0 in
+  let global = ref seed in
+  let shared_ix = ref 0 in
+  Array.iter
+    (fun ((loc : Loc.t), v) ->
+      match loc.Loc.kind with
+      | Loc.Shared ->
+          let tag = !shared_ix in
+          incr shared_ix;
+          global := Value.mix !global (Value.mix tag (shape ~n ~seed v));
+          for p = 0 to n - 1 do
+            views.(p) <-
+              Value.mix views.(p) (Value.mix tag (slice ~n ~pid:p ~seed v))
+          done
+      | Loc.Private p when p < n && not shared_only ->
+          let slot = priv_slot.(p) in
+          priv_slot.(p) <- slot + 1;
+          views.(p) <-
+            Value.mix views.(p)
+              (Value.mix slot
+                 (Value.mix (shape ~n ~seed v) (slice ~n ~pid:p ~seed v)))
+      | Loc.Private _ -> ())
+    cells;
+  Array.sort compare views;
+  Array.fold_left Value.mix !global views
+
+let cells_fingerprint_shared ~n cells =
+  ( cells_half ~shared_only:true ~n ~seed:1 cells,
+    cells_half ~shared_only:true ~n ~seed:2 cells )
+
+let cells_orbit_size_shared ~n cells =
+  orbit_size_classes ~n (fun p q ->
+      Array.for_all
+        (fun ((loc : Loc.t), v) ->
+          (not (Loc.is_shared loc)) || swap_ok ~n ~p ~q v)
+        cells)
+
+(* the action of one permutation on a value: entry r of a vector comes
+   from entry [perm.(r)] (the direction is irrelevant to the callers —
+   they quantify over all of S_N) *)
+let rec permute ~n ~perm v =
+  match (v : Value.t) with
+  | Value.Tup a when is_vec ~n a ->
+      Value.Tup (Array.init n (fun r -> permute ~n ~perm a.(perm.(r))))
+  | Value.Tup a -> Value.Tup (Array.map (permute ~n ~perm) a)
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Bot -> v
+
+let related_shared ~n ca cb =
+  let shared cells =
+    Array.to_list cells |> List.filter (fun ((l : Loc.t), _) -> Loc.is_shared l)
+  in
+  let sa = shared ca and sb = shared cb in
+  List.length sa = List.length sb
+  && List.for_all2 (fun ((la : Loc.t), _) ((lb : Loc.t), _) -> la.Loc.id = lb.Loc.id) sa sb
+  &&
+  (* try every permutation of 0..n-1 (audit/test path: n is tiny) *)
+  let perm = Array.make n (-1) in
+  let used = Array.make n false in
+  let rec go r =
+    if r = n then
+      List.for_all2
+        (fun (_, va) (_, vb) -> Value.equal (permute ~n ~perm va) vb)
+        sa sb
+    else
+      let rec try_p p =
+        p < n
+        && ((not used.(p))
+            && begin
+                 perm.(r) <- p;
+                 used.(p) <- true;
+                 let ok = go (r + 1) in
+                 used.(p) <- false;
+                 ok
+               end
+           || try_p (p + 1))
+      in
+      try_p 0
+  in
+  go 0

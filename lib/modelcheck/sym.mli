@@ -55,3 +55,51 @@ val canonical_fingerprint : n:int -> Mem.t -> int * int
     as a sorted multiset, the pid-independent remainder positionally.
     π-related configurations get equal fingerprints for every π ∈ S_N;
     distinct orbits collide only with 63-bit-hash probability. *)
+
+val canonical_fingerprint_shared : n:int -> Mem.t -> int * int
+(** {!canonical_fingerprint} restricted to the shared cells — the
+    quotient of the paper's memory-equivalence by S_N.  This is the key
+    the explorer's [`Dpor_sym_memo] configuration counting uses: one
+    entry per reachable {e orbit} of shared configurations, with
+    {!orbit_size_shared} supplying each orbit's exact cardinality. *)
+
+val orbit_size_shared : n:int -> Mem.t -> int
+(** Exact size of the current shared configuration's orbit under S_N:
+    [N! / prod(class sizes!)], where two pids are in one class iff the
+    configuration is invariant under transposing them restricted to
+    shared cells (the stabiliser is exactly that partition's Young
+    subgroup, so the count is not an estimate).  Raises
+    [Invalid_argument] for [n > 20] ([N!] would overflow). *)
+
+val self_key : n:int -> pid:int -> seed:int -> Value.t -> int
+(** One process's view of a value: its pid-independent shape mixed with
+    the [pid]-th slice of every pid-indexed vector.  Equivariant under
+    the action ([self_key ~pid:(π p) (π v) = self_key ~pid:p v]), which
+    is what lets the explorer rank processes π-consistently {e before}
+    any permutation has been chosen. *)
+
+val hash_perm : n:int -> inv:int array -> seed:int -> Value.t -> int
+(** Digest of a value under an explicit process relabeling: pid-indexed
+    vectors contribute their entries in the order [inv.(0), inv.(1),
+    ...] (canonical rank order) instead of pid order.  When two
+    configurations are π-images and [inv] carries their matching
+    canonical orders, the digests agree; used by the explorer to fold
+    memory contents and logged response values into its
+    symmetry-canonical memo key. *)
+
+(** {1 Snapshot-side variants}
+
+    Audit/test-path equivalents over {!Mem.snapshot_cells} arrays, used
+    by {!Config_set}'s canonical Exact mode to audit the fingerprint
+    quotient: same digests and weights as the live versions. *)
+
+val cells_fingerprint_shared : n:int -> (Loc.t * Value.t) array -> int * int
+val cells_orbit_size_shared : n:int -> (Loc.t * Value.t) array -> int
+
+val related_shared :
+  n:int -> (Loc.t * Value.t) array -> (Loc.t * Value.t) array -> bool
+(** [related_shared ~n ca cb] — is some π ∈ S_N's action on [ca]'s
+    shared cells memory-equivalent to [cb]?  Decided exactly, by trying
+    all [n!] permutations — audit/test path only.  Two snapshots with
+    equal {!cells_fingerprint_shared} that are {e not} related witness a
+    canonicalisation collision (the quotient test's failure event). *)

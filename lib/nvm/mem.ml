@@ -282,6 +282,10 @@ let snapshot mem =
     s_max_bits = Array.sub mem.max_bits 0 mem.len;
   }
 
+let snapshot_cells snap =
+  Array.init (Array.length snap.s_cells) (fun i ->
+      (snap.s_locs.(i), snap.s_cells.(i).Value.node))
+
 let restore mem snap =
   if Array.length snap.s_cells <> mem.len then
     invalid_arg "Mem.restore: snapshot from a different allocation state";

@@ -101,6 +101,12 @@ val restore : t -> snapshot -> unit
 (** Restore cell contents and high-water marks to the snapshotted state.
     Raises [Invalid_argument] if the allocation state differs. *)
 
+val snapshot_cells : snapshot -> (Loc.t * Value.t) array
+(** The snapshotted cells as [(location, contents)] pairs in allocation
+    order — the representation {!Modelcheck.Sym}'s snapshot-side
+    canonicalisation and relatedness checks work over.  Allocates a
+    fresh array; audit/test paths only. *)
+
 val equal_shared : snapshot -> snapshot -> bool
 (** The paper's memory-equivalence: two configurations are
     memory-equivalent when every {e shared} variable has the same value in

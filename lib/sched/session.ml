@@ -58,6 +58,13 @@ type pstate = {
          exchanged with the machine, with crash markers folded in.
          Programs are deterministic, so this pins down the fiber's
          continuation state exactly — see [state_digest]. *)
+  mutable stamp : int;
+      (* mutation stamp: refreshed from the session's never-reused
+         counter whenever this process's driver state changes (own
+         step, crash), and restored exactly by rewind.  Equal stamps
+         therefore guarantee identical process state, which lets the
+         explorer cache per-process digests across DFS nodes instead of
+         re-walking the incarnation logs at every node. *)
   (* undo mode only: *)
   mutable l_runnable : bool;  (* logical fiber status, valid even when *)
   mutable l_done : bool;  (* the physical fiber has been discarded *)
@@ -81,12 +88,69 @@ type t = {
   mutable anomalies : string list;
   mutable hist_sig : int;  (* rolling digest of [events], oldest first *)
   mutable ghost : ghost option;  (* Some iff a ghost replay is running *)
+  (* Symmetry-canonical event digest (see [sym_note]): *)
+  mutable sym_base : int;  (* n_events at creation end; max_int until then *)
+  mutable sym_sig : int;  (* rolling digest of post-creation events, relabeled *)
+  mutable sym_seen : int;  (* pids holding a first-occurrence rank *)
+  sym_rank_of : int array;  (* pid -> first-occurrence rank, -1 unseen *)
+  mutable stamp_next : int;
+      (* source for [pstate.stamp]: strictly increasing, NEVER rewound
+         (a recycled stamp could alias two different process states in
+         a cache keyed on stamps) *)
 }
+
+(* Relabeled digest of the post-creation event stream, for the model
+   checker's symmetry-canonical memo key ([`Dpor_sym_memo]).  Process
+   ids are replaced by their post-creation first-occurrence rank — two
+   executions that are images of each other under a pid permutation
+   assign these ranks identically, position by position, so the digest
+   is constant on permutation orbits.  Creation-drawn uids (uid < N;
+   the creation prefix announces one op per process in pid order, so
+   such a uid equals its owner's pid) are relabeled through the same
+   ranks; later uids are drawn in event order, hence already
+   position-invariant across related executions, and fold raw.  Event
+   payloads (ops, response values) fold raw too: under an id-symmetric
+   layout a payload could in principle embed a pid-indexed vector,
+   which would only make the digest finer than the orbit relation —
+   a missed dedup for the memo table, never a false merge.  The
+   creation prefix itself (indices < [sym_base]) is excluded: it is
+   bytewise identical across everything one exploration compares. *)
+let sym_note s e =
+  let n = Array.length s.procs in
+  let rank pid =
+    let r = s.sym_rank_of.(pid) in
+    if r >= 0 then r
+    else begin
+      let r = s.sym_seen in
+      s.sym_rank_of.(pid) <- r;
+      s.sym_seen <- r + 1;
+      r
+    end
+  in
+  let uidc uid = if uid < n then rank uid else uid in
+  let h =
+    match e with
+    | Event.Inv { pid; uid; op } ->
+        let r = rank pid in
+        Value.mix 0x1e1 (Value.mix r (Value.mix (uidc uid) (Hashtbl.hash op)))
+    | Event.Ret { pid; uid; v } ->
+        let r = rank pid in
+        Value.mix 0x1e2 (Value.mix r (Value.mix (uidc uid) (Value.hash v)))
+    | Event.Crash -> 0x1e3
+    | Event.Rec_ret { pid; uid; v } ->
+        let r = rank pid in
+        Value.mix 0x1e4 (Value.mix r (Value.mix (uidc uid) (Value.hash v)))
+    | Event.Rec_fail { pid; uid } ->
+        let r = rank pid in
+        Value.mix 0x1e5 (Value.mix r (uidc uid))
+  in
+  s.sym_sig <- Value.mix s.sym_sig h
 
 let emit s e =
   match s.ghost with
   | Some _ -> ()  (* already recorded when it happened for real *)
   | None ->
+      if s.n_events >= s.sym_base then sym_note s e;
       s.events <- e :: s.events;
       s.n_events <- s.n_events + 1;
       s.hist_sig <- Value.mix s.hist_sig (Hashtbl.hash e)
@@ -323,6 +387,7 @@ let create ?(policy = Retry) ?(undo = false) ?scratch machine inst ~workloads =
               in_recovery = false;
               rec_started = false;
               step_sig = Value.mix 0 pid;
+              stamp = pid;
               l_runnable = false;
               l_done = false;
               stale = false;
@@ -339,6 +404,11 @@ let create ?(policy = Retry) ?(undo = false) ?scratch machine inst ~workloads =
       anomalies = [];
       hist_sig = 0;
       ghost = None;
+      sym_base = max_int;
+      sym_sig = 0;
+      sym_seen = 0;
+      sym_rank_of = Array.make (Array.length workloads) (-1);
+      stamp_next = Array.length workloads;
     }
   in
   Array.iter
@@ -347,6 +417,8 @@ let create ?(policy = Retry) ?(undo = false) ?scratch machine inst ~workloads =
       ps.fiber <- Some (Fiber.start (client_prog s ps));
       sync_logical ps)
     s.procs;
+  (* the creation prefix is over: later events feed the sym digest *)
+  s.sym_base <- s.n_events;
   s
 
 (* One predicate, three consumers ([runnable], [runnable_into],
@@ -439,8 +511,13 @@ let rebuild s ps =
       match Fiber.status f with Fiber.Pending _ -> () | _ -> desync "status")
   | _ -> desync "status"
 
+let bump_stamp s ps =
+  ps.stamp <- s.stamp_next;
+  s.stamp_next <- s.stamp_next + 1
+
 let do_step s ps f req =
   let v = Machine.apply s.machine req in
+  bump_stamp s ps;
   ps.step_sig <-
     Value.mix ps.step_sig
       (Value.mix (Hashtbl.hash req) (Value.hash_seeded 11 v));
@@ -494,6 +571,7 @@ let crash_wipe s wipe =
       (match ps.fiber with Some f -> Fiber.kill f | None -> ());
       ps.fiber <- None;
       ps.stale <- false;
+      bump_stamp s ps;
       (* crash marker: restart_prog's behavior depends on everything
          step_sig already covers, so keep rolling across the restart *)
       ps.step_sig <- Value.mix ps.step_sig 0xC0FFEE)
@@ -555,6 +633,7 @@ type pmark = {
   pm_in_recovery : bool;
   pm_rec_started : bool;
   pm_step_sig : int;
+  pm_stamp : int;
   pm_runnable : bool;
   pm_done : bool;
   pm_incs : incarnation list;
@@ -570,8 +649,24 @@ type mark = {
   mk_uid : int;
   mk_steps : int;
   mk_crashes : int;
+  mk_sym_sig : int;
+  mk_sym_seen : int;
   mk_procs : pmark array;
 }
+
+(* First-occurrence ranks are assigned monotonically ([sym_seen] only
+   grows, each pid's rank is written once), so restoring them needs no
+   copy of the array: every rank >= the checkpointed [sym_seen] was
+   assigned after the mark and is simply cleared. *)
+let rewind_sym s ~sym_sig ~sym_seen =
+  s.sym_sig <- sym_sig;
+  if s.sym_seen <> sym_seen then begin
+    let r = s.sym_rank_of in
+    for p = 0 to Array.length r - 1 do
+      if r.(p) >= sym_seen then r.(p) <- -1
+    done;
+    s.sym_seen <- sym_seen
+  end
 
 let mark s =
   if not s.undo then invalid_arg "Session.mark: session is not in undo mode";
@@ -584,6 +679,8 @@ let mark s =
     mk_uid = s.uid;
     mk_steps = s.steps;
     mk_crashes = s.crashes;
+    mk_sym_sig = s.sym_sig;
+    mk_sym_seen = s.sym_seen;
     mk_procs =
       Array.map
         (fun ps ->
@@ -594,6 +691,7 @@ let mark s =
             pm_in_recovery = ps.in_recovery;
             pm_rec_started = ps.rec_started;
             pm_step_sig = ps.step_sig;
+            pm_stamp = ps.stamp;
             pm_runnable = ps.l_runnable;
             pm_done = ps.l_done;
             pm_incs = ps.incs;
@@ -613,6 +711,7 @@ let rewind s m =
   s.uid <- m.mk_uid;
   s.steps <- m.mk_steps;
   s.crashes <- m.mk_crashes;
+  rewind_sym s ~sym_sig:m.mk_sym_sig ~sym_seen:m.mk_sym_seen;
   Array.iteri
     (fun i pm ->
       let ps = s.procs.(i) in
@@ -635,6 +734,7 @@ let rewind s m =
       ps.in_recovery <- pm.pm_in_recovery;
       ps.rec_started <- pm.pm_rec_started;
       ps.step_sig <- pm.pm_step_sig;
+      ps.stamp <- pm.pm_stamp;
       ps.l_runnable <- pm.pm_runnable;
       ps.l_done <- pm.pm_done;
       if not same_pos then begin
@@ -667,6 +767,7 @@ type pmark_buf = {
   mutable pb_in_recovery : bool;
   mutable pb_rec_started : bool;
   mutable pb_step_sig : int;
+  mutable pb_stamp : int;
   mutable pb_runnable : bool;
   mutable pb_done : bool;
   mutable pb_incs : incarnation list;
@@ -685,6 +786,8 @@ type mark_buf = {
   mutable mb_uid : int;
   mutable mb_steps : int;
   mutable mb_crashes : int;
+  mutable mb_sym_sig : int;
+  mutable mb_sym_seen : int;
   mb_procs : pmark_buf array;
 }
 
@@ -701,6 +804,8 @@ let make_mark_buf s =
     mb_uid = 0;
     mb_steps = 0;
     mb_crashes = 0;
+    mb_sym_sig = 0;
+    mb_sym_seen = 0;
     mb_procs =
       Array.map
         (fun _ ->
@@ -711,6 +816,7 @@ let make_mark_buf s =
             pb_in_recovery = false;
             pb_rec_started = false;
             pb_step_sig = 0;
+            pb_stamp = 0;
             pb_runnable = false;
             pb_done = false;
             pb_incs = [];
@@ -734,6 +840,8 @@ let mark_into s mb =
   mb.mb_uid <- s.uid;
   mb.mb_steps <- s.steps;
   mb.mb_crashes <- s.crashes;
+  mb.mb_sym_sig <- s.sym_sig;
+  mb.mb_sym_seen <- s.sym_seen;
   Array.iteri
     (fun i ps ->
       let pb = mb.mb_procs.(i) in
@@ -743,6 +851,7 @@ let mark_into s mb =
       pb.pb_in_recovery <- ps.in_recovery;
       pb.pb_rec_started <- ps.rec_started;
       pb.pb_step_sig <- ps.step_sig;
+      pb.pb_stamp <- ps.stamp;
       pb.pb_runnable <- ps.l_runnable;
       pb.pb_done <- ps.l_done;
       pb.pb_incs <- ps.incs;
@@ -761,6 +870,7 @@ let rewind_buf s mb =
   s.uid <- mb.mb_uid;
   s.steps <- mb.mb_steps;
   s.crashes <- mb.mb_crashes;
+  rewind_sym s ~sym_sig:mb.mb_sym_sig ~sym_seen:mb.mb_sym_seen;
   Array.iteri
     (fun i pb ->
       let ps = s.procs.(i) in
@@ -777,6 +887,7 @@ let rewind_buf s mb =
       ps.in_recovery <- pb.pb_in_recovery;
       ps.rec_started <- pb.pb_rec_started;
       ps.step_sig <- pb.pb_step_sig;
+      ps.stamp <- pb.pb_stamp;
       ps.l_runnable <- pb.pb_runnable;
       ps.l_done <- pb.pb_done;
       if not same_pos then begin
@@ -836,4 +947,77 @@ let state_digest s =
       acc := Value.mix !acc status_h;
       acc := Value.mix !acc (Value.mix (List.length ps.todo) flags))
     s.procs;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry-canonical digest ingredients (Modelcheck.Explore's
+   [`Dpor_sym_memo] memo key).  [sym_events_sig] is the rolling
+   relabeled digest maintained by [sym_note]; [sym_rank] exposes the
+   first-occurrence ranks so the caller can build its canonical process
+   order without walking the event list. *)
+
+let uids s = s.uid
+let sym_events_sig s = s.sym_sig
+let sym_ranked s = s.sym_seen
+
+let sym_rank s pid =
+  if pid < 0 || pid >= Array.length s.procs then
+    invalid_arg "Session.sym_rank: no such process";
+  s.sym_rank_of.(pid)
+
+let mut_stamp s pid =
+  if pid < 0 || pid >= Array.length s.procs then
+    invalid_arg "Session.mut_stamp: no such process";
+  s.procs.(pid).stamp
+
+let proc_sym_sig s pid ~hash_value ~hash_uid =
+  if not s.undo then
+    invalid_arg "Session.proc_sym_sig: session is not in undo mode";
+  if pid < 0 || pid >= Array.length s.procs then
+    invalid_arg "Session.proc_sym_sig: no such process";
+  let ps = s.procs.(pid) in
+  let acc = ref 0 in
+  let fold_status st =
+    match st with
+    | Idle -> 1
+    | Announced (uid, op) ->
+        Value.mix (Value.mix 2 (hash_uid uid)) (Hashtbl.hash op)
+    | Completed (uid, op, v) ->
+        Value.mix
+          (Value.mix (Value.mix 3 (hash_uid uid)) (Hashtbl.hash op))
+          (hash_value v)
+  in
+  let fold_ops ops =
+    acc := Value.mix !acc (List.length ops);
+    List.iter (fun op -> acc := Value.mix !acc (Hashtbl.hash op)) ops
+  in
+  let fold_inc inc =
+    acc := Value.mix !acc (if inc.restart then 0x21 else 0x22);
+    fold_ops inc.i_todo;
+    acc := Value.mix !acc (fold_status inc.i_status);
+    acc := Value.mix !acc (if inc.i_rec_started then 1 else 0);
+    for i = 0 to inc.log_len - 1 do
+      match inc.log.(i) with
+      | E_resp v -> acc := Value.mix !acc (Value.mix 0x31 (hash_value v))
+      | E_uid u -> acc := Value.mix !acc (Value.mix 0x32 (hash_uid u))
+      | E_pending p -> acc := Value.mix !acc (Value.mix 0x33 (Hashtbl.hash p))
+    done
+  in
+  (* incs head = current incarnation; fold oldest first *)
+  let rec go = function
+    | [] -> ()
+    | inc :: tl ->
+        go tl;
+        fold_inc inc
+  in
+  go ps.incs;
+  acc := Value.mix !acc (fold_status ps.status);
+  let flags =
+    (if ps.in_recovery then 1 else 0)
+    lor (if ps.rec_started then 2 else 0)
+    lor (if ps.l_runnable then 4 else 0)
+    lor if ps.l_done then 8 else 0
+  in
+  fold_ops ps.todo;
+  acc := Value.mix !acc (Value.mix ps.cur_steps flags);
   !acc

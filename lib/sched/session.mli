@@ -167,6 +167,59 @@ val mark_into : t -> mark_buf -> unit
 val rewind_buf : t -> mark_buf -> unit
 (** {!rewind} from the buffer's contents. *)
 
+(** {1 Symmetry-canonical digest ingredients}
+
+    Support for the model checker's [`Dpor_sym_memo] reduction, which
+    keys its memo table on a digest constant on process-permutation
+    orbits.  The session maintains, incrementally and O(1) per event, a
+    {e relabeled} digest of the post-creation event stream: process ids
+    are replaced by their post-creation first-occurrence rank, a
+    labelling that two executions related by a pid permutation assign
+    identically position by position.  Creation-drawn uids relabel
+    through the same ranks; later uids are drawn in event order and so
+    are already position-invariant.  {!mark}/{!rewind} (and the buffer
+    forms) checkpoint and restore all of it. *)
+
+val uids : t -> int
+(** Operation uids drawn so far (O(1); rewinds restore it). *)
+
+val sym_events_sig : t -> int
+(** The rolling relabeled digest of post-creation events.  The creation
+    prefix is excluded: it is bytewise identical across every
+    configuration one exploration compares. *)
+
+val sym_rank : t -> int -> int
+(** [sym_rank s pid] — [pid]'s post-creation first-occurrence rank, or
+    [-1] if it has emitted no post-creation event yet. *)
+
+val sym_ranked : t -> int
+(** How many processes hold a first-occurrence rank. *)
+
+val mut_stamp : t -> int -> int
+(** [mut_stamp s pid] — [pid]'s mutation stamp.  Stamps are drawn from a
+    strictly increasing per-session counter that is {e never} rewound:
+    a process's stamp is refreshed whenever its logical state can have
+    changed (its own step, any crash) and restored exactly by
+    {!rewind}/{!rewind_buf}, so within one session two observations of
+    an equal stamp for [pid] guarantee [pid]'s future-relevant state
+    (everything {!proc_sym_sig} digests) is identical.  Distinct
+    sessions share no counter — stamp-keyed caches must be per-session.
+    Intended for memoising per-process digests across DFS siblings. *)
+
+val proc_sym_sig :
+  t -> int -> hash_value:(Value.t -> int) -> hash_uid:(int -> int) -> int
+(** Relabelable digest of one process's future-relevant state: its
+    incarnation boundaries, logged external inputs (step responses, uid
+    draws, pending queries — the ghost-replay stream, which pins the
+    fiber continuation exactly), driver status, remaining workload and
+    step counter, with embedded response values hashed through
+    [hash_value] and operation uids through [hash_uid].  Folding these
+    per-process digests in a canonical process order — with
+    [hash_value]/[hash_uid] relabeling pid-indexed data by the same
+    order — yields a digest constant on permutation orbits.  Undo mode
+    only (the logs are the undo engine's replay inputs); O(entries
+    logged by [pid]). *)
+
 val state_digest : t -> int
 (** O(N) rolling digest of everything about the session that can affect
     its future behavior {e other than} memory contents: each process's

@@ -38,7 +38,8 @@ let fig2_workload =
     [ Spec.write_op (i 1) ]; [ Spec.read_op; Spec.write_op (i 0); Spec.read_op ];
   |]
 
-let reductions : Modelcheck.Explore.reduction list = [ `None; `Dpor; `Dpor_sym ]
+let reductions : Modelcheck.Explore.reduction list =
+  [ `None; `Dpor; `Dpor_sym; `Dpor_sym_memo ]
 
 let explore_with ?(switches = 2) ?(crashes = 1) ~mk ~workloads red =
   Modelcheck.Explore.explore ~mk ~workloads
@@ -142,7 +143,7 @@ let test_shrink_witness_invariant () =
           ~reduction:red v.Modelcheck.Explore.decisions
       in
       match List.map minimise reductions with
-      | [ Some a; Some b; Some c ] ->
+      | [ Some a; Some b; Some c; Some d ] ->
           let sig_of (r : Modelcheck.Shrink.result) =
             ( List.map
                 (Format.asprintf "%a" Modelcheck.Explore.pp_decision)
@@ -151,7 +152,9 @@ let test_shrink_witness_invariant () =
               r.Modelcheck.Shrink.attempts )
           in
           Alcotest.(check bool) "none = dpor" true (sig_of a = sig_of b);
-          Alcotest.(check bool) "dpor = dpor+sym" true (sig_of b = sig_of c)
+          Alcotest.(check bool) "dpor = dpor+sym" true (sig_of b = sig_of c);
+          Alcotest.(check bool) "dpor+sym = dpor+sym-memo" true
+            (sig_of c = sig_of d)
       | _ -> Alcotest.fail "witness did not reproduce under some reduction")
 
 (* --- the symmetry quotient ----------------------------------------- *)
@@ -314,6 +317,150 @@ let test_lowerbound_growth_small () =
         false out.Modelcheck.Explore.capped)
     [ 2; 3; 4 ]
 
+(* --- symmetry-canonical memoisation -------------------------------- *)
+
+let uniform_cas n = Array.make n [ Spec.cas_op (i 0) (i 1); Spec.cas_op (i 1) (i 2) ]
+
+let explore_full ?(switches = 2) ?(crashes = 0) ?(exact = false) ?(domains = 1)
+    ~mk ~workloads red =
+  Modelcheck.Explore.explore ~mk ~workloads
+    {
+      Modelcheck.Explore.default_config with
+      switch_budget = switches;
+      crash_budget = crashes;
+      reduction = red;
+      exact_configs = exact;
+      domains;
+    }
+
+let test_memo_weighted_count_matches_unreduced () =
+  (* orbit-size-weighted canonical counting reconstructs exactly the
+     unreduced search's configuration count: the budget-limited reachable
+     set is closed under process permutation (uniform workloads,
+     id-symmetric object, equivariant switch accounting), so summing
+     orbit sizes over visited orbit representatives recovers its full
+     cardinality *)
+  let mk () = Test_support.mk_dcas ~n:3 () in
+  let workloads = uniform_cas 3 in
+  let none = explore_full ~mk ~workloads `None in
+  let memo = explore_full ~mk ~workloads `Dpor_sym_memo in
+  Alcotest.(check int) "weighted configs = unreduced configs"
+    none.Modelcheck.Explore.distinct_shared_configs
+    memo.Modelcheck.Explore.distinct_shared_configs;
+  let orbits =
+    memo.Modelcheck.Explore.metrics.Modelcheck.Explore.canonical_orbits
+  in
+  Alcotest.(check bool) "orbits counted" true (orbits > 0);
+  Alcotest.(check bool) "orbits compress the count" true
+    (orbits < memo.Modelcheck.Explore.distinct_shared_configs);
+  Alcotest.(check int) "verdict parity"
+    none.Modelcheck.Explore.total_violations
+    memo.Modelcheck.Explore.total_violations;
+  Alcotest.(check string) "metrics label" "dpor+sym-memo"
+    memo.Modelcheck.Explore.metrics.Modelcheck.Explore.reduction
+
+let prop_canonical_quotient_sound =
+  (* the soundness audit for canonical fingerprints as quotient keys:
+     under [exact_configs] a canonical set buckets full snapshots by
+     canonical fingerprint and checks π-relatedness
+     ({!Sym.related_shared}) inside each bucket, counting any
+     equal-fingerprint-but-unrelated pair as a collision.  Zero
+     collisions over randomised uniform workloads is exactly the
+     property that makes orbit-weighted counting a lower bound. *)
+  QCheck.Test.make ~name:"canonical fingerprint is a sound quotient key"
+    ~count:6 QCheck.small_nat (fun seed ->
+      let shared =
+        match
+          Array.to_list
+            (Workload.cas
+               (Dtc_util.Prng.create (seed + 1))
+               ~procs:1 ~ops_per_proc:3 ~values:3)
+        with
+        | [ ops ] -> ops
+        | _ -> assert false
+      in
+      let out =
+        explore_full
+          ~mk:(fun () -> Test_support.mk_dcas ~n:3 ())
+          ~workloads:(Array.make 3 shared) ~exact:true `Dpor_sym_memo
+      in
+      out.Modelcheck.Explore.metrics.Modelcheck.Explore.fingerprint_collisions
+      = 0)
+
+let test_memo_degrades_on_nonuniform_workloads () =
+  (* non-uniform workloads break the relabeling argument, so the mode
+     must degrade to exactly [`Dpor_sym]: same nodes, executions and raw
+     (unweighted) configuration count, no orbit accounting *)
+  let mk () = Test_support.mk_dcas ~n:2 () in
+  let workloads =
+    [| [ Spec.cas_op (i 0) (i 1) ]; [ Spec.cas_op (i 1) (i 2) ] |]
+  in
+  let sym = explore_full ~mk ~workloads `Dpor_sym in
+  let memo = explore_full ~mk ~workloads `Dpor_sym_memo in
+  Alcotest.(check int) "nodes equal" sym.Modelcheck.Explore.nodes
+    memo.Modelcheck.Explore.nodes;
+  Alcotest.(check int) "executions equal" sym.Modelcheck.Explore.executions
+    memo.Modelcheck.Explore.executions;
+  Alcotest.(check int) "configs equal (raw, unweighted)"
+    sym.Modelcheck.Explore.distinct_shared_configs
+    memo.Modelcheck.Explore.distinct_shared_configs;
+  Alcotest.(check int) "no orbit accounting" 0
+    memo.Modelcheck.Explore.metrics.Modelcheck.Explore.canonical_orbits
+
+let test_memo_parity_under_crashes () =
+  (* crashed paths fall back to raw memo keys; the two key families
+     share the table without perturbing the verdict *)
+  let mk () = Test_support.mk_dcas ~n:2 () in
+  let workloads = uniform_cas 2 in
+  let none = explore_full ~mk ~workloads ~crashes:1 `None in
+  let memo = explore_full ~mk ~workloads ~crashes:1 `Dpor_sym_memo in
+  Alcotest.(check int) "verdict parity under crashes"
+    none.Modelcheck.Explore.total_violations
+    memo.Modelcheck.Explore.total_violations
+
+let test_source_skips_fire () =
+  (* the source-set rule needs a process whose pending request is local
+     (dcas's private announcement writes) and no remaining crash budget *)
+  let out =
+    explore_full
+      ~mk:(fun () -> Test_support.mk_dcas ~n:3 ())
+      ~workloads:(uniform_cas 3) `Dpor
+  in
+  Alcotest.(check bool) "source-set pruning happened" true
+    (out.Modelcheck.Explore.metrics.Modelcheck.Explore.source_skips > 0);
+  Alcotest.(check bool) "source pruning cut executions" true
+    (out.Modelcheck.Explore.executions
+    <= (explore_full
+          ~mk:(fun () -> Test_support.mk_dcas ~n:3 ())
+          ~workloads:(uniform_cas 3) `None)
+         .Modelcheck.Explore.executions)
+
+let test_parallel_root_reduction_parity () =
+  (* the parallel explorers now apply sleep/symmetry reduction at the
+     root frontier too: totals must match the sequential search and the
+     root-level symmetry skips must actually fire *)
+  let mk () = Test_support.mk_dcas ~n:3 () in
+  let workloads = uniform_cas 3 in
+  List.iter
+    (fun red ->
+      let seq = explore_full ~mk ~workloads red in
+      let par = explore_full ~mk ~workloads ~domains:2 red in
+      let name what =
+        Printf.sprintf "%s: parallel %s = sequential"
+          (Modelcheck.Explore.reduction_name red)
+          what
+      in
+      Alcotest.(check int) (name "violations")
+        seq.Modelcheck.Explore.total_violations
+        par.Modelcheck.Explore.total_violations;
+      Alcotest.(check int) (name "configs")
+        seq.Modelcheck.Explore.distinct_shared_configs
+        par.Modelcheck.Explore.distinct_shared_configs;
+      if red = `Dpor_sym then
+        Alcotest.(check bool) "root symmetry skips fire in parallel" true
+          (par.Modelcheck.Explore.metrics.Modelcheck.Explore.sym_skips > 0))
+    [ `Dpor; `Dpor_sym ]
+
 let suites =
   [
     ( "reduction",
@@ -342,5 +489,18 @@ let suites =
           test_sym_prunes_symmetric_workloads;
         Alcotest.test_case "inert on id-asymmetric objects" `Quick
           test_sym_inert_on_asymmetric_object;
+      ] );
+    ( "sym-memo",
+      [
+        Alcotest.test_case "weighted count matches unreduced" `Quick
+          test_memo_weighted_count_matches_unreduced;
+        QCheck_alcotest.to_alcotest prop_canonical_quotient_sound;
+        Alcotest.test_case "degrades on non-uniform workloads" `Quick
+          test_memo_degrades_on_nonuniform_workloads;
+        Alcotest.test_case "verdict parity under crashes" `Quick
+          test_memo_parity_under_crashes;
+        Alcotest.test_case "source skips fire" `Quick test_source_skips_fire;
+        Alcotest.test_case "parallel root reduction parity" `Quick
+          test_parallel_root_reduction_parity;
       ] );
   ]
