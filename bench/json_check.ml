@@ -11,10 +11,17 @@
    - "detectable-torture/v2"        — one torture run report: v1 plus
      the fault-model and watchdog config, the budget_exhausted /
      engine_faults verdict counters and the first_engine_fault record;
-   - "detectable-torture/v3"        — one torture run report, as written
-     by `detect_cli torture --json/--report`: v2 plus the per-campaign
-     allocation profile ("timing.alloc": minor/promoted words, minor
-     collections, bytes_per_trial);
+   - "detectable-torture/v3"        — one torture run report from the
+     pre-supervisor engine: v2 plus the per-campaign allocation profile
+     ("timing.alloc": minor/promoted words, minor collections,
+     bytes_per_trial);
+   - "detectable-torture/v4"        — one torture run report, as written
+     by `detect_cli torture/campaign --json/--report`: v3 plus the
+     "timing.supervision" block (worker spawn/death/hang, rescue,
+     retry, degradation and in-process-fallback counters, and the
+     chaos-injection parameters) — all-zero for a plain single-process
+     torture run, and checkable with --chaos-active (see below) for a
+     run that must demonstrably have exercised the supervisor;
    - "detectable-bench/torture-v1"  — a torture bench baseline
      (`bench/main.exe --baseline`), i.e. header + one embedded torture
      report per campaign (any report version, detected per report);
@@ -58,6 +65,13 @@
      at least one of them must miss — the committed
      BENCH_lowerbound.json.
 
+   With --chaos-active (valid only for detectable-torture/v4 files) the
+   validator additionally requires the supervision counters to show a
+   non-trivial supervision history — rescues, retries and degradations
+   all strictly positive — which is how the bench chaos gate proves the
+   byte-identity comparison actually covered the failure paths rather
+   than a campaign where no worker ever died.
+
    Keeping every producer behind this one validator is what lets future
    PRs treat the JSON artefacts as a stable machine-readable surface. *)
 
@@ -89,13 +103,24 @@ let check_dist what d =
 
 (* one torture report; [v] selects the report version (2 adds the
    fault-model config, the extra verdict counters and
-   first_engine_fault; 3 adds the timing.alloc block); [top] says
-   whether the "schema" and "timing" markers are required (they are
-   omitted for reports embedded in a baseline file, whose timing lives
-   in "perf") *)
+   first_engine_fault; 3 adds the timing.alloc block; 4 adds
+   timing.supervision); [top] says whether the "schema" and "timing"
+   markers are required (they are omitted for reports embedded in a
+   baseline file, whose timing lives in "perf") *)
 let check_alloc what a =
   require_keys what a
     [ "minor_words"; "promoted_words"; "minor_collections" ]
+
+let supervision_counter_keys =
+  [
+    "workers_spawned"; "worker_deaths"; "worker_hangs"; "rescues"; "retries";
+    "degradations"; "inproc_trials";
+  ]
+
+let check_supervision s =
+  require_keys "timing supervision" s (supervision_counter_keys @ [ "chaos" ]);
+  require_keys "supervision chaos" (member "chaos" s)
+    [ "kill"; "hang"; "seed" ]
 
 let check_torture_report ?(top = true) ~v j =
   require_keys "torture report" j
@@ -129,7 +154,10 @@ let check_torture_report ?(top = true) ~v j =
      match member "first_engine_fault" j with
      | Null -> ()
      | f -> require_keys "first_engine_fault" f [ "trial"; "seed"; "msg" ]);
-  if top then begin
+  (* v4 reports written with --no-timing drop the whole timing block —
+     that is what makes them byte-comparable across torture / campaign /
+     chaos / resume runs — so for v4 its absence is legal *)
+  if top && (v < 4 || mem "timing" j) then begin
     let timing = member "timing" j in
     require_keys "torture timing" timing
       ([ "elapsed_s"; "trials_per_sec"; "domains" ]
@@ -139,8 +167,35 @@ let check_torture_report ?(top = true) ~v j =
       let a = member "alloc" timing in
       check_alloc "torture timing alloc" a;
       require_keys "torture timing alloc" a [ "bytes_per_trial" ]
+    end;
+    if v >= 4 then begin
+      require_keys "torture timing" timing [ "supervision" ];
+      check_supervision (member "supervision" timing)
     end
   end
+
+(* --chaos-active: the report must record a supervision history where
+   workers actually died and the supervisor actually rescued, retried
+   and degraded — the teeth of the bench chaos gate *)
+let check_chaos_active j =
+  if not (mem "timing" j) then
+    fail
+      "json_check: --chaos-active needs the timing.supervision block, but \
+       this report was written with --no-timing";
+  let s = member "supervision" (member "timing" j) in
+  List.iter
+    (fun k ->
+      if get_int (member k s) < 0 then
+        fail "json_check: supervision counter %S is negative" k)
+    supervision_counter_keys;
+  List.iter
+    (fun k ->
+      if get_int (member k s) = 0 then
+        fail
+          "json_check: --chaos-active but supervision counter %S is 0 — the \
+           chaos run never exercised that failure path"
+          k)
+    [ "rescues"; "retries"; "degradations" ]
 
 (* embedded baseline reports carry no "schema" key; sniff the version
    from the config block *)
@@ -440,14 +495,26 @@ let check_lincheck_baseline j =
         cases
 
 let () =
-  let path =
-    if Array.length Sys.argv = 2 then Sys.argv.(1)
-    else fail "usage: json_check FILE"
+  let chaos_active, path =
+    match Array.to_list Sys.argv with
+    | [ _; p ] -> (false, p)
+    | [ _; "--chaos-active"; p ] | [ _; p; "--chaos-active" ] -> (true, p)
+    | _ -> fail "usage: json_check [--chaos-active] FILE"
   in
   match of_file path with
   | exception Error m -> fail "json_check: %s: %s" path m
   | j -> (
-      match get_str (member "schema" j) with
+      let schema =
+        match get_str (member "schema" j) with
+        | s -> s
+        | exception Error m -> fail "json_check: %s: %s" path m
+      in
+      if chaos_active && schema <> "detectable-torture/v4" then
+        fail
+          "json_check: --chaos-active only applies to detectable-torture/v4 \
+           reports, not %S"
+          schema;
+      match schema with
       | "detectable-bench/checker-v1" ->
           check_checker j;
           print_endline "bench --json output: valid"
@@ -460,6 +527,12 @@ let () =
       | "detectable-torture/v3" ->
           check_torture_report ~v:3 j;
           print_endline "torture report: valid"
+      | "detectable-torture/v4" ->
+          check_torture_report ~v:4 j;
+          if chaos_active then check_chaos_active j;
+          print_endline
+            (if chaos_active then "torture report: valid, chaos active"
+             else "torture report: valid")
       | "detectable-bench/torture-v1" ->
           check_torture_baseline ~v:1 j;
           print_endline "torture baseline: valid"

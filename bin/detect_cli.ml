@@ -224,7 +224,7 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Run paper experiments (tables to stdout).")
     Term.(ret (const run $ ids))
 
-(* torture *)
+(* torture / campaign: shared options and helpers *)
 
 let fault_conv =
   let parse s =
@@ -235,20 +235,167 @@ let fault_conv =
   let print ppf f = Format.pp_print_string ppf (Fault_model.to_string f) in
   Arg.conv ~docv:"FAULT" (parse, print)
 
+let kind_name kind =
+  List.assoc kind (List.map (fun (k, v) -> (v, k)) obj_choices)
+
+let torture_spec_of ~kind ~procs ~ops ~policy ~crash_prob ~max_crashes
+    ~lin_engine ~fault ~watchdog =
+  let model, persist =
+    match (fault : Fault_model.t) with
+    | Fault_model.Atomic -> (Machine.Private_cache, false)
+    | _ -> (Machine.Shared_cache, true)
+  in
+  Torture.default_spec_of ~label:(kind_name kind)
+    ~mk:(mk_of_kind ~model ~persist kind ~n:procs)
+    ~workloads_of_seed:(fun s -> workloads_of_kind kind ~seed:s ~procs ~ops)
+    ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ~lin_engine ~fault
+    ~watchdog ()
+
+(* SIGINT/SIGTERM flip an atomic stop flag the engines poll between
+   trials; the run then flushes its final checkpoint lines (including an
+   "interrupted" event) and exits with the distinct status below, so
+   shells and supervisors can tell "partial, resumable" from failure. *)
+let exit_interrupted = 20
+
+let interrupted_exit_info =
+  Cmd.Exit.info exit_interrupted
+    ~doc:
+      "on SIGINT/SIGTERM: the campaign stopped between trials, flushed its \
+       checkpoint journal (when $(b,--checkpoint) is set), and reported how \
+       many trials are journaled; finish it with $(b,--resume)."
+
+let install_stop_flag () =
+  let stop = Atomic.make false in
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm handle
+   with Invalid_argument _ | Sys_error _ -> ());
+  fun () -> Atomic.get stop
+
+let interrupted_exit ~completed ~total =
+  Printf.eprintf
+    "interrupted: %d/%d trials journaled; rerun with --resume to finish\n%!"
+    completed total;
+  exit exit_interrupted
+
+(* exact (round-trippable) command-line spellings for the worker argv:
+   Fault_model.to_string prints drop's keep probability with %.2f, which
+   would silently change the worker's fault stream, so floats travel as
+   %h hex literals (float_of_string restores the exact bits) *)
+let fault_exact_arg = function
+  | Fault_model.Atomic -> "atomic"
+  | Fault_model.Reorder -> "reorder"
+  | Fault_model.Drop { keep_prob } -> Printf.sprintf "drop:%h" keep_prob
+  | Fault_model.Torn { granularity } -> Printf.sprintf "torn:%d" granularity
+
+let trials_arg =
+  Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random runs.")
+
+let crash_prob_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "crash-prob" ] ~docv:"P" ~doc:"Per-step crash probability.")
+
+let max_crashes_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-crashes" ] ~docv:"C" ~doc:"Crash budget per trial.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt fault_conv Fault_model.default
+    & info [ "fault" ] ~docv:"FAULT"
+        ~doc:
+          "Crash fault model: $(b,atomic) (every dirty cache line \
+           persists — the historical semantics), $(b,drop) or \
+           $(b,drop:P) (each dirty line independently persists with \
+           probability P, default 0.5), $(b,torn) or $(b,torn:G) \
+           (dirty tuple values persist component-wise in chunks of G, \
+           default 1 — a torn multi-word write), $(b,reorder) \
+           (an adversarial prefix of a random persist order).  \
+           Non-atomic models run the object on a shared-cache machine \
+           with a persist instruction after every shared access.")
+
+let watchdog_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "watchdog" ] ~docv:"STEPS"
+        ~doc:
+          "Per-operation step budget: a single operation or recovery \
+           exceeding it turns the trial into a budget_exhausted verdict \
+           instead of spinning to the trial step limit.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal one JSONL line per completed trial to $(docv) \
+           (schema detectable-torture-checkpoint/v2), so an interrupted \
+           campaign can be resumed with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Load completed trials from the $(b,--checkpoint) journal and \
+           run only the missing ones; the merged report is \
+           byte-identical to an uninterrupted campaign's.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the merged run report as a detectable-torture/v4 JSON \
+           document instead of the text summary.")
+
+let no_timing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-timing" ]
+        ~doc:
+          "Omit the timing block (throughput, allocation, supervision) \
+           from the report, leaving exactly the deterministic fields — \
+           byte-identical across domain counts, worker schedules, chaos \
+           and resume splits.")
+
+let report_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Also write the JSON run report to $(docv) (independent of \
+           $(b,--json); always includes the timing block).")
+
+let no_shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:"Skip minimising the first failing trial's schedule.")
+
+let report_outputs ~json ~no_timing ~supervision ~report_file report =
+  let timing = not no_timing in
+  if json then print_string (Torture.to_json ~timing ~supervision report)
+  else Format.printf "%a" (Torture.pp_report ~timing ~supervision ()) report;
+  (match report_file with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Torture.to_json ~supervision report);
+      close_out oc;
+      if not json then Printf.printf "report written to %s\n" path
+  | None -> ());
+  if report.Torture.not_linearized > 0 then `Error (false, "violations found")
+  else if report.Torture.engine_faults > 0 then
+    `Error (false, "engine faults recorded (object code raised)")
+  else `Ok ()
+
+(* torture *)
+
 let torture_cmd =
-  let trials =
-    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random runs.")
-  in
-  let crash_prob =
-    Arg.(
-      value & opt float 0.05
-      & info [ "crash-prob" ] ~docv:"P" ~doc:"Per-step crash probability.")
-  in
-  let max_crashes =
-    Arg.(
-      value & opt int 3
-      & info [ "max-crashes" ] ~docv:"C" ~doc:"Crash budget per trial.")
-  in
   let domains =
     Arg.(
       value & opt int 1
@@ -258,112 +405,31 @@ let torture_cmd =
              The merged report is bit-identical for any value: trial i always \
              runs on the child seed stream derived from (seed, i).")
   in
-  let fault =
-    Arg.(
-      value
-      & opt fault_conv Fault_model.default
-      & info [ "fault" ] ~docv:"FAULT"
-          ~doc:
-            "Crash fault model: $(b,atomic) (every dirty cache line \
-             persists — the historical semantics), $(b,drop) or \
-             $(b,drop:P) (each dirty line independently persists with \
-             probability P, default 0.5), $(b,torn) or $(b,torn:G) \
-             (dirty tuple values persist component-wise in chunks of G, \
-             default 1 — a torn multi-word write), $(b,reorder) \
-             (an adversarial prefix of a random persist order).  \
-             Non-atomic models run the object on a shared-cache machine \
-             with a persist instruction after every shared access.")
-  in
-  let watchdog =
-    Arg.(
-      value & opt int 10_000
-      & info [ "watchdog" ] ~docv:"STEPS"
-          ~doc:
-            "Per-operation step budget: a single operation or recovery \
-             exceeding it turns the trial into a budget_exhausted verdict \
-             instead of spinning to the trial step limit.")
-  in
-  let checkpoint =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "checkpoint" ] ~docv:"FILE"
-          ~doc:
-            "Journal one JSONL line per completed trial to $(docv) \
-             (schema detectable-torture-checkpoint/v1), so an interrupted \
-             campaign can be resumed with $(b,--resume).")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:
-            "Load completed trials from the $(b,--checkpoint) journal and \
-             run only the missing ones; the merged report is \
-             byte-identical to an uninterrupted campaign's.")
-  in
-  let json =
-    Arg.(
-      value & flag
-      & info [ "json" ]
-          ~doc:
-            "Print the merged run report as a detectable-torture/v3 JSON \
-             document instead of the text summary.")
-  in
-  let report_file =
-    Arg.(
-      value & opt (some string) None
-      & info [ "report" ] ~docv:"FILE"
-          ~doc:
-            "Also write the JSON run report to $(docv) (independent of \
-             $(b,--json)).")
-  in
-  let no_shrink =
-    Arg.(
-      value & flag
-      & info [ "no-shrink" ]
-          ~doc:"Skip minimising the first failing trial's schedule.")
-  in
   let run kind procs ops trials crash_prob max_crashes policy lin_engine seed
-      domains fault watchdog checkpoint resume json report_file no_shrink gc =
+      domains fault watchdog checkpoint resume json no_timing report_file
+      no_shrink gc =
     if resume && checkpoint = None then
       `Error (false, "--resume requires --checkpoint FILE")
     else begin
-      let model, persist =
-        match (fault : Fault_model.t) with
-        | Fault_model.Atomic -> (Machine.Private_cache, false)
-        | _ -> (Machine.Shared_cache, true)
-      in
       let spec =
-        Torture.default_spec_of
-          ~label:(List.assoc kind (List.map (fun (k, v) -> (v, k)) obj_choices))
-          ~mk:(mk_of_kind ~model ~persist kind ~n:procs)
-          ~workloads_of_seed:(fun s -> workloads_of_kind kind ~seed:s ~procs ~ops)
-          ~policy ~crash_prob ~max_crashes ~max_steps:100_000 ~lin_engine ~fault
-          ~watchdog ()
+        torture_spec_of ~kind ~procs ~ops ~policy ~crash_prob ~max_crashes
+          ~lin_engine ~fault ~watchdog
       in
-      let report =
+      let should_stop = install_stop_flag () in
+      match
         Torture.run ~domains ~root_seed:seed ~trials ~shrink:(not no_shrink)
-          ?checkpoint ~resume ~gc spec
-      in
-      if json then print_string (Torture.to_json report)
-      else Format.printf "%a" Torture.pp report;
-      (match report_file with
-      | Some path ->
-          let oc = open_out path in
-          output_string oc (Torture.to_json report);
-          close_out oc;
-          if not json then Printf.printf "report written to %s\n" path
-      | None -> ());
-      if report.Torture.not_linearized > 0 then
-        `Error (false, "violations found")
-      else if report.Torture.engine_faults > 0 then
-        `Error (false, "engine faults recorded (object code raised)")
-      else `Ok ()
+          ?checkpoint ~resume ~gc ~should_stop spec
+      with
+      | exception Torture.Interrupted { completed; total } ->
+          interrupted_exit ~completed ~total
+      | report ->
+          report_outputs ~json ~no_timing ~supervision:Torture.no_supervision
+            ~report_file report
     end
   in
   Cmd.v
     (Cmd.info "torture"
+       ~exits:(interrupted_exit_info :: Cmd.Exit.defaults)
        ~doc:
          "Randomized crash-torture: many seeded runs, random schedules and \
           crash points, every history checked for durable linearizability + \
@@ -376,10 +442,249 @@ let torture_cmd =
           distributions, and the first failing trial's minimised schedule.")
     Term.(
       ret
-        (const run $ obj_arg $ procs_arg $ ops_arg $ trials $ crash_prob
-       $ max_crashes $ policy_arg $ lin_engine_arg $ seed_arg $ domains
-       $ fault $ watchdog $ checkpoint $ resume $ json $ report_file
-       $ no_shrink $ gc_arg))
+        (const run $ obj_arg $ procs_arg $ ops_arg $ trials_arg
+       $ crash_prob_arg $ max_crashes_arg $ policy_arg $ lin_engine_arg
+       $ seed_arg $ domains $ fault_arg $ watchdog_arg $ checkpoint_arg
+       $ resume_arg $ json_arg $ no_timing_arg $ report_arg $ no_shrink_arg
+       $ gc_arg))
+
+(* campaign: multi-process supervised torture *)
+
+let chaos_conv =
+  let parse s =
+    match Campaign.chaos_of_string s with
+    | Ok c -> Ok c
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf c = Format.pp_print_string ppf (Campaign.chaos_to_string c) in
+  Arg.conv ~docv:"CHAOS" (parse, print)
+
+let campaign_cmd =
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Initial worker-process parallelism.  The merged report's \
+             deterministic fields are bit-identical for any value — and to \
+             the equivalent $(b,torture --domains) run.")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 16
+      & info [ "heartbeat-every" ] ~docv:"T"
+          ~doc:"Worker heartbeat period, in trials.")
+  in
+  let heartbeat_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "heartbeat-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Silence (no trials, no heartbeats) after which a worker is \
+             declared hung, SIGKILLed, and its remaining range reassigned.")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:
+            "Respawns allowed per failed range before the supervisor \
+             degrades (halves parallelism, ultimately falling back to \
+             in-process execution so the campaign always terminates).")
+  in
+  let backoff_base =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff-base" ] ~docv:"SECS"
+          ~doc:"Backoff before retry k is base * 2^(k-1), capped below.")
+  in
+  let backoff_cap =
+    Arg.(
+      value & opt float 2.0
+      & info [ "backoff-cap" ] ~docv:"SECS" ~doc:"Backoff ceiling.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt chaos_conv Campaign.no_chaos
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection for the supervisor itself: \
+             $(b,kill=P,hang=Q,seed=S) makes each spawned worker self-kill \
+             (probability P) or hang (probability Q) after a seeded number \
+             of trials.  The final report must stay byte-identical to an \
+             undisturbed run — only the timing block's supervision \
+             counters change.")
+  in
+  let run kind procs ops trials crash_prob max_crashes policy lin_engine seed
+      workers fault watchdog chaos heartbeat_every heartbeat_timeout
+      retry_budget backoff_base backoff_cap checkpoint resume json no_timing
+      report_file no_shrink =
+    if resume && checkpoint = None then
+      `Error (false, "--resume requires --checkpoint FILE")
+    else begin
+      let spec =
+        torture_spec_of ~kind ~procs ~ops ~policy ~crash_prob ~max_crashes
+          ~lin_engine ~fault ~watchdog
+      in
+      let config =
+        {
+          Campaign.default_config with
+          workers;
+          heartbeat_every;
+          heartbeat_timeout;
+          retry_budget;
+          backoff_base;
+          backoff_cap;
+          chaos;
+        }
+      in
+      let worker_argv ~lo ~hi ~fault:fault_plan =
+        let base =
+          [
+            Sys.executable_name;
+            "torture-worker";
+            "-o";
+            kind_name kind;
+            "-p";
+            string_of_int procs;
+            "-k";
+            string_of_int ops;
+            "--policy";
+            (match policy with
+            | Session.Retry -> "retry"
+            | Session.Give_up -> "giveup");
+            "--lin-engine";
+            (match (lin_engine : Lin_check.engine) with
+            | `Incremental -> "incremental"
+            | `Batch -> "batch");
+            "--crash-prob";
+            Printf.sprintf "%h" crash_prob;
+            "--max-crashes";
+            string_of_int max_crashes;
+            "--fault";
+            fault_exact_arg fault;
+            "--watchdog";
+            string_of_int watchdog;
+            "-s";
+            string_of_int seed;
+            "--lo";
+            string_of_int lo;
+            "--hi";
+            string_of_int hi;
+            "--heartbeat-every";
+            string_of_int heartbeat_every;
+          ]
+        in
+        let chaos_args =
+          match fault_plan with
+          | Campaign.No_fault -> []
+          | Campaign.Kill_after k -> [ "--chaos-kill-after"; string_of_int k ]
+          | Campaign.Hang_after k -> [ "--chaos-hang-after"; string_of_int k ]
+        in
+        Array.of_list (base @ chaos_args)
+      in
+      let should_stop = install_stop_flag () in
+      match
+        Campaign.run ?checkpoint ~resume ~shrink:(not no_shrink) ~should_stop
+          ~config ~worker_argv ~root_seed:seed ~trials spec
+      with
+      | exception Torture.Interrupted { completed; total } ->
+          interrupted_exit ~completed ~total
+      | report, counters ->
+          report_outputs ~json ~no_timing
+            ~supervision:(Campaign.supervision counters chaos)
+            ~report_file report
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~exits:(interrupted_exit_info :: Cmd.Exit.defaults)
+       ~doc:
+         "Multi-process supervised torture: fork $(b,--workers) \
+          $(b,torture-worker) processes, each streaming per-trial JSONL \
+          records and heartbeats over its pipe; the supervisor detects \
+          worker death (waitpid) and hangs ($(b,--heartbeat-timeout)), \
+          reassigns remaining ranges with capped exponential backoff and a \
+          $(b,--retry-budget), halves parallelism when a range keeps \
+          failing, and ultimately falls back to in-process execution — so \
+          the campaign always terminates with a verdict byte-identical to \
+          the equivalent $(b,torture) run.  $(b,--chaos) injects \
+          deterministic worker kills/hangs to prove exactly that.")
+    Term.(
+      ret
+        (const run $ obj_arg $ procs_arg $ ops_arg $ trials_arg
+       $ crash_prob_arg $ max_crashes_arg $ policy_arg $ lin_engine_arg
+       $ seed_arg $ workers $ fault_arg $ watchdog_arg $ chaos
+       $ heartbeat_every $ heartbeat_timeout $ retry_budget $ backoff_base
+       $ backoff_cap $ checkpoint_arg $ resume_arg $ json_arg $ no_timing_arg
+       $ report_arg $ no_shrink_arg))
+
+(* torture-worker: the internal campaign worker process *)
+
+let torture_worker_cmd =
+  let lo =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "lo" ] ~docv:"I" ~doc:"First trial index (inclusive).")
+  in
+  let hi =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "hi" ] ~docv:"J" ~doc:"One past the last trial index.")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 16
+      & info [ "heartbeat-every" ] ~docv:"T"
+          ~doc:"Emit a heartbeat event every T completed trials.")
+  in
+  let chaos_kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-kill-after" ] ~docv:"K"
+          ~doc:"Chaos injection: self-kill (exit 70) after K trials.")
+  in
+  let chaos_hang_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-hang-after" ] ~docv:"K"
+          ~doc:"Chaos injection: stop emitting after K trials.")
+  in
+  let run kind procs ops crash_prob max_crashes policy lin_engine seed fault
+      watchdog lo hi heartbeat_every kill_after hang_after =
+    let spec =
+      torture_spec_of ~kind ~procs ~ops ~policy ~crash_prob ~max_crashes
+        ~lin_engine ~fault ~watchdog
+    in
+    let fault_plan =
+      match (kill_after, hang_after) with
+      | Some k, _ -> Campaign.Kill_after k
+      | None, Some k -> Campaign.Hang_after k
+      | None, None -> Campaign.No_fault
+    in
+    Campaign.worker_main ~fault:fault_plan ~heartbeat_every ~root_seed:seed ~lo
+      ~hi spec;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "torture-worker"
+       ~doc:
+         "(internal) Campaign worker process: run trials [$(b,--lo), \
+          $(b,--hi)) of the campaign seeded by $(b,--seed), streaming one \
+          JSONL trial record per trial plus periodic heartbeat events to \
+          stdout.  Spawned by $(b,campaign); stable enough to drive by \
+          hand, but its flags mirror whatever $(b,campaign) needs.")
+    Term.(
+      ret
+        (const run $ obj_arg $ procs_arg $ ops_arg $ crash_prob_arg
+       $ max_crashes_arg $ policy_arg $ lin_engine_arg $ seed_arg $ fault_arg
+       $ watchdog_arg $ lo $ hi $ heartbeat_every $ chaos_kill_after
+       $ chaos_hang_after))
 
 (* trace *)
 
@@ -766,4 +1071,14 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "detect-cli" ~version:"1.0.0" ~doc)
-          [ list_cmd; exp_cmd; torture_cmd; trace_cmd; modelcheck_cmd; witness_cmd; attack_cmd ]))
+          [
+            list_cmd;
+            exp_cmd;
+            torture_cmd;
+            campaign_cmd;
+            torture_worker_cmd;
+            trace_cmd;
+            modelcheck_cmd;
+            witness_cmd;
+            attack_cmd;
+          ]))

@@ -1,0 +1,141 @@
+(** Multi-process torture campaign supervisor.
+
+    {!Torture.run} shards a campaign over OCaml domains inside one
+    process; this module promotes the same deterministic trial streams
+    to OS {e processes}.  A supervisor forks workers (normally
+    [detect_cli torture-worker]), hands each a contiguous
+    [(root_seed, lo, hi)] slice, and reads per-trial JSONL records plus
+    periodic heartbeats from each worker's pipe.
+
+    {2 Supervision semantics}
+
+    - {b Death}: a worker whose pipe reaches EOF before its range is
+      complete (detected and reaped with [waitpid]) has its {e remaining}
+      range reassigned — completed trials were already streamed, so
+      nothing reruns.
+    - {b Hang}: a worker that emits nothing (trials or heartbeats) for
+      [heartbeat_timeout] seconds is SIGKILLed, drained, and treated as
+      a death.
+    - {b Retry/backoff}: each failed range is respawned with capped
+      exponential backoff ([backoff_base * 2^(attempt-1)], capped at
+      [backoff_cap]) up to [retry_budget] retries.
+    - {b Graceful degradation}: once a range exhausts its retry budget
+      the supervisor halves process parallelism (repeatedly, down to 1)
+      and keeps going; if failures persist at parallelism 1 the range
+      runs {e in-process} via {!Torture.run_trial} — chaos-free by
+      construction — so a campaign always terminates with a verdict.
+
+    Because trial [i] is a pure function of [(spec, root_seed, i)], the
+    merged report's deterministic fields are byte-identical to
+    {!Torture.run}'s whatever the failure schedule; only the
+    {!Torture.supervision} counters (rendered in the report's timing
+    block) reflect what the supervisor had to do.
+
+    {2 Chaos}
+
+    [chaos] injects deterministic worker faults for testing the
+    supervisor itself: each spawn draws from
+    [Prng.stream chaos_seed ~index:spawn_counter] and with probability
+    [kill_prob] the worker self-kills (exit 70) after a seeded number of
+    trials, or with probability [hang_prob] stops emitting instead.  The
+    final report must be byte-identical to an undisturbed run — that
+    assertion is the chaos harness's whole point.
+
+    {2 Checkpointing}
+
+    With [~checkpoint] the supervisor journals every streamed trial line
+    {e and} every lifecycle event (spawn / exit / death / hang / rescue /
+    degrade / inproc / interrupted) to the
+    [detectable-torture-checkpoint/v2] stream; [~resume] reloads
+    completed trials exactly like {!Torture.run}, so a campaign resumed
+    after a supervisor crash still produces a byte-identical report. *)
+
+type fault_plan =
+  | No_fault
+  | Kill_after of int  (** self-kill (exit 70) after this many trials *)
+  | Hang_after of int  (** stop emitting after this many trials *)
+
+type chaos = {
+  kill_prob : float;
+  hang_prob : float;
+  chaos_seed : int;
+}
+
+val no_chaos : chaos
+
+val chaos_of_string : string -> (chaos, string) result
+(** Parse ["kill=P,hang=Q,seed=S"] (fields optional, any order).
+    Probabilities must lie in [[0, 1]] with [kill + hang <= 1]. *)
+
+val chaos_to_string : chaos -> string
+
+type config = {
+  workers : int;  (** initial process parallelism (>= 1) *)
+  heartbeat_every : int;  (** worker heartbeat period, in trials *)
+  heartbeat_timeout : float;  (** seconds of silence before a SIGKILL *)
+  retry_budget : int;  (** per-range respawns before degradation *)
+  backoff_base : float;  (** seconds; retry k waits base * 2^(k-1) *)
+  backoff_cap : float;  (** ceiling on the backoff delay *)
+  chaos : chaos;
+  chaos_plan : (spawn:int -> range_len:int -> fault_plan) option;
+      (** test hook: overrides the [chaos] draw per spawn when set *)
+}
+
+val default_config : config
+(** 4 workers, heartbeat every 16 trials / 30 s timeout, retry budget 3,
+    backoff 0.05 s capped at 2 s, no chaos. *)
+
+type counters = {
+  workers_spawned : int;
+  worker_deaths : int;
+  worker_hangs : int;
+  rescues : int;
+  retries : int;
+  degradations : int;
+  inproc_trials : int;
+}
+
+val supervision : counters -> chaos -> Torture.supervision
+(** Package the counters (plus the chaos parameters) for
+    {!Torture.to_json}'s [timing.supervision] block. *)
+
+val worker_main :
+  ?fault:fault_plan ->
+  ?out:out_channel ->
+  heartbeat_every:int ->
+  root_seed:int ->
+  lo:int ->
+  hi:int ->
+  Torture.spec ->
+  unit
+(** The worker half of the protocol (what [detect_cli torture-worker]
+    runs): execute trials [lo .. hi-1] of the campaign, streaming to
+    [out] (default [stdout]) one {!Torture.trial_line} per trial in
+    index order, a [{"event":"heartbeat","done":n}] line immediately on
+    start and then every [heartbeat_every] trials, and a
+    [{"event":"done","lo":..,"hi":..}] line on completion.  [fault]
+    injects the chaos behaviours above (testing only). *)
+
+val run :
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?shrink:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?config:config ->
+  worker_argv:(lo:int -> hi:int -> fault:fault_plan -> string array) ->
+  root_seed:int ->
+  trials:int ->
+  Torture.spec ->
+  Torture.report * counters
+(** Supervise a campaign: split the missing trial indices into
+    contiguous ranges (one per worker), spawn [worker_argv ~lo ~hi
+    ~fault] for each ([argv.(0)] is the executable path; [fault] is the
+    chaos plan drawn for that spawn — encode it into the child's
+    command line), and merge the streamed trials into a report exactly
+    as {!Torture.run} would.  The report's timing block carries
+    wall-clock/throughput; its deterministic fields are byte-identical
+    to a single-process run's.  [should_stop] is polled in the event
+    loop; when it turns true the supervisor kills its workers, journals
+    an interrupted event, and raises {!Torture.Interrupted}.  Raises
+    [Invalid_argument] on a checkpoint header mismatch, like
+    {!Torture.run}. *)

@@ -275,7 +275,11 @@ let run_trial spec ~scratch ~root ~index =
 (* ------------------------------------------------------------------ *)
 (* checkpoint journal *)
 
-let checkpoint_schema = "detectable-torture-checkpoint/v1"
+let checkpoint_schema = "detectable-torture-checkpoint/v2"
+
+(* v1 journals are v2 without lifecycle event lines; reading them needs
+   nothing extra, so resume accepts both *)
+let checkpoint_schema_v1 = "detectable-torture-checkpoint/v1"
 
 let header_line (spec : spec) ~root_seed ~trials =
   Printf.sprintf
@@ -339,11 +343,16 @@ let trial_of_json j =
           (Tiny_json.get_list (Tiny_json.member "trace" j));
     } )
 
-(* Completed trials recorded in an (possibly interrupted) journal.  The
+(* Completed trials recorded in a (possibly interrupted) journal.  The
    header must match this campaign exactly — resuming under different
    parameters would silently mix incompatible seed streams.  A torn
-   trailing line (the process died mid-write) is ignored; any complete
-   line is trusted because trials are pure functions of their index. *)
+   trailing line (the writer died mid-write) is ignored; any complete
+   trial line is trusted because trials are pure functions of their
+   index.  Supervisor lifecycle events (v2 journals) are skipped.  A
+   line that is unreadable anywhere but the tail, records an
+   out-of-range index, or conflicts with an earlier record of the same
+   trial is a hard error naming the line — overlapping shard ranges
+   must never silently double-count or mix results. *)
 let read_checkpoint path (spec : spec) ~root_seed ~trials =
   let contents =
     let ic = open_in_bin path in
@@ -370,7 +379,9 @@ let read_checkpoint path (spec : spec) ~root_seed ~trials =
               (%s differs)"
              path what)
       in
-      if str "schema" <> checkpoint_schema then mismatch "schema";
+      let schema = str "schema" in
+      if schema <> checkpoint_schema && schema <> checkpoint_schema_v1 then
+        mismatch "schema";
       if str "object" <> spec.label then mismatch "object";
       if int "root_seed" <> root_seed then mismatch "root_seed";
       if int "trials" <> trials then mismatch "trials";
@@ -382,15 +393,114 @@ let read_checkpoint path (spec : spec) ~root_seed ~trials =
       if str "fault" <> Nvm.Fault_model.to_string spec.fault then
         mismatch "fault";
       if int "watchdog" <> spec.watchdog then mismatch "watchdog";
-      List.filter_map
-        (fun line ->
-          if String.trim line = "" then None
+      (* the header is line 1; line numbers below are file line numbers *)
+      let last_content =
+        let r = ref 1 in
+        List.iteri (fun k l -> if String.trim l <> "" then r := k + 2) rest;
+        !r
+      in
+      let bad lineno what =
+        invalid_arg
+          (Printf.sprintf "Torture.run: checkpoint %s line %d: %s" path lineno
+             what)
+      in
+      let seen = Hashtbl.create 64 in
+      let acc = ref [] in
+      List.iteri
+        (fun k line ->
+          let lineno = k + 2 in
+          if String.trim line = "" then ()
           else
-            match trial_of_json (Tiny_json.parse line) with
-            | entry -> Some entry
-            | exception _ -> None (* torn trailing line *))
-        rest
+            match Tiny_json.parse line with
+            | exception Tiny_json.Error m ->
+                (* only the final line may be torn — the writer flushes
+                   line-atomically, so mid-file garbage means real
+                   corruption, not an interrupted write *)
+                if lineno <> last_content then
+                  bad lineno ("unreadable record (" ^ m ^ ")")
+            | j ->
+                if Tiny_json.mem "event" j then ()
+                else (
+                  match trial_of_json j with
+                  | exception _ ->
+                      if lineno <> last_content then
+                        bad lineno "malformed trial record"
+                  | i, tr ->
+                      if i < 0 || i >= trials then
+                        bad lineno
+                          (Printf.sprintf
+                             "trial index %d out of range [0, %d)" i trials);
+                      (match Hashtbl.find_opt seen i with
+                      | Some (lineno0, tr0) ->
+                          (* identical duplicates are idempotent replays
+                             (e.g. two shards raced on the same range) —
+                             keep the first; conflicting duplicates mean
+                             overlapping shard ranges wrote different
+                             results and the journal cannot be trusted *)
+                          if tr0 <> tr then
+                            bad lineno
+                              (Printf.sprintf
+                                 "trial %d conflicts with the record on \
+                                  line %d (overlapping shard ranges wrote \
+                                  different results)"
+                                 i lineno0)
+                      | None ->
+                          Hashtbl.add seen i (lineno, tr);
+                          acc := (i, tr) :: !acc)))
+        rest;
+      List.rev !acc
   | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* journal writer *)
+
+module Journal = struct
+  type t = { mu : Mutex.t; oc : out_channel }
+
+  let create ~path ~resume (spec : spec) ~root_seed ~trials =
+    let fresh = not (resume && Sys.file_exists path) in
+    let oc =
+      if fresh then
+        open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path
+      else begin
+        (* heal a torn trailing line (a writer died mid-write) before
+           appending: truncate back to the last complete line so the new
+           writes start at a line boundary and the journal stays
+           parseable on the next resume *)
+        let keep =
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          match String.rindex_opt s '\n' with Some i -> i + 1 | None -> 0
+        in
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd keep;
+        ignore (Unix.lseek fd keep Unix.SEEK_SET);
+        Unix.out_channel_of_descr fd
+      end
+    in
+    if fresh then begin
+      output_string oc (header_line spec ~root_seed ~trials);
+      output_char oc '\n';
+      flush oc
+    end;
+    { mu = Mutex.create (); oc }
+
+  let write t line =
+    Mutex.lock t.mu;
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    Mutex.unlock t.mu
+
+  let close t =
+    Mutex.lock t.mu;
+    close_out t.oc;
+    Mutex.unlock t.mu
+end
+
+exception Interrupted of { completed : int; total : int }
 
 (* ------------------------------------------------------------------ *)
 (* campaign = shard + merge *)
@@ -411,130 +521,14 @@ let dist_of xs =
         d_total = total;
       }
 
-let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
-    ?checkpoint ?(resume = false) ?(gc = Dtc_util.Gc_tune.none) spec =
-  if trials < 0 then invalid_arg "Torture.run: trials must be non-negative";
-  if resume && checkpoint = None then
-    invalid_arg "Torture.run: resume requires a checkpoint path";
-  let t0 = Unix.gettimeofday () in
-  let by_index = Array.make (max 1 trials) None in
-  (match checkpoint with
-  | Some path when resume && Sys.file_exists path ->
-      List.iter
-        (fun (i, tr) -> if i >= 0 && i < trials then by_index.(i) <- Some tr)
-        (read_checkpoint path spec ~root_seed ~trials)
-  | _ -> ());
-  let missing =
-    Array.of_list
-      (List.filter (fun i -> by_index.(i) = None) (List.init trials Fun.id))
-  in
-  let n_missing = Array.length missing in
-  let journal =
-    match checkpoint with
-    | None -> None
-    | Some path ->
-        let fresh = not (resume && Sys.file_exists path) in
-        let oc =
-          open_out_gen
-            (if fresh then [ Open_wronly; Open_creat; Open_trunc ]
-             else [ Open_wronly; Open_append ])
-            0o644 path
-        in
-        if fresh then begin
-          output_string oc (header_line spec ~root_seed ~trials);
-          output_char oc '\n';
-          flush oc
-        end;
-        Some (Mutex.create (), oc)
-  in
-  let record i tr =
-    match journal with
-    | None -> ()
-    | Some (mu, oc) ->
-        Mutex.lock mu;
-        output_string oc (trial_line i tr);
-        output_char oc '\n';
-        flush oc;
-        Mutex.unlock mu
-  in
-  let domains = max 1 (min domains (max 1 n_missing)) in
-  (* shard d owns the missing positions { k | k mod domains = d }; trials
-     share nothing, so the only cross-domain traffic is the join.  Each
-     worker builds one {!Session.scratch} and reuses it across its whole
-     trial range, applies the (opt-in) GC tuning on its own domain —
-     [Gc.control] is per-domain in OCaml 5, so tuning must happen inside
-     the worker, and [with_applied] restores the caller's settings on the
-     domains = 1 / rescue paths that run on the joining domain — and
-     meters its own allocation: [Gc.quick_stat] counters are per-domain
-     too, so the snapshots bracket the loop inside the worker and the
-     shard deltas are summed after the join. *)
-  let worker d () =
-    Dtc_util.Gc_tune.with_applied gc @@ fun () ->
-    let scratch = Session.make_scratch () in
-    let a0 = Dtc_util.Alloc_stats.snap () in
-    let acc = ref [] in
-    let k = ref d in
-    while !k < n_missing do
-      let i = missing.(!k) in
-      let tr = run_trial spec ~scratch ~root:root_seed ~index:i in
-      record i tr;
-      acc := (i, tr) :: !acc;
-      k := !k + domains
-    done;
-    let alloc =
-      Dtc_util.Alloc_stats.delta ~before:a0 ~after:(Dtc_util.Alloc_stats.snap ())
-    in
-    (!acc, alloc)
-  in
-  let rescued = ref 0 in
-  let shards =
-    if domains = 1 then [ worker 0 () ]
-    else
-      (* a shard whose domain dies (spawn failure or an escaped
-         exception — run_trial contains per-trial faults, so this is a
-         last line of defence) is re-run on the joining domain: trials
-         are pure functions of their index, so the re-run is
-         bit-identical to what the lost domain would have produced *)
-      let spawned =
-        Array.init domains (fun d ->
-            match Domain.spawn (worker d) with
-            | h -> Some h
-            | exception _ -> None)
-      in
-      Array.to_list
-        (Array.mapi
-           (fun d h ->
-             match h with
-             | None ->
-                 incr rescued;
-                 worker d ()
-             | Some h -> (
-                 match Domain.join h with
-                 | shard -> shard
-                 | exception _ ->
-                     incr rescued;
-                     worker d ()))
-           spawned)
-  in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  (match journal with Some (_, oc) -> close_out oc | None -> ());
-  let alloc =
-    List.fold_left
-      (fun acc (_, d) -> Dtc_util.Alloc_stats.add acc d)
-      Dtc_util.Alloc_stats.zero shards
-  in
-  List.iter
-    (fun (shard, _) -> List.iter (fun (i, tr) -> by_index.(i) <- Some tr) shard)
-    shards;
-  let ordered =
-    List.init trials (fun i ->
-        match by_index.(i) with
-        | Some tr -> tr
-        | None -> invalid_arg "Torture.run: shard lost a trial")
-  in
-  (* merge in trial-index order: every aggregate below is a fold over
-     [ordered], so the report is independent of shard layout — and of
-     which trials were preloaded from a checkpoint *)
+(* merge in trial-index order: every aggregate below is a fold over
+   [ordered], so the report is independent of shard layout — and of
+   which trials were preloaded from a checkpoint, rescued from a dead
+   domain, or replayed by a respawned worker process *)
+let merge (spec : spec) ~root_seed ~trials ~shrink (by_trial : trial array) =
+  if Array.length by_trial <> trials then
+    invalid_arg "Torture.merge: need exactly one record per trial";
+  let ordered = Array.to_list by_trial in
   let linearized = ref 0
   and not_linearized = ref 0
   and incomplete = ref 0
@@ -649,6 +643,137 @@ let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
     max_shared_bits = dist_of (List.map (fun tr -> tr.t_bits) ordered);
     first_failure;
     first_engine_fault;
+    (* timing is the caller's to measure: merge is pure *)
+    elapsed_s = 0.0;
+    trials_per_sec = 0.0;
+    domains_used = 0;
+    shards_rescued = 0;
+    alloc_minor_words = 0.0;
+    alloc_promoted_words = 0.0;
+    alloc_minor_collections = 0;
+    bytes_per_trial = 0.0;
+  }
+
+let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
+    ?checkpoint ?(resume = false) ?(gc = Dtc_util.Gc_tune.none)
+    ?(should_stop = fun () -> false) spec =
+  if trials < 0 then invalid_arg "Torture.run: trials must be non-negative";
+  if resume && checkpoint = None then
+    invalid_arg "Torture.run: resume requires a checkpoint path";
+  let t0 = Unix.gettimeofday () in
+  let by_index = Array.make (max 1 trials) None in
+  (match checkpoint with
+  | Some path when resume && Sys.file_exists path ->
+      List.iter
+        (fun (i, tr) -> by_index.(i) <- Some tr)
+        (read_checkpoint path spec ~root_seed ~trials)
+  | _ -> ());
+  let missing =
+    Array.of_list
+      (List.filter (fun i -> by_index.(i) = None) (List.init trials Fun.id))
+  in
+  let n_missing = Array.length missing in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some path -> Some (Journal.create ~path ~resume spec ~root_seed ~trials)
+  in
+  let record i tr =
+    match journal with
+    | None -> ()
+    | Some j -> Journal.write j (trial_line i tr)
+  in
+  let domains = max 1 (min domains (max 1 n_missing)) in
+  (* shard d owns the missing positions { k | k mod domains = d }; trials
+     share nothing, so the only cross-domain traffic is the join.  Each
+     worker builds one {!Session.scratch} and reuses it across its whole
+     trial range, applies the (opt-in) GC tuning on its own domain —
+     [Gc.control] is per-domain in OCaml 5, so tuning must happen inside
+     the worker, and [with_applied] restores the caller's settings on the
+     domains = 1 / rescue paths that run on the joining domain — and
+     meters its own allocation: [Gc.quick_stat] counters are per-domain
+     too, so the snapshots bracket the loop inside the worker and the
+     shard deltas are summed after the join.  [should_stop] is polled
+     between trials, so an interrupt loses at most the trials in
+     flight — everything completed is already journaled. *)
+  let worker d () =
+    Dtc_util.Gc_tune.with_applied gc @@ fun () ->
+    let scratch = Session.make_scratch () in
+    let a0 = Dtc_util.Alloc_stats.snap () in
+    let acc = ref [] in
+    let k = ref d in
+    while !k < n_missing && not (should_stop ()) do
+      let i = missing.(!k) in
+      let tr = run_trial spec ~scratch ~root:root_seed ~index:i in
+      record i tr;
+      acc := (i, tr) :: !acc;
+      k := !k + domains
+    done;
+    let alloc =
+      Dtc_util.Alloc_stats.delta ~before:a0 ~after:(Dtc_util.Alloc_stats.snap ())
+    in
+    (!acc, alloc)
+  in
+  let rescued = ref 0 in
+  let shards =
+    if domains = 1 then [ worker 0 () ]
+    else
+      (* a shard whose domain dies (spawn failure or an escaped
+         exception — run_trial contains per-trial faults, so this is a
+         last line of defence) is re-run on the joining domain: trials
+         are pure functions of their index, so the re-run is
+         bit-identical to what the lost domain would have produced *)
+      let spawned =
+        Array.init domains (fun d ->
+            match Domain.spawn (worker d) with
+            | h -> Some h
+            | exception _ -> None)
+      in
+      Array.to_list
+        (Array.mapi
+           (fun d h ->
+             match h with
+             | None ->
+                 incr rescued;
+                 worker d ()
+             | Some h -> (
+                 match Domain.join h with
+                 | shard -> shard
+                 | exception _ ->
+                     incr rescued;
+                     worker d ()))
+           spawned)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let alloc =
+    List.fold_left
+      (fun acc (_, d) -> Dtc_util.Alloc_stats.add acc d)
+      Dtc_util.Alloc_stats.zero shards
+  in
+  List.iter
+    (fun (shard, _) -> List.iter (fun (i, tr) -> by_index.(i) <- Some tr) shard)
+    shards;
+  let completed = ref 0 in
+  for i = 0 to trials - 1 do
+    if by_index.(i) <> None then incr completed
+  done;
+  if !completed < trials && should_stop () then begin
+    (match journal with
+    | Some j ->
+        Journal.write j
+          (Printf.sprintf
+             {|{ "event": "interrupted", "completed": %d, "total": %d }|}
+             !completed trials);
+        Journal.close j
+    | None -> ());
+    raise (Interrupted { completed = !completed; total = trials })
+  end;
+  (match journal with Some j -> Journal.close j | None -> ());
+  if !completed < trials then invalid_arg "Torture.run: shard lost a trial";
+  let ordered = Array.init trials (fun i -> Option.get by_index.(i)) in
+  let report = merge spec ~root_seed ~trials ~shrink ordered in
+  {
+    report with
     elapsed_s;
     trials_per_sec = float_of_int trials /. Float.max elapsed_s 1e-9;
     domains_used = domains;
@@ -664,11 +789,45 @@ let run ?(domains = 1) ?(root_seed = 1) ?(trials = 200) ?(shrink = true)
 (* ------------------------------------------------------------------ *)
 (* rendering *)
 
-let to_json ?(timing = true) r =
+type supervision = {
+  s_workers_spawned : int;
+  s_worker_deaths : int;
+  s_worker_hangs : int;
+  s_rescues : int;
+  s_retries : int;
+  s_degradations : int;
+  s_inproc_trials : int;
+  s_chaos_kill : float;
+  s_chaos_hang : float;
+  s_chaos_seed : int;
+}
+
+let no_supervision =
+  {
+    s_workers_spawned = 0;
+    s_worker_deaths = 0;
+    s_worker_hangs = 0;
+    s_rescues = 0;
+    s_retries = 0;
+    s_degradations = 0;
+    s_inproc_trials = 0;
+    s_chaos_kill = 0.0;
+    s_chaos_hang = 0.0;
+    s_chaos_seed = 0;
+  }
+
+let supervision_json s =
+  Printf.sprintf
+    {|{ "workers_spawned": %d, "worker_deaths": %d, "worker_hangs": %d, "rescues": %d, "retries": %d, "degradations": %d, "inproc_trials": %d, "chaos": { "kill": %.4f, "hang": %.4f, "seed": %d } }|}
+    s.s_workers_spawned s.s_worker_deaths s.s_worker_hangs s.s_rescues
+    s.s_retries s.s_degradations s.s_inproc_trials s.s_chaos_kill s.s_chaos_hang
+    s.s_chaos_seed
+
+let to_json ?(timing = true) ?(supervision = no_supervision) r =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"detectable-torture/v3\",\n";
+  add "  \"schema\": \"detectable-torture/v4\",\n";
   add "  \"object\": \"%s\",\n" (escape r.label);
   add "  \"root_seed\": %d,\n" r.root_seed;
   add "  \"trials\": %d,\n" r.trials;
@@ -721,20 +880,31 @@ let to_json ?(timing = true) r =
       ",\n  \"timing\": { \"elapsed_s\": %.6f, \"trials_per_sec\": %.1f, \
        \"domains\": %d, \"shards_rescued\": %d, \"alloc\": { \"minor_words\": \
        %.0f, \"promoted_words\": %.0f, \"minor_collections\": %d, \
-       \"bytes_per_trial\": %.1f } }\n"
+       \"bytes_per_trial\": %.1f }, \"supervision\": %s }\n"
       r.elapsed_s r.trials_per_sec r.domains_used r.shards_rescued
       r.alloc_minor_words r.alloc_promoted_words r.alloc_minor_collections
-      r.bytes_per_trial
+      r.bytes_per_trial (supervision_json supervision)
   else add "\n";
   add "}\n";
   Buffer.contents b
 
-let pp fmt r =
-  Format.fprintf fmt
-    "torture: %s — %d trials, root seed %d, policy %s, fault %s, %d domain(s)@."
-    r.label r.trials r.root_seed (policy_string r.policy)
-    (Nvm.Fault_model.to_string r.fault)
-    r.domains_used;
+let pp_report ?(timing = true) ?(supervision = no_supervision) () fmt r =
+  (* the non-timing lines below are pure functions of the deterministic
+     report fields — with [~timing:false] this rendering is the text
+     analogue of [to_json ~timing:false], byte-identical across domain
+     counts, resume splits and supervision schedules *)
+  if timing then
+    Format.fprintf fmt
+      "torture: %s — %d trials, root seed %d, policy %s, fault %s, %d \
+       domain(s)@."
+      r.label r.trials r.root_seed (policy_string r.policy)
+      (Nvm.Fault_model.to_string r.fault)
+      r.domains_used
+  else
+    Format.fprintf fmt
+      "torture: %s — %d trials, root seed %d, policy %s, fault %s@." r.label
+      r.trials r.root_seed (policy_string r.policy)
+      (Nvm.Fault_model.to_string r.fault);
   Format.fprintf fmt
     "verdicts:   %d linearized, %d not-linearized, %d incomplete, %d \
      budget-exhausted, %d engine faults@."
@@ -747,16 +917,25 @@ let pp fmt r =
     r.steps.d_min r.steps.d_mean r.steps.d_max r.steps.d_total;
   Format.fprintf fmt "space:      max_shared_bits min %d, mean %.1f, max %d@."
     r.max_shared_bits.d_min r.max_shared_bits.d_mean r.max_shared_bits.d_max;
-  Format.fprintf fmt "throughput: %.1f trials/sec (%.3fs elapsed%s)@."
-    r.trials_per_sec r.elapsed_s
-    (if r.shards_rescued > 0 then
-       Printf.sprintf ", %d shard(s) rescued" r.shards_rescued
-     else "");
-  Format.fprintf fmt
-    "alloc:      %.0f bytes/trial (%.0f minor words, %.0f promoted, %d minor \
-     GCs)@."
-    r.bytes_per_trial r.alloc_minor_words r.alloc_promoted_words
-    r.alloc_minor_collections;
+  if timing then begin
+    Format.fprintf fmt "throughput: %.1f trials/sec (%.3fs elapsed%s)@."
+      r.trials_per_sec r.elapsed_s
+      (if r.shards_rescued > 0 then
+         Printf.sprintf ", %d shard(s) rescued" r.shards_rescued
+       else "");
+    Format.fprintf fmt
+      "alloc:      %.0f bytes/trial (%.0f minor words, %.0f promoted, %d \
+       minor GCs)@."
+      r.bytes_per_trial r.alloc_minor_words r.alloc_promoted_words
+      r.alloc_minor_collections;
+    if supervision.s_workers_spawned > 0 then
+      Format.fprintf fmt
+        "supervise:  %d worker(s) spawned, %d death(s), %d hang(s), %d \
+         rescue(s), %d retry(ies), %d degradation(s), %d in-process trial(s)@."
+        supervision.s_workers_spawned supervision.s_worker_deaths
+        supervision.s_worker_hangs supervision.s_rescues supervision.s_retries
+        supervision.s_degradations supervision.s_inproc_trials
+  end;
   (match r.crash_hist with
   | [] -> ()
   | hist ->
@@ -793,3 +972,5 @@ let pp fmt r =
           Format.fprintf fmt
             "  (no minimisation: failure did not reproduce under tolerant \
              replay)@.")
+
+let pp fmt r = pp_report () fmt r

@@ -25,7 +25,8 @@ open Sched
     folds per-trial records in trial-index order.  Hence the merged
     report — every field except the [timing] block — is a pure function
     of [(spec, root_seed, trials)]: bit-identical for any [domains],
-    including 1, and for any interruption/resume split.  {!to_json} with
+    including 1, for any interruption/resume split, and for any
+    process-level supervision schedule ({!Campaign}).  {!to_json} with
     [~timing:false] renders exactly the deterministic fields, which is
     what the determinism regression tests and the bench baseline
     comparison rely on.
@@ -43,12 +44,17 @@ open Sched
     {2 Checkpointing}
 
     With [~checkpoint:path] the campaign journals one JSONL line per
-    completed trial (schema [detectable-torture-checkpoint/v1]: a header
-    echoing the campaign parameters, then per-trial records).  With
+    completed trial (schema [detectable-torture-checkpoint/v2]: a header
+    echoing the campaign parameters, then per-trial records, optionally
+    interleaved with supervisor lifecycle event lines; v1 journals — the
+    same format without event lines — are still readable).  With
     [~resume:true] an existing journal's completed trials are loaded and
     only the missing indices run; the merged report is byte-identical to
     an uninterrupted campaign's.  The journal validates the header
-    against the current parameters and rejects mismatches.
+    against the current parameters and rejects mismatches; duplicate
+    trial records are deduplicated when identical and rejected (naming
+    the offending lines) when they conflict, so overlapping shard ranges
+    can never silently double-count a trial.
 
     The full JSON schemas are documented field-by-field in
     [docs/TORTURE.md]. *)
@@ -180,6 +186,98 @@ type report = {
 val crash_bucket : int
 (** Width of the crash-point histogram buckets (16 steps). *)
 
+(** {2 Per-trial interface}
+
+    These are the building blocks {!run} composes, exposed so external
+    schedulers — most importantly the multi-process {!Campaign}
+    supervisor — can run, serialise and merge trials themselves while
+    keeping the determinism contract. *)
+
+type verdict =
+  | V_ok
+  | V_violation of string
+  | V_incomplete
+  | V_budget
+  | V_engine_fault of string
+
+type trial = {
+  t_seed : int;  (** derived workload seed *)
+  t_fault_seed : int;  (** seed of the trial's dedicated fault stream *)
+  t_steps : int;
+  t_crashes : int;
+  t_crash_steps : int list;  (** ascending *)
+  t_rec_returned : int;
+  t_rec_failed : int;
+  t_bits : int;
+  t_verdict : verdict;
+  t_trace : Modelcheck.Explore.decision list;  (** oldest first *)
+}
+
+val run_trial :
+  spec -> scratch:Session.scratch -> root:int -> index:int -> trial
+(** Run trial [index] of the campaign seeded by [root].  A pure function
+    of [(spec, root, index)]; [scratch] is reusable across calls. *)
+
+val merge :
+  spec -> root_seed:int -> trials:int -> shrink:bool -> trial array -> report
+(** Fold the per-trial records (element [i] = trial [i]) into a report,
+    shrinking the first failure when [shrink].  The timing-block fields
+    ([elapsed_s], [trials_per_sec], [domains_used], [shards_rescued],
+    [alloc_*], [bytes_per_trial]) are zeroed; callers that measured them
+    record-update the result. *)
+
+(** {2 Checkpoint journal} *)
+
+val checkpoint_schema : string
+(** Schema written to fresh journals ([detectable-torture-checkpoint/v2]). *)
+
+val header_line : spec -> root_seed:int -> trials:int -> string
+val trial_line : int -> trial -> string
+
+val trial_of_json : Tiny_json.t -> int * trial
+(** Inverse of {!trial_line} ∘ [Tiny_json.parse]; raises on records that
+    are not trial lines. *)
+
+val read_checkpoint :
+  string -> spec -> root_seed:int -> trials:int -> (int * trial) list
+(** Completed trials recorded in a (possibly interrupted) journal, in
+    file order with duplicates removed.  Accepts v1 and v2 headers;
+    skips lifecycle event lines (objects with an ["event"] key);
+    tolerates one torn {e trailing} line (a writer died mid-write).
+    Raises [Invalid_argument] naming the offending line(s) when the
+    header parameters mismatch, a non-trailing line is unreadable, a
+    trial index is out of range, or two lines record {e different}
+    results for the same trial (overlapping shard ranges) — identical
+    duplicates are deduplicated silently, so replayed writes stay
+    idempotent. *)
+
+module Journal : sig
+  type t
+  (** An append-only JSONL checkpoint stream.  Thread-safe; every line
+      is flushed as written, so a crash loses at most the line in
+      flight. *)
+
+  val create : path:string -> resume:bool -> spec -> root_seed:int ->
+    trials:int -> t
+  (** Fresh journals ([resume = false], or the path does not exist) are
+      truncated and start with {!header_line}.  Resumed journals are
+      opened for append after truncating any torn trailing line, so the
+      next write always starts at a line boundary. *)
+
+  val write : t -> string -> unit
+  (** Append one line (the newline is added). *)
+
+  val close : t -> unit
+end
+
+(** {2 Campaign driver} *)
+
+exception Interrupted of { completed : int; total : int }
+(** Raised by {!run} (and by {!Campaign.run}) when [should_stop] turned
+    true before every trial completed.  All completed trials are already
+    journaled and an ["interrupted"] event line has been flushed, so a
+    later [~resume:true] run finishes the campaign byte-identically. *)
+
 val run :
   ?domains:int ->
   ?root_seed:int ->
@@ -188,6 +286,7 @@ val run :
   ?checkpoint:string ->
   ?resume:bool ->
   ?gc:Dtc_util.Gc_tune.t ->
+  ?should_stop:(unit -> bool) ->
   spec ->
   report
 (** Run a campaign.  [domains] (default 1) shards the trial indices
@@ -203,16 +302,60 @@ val run :
     applied inside every worker domain for the duration of its trial
     loop — GC tuning can only change timing, never a verdict, so the
     determinism contract is unaffected.
+    [should_stop] (default [fun () -> false]) is polled between trials
+    on every worker domain (it must therefore be thread-safe — an
+    [Atomic.t] flag flipped by a signal handler is the intended use);
+    once it turns true the campaign stops issuing trials and raises
+    {!Interrupted} after journaling what completed.
     Each worker reuses one {!Sched.Session.scratch} across its whole
     trial range and meters its own allocation; the report's
     [alloc_*]/[bytes_per_trial] fields are the per-domain sums.
     Defaults: [root_seed = 1], [trials = 200]. *)
 
-val to_json : ?timing:bool -> report -> string
-(** Render the report as the [detectable-torture/v3] JSON document (v2
-    plus the [timing.alloc] block).  [~timing:false] (default [true])
-    omits the [timing] block, leaving exactly the fields the determinism
-    contract covers. *)
+(** {2 Supervision metadata}
+
+    Process-supervision counters rendered into the report's
+    [timing.supervision] block by campaign runs ({!Campaign.run} fills
+    them; plain {!run} reports, and the [~timing:false] rendering, use
+    the all-zero {!no_supervision}).  They live in the timing block
+    because — unlike every other report field — they depend on the
+    failure schedule, not on [(spec, root_seed, trials)]. *)
+
+type supervision = {
+  s_workers_spawned : int;  (** worker processes forked, incl. respawns *)
+  s_worker_deaths : int;  (** workers that exited before finishing *)
+  s_worker_hangs : int;  (** workers killed after a heartbeat timeout *)
+  s_rescues : int;  (** range reassignments after a death/hang *)
+  s_retries : int;  (** respawns of a previously-failed range *)
+  s_degradations : int;  (** parallelism halvings after budget exhaustion *)
+  s_inproc_trials : int;  (** trials run in-process as the final fallback *)
+  s_chaos_kill : float;  (** injected kill probability (0 = no chaos) *)
+  s_chaos_hang : float;  (** injected hang probability *)
+  s_chaos_seed : int;  (** chaos plan seed *)
+}
+
+val no_supervision : supervision
+
+(** {2 Rendering} *)
+
+val to_json : ?timing:bool -> ?supervision:supervision -> report -> string
+(** Render the report as the [detectable-torture/v4] JSON document (v3
+    plus the [timing.supervision] block).  [~timing:false] (default
+    [true]) omits the [timing] block, leaving exactly the fields the
+    determinism contract covers; [supervision] (default
+    {!no_supervision}) fills [timing.supervision]. *)
+
+val pp_report :
+  ?timing:bool ->
+  ?supervision:supervision ->
+  unit ->
+  Format.formatter ->
+  report ->
+  unit
+(** Human-readable multi-line summary.  [~timing:false] omits the
+    throughput/alloc/supervision lines, leaving exactly the
+    deterministic fields (the text analogue of
+    {!to_json}[ ~timing:false]). *)
 
 val pp : Format.formatter -> report -> unit
-(** Human-readable multi-line summary. *)
+(** [pp_report ()] — the historical full rendering. *)

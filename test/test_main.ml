@@ -2,7 +2,12 @@
    under a single Alcotest binary so `dune runtest` covers the whole
    repository. *)
 
+(* The campaign supervisor tests respawn this very binary as their
+   worker process (argv.(1) = "campaign-worker"); dispatch before
+   Alcotest parses argv. *)
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "campaign-worker" then
+    Test_campaign.worker_mode ();
   Alcotest.run "detectable-objects"
     (List.concat
        [
@@ -35,4 +40,5 @@ let () =
          Test_lemma_proofs.suites;
          Test_shrink.suites;
          Test_torture.suites;
+         Test_campaign.suites;
        ])

@@ -148,15 +148,22 @@ let test_json_shape () =
       if not (contains j marker) then
         Alcotest.failf "marker %S missing from JSON" marker)
     [
-      {|"schema": "detectable-torture/v3"|}; {|"verdicts"|}; {|"recoveries"|};
+      {|"schema": "detectable-torture/v4"|}; {|"verdicts"|}; {|"recoveries"|};
       {|"crashes"|}; {|"histogram"|}; {|"steps"|}; {|"max_shared_bits"|};
       {|"first_failure"|}; {|"first_engine_fault"|}; {|"timing"|};
       {|"fault": "atomic"|}; {|"watchdog"|}; {|"budget_exhausted"|};
       {|"engine_faults"|}; {|"shards_rescued"|}; {|"alloc"|};
-      {|"bytes_per_trial"|};
+      {|"bytes_per_trial"|}; {|"supervision"|}; {|"workers_spawned"|};
+      {|"rescues"|}; {|"degradations"|}; {|"inproc_trials"|};
     ];
+  (* --no-timing strips timing entirely, supervision included — that is
+     the byte-identity surface campaign/chaos/resume runs are compared
+     on *)
+  let plain = Torture.to_json ~timing:false r in
   Alcotest.(check bool) "timing:false omits the timing block" false
-    (contains (Torture.to_json ~timing:false r) {|"timing"|})
+    (contains plain {|"timing"|});
+  Alcotest.(check bool) "timing:false omits supervision too" false
+    (contains plain {|"supervision"|})
 
 (* The checker engine must be invisible in the merged report: batch and
    incremental campaigns over the same seed produce bit-identical JSON,
@@ -404,6 +411,149 @@ let test_checkpoint_header_validated () =
           Torture.run ~root_seed:21 ~trials:20 ~checkpoint:path ~resume:true
             (faulted_dcas_spec Nvm.Fault_model.Reorder)))
 
+(* --- journal hardening: duplicates, corruption, torn tails --- *)
+
+let string_contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let has_prefix p l =
+  String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+(* the journal line for trial [i], rewritten to claim index [j] — the
+   forgery overlapping shard ranges would produce *)
+let reindexed_line lines ~from_i ~to_i =
+  let old_p = Printf.sprintf {|{ "i": %d,|} from_i in
+  let new_p = Printf.sprintf {|{ "i": %d,|} to_i in
+  match List.find_opt (has_prefix old_p) lines with
+  | None -> Alcotest.failf "no journal line for trial %d" from_i
+  | Some l ->
+      new_p
+      ^ String.sub l (String.length old_p) (String.length l - String.length old_p)
+
+let expect_invalid what sub run =
+  match run () with
+  | (_ : Torture.report) -> Alcotest.failf "journal accepted despite %s" what
+  | exception Invalid_argument m ->
+      if not (string_contains m sub) then
+        Alcotest.failf "%s diagnostic %S does not mention %S" what m sub
+
+(* replaying trial lines verbatim (two shards raced on the same range)
+   must dedupe idempotently and change nothing *)
+let test_checkpoint_duplicates_deduped () =
+  let spec = dcas_spec () in
+  with_temp_journal (fun path ->
+      let full = Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path spec in
+      let lines = read_lines path in
+      let dups = List.filteri (fun i _ -> i >= 5 && i < 9) lines in
+      write_lines path (lines @ dups);
+      let resumed =
+        Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true spec
+      in
+      Alcotest.(check string) "identical duplicates are idempotent"
+        (Torture.to_json ~timing:false full)
+        (Torture.to_json ~timing:false resumed))
+
+(* a duplicate trial index carrying a different result means overlapping
+   shard ranges disagreed — hard error naming both lines *)
+let test_checkpoint_conflict_rejected () =
+  let spec = dcas_spec () in
+  with_temp_journal (fun path ->
+      ignore (Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path spec);
+      let lines = read_lines path in
+      write_lines path (lines @ [ reindexed_line lines ~from_i:4 ~to_i:3 ]);
+      expect_invalid "conflicting duplicate" "conflicts" (fun () ->
+          Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true
+            spec))
+
+let test_checkpoint_out_of_range_rejected () =
+  let spec = dcas_spec () in
+  with_temp_journal (fun path ->
+      ignore (Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path spec);
+      let lines = read_lines path in
+      write_lines path (lines @ [ reindexed_line lines ~from_i:4 ~to_i:77 ]);
+      expect_invalid "out-of-range index" "out of range" (fun () ->
+          Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true
+            spec))
+
+(* garbage anywhere but the final line is corruption, not a torn tail,
+   and the diagnostic names the file line *)
+let test_checkpoint_midfile_corruption_rejected () =
+  let spec = dcas_spec () in
+  with_temp_journal (fun path ->
+      ignore (Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path spec);
+      let lines = read_lines path in
+      write_lines path
+        (List.mapi (fun i l -> if i = 10 then "{ \"i\": garbage" else l) lines);
+      expect_invalid "mid-file corruption" "line 11" (fun () ->
+          Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true
+            spec))
+
+(* a writer killed mid-write leaves a torn, newline-less tail: resume
+   must tolerate it, heal the file back to a line boundary, and still
+   produce the uninterrupted report byte-for-byte *)
+let test_checkpoint_torn_tail_healed () =
+  let spec = dcas_spec () in
+  let uninterrupted = Torture.run ~root_seed:21 ~trials:30 spec in
+  with_temp_journal (fun path ->
+      ignore (Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path spec);
+      let lines = read_lines path in
+      let keep = List.filteri (fun i _ -> i < 12) lines in
+      let oc = open_out_bin path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        keep;
+      output_string oc {|{ "i": 12, "seed": 99|};
+      close_out oc;
+      let resumed =
+        Torture.run ~root_seed:21 ~trials:30 ~checkpoint:path ~resume:true spec
+      in
+      Alcotest.(check string) "torn tail healed, report byte-identical"
+        (Torture.to_json ~timing:false uninterrupted)
+        (Torture.to_json ~timing:false resumed);
+      (* the heal truncated the torn bytes before appending: every line
+         in the final journal parses *)
+      List.iteri
+        (fun k l ->
+          if String.trim l <> "" then
+            match Tiny_json.parse l with
+            | (_ : Tiny_json.t) -> ()
+            | exception Tiny_json.Error m ->
+                Alcotest.failf "journal line %d unparseable after heal: %s"
+                  (k + 1) m)
+        (read_lines path))
+
+(* --- cooperative interruption --- *)
+
+(* a should_stop that trips mid-campaign must raise Interrupted with the
+   journaled progress, and a resume must finish the campaign
+   byte-identically — the SIGINT/SIGTERM contract of detect_cli *)
+let test_should_stop_interrupts_and_resumes () =
+  let spec = dcas_spec () in
+  let uninterrupted = Torture.run ~root_seed:33 ~trials:40 spec in
+  with_temp_journal (fun path ->
+      let calls = Atomic.make 0 in
+      let should_stop () = Atomic.fetch_and_add calls 1 >= 12 in
+      (match
+         Torture.run ~domains:2 ~root_seed:33 ~trials:40 ~checkpoint:path
+           ~should_stop spec
+       with
+      | (_ : Torture.report) ->
+          Alcotest.fail "campaign completed despite should_stop"
+      | exception Torture.Interrupted { completed; total } ->
+          Alcotest.(check int) "total carried" 40 total;
+          Alcotest.(check bool) "partial progress journaled" true
+            (completed > 0 && completed < 40));
+      let resumed =
+        Torture.run ~root_seed:33 ~trials:40 ~checkpoint:path ~resume:true spec
+      in
+      Alcotest.(check string) "resume after interrupt = uninterrupted"
+        (Torture.to_json ~timing:false uninterrupted)
+        (Torture.to_json ~timing:false resumed))
+
 let suites =
   [
     ( "torture.engine",
@@ -443,5 +593,17 @@ let suites =
           test_checkpoint_resume_identity;
         Alcotest.test_case "mismatched journal header rejected" `Quick
           test_checkpoint_header_validated;
+        Alcotest.test_case "identical duplicates deduped" `Quick
+          test_checkpoint_duplicates_deduped;
+        Alcotest.test_case "conflicting duplicate rejected" `Quick
+          test_checkpoint_conflict_rejected;
+        Alcotest.test_case "out-of-range index rejected" `Quick
+          test_checkpoint_out_of_range_rejected;
+        Alcotest.test_case "mid-file corruption rejected" `Quick
+          test_checkpoint_midfile_corruption_rejected;
+        Alcotest.test_case "torn tail healed on resume" `Quick
+          test_checkpoint_torn_tail_healed;
+        Alcotest.test_case "should_stop interrupts, resume completes" `Quick
+          test_should_stop_interrupts_and_resumes;
       ] );
   ]
